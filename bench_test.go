@@ -1,0 +1,217 @@
+// Root benchmark harness: one benchmark per table and figure of the
+// paper (see DESIGN.md's per-experiment index), plus the ablation
+// benchmarks for the design choices called out there. Run with:
+//
+//	go test -bench=. -benchmem .
+package repro
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/history"
+	"repro/internal/iana"
+	"repro/internal/repos"
+	"repro/internal/staleness"
+)
+
+// benchEnv is shared across benchmarks; generation cost is paid once,
+// outside any timer.
+var (
+	benchOnce sync.Once
+	benchE    *experiments.Env
+)
+
+func env(b *testing.B) *experiments.Env {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchE = experiments.New(history.DefaultSeed, 0.2)
+		benchE.Pipeline() // pre-build so per-artefact benches measure their own work
+	})
+	return benchE
+}
+
+// BenchmarkFig2Growth regenerates Figure 2: list size and component mix
+// per version.
+func BenchmarkFig2Growth(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.H.GrowthSeries()
+	}
+}
+
+// BenchmarkTable1Taxonomy regenerates Table 1: the usage taxonomy.
+func BenchmarkTable1Taxonomy(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		repos.Table1(e.Corpus)
+	}
+}
+
+// BenchmarkFig3ListAge regenerates Figure 3: list-age distributions.
+func BenchmarkFig3ListAge(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.ListAgeReport(e.Corpus)
+	}
+}
+
+// BenchmarkFig4Scatter regenerates Figure 4: the popularity scatter.
+func BenchmarkFig4Scatter(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Scatter(e.Corpus)
+	}
+}
+
+// BenchmarkFig5Sites regenerates Figure 5: sites per list version.
+func BenchmarkFig5Sites(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Pipeline().SitesSeries()
+	}
+}
+
+// BenchmarkFig6ThirdParty regenerates Figure 6: third-party requests
+// per list version.
+func BenchmarkFig6ThirdParty(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Pipeline().ThirdPartySeries()
+	}
+}
+
+// BenchmarkFig7Divergence regenerates Figure 7: hostnames whose site
+// differs from the latest list.
+func BenchmarkFig7Divergence(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Pipeline().DivergenceSeries()
+	}
+}
+
+// BenchmarkTable2MissingETLDs regenerates Table 2: the largest
+// misclassified eTLDs with per-class project counts.
+func BenchmarkTable2MissingETLDs(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Pipeline().MissingETLDs(e.Corpus)
+	}
+}
+
+// BenchmarkTable3Projects regenerates the appendix Table 3: per-project
+// recomputed missing-hostname counts.
+func BenchmarkTable3Projects(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Pipeline().ProjectHarm(e.Corpus)
+	}
+}
+
+// BenchmarkMisclassifiedSeries regenerates the extension series of
+// requests erroneously treated as first-party.
+func BenchmarkMisclassifiedSeries(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Pipeline().MisclassifiedFirstPartySeries()
+	}
+}
+
+// BenchmarkStalenessCompare runs the update-policy Monte Carlo with the
+// measured harm curve.
+func BenchmarkStalenessCompare(b *testing.B) {
+	e := env(b)
+	harm := e.Pipeline().HarmCurve()
+	cfg := staleness.Config{Seed: history.DefaultSeed, HorizonDays: 5 * 365, Trials: 10}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		staleness.Compare(cfg, staleness.DefaultPolicies(), harm)
+	}
+}
+
+// BenchmarkHarmByCategory regenerates the category harm breakdown.
+func BenchmarkHarmByCategory(b *testing.B) {
+	e := env(b)
+	db := iana.Default()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Pipeline().HarmByCategory(e.Corpus, db)
+	}
+}
+
+// --- ablations (DESIGN.md section 5) ---------------------------------
+
+// BenchmarkAblationIncremental measures the changepoint pipeline:
+// building per-host assignments and sweeping all 1,142 versions.
+func BenchmarkAblationIncremental(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := core.NewPipeline(e.H, e.Snap)
+		p.SitesSeries()
+	}
+}
+
+// BenchmarkAblationFullRecompute measures the naive alternative at just
+// 16 of the 1,142 versions — already far slower than the complete
+// incremental sweep above.
+func BenchmarkAblationFullRecompute(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for s := 0; s < 16; s++ {
+			seq := s * (e.H.Len() - 1) / 15
+			core.SitesAtVersionFull(e.H.ListAt(seq), e.Snap.Hosts)
+		}
+	}
+}
+
+// BenchmarkAblationInterningIDs counts distinct final sites through the
+// pipeline's interned site ids.
+func BenchmarkAblationInterningIDs(b *testing.B) {
+	e := env(b)
+	p := e.Pipeline()
+	n := len(e.Snap.Hosts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seen := make(map[int32]struct{}, n)
+		for hi := 0; hi < n; hi++ {
+			seen[siteID(p, hi)] = struct{}{}
+		}
+		_ = len(seen)
+	}
+}
+
+// BenchmarkAblationInterningStrings counts distinct final sites through
+// raw site strings, the representation the interning avoids.
+func BenchmarkAblationInterningStrings(b *testing.B) {
+	e := env(b)
+	p := e.Pipeline()
+	n := len(e.Snap.Hosts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seen := make(map[string]struct{}, n)
+		for hi := 0; hi < n; hi++ {
+			seen[p.FinalSite(hi)] = struct{}{}
+		}
+		_ = len(seen)
+	}
+}
+
+// siteID resolves a host's final interned site id without materialising
+// the string.
+func siteID(p *core.Pipeline, hi int) int32 {
+	return p.FinalSiteID(hi)
+}

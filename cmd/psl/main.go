@@ -1,0 +1,216 @@
+// Command psl queries the public suffix list: the suffix (eTLD) and
+// site (eTLD+1) of a domain, same-site and third-party decisions, and
+// diffs between historical versions.
+//
+// Usage:
+//
+//	psl [flags] suffix <domain>...
+//	psl [flags] site <domain>...
+//	psl [flags] samesite <a> <b>
+//	psl [flags] thirdparty <page-host> <request-host>
+//	psl [flags] diff
+//
+// Flags:
+//
+//	-list FILE   read the list from FILE instead of the generated history
+//	-age DAYS    use the historical version in effect DAYS before
+//	             2022-12-08 (default 0 = newest)
+//	-from DAYS   (diff) older version age
+//	-seed N      history generator seed
+//
+// Without -list, the tool evaluates against the simulated list history
+// this repository generates (see DESIGN.md).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/history"
+	"repro/internal/psl"
+)
+
+func main() {
+	var (
+		listFile = flag.String("list", "", "read the list from this file")
+		age      = flag.Int("age", 0, "use the version this many days before 2022-12-08")
+		fromAge  = flag.Int("from", 825, "diff: age of the older version in days")
+		seed     = flag.Int64("seed", history.DefaultSeed, "history generator seed")
+	)
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 1 {
+		usage()
+		os.Exit(2)
+	}
+
+	if err := run(os.Stdout, args, *listFile, *age, *fromAge, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "psl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: psl [flags] <command> [args]
+
+commands:
+  suffix <domain>...             print the public suffix (eTLD) of each domain
+  site <domain>...               print the registrable domain (site, eTLD+1)
+  samesite <a> <b>               report whether two hosts share a site
+  thirdparty <page> <request>    classify a request as first- or third-party
+  group [host]...                group hostnames (args or stdin) into sites
+  lint [file]                    check a list file for structural problems
+  diff                           rules added/removed between -from and -age
+
+flags:
+`)
+	flag.PrintDefaults()
+}
+
+func run(w io.Writer, args []string, listFile string, age, fromAge int, seed int64) error {
+	var h *history.History
+	load := func(ageDays int) (*psl.List, error) {
+		if listFile != "" {
+			f, err := os.Open(listFile)
+			if err != nil {
+				return nil, err
+			}
+			defer f.Close()
+			return psl.Parse(f)
+		}
+		if h == nil {
+			h = history.Generate(history.Config{Seed: seed})
+		}
+		return h.ListAt(h.IndexForAge(ageDays)), nil
+	}
+
+	l, err := load(age)
+	if err != nil {
+		return err
+	}
+
+	switch cmd, rest := args[0], args[1:]; cmd {
+	case "suffix":
+		if len(rest) == 0 {
+			return fmt.Errorf("suffix: need at least one domain")
+		}
+		for _, d := range rest {
+			suffix, icann, err := l.PublicSuffix(d)
+			if err != nil {
+				return err
+			}
+			section := "private/implicit"
+			if icann {
+				section = "icann"
+			}
+			fmt.Fprintf(w, "%s\t%s\t%s\n", d, suffix, section)
+		}
+	case "site":
+		if len(rest) == 0 {
+			return fmt.Errorf("site: need at least one domain")
+		}
+		for _, d := range rest {
+			site, err := l.Site(d)
+			if err != nil {
+				fmt.Fprintf(w, "%s\t(no registrable domain: %v)\n", d, err)
+				continue
+			}
+			fmt.Fprintf(w, "%s\t%s\n", d, site)
+		}
+	case "samesite":
+		if len(rest) != 2 {
+			return fmt.Errorf("samesite: need exactly two hosts")
+		}
+		fmt.Fprintf(w, "%s and %s: same-site=%v\n", rest[0], rest[1], l.SameSite(rest[0], rest[1]))
+	case "thirdparty":
+		if len(rest) != 2 {
+			return fmt.Errorf("thirdparty: need page host and request host")
+		}
+		kind := "first-party"
+		if l.IsThirdParty(rest[0], rest[1]) {
+			kind = "third-party"
+		}
+		fmt.Fprintf(w, "request to %s from page %s: %s\n", rest[1], rest[0], kind)
+	case "lint":
+		target := listFile
+		if len(rest) == 1 {
+			target = rest[0]
+		}
+		if target == "" {
+			return fmt.Errorf("lint: need a file (-list or argument)")
+		}
+		f, err := os.Open(target)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		findings, err := psl.Lint(f)
+		if err != nil {
+			return err
+		}
+		for _, fd := range findings {
+			fmt.Fprintf(w, "%s:%s\n", target, fd)
+		}
+		fmt.Fprintf(w, "%s: %d findings\n", target, len(findings))
+		if psl.MaxSeverity(findings) >= psl.SeverityError {
+			return fmt.Errorf("lint: %s has errors", target)
+		}
+	case "group":
+		// Group hostnames (stdin or args) into sites — the browser-UI
+		// use case the paper describes.
+		hosts := rest
+		if len(hosts) == 0 {
+			sc := bufio.NewScanner(os.Stdin)
+			for sc.Scan() {
+				if h := strings.TrimSpace(sc.Text()); h != "" {
+					hosts = append(hosts, h)
+				}
+			}
+			if err := sc.Err(); err != nil {
+				return err
+			}
+		}
+		groups := make(map[string][]string)
+		for _, h := range hosts {
+			site := l.SiteOrSelf(h)
+			groups[site] = append(groups[site], h)
+		}
+		sites := make([]string, 0, len(groups))
+		for site := range groups {
+			sites = append(sites, site)
+		}
+		sort.Strings(sites)
+		for _, site := range sites {
+			fmt.Fprintf(w, "%s\n", site)
+			for _, h := range groups[site] {
+				fmt.Fprintf(w, "  %s\n", h)
+			}
+		}
+	case "diff":
+		if listFile != "" {
+			return fmt.Errorf("diff: requires the generated history (drop -list)")
+		}
+		old, err := load(fromAge)
+		if err != nil {
+			return err
+		}
+		d := psl.DiffLists(old, l)
+		fmt.Fprintf(w, "from %s (%d rules) to %s (%d rules): +%d -%d\n",
+			old.Version, old.Len(), l.Version, l.Len(), len(d.Added), len(d.Removed))
+		for _, r := range d.Added {
+			fmt.Fprintf(w, "+ %s\n", r)
+		}
+		for _, r := range d.Removed {
+			fmt.Fprintf(w, "- %s\n", r)
+		}
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+	return nil
+}

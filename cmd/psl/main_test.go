@@ -1,0 +1,146 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/history"
+)
+
+const seed = history.DefaultSeed
+
+// runOut executes the tool's run function and captures its output.
+func runOut(t *testing.T, args []string, listFile string, age, fromAge int) (string, error) {
+	t.Helper()
+	var b strings.Builder
+	err := run(&b, args, listFile, age, fromAge, seed)
+	return b.String(), err
+}
+
+// writeList writes a small valid list file.
+func writeList(t *testing.T, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "list.dat")
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const smallList = `
+// ===BEGIN ICANN DOMAINS===
+com
+uk
+co.uk
+// ===END ICANN DOMAINS===
+// ===BEGIN PRIVATE DOMAINS===
+github.io
+// ===END PRIVATE DOMAINS===
+`
+
+func TestSuffixCommand(t *testing.T) {
+	p := writeList(t, smallList)
+	out, err := runOut(t, []string{"suffix", "www.example.co.uk", "alice.github.io"}, p, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "www.example.co.uk\tco.uk\ticann") {
+		t.Errorf("output: %q", out)
+	}
+	if !strings.Contains(out, "alice.github.io\tgithub.io\tprivate/implicit") {
+		t.Errorf("output: %q", out)
+	}
+}
+
+func TestSiteCommand(t *testing.T) {
+	p := writeList(t, smallList)
+	out, err := runOut(t, []string{"site", "a.b.example.com", "co.uk"}, p, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "a.b.example.com\texample.com") {
+		t.Errorf("output: %q", out)
+	}
+	if !strings.Contains(out, "no registrable domain") {
+		t.Errorf("bare suffix should be flagged: %q", out)
+	}
+}
+
+func TestSameSiteAndThirdParty(t *testing.T) {
+	p := writeList(t, smallList)
+	out, err := runOut(t, []string{"samesite", "a.example.com", "b.example.com"}, p, 0, 0)
+	if err != nil || !strings.Contains(out, "same-site=true") {
+		t.Errorf("samesite: %q, %v", out, err)
+	}
+	out, err = runOut(t, []string{"thirdparty", "a.github.io", "b.github.io"}, p, 0, 0)
+	if err != nil || !strings.Contains(out, "third-party") {
+		t.Errorf("thirdparty: %q, %v", out, err)
+	}
+}
+
+func TestGroupCommand(t *testing.T) {
+	p := writeList(t, smallList)
+	out, err := runOut(t, []string{"group", "www.example.com", "cdn.example.com", "alice.github.io"}, p, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "example.com\n  www.example.com\n  cdn.example.com") &&
+		!strings.Contains(out, "example.com\n  cdn.example.com") {
+		t.Errorf("grouping output: %q", out)
+	}
+}
+
+func TestLintCommand(t *testing.T) {
+	good := writeList(t, smallList)
+	out, err := runOut(t, []string{"lint", good}, "", 0, 0)
+	if err != nil || !strings.Contains(out, "0 findings") {
+		t.Errorf("clean lint: %q, %v", out, err)
+	}
+	bad := writeList(t, "com\na..b\n")
+	out, err = runOut(t, []string{"lint", bad}, "", 0, 0)
+	if err == nil {
+		t.Errorf("lint of bad file should error; output %q", out)
+	}
+	if !strings.Contains(out, "unparseable") {
+		t.Errorf("lint output: %q", out)
+	}
+}
+
+func TestDiffCommand(t *testing.T) {
+	out, err := runOut(t, []string{"diff"}, "", 0, 825)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "+") || !strings.Contains(out, "rules)") {
+		t.Errorf("diff output: %.200q", out)
+	}
+	// myshopify.com was added ~700 days before t, so it is in the diff
+	// from an 825-day-old list to the latest.
+	if !strings.Contains(out, "+ myshopify.com") {
+		t.Errorf("diff should include myshopify.com: %.400q", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	p := writeList(t, smallList)
+	cases := [][]string{
+		{"unknown"},
+		{"suffix"},
+		{"samesite", "only-one"},
+		{"thirdparty", "a"},
+	}
+	for _, args := range cases {
+		if _, err := runOut(t, args, p, 0, 0); err == nil {
+			t.Errorf("args %v should error", args)
+		}
+	}
+	if _, err := runOut(t, []string{"diff"}, p, 0, 825); err == nil {
+		t.Error("diff with -list should error")
+	}
+	// lint without -list and without an argument has no target.
+	if _, err := runOut(t, []string{"lint"}, "", 0, 0); err == nil {
+		t.Error("lint without a target should error")
+	}
+}

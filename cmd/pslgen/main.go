@@ -1,0 +1,220 @@
+// Command pslgen materialises the simulated corpora to disk for
+// inspection or for feeding other tools:
+//
+//	pslgen lists -out DIR [-every N]    write every N-th list version
+//	pslgen repos -out DIR [-max N]      materialise repository checkouts
+//	pslgen hosts -out FILE              write the snapshot hostnames
+//	pslgen pairs -out FILE              write aggregated request pairs CSV
+//
+// Flags common to all subcommands: -seed, -scale.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/history"
+	"repro/internal/httparchive"
+	"repro/internal/repos"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	var (
+		out   = fs.String("out", "", "output directory or file (required)")
+		seed  = fs.Int64("seed", history.DefaultSeed, "generator seed")
+		scale = fs.Float64("scale", 0.1, "snapshot scale")
+		every = fs.Int("every", 100, "lists: write every N-th version")
+		max   = fs.Int("max", 20, "repos: materialise at most N repositories")
+	)
+	fs.Parse(os.Args[2:])
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "pslgen: -out is required")
+		os.Exit(2)
+	}
+
+	var err error
+	switch cmd {
+	case "lists":
+		err = genLists(*out, *seed, *every)
+	case "repos":
+		err = genRepos(*out, *seed, *max)
+	case "hosts":
+		err = genHosts(*out, *seed, *scale)
+	case "pairs":
+		err = genPairs(*out, *seed, *scale)
+	case "corpus":
+		err = genCorpus(*out, *seed)
+	case "history":
+		err = genHistory(*out, *seed)
+	case "snapshot":
+		err = genSnapshot(*out, *seed, *scale)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pslgen:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: pslgen <lists|repos|hosts|pairs|corpus|history|snapshot> -out PATH [flags]
+
+  lists     write every N-th list version as a .dat file
+  repos     materialise simulated repository checkouts
+  hosts     write the snapshot hostnames, one per line
+  pairs     write aggregated page->request pairs as CSV
+  corpus    write the labelled 273-repository dataset as CSV (the
+            equivalent of the paper's published dataset)
+  history   write the full version history as a binary cache (.gob)
+  snapshot  write the crawl snapshot as a binary cache (.gob)`)
+}
+
+// genCorpus writes the labelled repository dataset, mirroring the
+// paper's released CSV.
+func genCorpus(path string, seed int64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	fmt.Fprintln(w, "repository,stars,forks,strategy,subcategory,library,list_age_days,last_commit_days,missing_hostnames_paper,from_paper")
+	for _, r := range repos.Corpus(seed) {
+		fmt.Fprintf(w, "%s,%d,%d,%s,%s,%s,%d,%d,%d,%v\n",
+			r.Name, r.Stars, r.Forks, r.Strategy, r.Sub, r.Library,
+			r.ListAgeDays, r.LastCommitDays, r.MissingPaper, r.FromPaper)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote the labelled corpus to %s\n", path)
+	return nil
+}
+
+// genHistory writes the version-history cache.
+func genHistory(path string, seed int64) error {
+	h := history.Generate(history.Config{Seed: seed})
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	n, err := h.WriteTo(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d versions (%d bytes) to %s\n", h.Len(), n, path)
+	return nil
+}
+
+// genSnapshot writes the crawl-snapshot cache.
+func genSnapshot(path string, seed int64, scale float64) error {
+	h := history.Generate(history.Config{Seed: seed})
+	snap := httparchive.Generate(httparchive.Config{Seed: seed, Scale: scale}, h)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	n, err := snap.WriteTo(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d hosts / %d pairs (%d bytes) to %s\n",
+		len(snap.Hosts), len(snap.Pairs), n, path)
+	return nil
+}
+
+func genLists(dir string, seed int64, every int) error {
+	if every < 1 {
+		every = 1
+	}
+	h := history.Generate(history.Config{Seed: seed})
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	n := 0
+	for seq := 0; seq < h.Len(); seq += every {
+		l := h.ListAt(seq)
+		name := fmt.Sprintf("public_suffix_list_v%04d_%s.dat", seq, h.Meta(seq).Date.Format("20060102"))
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(l.Serialize()), 0o644); err != nil {
+			return err
+		}
+		n++
+	}
+	fmt.Printf("wrote %d list versions to %s\n", n, dir)
+	return nil
+}
+
+func genRepos(dir string, seed int64, max int) error {
+	h := history.Generate(history.Config{Seed: seed})
+	corpus := repos.Corpus(seed)
+	n := 0
+	for _, r := range corpus {
+		if n >= max {
+			break
+		}
+		if !r.HasKnownAge() {
+			continue
+		}
+		embedded := h.ListAt(h.IndexForAge(r.ListAgeDays))
+		sub := filepath.Join(dir, strings.ReplaceAll(r.Name, "/", "__"))
+		if err := repos.Materialize(sub, r, embedded); err != nil {
+			return err
+		}
+		n++
+	}
+	fmt.Printf("materialised %d repository checkouts under %s\n", n, dir)
+	return nil
+}
+
+func genHosts(path string, seed int64, scale float64) error {
+	h := history.Generate(history.Config{Seed: seed})
+	snap := httparchive.Generate(httparchive.Config{Seed: seed, Scale: scale}, h)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	for _, host := range snap.Hosts {
+		fmt.Fprintln(w, host)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d hostnames to %s\n", len(snap.Hosts), path)
+	return nil
+}
+
+func genPairs(path string, seed int64, scale float64) error {
+	h := history.Generate(history.Config{Seed: seed})
+	snap := httparchive.Generate(httparchive.Config{Seed: seed, Scale: scale}, h)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	fmt.Fprintln(w, "page_host,request_host,requests")
+	for _, p := range snap.Pairs {
+		fmt.Fprintf(w, "%s,%s,%d\n", snap.Hosts[p.Page], snap.Hosts[p.Req], p.Count)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d pairs (%d requests) to %s\n", len(snap.Pairs), snap.Requests, path)
+	return nil
+}

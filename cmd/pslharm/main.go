@@ -1,0 +1,101 @@
+// Command pslharm regenerates every table and figure of the paper's
+// evaluation from the simulated corpora.
+//
+// Usage:
+//
+//	pslharm [flags] <artefact>...
+//
+// Artefacts: fig2 fig3 fig4 fig5 fig6 fig7 tab1 tab2 tab3 all
+//
+// Flags:
+//
+//	-seed N       generator seed (default 0x5157, the reference seed)
+//	-scale F      snapshot scale (default 1.0, the reference scale;
+//	              Table 2 hostname counts are exact at every scale)
+//
+// The reference-configuration outputs are recorded in EXPERIMENTS.md
+// next to the paper's numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/history"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		seed      = flag.Int64("seed", history.DefaultSeed, "generator seed")
+		scale     = flag.Float64("scale", 1.0, "snapshot scale factor")
+		svgDir    = flag.String("svg", "", "also write figure artefacts as SVG files to this directory")
+		histCache = flag.String("history", "", "load the version history from a pslgen cache (.gob)")
+		snapCache = flag.String("snapshot", "", "load the crawl snapshot from a pslgen cache (.gob)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: pslharm [flags] <artefact>...\nartefacts: %s %s all\nflags:\n",
+			strings.Join(experiments.IDs(), " "), strings.Join(experiments.ExtraIDs(), " "))
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	ids := flag.Args()
+	if len(ids) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	fmt.Printf("reproduction environment: seed=%#x scale=%g\n", *seed, *scale)
+	env, err := experiments.NewWithCaches(*seed, *scale, *histCache, *snapCache)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pslharm:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("history: %d versions (%d -> %d rules); corpus: %d repositories; snapshot: %d hosts, %d requests\n\n",
+		env.H.Len(), env.H.Meta(0).Rules, env.H.Meta(env.H.Len()-1).Rules,
+		len(env.Corpus), len(env.Snap.Hosts), env.Snap.Requests)
+
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = append(append([]string{}, experiments.IDs()...), experiments.ExtraIDs()...)
+	}
+	for _, id := range ids {
+		out, ok := env.Render(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "pslharm: unknown artefact %q\n", id)
+			os.Exit(2)
+		}
+		fmt.Println(out)
+		if *svgDir != "" {
+			if err := writeSVG(env, id, *svgDir); err != nil {
+				fmt.Fprintf(os.Stderr, "pslharm: svg for %s: %v\n", id, err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+// writeSVG renders a figure artefact's series as an SVG file; table
+// artefacts are silently skipped.
+func writeSVG(env *experiments.Env, id, dir string) error {
+	points, title, ylabel, ok := env.Series(id)
+	if !ok {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, id+".svg"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := report.SVGLine(f, points, report.SVGOptions{Title: title, YLabel: ylabel}); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n\n", filepath.Join(dir, id+".svg"))
+	return nil
+}

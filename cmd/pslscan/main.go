@@ -1,0 +1,144 @@
+// Command pslscan is the outdated-PSL detection tool: it walks one or
+// more project trees, finds embedded copies of the public suffix list,
+// dates them against the simulated version history, and classifies each
+// project's update strategy per the paper's Table 1 taxonomy.
+//
+// Usage:
+//
+//	pslscan [flags] <dir>...
+//
+// Flags:
+//
+//	-seed N     history generator seed (default matches the experiments)
+//	-quiet      one summary line per project instead of full findings
+//	-json       machine-readable JSON reports
+//	-issue      ready-to-file disclosure issue per project
+//
+// Exit status is 1 when any scanned project embeds a list older than
+// one year, so the tool can gate CI pipelines.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/history"
+	"repro/internal/notify"
+	"repro/internal/scanner"
+)
+
+// options bundle the output mode flags.
+type options struct {
+	quiet, asJSON, asIssue bool
+	now                    time.Time
+}
+
+func main() {
+	var (
+		seed    = flag.Int64("seed", history.DefaultSeed, "history generator seed")
+		quiet   = flag.Bool("quiet", false, "print one summary line per project")
+		asJSON  = flag.Bool("json", false, "emit machine-readable JSON reports")
+		asIssue = flag.Bool("issue", false, "emit a ready-to-file disclosure issue per project")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: pslscan [flags] <dir>...")
+		os.Exit(2)
+	}
+
+	h := history.Generate(history.Config{Seed: *seed})
+	ix := scanner.NewVersionIndex(h)
+	opts := options{quiet: *quiet, asJSON: *asJSON, asIssue: *asIssue, now: time.Now().UTC()}
+
+	stale := false
+	for _, target := range flag.Args() {
+		var isStale bool
+		var err error
+		if strings.HasSuffix(target, ".zip") {
+			isStale, err = scanZipTarget(os.Stdout, target, ix, opts)
+		} else {
+			isStale, err = scanOne(os.Stdout, os.DirFS(target), target, ix, opts)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pslscan: %s: %v\n", target, err)
+			os.Exit(1)
+		}
+		stale = stale || isStale
+	}
+	if stale {
+		os.Exit(1)
+	}
+}
+
+// scanZipTarget scans a zip archive (e.g. a GitHub download) in place.
+func scanZipTarget(w io.Writer, path string, ix *scanner.VersionIndex, opts options) (bool, error) {
+	rep, err := scanner.ScanZip(path, ix)
+	if err != nil {
+		return false, err
+	}
+	return renderReport(w, rep, path, opts)
+}
+
+// scanOne scans a single tree and renders the report in the selected
+// mode, reporting whether the tree carries a list older than a year.
+func scanOne(w io.Writer, fsys fs.FS, label string, ix *scanner.VersionIndex, opts options) (bool, error) {
+	rep, err := scanner.Scan(fsys, label, ix)
+	if err != nil {
+		return false, err
+	}
+	return renderReport(w, rep, label, opts)
+}
+
+// renderReport writes a scan report in the selected output mode and
+// reports staleness.
+func renderReport(w io.Writer, rep *scanner.Report, label string, opts options) (bool, error) {
+	switch {
+	case opts.asJSON:
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return false, err
+		}
+	case opts.asIssue:
+		issue := &notify.Report{
+			Project:           label,
+			Scan:              rep,
+			AffectedHostnames: -1,
+			Date:              opts.now,
+		}
+		fmt.Fprintln(w, issue.Markdown())
+	default:
+		printReport(w, rep, opts.quiet)
+	}
+	return rep.OldestAgeDays() > 365, nil
+}
+
+func printReport(w io.Writer, rep *scanner.Report, quiet bool) {
+	if quiet {
+		fmt.Fprintf(w, "%s\t%s/%s\tcopies=%d\toldest=%dd\n",
+			rep.Root, rep.Strategy, rep.Sub, len(rep.Findings), rep.OldestAgeDays())
+		return
+	}
+	fmt.Fprintf(w, "%s\n", rep.Root)
+	fmt.Fprintf(w, "  strategy: %s/%s\n", rep.Strategy, rep.Sub)
+	if len(rep.Findings) == 0 {
+		fmt.Fprintln(w, "  no embedded public suffix list found")
+	}
+	for _, f := range rep.Findings {
+		exact := "nearest"
+		if f.ID.Exact >= 0 {
+			exact = "exact"
+		}
+		fmt.Fprintf(w, "  %s: %d rules, %s match v%d (similarity %.3f), age %d days, missing %d rules vs latest\n",
+			f.Path, f.Rules, exact, f.ID.Nearest, f.ID.Similarity, f.ID.AgeDays, f.ID.MissingVsLatest)
+	}
+	for _, e := range rep.Evidence {
+		fmt.Fprintf(w, "  evidence: %s\n", e)
+	}
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"testing/fstest"
+	"time"
+
+	"repro/internal/history"
+	"repro/internal/scanner"
+)
+
+var (
+	testHistory = history.Generate(history.Config{Seed: history.DefaultSeed})
+	testIndex   = scanner.NewVersionIndex(testHistory)
+)
+
+func tree(listVersion int) fstest.MapFS {
+	return fstest.MapFS{
+		"data/public_suffix_list.dat": &fstest.MapFile{
+			Data: []byte(testHistory.ListAt(listVersion).Serialize()),
+		},
+		"src/app.py": &fstest.MapFile{Data: []byte("open('data/public_suffix_list.dat')\n")},
+	}
+}
+
+func TestScanOneDefault(t *testing.T) {
+	var b strings.Builder
+	stale, err := scanOne(&b, tree(500), "demo/repo", testIndex, options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stale {
+		t.Error("version 500 is years old; stale flag not set")
+	}
+	out := b.String()
+	for _, want := range []string{"demo/repo", "strategy: fixed/production", "exact match v", "missing"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestScanOneQuiet(t *testing.T) {
+	var b strings.Builder
+	if _, err := scanOne(&b, tree(500), "demo/repo", testIndex, options{quiet: true}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 1 || !strings.Contains(lines[0], "copies=1") {
+		t.Errorf("quiet output: %q", b.String())
+	}
+}
+
+func TestScanOneJSON(t *testing.T) {
+	var b strings.Builder
+	if _, err := scanOne(&b, tree(500), "demo/repo", testIndex, options{asJSON: true}); err != nil {
+		t.Fatal(err)
+	}
+	var rep scanner.Report
+	if err := json.Unmarshal([]byte(b.String()), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, b.String())
+	}
+	if rep.Root != "demo/repo" || len(rep.Findings) != 1 {
+		t.Errorf("decoded report: %+v", rep)
+	}
+}
+
+func TestScanOneIssue(t *testing.T) {
+	var b strings.Builder
+	opts := options{asIssue: true, now: time.Date(2022, 12, 8, 0, 0, 0, 0, time.UTC)}
+	if _, err := scanOne(&b, tree(500), "demo/repo", testIndex, opts); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"out of date", "## Recommended fix", "2022-12-08"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("issue missing %q", want)
+		}
+	}
+}
+
+func TestScanOneFreshNotStale(t *testing.T) {
+	var b strings.Builder
+	stale, err := scanOne(&b, tree(testHistory.Len()-1), "fresh/repo", testIndex, options{quiet: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stale {
+		t.Error("latest list flagged stale")
+	}
+}

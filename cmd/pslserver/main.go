@@ -1,0 +1,54 @@
+// Command pslserver publishes the simulated public-suffix-list history
+// over HTTP, standing in for publicsuffix.org in the examples and in
+// update-strategy experiments.
+//
+//	GET /list/public_suffix_list.dat   the configured current version
+//	GET /v/<seq>                       a specific historical version
+//
+// Flags:
+//
+//	-addr HOST:PORT   listen address (default 127.0.0.1:8353)
+//	-age DAYS         publish the version in effect DAYS before
+//	                  2022-12-08 (default 0 = newest)
+//	-failrate F       fail this fraction of requests with 503, to
+//	                  exercise client fallback paths
+//	-seed N           history generator seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"repro/internal/fetch"
+	"repro/internal/history"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8353", "listen address")
+		age      = flag.Int("age", 0, "publish the version this many days before 2022-12-08")
+		failRate = flag.Float64("failrate", 0, "fraction of requests to fail with 503")
+		seed     = flag.Int64("seed", history.DefaultSeed, "history generator seed")
+	)
+	flag.Parse()
+
+	h := history.Generate(history.Config{Seed: *seed})
+	s := fetch.NewServer(h)
+	seq := h.IndexForAge(*age)
+	s.SetCurrent(seq)
+	s.SetFailureRate(*failRate)
+
+	meta := h.Meta(seq)
+	fmt.Printf("pslserver: serving v%04d (%s, %d rules) on http://%s%s (failrate %.2f)\n",
+		meta.Seq, meta.Date.Format("2006-01-02"), meta.Rules, *addr, fetch.ListPath, *failRate)
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           s,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Fatal(srv.ListenAndServe())
+}

@@ -1,0 +1,54 @@
+// Certificate issuance scenario: CAs must refuse wildcard certificates
+// at or above public suffixes (one of the validation uses the paper's
+// Section 4 names). A CA running a stale list will issue
+// *.myshopify.com — one certificate covering every shop on the
+// platform.
+//
+// Run with:
+//
+//	go run ./examples/certissuance
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/certpolicy"
+	"repro/internal/history"
+	"repro/internal/psl"
+)
+
+func main() {
+	h := history.Generate(history.Config{Seed: history.DefaultSeed})
+	fresh := h.Latest()
+	stale := h.ListAt(h.IndexForAge(1596)) // bitwarden/server's list age
+
+	requests := []string{
+		"www.example.com",            // ordinary SAN
+		"*.example.com",              // ordinary customer wildcard
+		"*.co.uk",                    // spans a ccTLD registry: always refused
+		"*.myshopify.com",            // spans a platform: refused only if the CA knows
+		"*.good-store.myshopify.com", // a single shop's wildcard: fine
+	}
+
+	for _, tc := range []struct {
+		label string
+		list  *psl.List
+	}{
+		{"CA with UP-TO-DATE list", fresh},
+		{"CA with STALE list (1596 days)", stale},
+	} {
+		fmt.Printf("--- %s ---\n", tc.label)
+		for _, san := range requests {
+			d := certpolicy.Check(tc.list, san)
+			if d.Allowed() {
+				fmt.Printf("  ISSUE   %-30s (validate control of %s)\n", san, d.ValidationDomain)
+			} else {
+				fmt.Printf("  REFUSE  %-30s (%v)\n", san, d.Err)
+			}
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("The stale CA issues *.myshopify.com: whoever holds that key can")
+	fmt.Println("impersonate every shop on the platform over TLS.")
+}

@@ -1,0 +1,85 @@
+// Cookie boundary scenario: net/http/cookiejar accepts a
+// PublicSuffixList implementation and uses it to decide which Domain=
+// attributes a site may set. Wiring the jar to an out-of-date list
+// reproduces the paper's browser-harm case: cookies shared across
+// unrelated tenants of a hosting platform.
+//
+// Run with:
+//
+//	go run ./examples/cookiejar
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/cookiejar"
+	"net/url"
+
+	"repro/internal/history"
+	"repro/internal/psl"
+)
+
+func main() {
+	h := history.Generate(history.Config{Seed: history.DefaultSeed})
+	fresh := h.Latest()
+	stale := h.ListAt(h.IndexForAge(1596)) // bitwarden/server's list age
+
+	for _, tc := range []struct {
+		name string
+		list *psl.List
+	}{
+		{"up-to-date", fresh},
+		{"1596 days stale", stale},
+	} {
+		fmt.Printf("--- cookie jar with %s list ---\n", tc.name)
+		jar, err := cookiejar.New(&cookiejar.Options{
+			PublicSuffixList: psl.NewCookiejarAdapter(tc.list),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// good-store sets a cookie scoped as widely as the jar allows:
+		// Domain=myshopify.com.
+		goodStore := mustURL("https://good-store.myshopify.com/")
+		jar.SetCookies(goodStore, []*http.Cookie{{
+			Name:   "session",
+			Value:  "alice-session-token",
+			Domain: "myshopify.com",
+			Path:   "/",
+		}})
+
+		// Does the cookie leak to another tenant?
+		evilStore := mustURL("https://bad-store.myshopify.com/")
+		leaked := jar.Cookies(evilStore)
+		if len(leaked) > 0 {
+			fmt.Printf("request to %s carries %d cookie(s): %s=%s  *** CROSS-TENANT LEAK ***\n",
+				evilStore.Host, len(leaked), leaked[0].Name, leaked[0].Value)
+		} else {
+			fmt.Printf("request to %s carries no cookies (correct: myshopify.com is a public suffix)\n",
+				evilStore.Host)
+		}
+
+		// Supercookies are rejected under both lists: com has been a
+		// suffix since the beginning.
+		anyCom := mustURL("https://attacker.com/")
+		jar.SetCookies(anyCom, []*http.Cookie{{
+			Name: "super", Value: "x", Domain: "com", Path: "/",
+		}})
+		if got := jar.Cookies(mustURL("https://victim.com/")); len(got) > 0 {
+			fmt.Println("supercookie accepted?!")
+		} else {
+			fmt.Println("supercookie for Domain=com rejected under both lists")
+		}
+		fmt.Println()
+	}
+}
+
+func mustURL(s string) *url.URL {
+	u, err := url.Parse(s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return u
+}

@@ -1,0 +1,79 @@
+// Quickstart: parse a public suffix list and ask the questions browsers
+// ask — what is this domain's public suffix (eTLD), what site (eTLD+1)
+// does it belong to, and are two hosts same-site?
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/psl"
+)
+
+// miniList is a tiny but realistic excerpt of the public suffix list,
+// with both ICANN and PRIVATE sections, a wildcard family, and an
+// exception rule.
+const miniList = `
+// ===BEGIN ICANN DOMAINS===
+com
+uk
+co.uk
+gov.uk
+jp
+*.kobe.jp
+!city.kobe.jp
+// ===END ICANN DOMAINS===
+// ===BEGIN PRIVATE DOMAINS===
+github.io
+blogspot.com
+// ===END PRIVATE DOMAINS===
+`
+
+func main() {
+	list, err := psl.ParseString(miniList)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("parsed %d rules\n\n", list.Len())
+
+	// Public suffixes: the boundary below which names are registrable.
+	for _, name := range []string{
+		"www.example.com",
+		"example.co.uk",
+		"alice.github.io",
+		"www.city.kobe.jp", // exception rule
+		"x.y.kobe.jp",      // wildcard rule
+	} {
+		suffix, icann, err := list.PublicSuffix(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		site, err := list.Site(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-20s suffix=%-12s icann=%-5v site=%s\n", name, suffix, icann, site)
+	}
+
+	// Same-site decisions: the privacy boundary browsers enforce.
+	fmt.Println()
+	pairs := [][2]string{
+		{"www.google.com", "maps.google.com"}, // same organisation
+		{"google.co.uk", "yahoo.co.uk"},       // different organisations
+		{"alice.github.io", "bob.github.io"},  // different users, same platform
+	}
+	for _, p := range pairs {
+		fmt.Printf("SameSite(%s, %s) = %v\n", p[0], p[1], list.SameSite(p[0], p[1]))
+	}
+
+	// Supercookie filtering: cookies must not be scoped to a suffix.
+	fmt.Println()
+	fmt.Printf("may www.example.co.uk set a cookie for example.co.uk? %v\n",
+		list.CookieDomainAllowed("www.example.co.uk", "example.co.uk"))
+	fmt.Printf("may www.example.co.uk set a cookie for co.uk?         %v (supercookie!)\n",
+		list.CookieDomainAllowed("www.example.co.uk", "co.uk"))
+}

@@ -1,0 +1,65 @@
+package repro
+
+import (
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// exampleExpectations map each example to a phrase its output must
+// contain, so the runnable documentation cannot silently rot.
+var exampleExpectations = map[string]string{
+	"quickstart":      "supercookie",
+	"passwordmanager": "CREDENTIALS OFFERED TO ANOTHER TENANT",
+	"cookiejar":       "CROSS-TENANT LEAK",
+	"updater":         "tenants MERGED (harmful)",
+	"forensics":       "classified: fixed/production",
+	"dmarc":           "policy at myshopify.com",
+	"certissuance":    "ISSUE   *.myshopify.com",
+	"dbound":          "SameSite(alice.newplatform.com, bob.newplatform.com) = false",
+	"crawl":           "crawled",
+}
+
+// TestExamplesRun executes every example binary and checks its output
+// tells the story it documents. Skipped under -short (each run pays a
+// compile).
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples run full binaries; skipped in -short mode")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != len(exampleExpectations) {
+		t.Errorf("examples/ has %d entries, expectations cover %d", len(entries), len(exampleExpectations))
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		want, ok := exampleExpectations[name]
+		if !ok {
+			t.Errorf("no expectation registered for example %q", name)
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+			cmd := exec.CommandContext(ctx, "go", "run", "./"+filepath.Join("examples", name))
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", name, err, out)
+			}
+			if !strings.Contains(string(out), want) {
+				t.Errorf("example %s output missing %q:\n%s", name, want, out)
+			}
+		})
+	}
+}

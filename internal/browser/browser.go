@@ -1,0 +1,165 @@
+// Package browser models the part of a web browser the public suffix
+// list protects: site-keyed storage partitioning. Cookies and local
+// storage are scoped to sites (eTLD+1s); code running on one site must
+// not observe another site's state (Section 2 of the paper). The model
+// processes page visits with their subresource requests and counts the
+// cross-organization state exposures a stale list produces.
+package browser
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/psl"
+)
+
+// Browser is a minimal browsing engine: a list defining site
+// boundaries plus site-partitioned storage.
+type Browser struct {
+	list *psl.List
+
+	mu sync.Mutex
+	// storage maps site -> key -> value (cookies and localStorage are
+	// modelled uniformly).
+	storage map[string]map[string]string
+	// writerOf records which *origin host* first wrote each site+key,
+	// so exposures can be attributed.
+	writerOf map[string]string
+	// exposures counts reads that returned state written by a host
+	// outside the reader's registrable domain under the *reference*
+	// list (set via Reference; nil disables attribution).
+	reference *psl.List
+	exposures []Exposure
+}
+
+// Exposure is one cross-organization state access: a host observed
+// state written by a host that the reference list places in a
+// different site.
+type Exposure struct {
+	Reader, Writer string
+	Site           string // the (merged) site under the browser's list
+	Key            string
+}
+
+// String renders the exposure for logs.
+func (e Exposure) String() string {
+	return fmt.Sprintf("%s read %q written by %s (merged site %s)", e.Reader, e.Key, e.Writer, e.Site)
+}
+
+// New creates a browser enforcing the given list's boundaries.
+func New(list *psl.List) *Browser {
+	return &Browser{
+		list:     list,
+		storage:  make(map[string]map[string]string),
+		writerOf: make(map[string]string),
+	}
+}
+
+// SetReference supplies the ground-truth list used to classify reads
+// as cross-organization. Browsers under test use a stale list while
+// the reference is the newest one.
+func (b *Browser) SetReference(ref *psl.List) { b.reference = ref }
+
+// site returns the storage partition for a host.
+func (b *Browser) site(host string) string { return b.list.SiteOrSelf(host) }
+
+// Set writes a value into the partition of the host's site.
+func (b *Browser) Set(host, key, value string) {
+	site := b.site(host)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	part := b.storage[site]
+	if part == nil {
+		part = make(map[string]string)
+		b.storage[site] = part
+	}
+	if _, exists := part[key]; !exists {
+		b.writerOf[site+"\x00"+key] = host
+	}
+	part[key] = value
+}
+
+// Get reads a value from the partition of the host's site, recording a
+// cross-organization exposure when the original writer belongs to a
+// different site under the reference list.
+func (b *Browser) Get(host, key string) (string, bool) {
+	site := b.site(host)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	part := b.storage[site]
+	if part == nil {
+		return "", false
+	}
+	v, ok := part[key]
+	if !ok {
+		return "", false
+	}
+	if b.reference != nil {
+		writer := b.writerOf[site+"\x00"+key]
+		if writer != "" && writer != host && !b.reference.SameSite(writer, host) {
+			b.exposures = append(b.exposures, Exposure{
+				Reader: host, Writer: writer, Site: site, Key: key,
+			})
+		}
+	}
+	return v, true
+}
+
+// Exposures returns the recorded cross-organization accesses in order.
+func (b *Browser) Exposures() []Exposure {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]Exposure, len(b.exposures))
+	copy(out, b.exposures)
+	return out
+}
+
+// Sites returns the distinct storage partitions created so far, sorted.
+func (b *Browser) Sites() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]string, 0, len(b.storage))
+	for s := range b.storage {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// sessionKey is the site-scoped state every host maintains — the
+// Domain=<site> session cookie of the paper's Figure 1 scenario.
+const sessionKey = "session"
+
+// Visit models loading a page: the page host and every subresource
+// host read the session state at the scope their site grants them,
+// creating it if absent. Under a correct list each organization only
+// ever sees its own session; under a stale list, hosts that the list
+// wrongly groups into one site observe each other's sessions — the
+// cross-tenant exposure of the paper's Figure 1.
+func (b *Browser) Visit(pageHost string, requestHosts []string) {
+	for _, h := range append([]string{pageHost}, requestHosts...) {
+		if _, ok := b.Get(h, sessionKey); !ok {
+			b.Set(h, sessionKey, "session-of-"+h)
+		}
+	}
+}
+
+// CrossSiteReads replays a visit log on a browser using the candidate
+// list and returns how many state exposures occur relative to the
+// reference list — the headline "what does this stale list cost"
+// number for a browsing session.
+func CrossSiteReads(candidate, reference *psl.List, visits map[string][]string) int {
+	b := New(candidate)
+	b.SetReference(reference)
+	// Deterministic page order.
+	pages := make([]string, 0, len(visits))
+	for p := range visits {
+		pages = append(pages, p)
+	}
+	sort.Strings(pages)
+	for _, p := range pages {
+		b.Visit(p, visits[p])
+	}
+	return len(b.Exposures())
+}

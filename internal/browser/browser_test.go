@@ -1,0 +1,164 @@
+package browser
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/history"
+	"repro/internal/psl"
+)
+
+const freshList = `
+// ===BEGIN ICANN DOMAINS===
+com
+uk
+co.uk
+// ===END ICANN DOMAINS===
+// ===BEGIN PRIVATE DOMAINS===
+myshopify.com
+// ===END PRIVATE DOMAINS===
+`
+
+func lists(t testing.TB) (fresh, stale *psl.List) {
+	t.Helper()
+	fresh, err := psl.ParseString(freshList)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale = fresh.WithoutRules(psl.Rule{Suffix: "myshopify.com", Section: psl.SectionPrivate})
+	return fresh, stale
+}
+
+func TestPartitioningUnderFreshList(t *testing.T) {
+	fresh, _ := lists(t)
+	b := New(fresh)
+	b.SetReference(fresh)
+	b.Visit("alice.myshopify.com", nil)
+	b.Visit("bob.myshopify.com", nil)
+	if got := len(b.Exposures()); got != 0 {
+		t.Fatalf("fresh list produced %d exposures: %v", got, b.Exposures())
+	}
+	sites := b.Sites()
+	if len(sites) != 2 {
+		t.Errorf("sites = %v, want two separate partitions", sites)
+	}
+}
+
+func TestExposureUnderStaleList(t *testing.T) {
+	fresh, stale := lists(t)
+	b := New(stale)
+	b.SetReference(fresh)
+	b.Visit("alice.myshopify.com", nil)
+	b.Visit("bob.myshopify.com", nil)
+	ex := b.Exposures()
+	if len(ex) != 1 {
+		t.Fatalf("exposures = %v, want exactly one", ex)
+	}
+	e := ex[0]
+	if e.Writer != "alice.myshopify.com" || e.Reader != "bob.myshopify.com" || e.Site != "myshopify.com" {
+		t.Errorf("exposure = %+v", e)
+	}
+	if !strings.Contains(e.String(), "bob.myshopify.com read") {
+		t.Errorf("exposure string = %q", e.String())
+	}
+}
+
+func TestSameOrgSharingIsFine(t *testing.T) {
+	fresh, stale := lists(t)
+	b := New(stale)
+	b.SetReference(fresh)
+	// www and shop belong to one organization: sharing is intended.
+	b.Visit("www.example.com", nil)
+	b.Visit("shop.example.com", nil)
+	if got := len(b.Exposures()); got != 0 {
+		t.Fatalf("intra-org sharing flagged: %v", b.Exposures())
+	}
+	// But the session IS shared (one partition).
+	if v, ok := b.Get("shop.example.com", "session"); !ok || v != "session-of-www.example.com" {
+		t.Errorf("expected shared session, got %q/%v", v, ok)
+	}
+}
+
+func TestSubresourceExposure(t *testing.T) {
+	fresh, stale := lists(t)
+	b := New(stale)
+	b.SetReference(fresh)
+	// A widget hosted on another tenant's subdomain observes the
+	// page's session via the merged partition.
+	b.Visit("alice.myshopify.com", []string{"widget.bob.myshopify.com"})
+	ex := b.Exposures()
+	if len(ex) != 1 || ex[0].Reader != "widget.bob.myshopify.com" {
+		t.Fatalf("exposures = %v", ex)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	fresh, _ := lists(t)
+	b := New(fresh)
+	if _, ok := b.Get("nobody.example.com", "session"); ok {
+		t.Error("read from empty partition succeeded")
+	}
+}
+
+func TestCrossSiteReadsCounts(t *testing.T) {
+	fresh, stale := lists(t)
+	visits := map[string][]string{
+		"alice.myshopify.com": {"cdn.myshopify.com"},
+		"bob.myshopify.com":   {"cdn.myshopify.com"},
+		"www.example.com":     {"static.example.com"},
+	}
+	if got := CrossSiteReads(fresh, fresh, visits); got != 0 {
+		t.Errorf("fresh list exposures = %d, want 0", got)
+	}
+	staleCount := CrossSiteReads(stale, fresh, visits)
+	if staleCount < 2 {
+		t.Errorf("stale list exposures = %d, want >= 2", staleCount)
+	}
+}
+
+// TestGeneratedHistoryScenario ties the browser model to the generated
+// corpus: a browser carrying the median fixed-project list (825 days)
+// exposes state across shops that the current list separates.
+func TestGeneratedHistoryScenario(t *testing.T) {
+	h := history.Generate(history.Config{Seed: history.DefaultSeed})
+	fresh := h.Latest()
+	stale := h.ListAt(h.IndexForAge(825))
+	visits := map[string][]string{
+		"good-store.myshopify.com": nil,
+		"bad-store.myshopify.com":  nil,
+	}
+	if got := CrossSiteReads(fresh, fresh, visits); got != 0 {
+		t.Errorf("fresh: %d exposures", got)
+	}
+	if got := CrossSiteReads(stale, fresh, visits); got != 1 {
+		t.Errorf("stale: %d exposures, want 1", got)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	fresh, _ := lists(t)
+	b := New(fresh)
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func(n int) {
+			defer func() { done <- struct{}{} }()
+			for j := 0; j < 200; j++ {
+				b.Visit("www.example.com", []string{"static.example.com"})
+				b.Get("www.example.com", "session")
+			}
+		}(i)
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+}
+
+func BenchmarkVisit(b *testing.B) {
+	fresh, stale := lists(b)
+	br := New(stale)
+	br.SetReference(fresh)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		br.Visit("alice.myshopify.com", []string{"cdn.myshopify.com", "static.example.com"})
+	}
+}

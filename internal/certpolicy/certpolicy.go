@@ -1,0 +1,128 @@
+// Package certpolicy implements the certificate-issuance checks the
+// paper lists among PSL applications (Section 4): certificate
+// authorities must refuse wildcard certificates at or above a public
+// suffix (a cert for *.co.uk would cover every business in the UK),
+// and registrable-domain validation scopes ownership proofs. A CA
+// running an out-of-date list will happily issue a wildcard for a
+// newly-listed platform suffix — *.myshopify.com — covering every
+// tenant of the platform.
+package certpolicy
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/domain"
+	"repro/internal/psl"
+)
+
+// Errors returned by Check.
+var (
+	// ErrInvalidName reports a syntactically unacceptable SAN.
+	ErrInvalidName = errors.New("certpolicy: invalid dns name")
+	// ErrWildcardDepth reports a wildcard not in leftmost position or
+	// with multiple wildcard labels.
+	ErrWildcardDepth = errors.New("certpolicy: wildcard must be a single leftmost label")
+	// ErrWildcardOnSuffix reports a wildcard whose base is a public
+	// suffix (or above one): issuing it would span organizations.
+	ErrWildcardOnSuffix = errors.New("certpolicy: wildcard spans a public suffix")
+	// ErrBareSuffix reports a certificate for a bare public suffix.
+	ErrBareSuffix = errors.New("certpolicy: name is a public suffix")
+)
+
+// Decision explains the outcome for one subject alternative name.
+type Decision struct {
+	// Name is the SAN as requested.
+	Name string
+	// Wildcard reports whether the SAN began with "*.".
+	Wildcard bool
+	// ValidationDomain is the registrable domain whose owner must
+	// prove control to obtain the certificate.
+	ValidationDomain string
+	// Err is nil when issuance is permitted.
+	Err error
+}
+
+// Allowed is shorthand for Err == nil.
+func (d Decision) Allowed() bool { return d.Err == nil }
+
+// Check evaluates one SAN against the list per CA/Browser Forum
+// baseline requirements (section 3.2.2.6 for wildcards).
+func Check(list *psl.List, san string) Decision {
+	d := Decision{Name: san}
+	name := strings.TrimSpace(strings.ToLower(san))
+
+	if strings.HasPrefix(name, "*.") {
+		d.Wildcard = true
+		name = name[2:]
+	}
+	if strings.Contains(name, "*") {
+		d.Err = fmt.Errorf("%w: %q", ErrWildcardDepth, san)
+		return d
+	}
+	name = domain.Normalize(name)
+	if err := domain.Check(name); err != nil || domain.IsIP(name) {
+		d.Err = fmt.Errorf("%w: %q", ErrInvalidName, san)
+		return d
+	}
+
+	suffix, _, err := list.PublicSuffix(name)
+	if err != nil {
+		d.Err = fmt.Errorf("%w: %q", ErrInvalidName, san)
+		return d
+	}
+
+	if d.Wildcard {
+		// The wildcard base must be strictly below the public suffix:
+		// "*.co.uk" would match every registrable .co.uk domain.
+		if domain.CountLabels(name) <= domain.CountLabels(suffix) {
+			d.Err = fmt.Errorf("%w: %q covers all of %q", ErrWildcardOnSuffix, san, suffix)
+			return d
+		}
+	} else if name == suffix {
+		d.Err = fmt.Errorf("%w: %q", ErrBareSuffix, san)
+		return d
+	}
+
+	site, err := list.Site(name)
+	if err != nil {
+		d.Err = fmt.Errorf("%w: %q", ErrInvalidName, san)
+		return d
+	}
+	d.ValidationDomain = site
+	return d
+}
+
+// CheckAll evaluates a full SAN set, returning per-name decisions and
+// an overall error when any name is refused.
+func CheckAll(list *psl.List, sans []string) ([]Decision, error) {
+	out := make([]Decision, len(sans))
+	var firstErr error
+	for i, san := range sans {
+		out[i] = Check(list, san)
+		if out[i].Err != nil && firstErr == nil {
+			firstErr = out[i].Err
+		}
+	}
+	return out, firstErr
+}
+
+// ValidationDomains collapses a SAN set to the distinct registrable
+// domains whose control must be demonstrated — the unit CAs bill and
+// validate by.
+func ValidationDomains(list *psl.List, sans []string) ([]string, error) {
+	decisions, err := CheckAll(list, sans)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool)
+	var out []string
+	for _, d := range decisions {
+		if !seen[d.ValidationDomain] {
+			seen[d.ValidationDomain] = true
+			out = append(out, d.ValidationDomain)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,156 @@
+package certpolicy
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/psl"
+)
+
+const testList = `
+// ===BEGIN ICANN DOMAINS===
+com
+uk
+co.uk
+*.ck
+!www.ck
+// ===END ICANN DOMAINS===
+// ===BEGIN PRIVATE DOMAINS===
+myshopify.com
+github.io
+// ===END PRIVATE DOMAINS===
+`
+
+func list(t testing.TB) *psl.List {
+	t.Helper()
+	l, err := psl.ParseString(testList)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestCheckAllowed(t *testing.T) {
+	l := list(t)
+	cases := []struct {
+		san        string
+		wildcard   bool
+		validation string
+	}{
+		{"www.example.com", false, "example.com"},
+		{"*.example.com", true, "example.com"},
+		{"*.www.example.co.uk", true, "example.co.uk"},
+		{"shop.example.co.uk", false, "example.co.uk"},
+		{"*.alice.github.io", true, "alice.github.io"},
+		{"alice.github.io", false, "alice.github.io"},
+		{"WWW.Example.COM", false, "example.com"},
+	}
+	for _, c := range cases {
+		d := Check(l, c.san)
+		if !d.Allowed() {
+			t.Errorf("Check(%q) refused: %v", c.san, d.Err)
+			continue
+		}
+		if d.Wildcard != c.wildcard || d.ValidationDomain != c.validation {
+			t.Errorf("Check(%q) = %+v, want wildcard=%v validation=%s", c.san, d, c.wildcard, c.validation)
+		}
+	}
+}
+
+func TestCheckRefused(t *testing.T) {
+	l := list(t)
+	cases := []struct {
+		san  string
+		want error
+	}{
+		{"*.com", ErrWildcardOnSuffix},
+		{"*.co.uk", ErrWildcardOnSuffix},
+		{"*.uk", ErrWildcardOnSuffix},
+		{"*.github.io", ErrWildcardOnSuffix}, // private suffixes count too
+		{"*.myshopify.com", ErrWildcardOnSuffix},
+		{"*.foo.ck", ErrWildcardOnSuffix}, // wildcard rule: foo.ck is a suffix
+		{"com", ErrBareSuffix},
+		{"co.uk", ErrBareSuffix},
+		{"*.*.example.com", ErrWildcardDepth},
+		{"www.*.example.com", ErrWildcardDepth},
+		{"192.168.0.1", ErrInvalidName},
+		{"*.192.168.0.1", ErrInvalidName},
+		{"", ErrInvalidName},
+		{"bad..name.com", ErrInvalidName},
+	}
+	for _, c := range cases {
+		d := Check(l, c.san)
+		if d.Allowed() {
+			t.Errorf("Check(%q) allowed, want %v", c.san, c.want)
+			continue
+		}
+		if !errors.Is(d.Err, c.want) {
+			t.Errorf("Check(%q) = %v, want %v", c.san, d.Err, c.want)
+		}
+	}
+}
+
+// TestStaleListIssuesPlatformWildcard is the harm scenario: a CA with a
+// list predating the myshopify.com rule issues *.myshopify.com,
+// covering every shop on the platform.
+func TestStaleListIssuesPlatformWildcard(t *testing.T) {
+	fresh := list(t)
+	stale := fresh.WithoutRules(psl.Rule{Suffix: "myshopify.com", Section: psl.SectionPrivate})
+
+	san := "*.myshopify.com"
+	if d := Check(fresh, san); d.Allowed() {
+		t.Fatalf("fresh list allowed %s", san)
+	}
+	d := Check(stale, san)
+	if !d.Allowed() {
+		t.Fatalf("stale list refused %s: %v", san, d.Err)
+	}
+	if d.ValidationDomain != "myshopify.com" {
+		t.Errorf("validation domain = %s", d.ValidationDomain)
+	}
+}
+
+func TestCheckAll(t *testing.T) {
+	l := list(t)
+	decisions, err := CheckAll(l, []string{"www.example.com", "*.co.uk", "api.example.com"})
+	if err == nil {
+		t.Fatal("CheckAll should surface the refused SAN")
+	}
+	if len(decisions) != 3 || decisions[0].Err != nil || decisions[1].Err == nil || decisions[2].Err != nil {
+		t.Errorf("decisions = %+v", decisions)
+	}
+}
+
+func TestValidationDomains(t *testing.T) {
+	l := list(t)
+	got, err := ValidationDomains(l, []string{
+		"www.example.com", "api.example.com", "*.example.com",
+		"shop.other.co.uk",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "example.com" || got[1] != "other.co.uk" {
+		t.Errorf("validation domains = %v", got)
+	}
+	if _, err := ValidationDomains(l, []string{"*.com"}); err == nil {
+		t.Error("refused SAN should fail ValidationDomains")
+	}
+}
+
+func TestExceptionRuleInteraction(t *testing.T) {
+	l := list(t)
+	// www.ck is an exception: it is registrable, so *.www.ck is a
+	// normal customer wildcard.
+	if d := Check(l, "*.www.ck"); !d.Allowed() || d.ValidationDomain != "www.ck" {
+		t.Errorf("exception wildcard: %+v", d)
+	}
+}
+
+func BenchmarkCheck(b *testing.B) {
+	l, _ := psl.ParseString(testList)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Check(l, "*.shop.example.co.uk")
+	}
+}

@@ -1,0 +1,246 @@
+// Package core implements the paper's measurement pipeline (Section 5):
+// interpreting one HTTP Archive snapshot under every version of the
+// public suffix list to quantify the privacy harm of out-of-date lists.
+//
+// It produces the series behind Figures 3 through 7 and the rows of
+// Tables 1 through 3.
+//
+// The expensive part — assigning every hostname to its site (eTLD+1)
+// under each of the 1,142 list versions — is done incrementally: a
+// hostname's site can only change at versions that add or remove one of
+// the few rules able to match it, so the pipeline computes per-host
+// changepoints from the history's rule spans instead of re-matching
+// every hostname 1,142 times. BenchmarkAblationIncremental in the
+// repository root quantifies the win; TestIncrementalMatchesFull proves
+// equivalence.
+package core
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/domain"
+	"repro/internal/history"
+	"repro/internal/httparchive"
+)
+
+// Pipeline holds the per-host site assignments for one snapshot over
+// one history.
+type Pipeline struct {
+	H    *history.History
+	Snap *httparchive.Snapshot
+
+	// assignments[i] describes host i's site over time.
+	assignments []assignment
+	// siteNames interns site strings; assignment site values index it.
+	siteNames []string
+}
+
+// assignment is a step function from version sequence to interned site.
+// seqs[0] is always 0; the host's site is site[k] for versions in
+// [seqs[k], seqs[k+1]).
+type assignment struct {
+	seqs []int32
+	site []int32
+}
+
+// final returns the site id at the latest version.
+func (a assignment) final() int32 { return a.site[len(a.site)-1] }
+
+// at returns the site id at version seq.
+func (a assignment) at(seq int) int32 {
+	// Linear walk: assignments rarely exceed a handful of steps.
+	k := 0
+	for k+1 < len(a.seqs) && int(a.seqs[k+1]) <= seq {
+		k++
+	}
+	return a.site[k]
+}
+
+// candidate is one rule key that could match a host.
+type candidate struct {
+	// spans are the version intervals during which the rule exists.
+	spans []history.Span
+	// labels is the suffix-label count the rule yields when prevailing.
+	labels int
+	// exception marks exception rules, which beat everything.
+	exception bool
+}
+
+// NewPipeline computes site assignments for every host in the snapshot.
+func NewPipeline(h *history.History, snap *httparchive.Snapshot) *Pipeline {
+	p := &Pipeline{H: h, Snap: snap}
+	spans := h.RuleSpans()
+	n := h.Len()
+
+	siteIdx := make(map[string]int32, len(snap.Hosts))
+	intern := func(s string) int32 {
+		if i, ok := siteIdx[s]; ok {
+			return i
+		}
+		i := int32(len(p.siteNames))
+		p.siteNames = append(p.siteNames, s)
+		siteIdx[s] = i
+		return i
+	}
+
+	p.assignments = make([]assignment, len(snap.Hosts))
+	var cands []candidate
+	var breaks []int
+	for hi, host := range snap.Hosts {
+		cands = cands[:0]
+		breaks = breaks[:0]
+		totalLabels := domain.CountLabels(host)
+
+		// Gather candidate rules: for every suffix s of the host, a
+		// normal rule "s", an exception rule "!s", and — when s is a
+		// proper suffix — a wildcard rule "*.s".
+		labels := totalLabels
+		domain.Suffixes(host, func(s string) bool {
+			if ss, ok := spans[s]; ok {
+				cands = append(cands, candidate{spans: ss, labels: labels})
+			}
+			if ss, ok := spans["!"+s]; ok {
+				cands = append(cands, candidate{spans: ss, labels: labels - 1, exception: true})
+			}
+			if labels < totalLabels {
+				if ss, ok := spans["*."+s]; ok {
+					cands = append(cands, candidate{spans: ss, labels: labels + 1})
+				}
+			}
+			labels--
+			return true
+		})
+
+		// Changepoints: the boundaries of every candidate span.
+		breaks = append(breaks, 0)
+		for _, c := range cands {
+			for _, sp := range c.spans {
+				if sp.From > 0 && sp.From < n {
+					breaks = append(breaks, sp.From)
+				}
+				if sp.To > 0 && sp.To < n {
+					breaks = append(breaks, sp.To)
+				}
+			}
+		}
+		sort.Ints(breaks)
+
+		a := assignment{}
+		prevSite := int32(-1)
+		prevBreak := -1
+		for _, seq := range breaks {
+			if seq == prevBreak {
+				continue
+			}
+			prevBreak = seq
+			sl := suffixLabelsAt(cands, seq)
+			site := siteOf(host, totalLabels, sl)
+			id := intern(site)
+			if id == prevSite {
+				continue
+			}
+			a.seqs = append(a.seqs, int32(seq))
+			a.site = append(a.site, id)
+			prevSite = id
+		}
+		p.assignments[hi] = a
+	}
+	return p
+}
+
+// suffixLabelsAt evaluates the matching algorithm over the candidate
+// rules active at version seq: exceptions prevail, otherwise the most
+// labels win, otherwise the implicit rule (one label).
+func suffixLabelsAt(cands []candidate, seq int) int {
+	best := 1
+	for _, c := range cands {
+		if !activeAt(c.spans, seq) {
+			continue
+		}
+		if c.exception {
+			return c.labels
+		}
+		if c.labels > best {
+			best = c.labels
+		}
+	}
+	return best
+}
+
+// activeAt reports whether any span contains seq.
+func activeAt(spans []history.Span, seq int) bool {
+	for _, sp := range spans {
+		if seq >= sp.From && seq < sp.To {
+			return true
+		}
+	}
+	return false
+}
+
+// siteOf derives the site (eTLD+1, or the host itself when the host is
+// a bare suffix) from the host and its suffix-label count.
+func siteOf(host string, totalLabels, suffixLabels int) string {
+	if suffixLabels < 1 {
+		suffixLabels = 1
+	}
+	if totalLabels <= suffixLabels {
+		return host
+	}
+	return domain.LastLabels(host, suffixLabels+1)
+}
+
+// SiteName resolves an interned site id.
+func (p *Pipeline) SiteName(id int32) string { return p.siteNames[id] }
+
+// SiteAt returns the site of host index hi at version seq (mostly for
+// tests and spot checks; the series methods never call it in a loop).
+func (p *Pipeline) SiteAt(hi, seq int) string {
+	return p.siteNames[p.assignments[hi].at(seq)]
+}
+
+// FinalSite returns the site of host index hi under the latest version.
+func (p *Pipeline) FinalSite(hi int) string {
+	return p.siteNames[p.assignments[hi].final()]
+}
+
+// FinalSiteID returns the interned site id of host index hi under the
+// latest version; ids are stable within one pipeline.
+func (p *Pipeline) FinalSiteID(hi int) int32 {
+	return p.assignments[hi].final()
+}
+
+// HostIndex locates a hostname in the snapshot, or -1.
+func (p *Pipeline) HostIndex(host string) int {
+	for i, h := range p.Snap.Hosts {
+		if h == host {
+			return i
+		}
+	}
+	return -1
+}
+
+// hostsUnderSuffix is a helper for tables: the number of snapshot
+// hostnames whose public suffix under the latest list has the given
+// literal value. Computed once by callers via HostsBySuffix.
+func hostsUnderSuffix(bySuffix map[string]int, suffix string) int {
+	return bySuffix[suffix]
+}
+
+// ruleKeyForSuffix resolves the rule key that creates a literal suffix:
+// the suffix itself when a normal rule exists, else the wildcard rule
+// over its parent.
+func ruleKeyForSuffix(spans map[string][]history.Span, suffix string) (string, bool) {
+	if _, ok := spans[suffix]; ok {
+		return suffix, true
+	}
+	if parent, ok := domain.Parent(suffix); ok {
+		if _, ok := spans["*."+parent]; ok {
+			return "*." + parent, true
+		}
+	}
+	return "", false
+}
+
+// hostDepth is a tiny helper used by tests.
+func hostDepth(host string) int { return strings.Count(host, ".") + 1 }

@@ -1,0 +1,184 @@
+package crawler
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/history"
+	"repro/internal/httparchive"
+	"repro/internal/webworld"
+)
+
+// testWorld serves a small synthetic web and returns a client whose
+// transport dials every hostname to the test server.
+func testWorld(t testing.TB) (*webworld.World, *http.Client, *httparchive.Snapshot) {
+	t.Helper()
+	h := history.Generate(history.Config{Seed: history.DefaultSeed})
+	snap := httparchive.Generate(httparchive.Config{Seed: 1, Scale: 0.002}, h)
+	world := webworld.New(snap)
+	ts := httptest.NewServer(world)
+	t.Cleanup(ts.Close)
+
+	addr := strings.TrimPrefix(ts.URL, "http://")
+	client := &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			DialContext: func(ctx context.Context, network, _ string) (net.Conn, error) {
+				var d net.Dialer
+				return d.DialContext(ctx, network, addr)
+			},
+		},
+	}
+	return world, client, snap
+}
+
+func TestCrawlCollectsPairs(t *testing.T) {
+	world, client, snap := testWorld(t)
+	pages := world.PageHosts()
+	if len(pages) == 0 {
+		t.Fatal("world has no pages")
+	}
+	res, err := Crawl(context.Background(), Config{
+		Seeds:       []string{"http://" + pages[0] + "/"},
+		MaxPages:    25,
+		Concurrency: 4,
+		Client:      client,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pages == 0 || len(res.Hosts) == 0 || len(res.Pairs) == 0 {
+		t.Fatalf("empty crawl: %+v", res)
+	}
+	if res.Errors != 0 {
+		t.Errorf("crawl errors: %d", res.Errors)
+	}
+
+	// Every collected pair must exist in the snapshot with the exact
+	// request count (the world renders one tag per request).
+	snapPairs := make(map[[2]string]int, len(snap.Pairs))
+	for _, p := range snap.Pairs {
+		snapPairs[[2]string{snap.Hosts[p.Page], snap.Hosts[p.Req]}] = int(p.Count)
+	}
+	for _, p := range res.Pairs {
+		want, ok := snapPairs[[2]string{p.PageHost, p.ReqHost}]
+		if !ok {
+			t.Errorf("crawled pair %s -> %s not in snapshot", p.PageHost, p.ReqHost)
+			continue
+		}
+		if p.Count != want {
+			t.Errorf("pair %s -> %s count %d, snapshot says %d", p.PageHost, p.ReqHost, p.Count, want)
+		}
+	}
+}
+
+func TestCrawlRespectsMaxPages(t *testing.T) {
+	world, client, _ := testWorld(t)
+	res, err := Crawl(context.Background(), Config{
+		Seeds:    []string{"http://" + world.PageHosts()[0] + "/"},
+		MaxPages: 3,
+		Client:   client,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pages > 3 {
+		t.Errorf("fetched %d pages, cap was 3", res.Pages)
+	}
+}
+
+func TestCrawlFollowsNavigation(t *testing.T) {
+	world, client, _ := testWorld(t)
+	res, err := Crawl(context.Background(), Config{
+		Seeds:    []string{"http://" + world.PageHosts()[0] + "/"},
+		MaxPages: 10,
+		Client:   client,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pages < 4 {
+		t.Errorf("crawl did not follow links: %d pages", res.Pages)
+	}
+}
+
+func TestCrawlDeterministicAggregation(t *testing.T) {
+	world, client, _ := testWorld(t)
+	cfg := Config{
+		Seeds:       []string{"http://" + world.PageHosts()[0] + "/"},
+		MaxPages:    8,
+		Concurrency: 1, // single worker => deterministic traversal
+		Client:      client,
+	}
+	a, err := Crawl(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Crawl(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Pairs) != len(b.Pairs) || len(a.Hosts) != len(b.Hosts) {
+		t.Errorf("single-worker crawls differ: %d/%d vs %d/%d",
+			len(a.Pairs), len(a.Hosts), len(b.Pairs), len(b.Hosts))
+	}
+}
+
+func TestCrawlErrorsSurvivable(t *testing.T) {
+	_, client, _ := testWorld(t)
+	res, err := Crawl(context.Background(), Config{
+		Seeds:    []string{"http://never-a-page.example/"},
+		MaxPages: 2,
+		Client:   client,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The world 404s unknown hosts; the crawl records the error and
+	// completes.
+	if res.Errors != 1 || res.Pages != 1 {
+		t.Errorf("result = %+v, want 1 page with 1 error", res)
+	}
+}
+
+func TestCrawlNoSeeds(t *testing.T) {
+	if _, err := Crawl(context.Background(), Config{}); err != ErrNoSeeds {
+		t.Errorf("err = %v, want ErrNoSeeds", err)
+	}
+}
+
+func TestCrawlContextCancel(t *testing.T) {
+	world, client, _ := testWorld(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := Crawl(ctx, Config{
+		Seeds:  []string{"http://" + world.PageHosts()[0] + "/"},
+		Client: client,
+	})
+	if err == nil && res.Pages > 1 {
+		t.Error("cancelled crawl kept going")
+	}
+}
+
+func TestExtractAttr(t *testing.T) {
+	html := `<script src="http://a.example/x.js"></script>
+<img src="relative/img.png">
+<a href="http://b.example/">b</a>
+<a href="#anchor">x</a>`
+	srcs := extractAttr(html, `src="`)
+	if len(srcs) != 1 || srcs[0] != "http://a.example/x.js" {
+		t.Errorf("srcs = %v", srcs)
+	}
+	hrefs := extractAttr(html, `href="`)
+	if len(hrefs) != 1 || hrefs[0] != "http://b.example/" {
+		t.Errorf("hrefs = %v", hrefs)
+	}
+	if got := extractAttr(`src="unterminated`, `src="`); got != nil {
+		t.Errorf("unterminated = %v", got)
+	}
+}

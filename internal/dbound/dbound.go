@@ -1,0 +1,213 @@
+// Package dbound prototypes the alternative the paper's conclusion
+// advocates (via the DBOUND problem statement, draft-sullivan-dbound):
+// advertising administrative boundaries *in the DNS itself* instead of
+// in a shipped list, so boundary changes propagate to every consumer
+// immediately — eliminating the stale-list failure mode this
+// repository measures.
+//
+// The prototype protocol is a simplification of the draft's ideas:
+//
+//	_dbound.<name>  TXT  "v=DBOUND1; scope=org"
+//	    <name> is an organizational apex: every name at or below it
+//	    belongs to one site rooted at <name>.
+//
+//	_dbound.<name>  TXT  "v=DBOUND1; scope=suffix"
+//	    <name> behaves like a public suffix: each direct child is a
+//	    separate organization (hosting platforms publish this).
+//
+// Site resolution walks from the queried name towards the root and
+// honours the nearest assertion; names without any assertion fall back
+// to a supplied public suffix list, giving the incremental-deployment
+// story the draft calls for.
+package dbound
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/dnssim"
+	"repro/internal/domain"
+	"repro/internal/psl"
+)
+
+// Scope is the kind of boundary assertion.
+type Scope uint8
+
+const (
+	// ScopeOrg marks an organizational apex.
+	ScopeOrg Scope = iota
+	// ScopeSuffix marks a public-suffix-like delegation point.
+	ScopeSuffix
+)
+
+// String returns the record tag value.
+func (s Scope) String() string {
+	if s == ScopeSuffix {
+		return "suffix"
+	}
+	return "org"
+}
+
+// recordPrefix is the owner-name prefix for boundary assertions.
+const recordPrefix = "_dbound."
+
+// ErrBadRecord reports an unparseable DBOUND record.
+var ErrBadRecord = errors.New("dbound: invalid record")
+
+// Record renders the TXT payload for a scope, for publishers.
+func Record(s Scope) string {
+	return "v=DBOUND1; scope=" + s.String()
+}
+
+// ParseRecord parses a TXT payload.
+func ParseRecord(txt string) (Scope, error) {
+	parts := strings.Split(txt, ";")
+	if len(parts) < 2 || strings.TrimSpace(parts[0]) != "v=DBOUND1" {
+		return ScopeOrg, fmt.Errorf("%w: %q", ErrBadRecord, txt)
+	}
+	for _, p := range parts[1:] {
+		p = strings.TrimSpace(p)
+		if v, ok := strings.CutPrefix(p, "scope="); ok {
+			switch v {
+			case "org":
+				return ScopeOrg, nil
+			case "suffix":
+				return ScopeSuffix, nil
+			default:
+				return ScopeOrg, fmt.Errorf("%w: scope %q", ErrBadRecord, v)
+			}
+		}
+	}
+	return ScopeOrg, fmt.Errorf("%w: missing scope", ErrBadRecord)
+}
+
+// Publish writes a boundary assertion into a zone.
+func Publish(z *dnssim.Zone, name string, s Scope) {
+	z.AddTXT(recordPrefix+domain.Normalize(name), Record(s))
+}
+
+// Resolver determines sites from DNS-advertised boundaries, with an
+// optional PSL fallback for unasserted names.
+type Resolver struct {
+	// DNS is the lookup backend.
+	DNS dnssim.Resolver
+	// Fallback, if non-nil, resolves names that carry no assertion.
+	Fallback *psl.List
+
+	mu    sync.Mutex
+	cache map[string]cacheEntry
+	// Lookups counts DNS queries issued (cache misses), for the cost
+	// comparison against list shipping.
+	lookups int
+}
+
+type cacheEntry struct {
+	scope Scope
+	found bool
+}
+
+// NewResolver creates a resolver over a DNS backend with an optional
+// list fallback.
+func NewResolver(dns dnssim.Resolver, fallback *psl.List) *Resolver {
+	return &Resolver{DNS: dns, Fallback: fallback, cache: make(map[string]cacheEntry)}
+}
+
+// Lookups reports how many DNS queries the resolver has issued.
+func (r *Resolver) Lookups() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lookups
+}
+
+// assertionAt fetches (with caching) the boundary assertion published
+// at name, if any.
+func (r *Resolver) assertionAt(name string) (Scope, bool, error) {
+	r.mu.Lock()
+	if e, ok := r.cache[name]; ok {
+		r.mu.Unlock()
+		return e.scope, e.found, nil
+	}
+	r.lookups++
+	r.mu.Unlock()
+
+	txts, err := r.DNS.TXT(recordPrefix + name)
+	if err != nil {
+		// Absence is a result, not an error.
+		r.store(name, cacheEntry{})
+		return ScopeOrg, false, nil
+	}
+	for _, txt := range txts {
+		s, perr := ParseRecord(txt)
+		if perr != nil {
+			continue
+		}
+		r.store(name, cacheEntry{scope: s, found: true})
+		return s, true, nil
+	}
+	r.store(name, cacheEntry{})
+	return ScopeOrg, false, nil
+}
+
+func (r *Resolver) store(name string, e cacheEntry) {
+	r.mu.Lock()
+	r.cache[name] = e
+	r.mu.Unlock()
+}
+
+// Site resolves the site (administrative boundary) of a hostname: the
+// nearest ancestor assertion wins; ScopeOrg roots the site at the
+// asserting name, ScopeSuffix at its child along the queried path.
+// Without any assertion the PSL fallback (or the hostname itself)
+// applies.
+func (r *Resolver) Site(host string) (string, error) {
+	name := domain.Normalize(host)
+	if name == "" || domain.IsIP(name) {
+		return "", fmt.Errorf("dbound: not a domain: %q", host)
+	}
+	// Walk ancestors nearest-first: host, parent, grandparent, …
+	child := ""
+	cur := name
+	for {
+		scope, found, err := r.assertionAt(cur)
+		if err != nil {
+			return "", err
+		}
+		if found {
+			if scope == ScopeOrg {
+				return cur, nil
+			}
+			// ScopeSuffix: the boundary is one label below cur.
+			if child == "" {
+				// The suffix itself was queried; it is its own site.
+				return cur, nil
+			}
+			return child, nil
+		}
+		parent, ok := domain.Parent(cur)
+		if !ok {
+			break
+		}
+		child = cur
+		cur = parent
+	}
+	if r.Fallback != nil {
+		return r.Fallback.SiteOrSelf(name), nil
+	}
+	return name, nil
+}
+
+// SameSite reports whether two hosts share a site under the advertised
+// boundaries.
+func (r *Resolver) SameSite(a, b string) (bool, error) {
+	sa, err := r.Site(a)
+	if err != nil {
+		return false, err
+	}
+	sb, err := r.Site(b)
+	if err != nil {
+		return false, err
+	}
+	return sa == sb, nil
+}

@@ -1,0 +1,181 @@
+package dbound
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/dnssim"
+	"repro/internal/psl"
+)
+
+const fallbackList = `
+// ===BEGIN ICANN DOMAINS===
+com
+uk
+co.uk
+// ===END ICANN DOMAINS===
+`
+
+func fallback(t testing.TB) *psl.List {
+	t.Helper()
+	l, err := psl.ParseString(fallbackList)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestRecordRoundtrip(t *testing.T) {
+	for _, s := range []Scope{ScopeOrg, ScopeSuffix} {
+		got, err := ParseRecord(Record(s))
+		if err != nil || got != s {
+			t.Errorf("roundtrip %v = %v, %v", s, got, err)
+		}
+	}
+}
+
+func TestParseRecordErrors(t *testing.T) {
+	for _, txt := range []string{
+		"v=SPF1; scope=org",
+		"v=DBOUND1",
+		"v=DBOUND1; scope=galaxy",
+		"scope=org; v=DBOUND1",
+	} {
+		if _, err := ParseRecord(txt); !errors.Is(err, ErrBadRecord) {
+			t.Errorf("ParseRecord(%q) = %v, want ErrBadRecord", txt, err)
+		}
+	}
+}
+
+func TestSuffixAssertionSeparatesTenants(t *testing.T) {
+	z := dnssim.NewZone()
+	Publish(z, "myshopify.com", ScopeSuffix)
+	r := NewResolver(z, fallback(t))
+
+	site, err := r.Site("deep.mail.good-store.myshopify.com")
+	if err != nil || site != "good-store.myshopify.com" {
+		t.Fatalf("site = %q, %v", site, err)
+	}
+	same, err := r.SameSite("alice.myshopify.com", "bob.myshopify.com")
+	if err != nil || same {
+		t.Errorf("tenants merged: %v, %v", same, err)
+	}
+	same, err = r.SameSite("www.alice.myshopify.com", "cdn.alice.myshopify.com")
+	if err != nil || !same {
+		t.Errorf("one tenant's subdomains split: %v, %v", same, err)
+	}
+	// The suffix name itself is its own site.
+	if site, _ := r.Site("myshopify.com"); site != "myshopify.com" {
+		t.Errorf("suffix self-site = %q", site)
+	}
+}
+
+func TestOrgAssertionMergesSubdomains(t *testing.T) {
+	z := dnssim.NewZone()
+	Publish(z, "example.co.uk", ScopeOrg)
+	r := NewResolver(z, fallback(t))
+	site, err := r.Site("a.b.example.co.uk")
+	if err != nil || site != "example.co.uk" {
+		t.Fatalf("site = %q, %v", site, err)
+	}
+}
+
+func TestNearestAssertionWins(t *testing.T) {
+	z := dnssim.NewZone()
+	Publish(z, "platform.com", ScopeSuffix)
+	Publish(z, "tenant.platform.com", ScopeOrg)
+	r := NewResolver(z, fallback(t))
+	// The tenant's own org assertion is nearer than the platform's
+	// suffix assertion and roots the site identically.
+	site, err := r.Site("x.y.tenant.platform.com")
+	if err != nil || site != "tenant.platform.com" {
+		t.Fatalf("site = %q, %v", site, err)
+	}
+}
+
+func TestFallbackToPSL(t *testing.T) {
+	z := dnssim.NewZone()
+	r := NewResolver(z, fallback(t))
+	site, err := r.Site("www.example.co.uk")
+	if err != nil || site != "example.co.uk" {
+		t.Fatalf("fallback site = %q, %v", site, err)
+	}
+	// Without a fallback, the host is its own site.
+	r2 := NewResolver(z, nil)
+	site, err = r2.Site("www.example.co.uk")
+	if err != nil || site != "www.example.co.uk" {
+		t.Fatalf("no-fallback site = %q, %v", site, err)
+	}
+}
+
+// TestNoStaleness is the point of the prototype: a boundary change
+// propagates on the next query, with no list to re-ship.
+func TestNoStaleness(t *testing.T) {
+	z := dnssim.NewZone()
+	stale := fallback(t) // a list that never learns about the platform
+
+	// Before the platform publishes: tenants merge under the PSL.
+	r := NewResolver(z, stale)
+	if same, _ := r.SameSite("alice.newplatform.com", "bob.newplatform.com"); !same {
+		t.Fatal("expected merge before any assertion")
+	}
+
+	// The platform flips the switch; a fresh resolver (or expired
+	// cache) sees the boundary immediately.
+	Publish(z, "newplatform.com", ScopeSuffix)
+	r2 := NewResolver(z, stale)
+	if same, _ := r2.SameSite("alice.newplatform.com", "bob.newplatform.com"); same {
+		t.Fatal("assertion did not take effect")
+	}
+}
+
+func TestCachingBoundsLookups(t *testing.T) {
+	z := dnssim.NewZone()
+	Publish(z, "myshopify.com", ScopeSuffix)
+	r := NewResolver(z, fallback(t))
+	for i := 0; i < 50; i++ {
+		if _, err := r.Site("alice.myshopify.com"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One query per distinct ancestor name, not per call.
+	if got := r.Lookups(); got > 3 {
+		t.Errorf("lookups = %d, want <= 3 (cached)", got)
+	}
+	if z.Queries() != r.Lookups() {
+		t.Errorf("zone saw %d queries, resolver issued %d", z.Queries(), r.Lookups())
+	}
+}
+
+func TestRejectsNonDomains(t *testing.T) {
+	r := NewResolver(dnssim.NewZone(), nil)
+	for _, bad := range []string{"", "192.168.0.1", "[::1]"} {
+		if _, err := r.Site(bad); err == nil {
+			t.Errorf("Site(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestIgnoresForeignTXT(t *testing.T) {
+	z := dnssim.NewZone()
+	z.AddTXT("_dbound.example.com", "unrelated-verification-token")
+	z.AddTXT("_dbound.example.com", Record(ScopeOrg))
+	r := NewResolver(z, nil)
+	site, err := r.Site("deep.example.com")
+	if err != nil || site != "example.com" {
+		t.Fatalf("site = %q, %v", site, err)
+	}
+}
+
+func BenchmarkSiteCached(b *testing.B) {
+	z := dnssim.NewZone()
+	Publish(z, "myshopify.com", ScopeSuffix)
+	l, _ := psl.ParseString(fallbackList)
+	r := NewResolver(z, l)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Site("alice.myshopify.com"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

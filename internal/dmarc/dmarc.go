@@ -1,0 +1,253 @@
+// Package dmarc implements the DMARC policy discovery of RFC 7489 —
+// one of the public-suffix-list uses the paper calls out (Section 2):
+// a receiver that cannot find a policy at the message's exact domain
+// falls back to the *organizational domain*, which is defined in terms
+// of the PSL. An out-of-date list therefore changes which policy
+// applies: subdomains of a newly-listed platform suffix fall back to
+// the platform's policy instead of their own.
+package dmarc
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/dnssim"
+	"repro/internal/psl"
+)
+
+// Disposition is a DMARC policy action.
+type Disposition uint8
+
+const (
+	// None requests no special handling.
+	None Disposition = iota
+	// Quarantine requests suspicious treatment.
+	Quarantine
+	// Reject requests outright rejection.
+	Reject
+)
+
+// String returns the policy tag value.
+func (d Disposition) String() string {
+	switch d {
+	case Quarantine:
+		return "quarantine"
+	case Reject:
+		return "reject"
+	default:
+		return "none"
+	}
+}
+
+// Alignment is the identifier alignment mode (adkim/aspf tags).
+type Alignment uint8
+
+const (
+	// Relaxed alignment accepts organizational-domain matches.
+	Relaxed Alignment = iota
+	// Strict alignment requires exact domain matches.
+	Strict
+)
+
+// String returns the tag value ("r" or "s").
+func (a Alignment) String() string {
+	if a == Strict {
+		return "s"
+	}
+	return "r"
+}
+
+// Policy is a parsed DMARC record.
+type Policy struct {
+	// Domain the record was found at (the _dmarc. owner's base).
+	Domain string
+	// FromOrgDomain reports the record was discovered via the
+	// organizational-domain fallback rather than the exact domain.
+	FromOrgDomain bool
+	// P and SP are the domain and subdomain dispositions; SPPresent
+	// reports whether sp= appeared explicitly.
+	P         Disposition
+	SP        Disposition
+	SPPresent bool
+	// DKIMAlignment and SPFAlignment are the adkim/aspf modes.
+	DKIMAlignment Alignment
+	SPFAlignment  Alignment
+	// Percent is the pct= sampling rate (0-100, default 100).
+	Percent int
+	// ReportURIs collects rua= destinations.
+	ReportURIs []string
+}
+
+// Errors returned by the package.
+var (
+	// ErrNoRecord reports that discovery found no valid DMARC record.
+	ErrNoRecord = errors.New("dmarc: no policy record")
+	// ErrNotDMARC reports a TXT record that is not a DMARC record.
+	ErrNotDMARC = errors.New("dmarc: not a DMARC record")
+	// ErrSyntax reports a malformed DMARC record.
+	ErrSyntax = errors.New("dmarc: syntax error")
+)
+
+// ParseRecord parses one DMARC TXT record per RFC 7489 section 6.3.
+// The v= tag must come first and p= must be present.
+func ParseRecord(txt string) (*Policy, error) {
+	parts := strings.Split(txt, ";")
+	if len(parts) == 0 || strings.TrimSpace(parts[0]) != "v=DMARC1" {
+		return nil, fmt.Errorf("%w: %q", ErrNotDMARC, txt)
+	}
+	p := &Policy{Percent: 100}
+	seenP := false
+	for _, part := range parts[1:] {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		tag, value, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("%w: bad tag %q", ErrSyntax, part)
+		}
+		tag = strings.TrimSpace(strings.ToLower(tag))
+		value = strings.TrimSpace(value)
+		switch tag {
+		case "p":
+			d, err := parseDisposition(value)
+			if err != nil {
+				return nil, err
+			}
+			p.P, seenP = d, true
+		case "sp":
+			d, err := parseDisposition(value)
+			if err != nil {
+				return nil, err
+			}
+			p.SP, p.SPPresent = d, true
+		case "adkim":
+			a, err := parseAlignment(value)
+			if err != nil {
+				return nil, err
+			}
+			p.DKIMAlignment = a
+		case "aspf":
+			a, err := parseAlignment(value)
+			if err != nil {
+				return nil, err
+			}
+			p.SPFAlignment = a
+		case "pct":
+			n, err := strconv.Atoi(value)
+			if err != nil || n < 0 || n > 100 {
+				return nil, fmt.Errorf("%w: pct=%q", ErrSyntax, value)
+			}
+			p.Percent = n
+		case "rua":
+			for _, uri := range strings.Split(value, ",") {
+				if uri = strings.TrimSpace(uri); uri != "" {
+					p.ReportURIs = append(p.ReportURIs, uri)
+				}
+			}
+		default:
+			// Unknown tags are ignored per the RFC.
+		}
+	}
+	if !seenP {
+		return nil, fmt.Errorf("%w: missing p= tag", ErrSyntax)
+	}
+	if !p.SPPresent {
+		p.SP = p.P
+	}
+	return p, nil
+}
+
+func parseDisposition(v string) (Disposition, error) {
+	switch strings.ToLower(v) {
+	case "none":
+		return None, nil
+	case "quarantine":
+		return Quarantine, nil
+	case "reject":
+		return Reject, nil
+	}
+	return None, fmt.Errorf("%w: disposition %q", ErrSyntax, v)
+}
+
+func parseAlignment(v string) (Alignment, error) {
+	switch strings.ToLower(v) {
+	case "r":
+		return Relaxed, nil
+	case "s":
+		return Strict, nil
+	}
+	return Relaxed, fmt.Errorf("%w: alignment %q", ErrSyntax, v)
+}
+
+// Discover performs RFC 7489 section 6.6.3 policy discovery for a
+// sending domain: query _dmarc.<domain>; if that yields no valid
+// record, query _dmarc.<organizational domain>, where the
+// organizational domain comes from the supplied public suffix list.
+func Discover(r dnssim.Resolver, list *psl.List, sendingDomain string) (*Policy, error) {
+	if p, err := query(r, sendingDomain); err == nil {
+		p.Domain = sendingDomain
+		return p, nil
+	}
+	org := list.OrganizationalDomain(sendingDomain)
+	if org == sendingDomain {
+		return nil, fmt.Errorf("%w for %s", ErrNoRecord, sendingDomain)
+	}
+	p, err := query(r, org)
+	if err != nil {
+		return nil, fmt.Errorf("%w for %s (org domain %s)", ErrNoRecord, sendingDomain, org)
+	}
+	p.Domain = org
+	p.FromOrgDomain = true
+	return p, nil
+}
+
+// query fetches and parses the record at _dmarc.<base>. Per the RFC,
+// exactly one valid DMARC record must remain after discarding
+// non-DMARC TXT records.
+func query(r dnssim.Resolver, base string) (*Policy, error) {
+	txts, err := r.TXT("_dmarc." + base)
+	if err != nil {
+		return nil, err
+	}
+	var found *Policy
+	for _, txt := range txts {
+		p, err := ParseRecord(txt)
+		if err != nil {
+			continue
+		}
+		if found != nil {
+			return nil, fmt.Errorf("%w: multiple records at _dmarc.%s", ErrSyntax, base)
+		}
+		found = p
+	}
+	if found == nil {
+		return nil, ErrNoRecord
+	}
+	return found, nil
+}
+
+// Disposition returns the action that applies to mail from
+// sendingDomain: the record's p=, or its sp= when the record was
+// discovered at the organizational domain for a subdomain.
+func (p *Policy) Disposition(sendingDomain string) Disposition {
+	if p.FromOrgDomain && sendingDomain != p.Domain {
+		return p.SP
+	}
+	return p.P
+}
+
+// Aligned reports whether an authenticated identifier domain aligns
+// with the sending domain under the policy's DKIM alignment mode:
+// exact match for strict, same organizational domain for relaxed.
+func (p *Policy) Aligned(list *psl.List, sendingDomain, authDomain string) bool {
+	if strings.EqualFold(sendingDomain, authDomain) {
+		return true
+	}
+	if p.DKIMAlignment == Strict {
+		return false
+	}
+	return list.OrganizationalDomain(sendingDomain) == list.OrganizationalDomain(authDomain)
+}

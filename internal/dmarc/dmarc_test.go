@@ -1,0 +1,236 @@
+package dmarc
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/dnssim"
+	"repro/internal/psl"
+)
+
+const testList = `
+// ===BEGIN ICANN DOMAINS===
+com
+uk
+co.uk
+// ===END ICANN DOMAINS===
+// ===BEGIN PRIVATE DOMAINS===
+myshopify.com
+// ===END PRIVATE DOMAINS===
+`
+
+func list(t testing.TB) *psl.List {
+	t.Helper()
+	l, err := psl.ParseString(testList)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// staleList is the same list without the myshopify.com rule.
+func staleList(t testing.TB) *psl.List {
+	t.Helper()
+	return list(t).WithoutRules(psl.Rule{Suffix: "myshopify.com", Section: psl.SectionPrivate})
+}
+
+func TestParseRecordFull(t *testing.T) {
+	p, err := ParseRecord("v=DMARC1; p=reject; sp=quarantine; adkim=s; aspf=r; pct=50; rua=mailto:agg@example.com, mailto:x@e.org")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.P != Reject || p.SP != Quarantine || !p.SPPresent {
+		t.Errorf("dispositions: %+v", p)
+	}
+	if p.DKIMAlignment != Strict || p.SPFAlignment != Relaxed {
+		t.Errorf("alignment: %+v", p)
+	}
+	if p.Percent != 50 || len(p.ReportURIs) != 2 {
+		t.Errorf("pct/rua: %+v", p)
+	}
+}
+
+func TestParseRecordDefaults(t *testing.T) {
+	p, err := ParseRecord("v=DMARC1; p=none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.SP != None || p.SPPresent {
+		t.Error("sp should default to p")
+	}
+	if p.Percent != 100 || p.DKIMAlignment != Relaxed {
+		t.Error("defaults wrong")
+	}
+	// sp defaults track p.
+	p2, _ := ParseRecord("v=DMARC1; p=reject")
+	if p2.SP != Reject {
+		t.Error("sp should default to reject when p=reject")
+	}
+}
+
+func TestParseRecordErrors(t *testing.T) {
+	cases := []struct {
+		txt  string
+		want error
+	}{
+		{"v=spf1 include:x", ErrNotDMARC},
+		{"p=reject; v=DMARC1", ErrNotDMARC}, // v= must be first
+		{"v=DMARC1; sp=none", ErrSyntax},    // missing p=
+		{"v=DMARC1; p=perhaps", ErrSyntax},
+		{"v=DMARC1; p=none; pct=150", ErrSyntax},
+		{"v=DMARC1; p=none; adkim=x", ErrSyntax},
+		{"v=DMARC1; p none", ErrSyntax},
+	}
+	for _, c := range cases {
+		if _, err := ParseRecord(c.txt); !errors.Is(err, c.want) {
+			t.Errorf("ParseRecord(%q) = %v, want %v", c.txt, err, c.want)
+		}
+	}
+}
+
+func TestParseRecordIgnoresUnknownTags(t *testing.T) {
+	p, err := ParseRecord("v=DMARC1; p=none; ri=86400; fo=1; unknown=zzz")
+	if err != nil || p.P != None {
+		t.Errorf("unknown tags should be ignored: %v %v", p, err)
+	}
+}
+
+func TestDiscoverExactDomain(t *testing.T) {
+	z := dnssim.NewZone()
+	z.AddTXT("_dmarc.mail.example.com", "v=DMARC1; p=reject")
+	p, err := Discover(z, list(t), "mail.example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.FromOrgDomain || p.Domain != "mail.example.com" || p.P != Reject {
+		t.Errorf("policy = %+v", p)
+	}
+	if p.Disposition("mail.example.com") != Reject {
+		t.Error("disposition wrong")
+	}
+}
+
+func TestDiscoverOrgDomainFallback(t *testing.T) {
+	z := dnssim.NewZone()
+	z.AddTXT("_dmarc.example.com", "v=DMARC1; p=reject; sp=quarantine")
+	p, err := Discover(z, list(t), "newsletter.mail.example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.FromOrgDomain || p.Domain != "example.com" {
+		t.Errorf("policy = %+v", p)
+	}
+	// Subdomain gets sp=, the org domain itself gets p=.
+	if p.Disposition("newsletter.mail.example.com") != Quarantine {
+		t.Error("subdomain should get sp=quarantine")
+	}
+	if p.Disposition("example.com") != Reject {
+		t.Error("org domain should get p=reject")
+	}
+}
+
+func TestDiscoverNoRecord(t *testing.T) {
+	z := dnssim.NewZone()
+	if _, err := Discover(z, list(t), "nothing.example.com"); !errors.Is(err, ErrNoRecord) {
+		t.Errorf("err = %v, want ErrNoRecord", err)
+	}
+}
+
+func TestDiscoverSkipsNonDMARCTXT(t *testing.T) {
+	z := dnssim.NewZone()
+	z.AddTXT("_dmarc.example.com", "some-verification-token")
+	z.AddTXT("_dmarc.example.com", "v=DMARC1; p=quarantine")
+	p, err := Discover(z, list(t), "example.com")
+	if err != nil || p.P != Quarantine {
+		t.Fatalf("policy = %+v, %v", p, err)
+	}
+}
+
+func TestDiscoverRejectsMultipleRecords(t *testing.T) {
+	z := dnssim.NewZone()
+	z.AddTXT("_dmarc.example.com", "v=DMARC1; p=none")
+	z.AddTXT("_dmarc.example.com", "v=DMARC1; p=reject")
+	if _, err := Discover(z, list(t), "example.com"); err == nil {
+		t.Error("multiple DMARC records should fail discovery")
+	}
+}
+
+// TestStaleListChangesPolicy is the paper's scenario: under the fresh
+// list every myshopify shop is its own organizational domain, so a shop
+// without a record gets none; under a stale list the shop inherits the
+// platform's policy.
+func TestStaleListChangesPolicy(t *testing.T) {
+	z := dnssim.NewZone()
+	z.AddTXT("_dmarc.myshopify.com", "v=DMARC1; p=none; sp=none")
+
+	shop := "mail.good-store.myshopify.com"
+
+	// Fresh list: org domain is good-store.myshopify.com, which has no
+	// record -> no policy.
+	if _, err := Discover(z, list(t), shop); !errors.Is(err, ErrNoRecord) {
+		t.Errorf("fresh list: err = %v, want ErrNoRecord", err)
+	}
+
+	// Stale list: org domain is myshopify.com -> the platform's policy
+	// (mis)applies to the tenant.
+	p, err := Discover(z, staleList(t), shop)
+	if err != nil {
+		t.Fatalf("stale list: %v", err)
+	}
+	if !p.FromOrgDomain || p.Domain != "myshopify.com" {
+		t.Errorf("stale list policy = %+v", p)
+	}
+}
+
+func TestAligned(t *testing.T) {
+	l := list(t)
+	relaxed := &Policy{DKIMAlignment: Relaxed}
+	strict := &Policy{DKIMAlignment: Strict}
+
+	if !relaxed.Aligned(l, "mail.example.com", "example.com") {
+		t.Error("relaxed should align org-domain matches")
+	}
+	if strict.Aligned(l, "mail.example.com", "example.com") {
+		t.Error("strict should reject non-exact matches")
+	}
+	if !strict.Aligned(l, "example.com", "EXAMPLE.com") {
+		t.Error("exact match should align under strict")
+	}
+	if relaxed.Aligned(l, "a.example.com", "b.other.com") {
+		t.Error("different orgs should never align")
+	}
+	// Alignment respects the PSL: two shops share a label suffix but
+	// not an organizational domain.
+	if relaxed.Aligned(l, "a.myshopify.com", "b.myshopify.com") {
+		t.Error("different platform tenants should not align")
+	}
+}
+
+func TestDispositionStrings(t *testing.T) {
+	if None.String() != "none" || Quarantine.String() != "quarantine" || Reject.String() != "reject" {
+		t.Error("disposition names wrong")
+	}
+	if Relaxed.String() != "r" || Strict.String() != "s" {
+		t.Error("alignment names wrong")
+	}
+}
+
+func BenchmarkParseRecord(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseRecord("v=DMARC1; p=reject; sp=quarantine; adkim=s; pct=100; rua=mailto:agg@example.com"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDiscoverFallback(b *testing.B) {
+	z := dnssim.NewZone()
+	z.AddTXT("_dmarc.example.com", "v=DMARC1; p=reject")
+	l, _ := psl.ParseString(testList)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Discover(z, l, "deep.mail.example.com"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package dnssim
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestResolveBasic(t *testing.T) {
+	z := NewZone()
+	z.Add("example.com", TypeA, "192.0.2.1")
+	z.AddTXT("example.com", "hello")
+
+	got, err := z.Resolve("EXAMPLE.com.", TypeA)
+	if err != nil || len(got) != 1 || got[0] != "192.0.2.1" {
+		t.Fatalf("A = %v, %v", got, err)
+	}
+	txt, err := z.TXT("example.com")
+	if err != nil || txt[0] != "hello" {
+		t.Fatalf("TXT = %v, %v", txt, err)
+	}
+}
+
+func TestResolveErrors(t *testing.T) {
+	z := NewZone()
+	z.Add("example.com", TypeA, "192.0.2.1")
+
+	_, err := z.Resolve("missing.example.com", TypeA)
+	if !errors.Is(err, ErrNXDomain) {
+		t.Errorf("missing name -> %v, want NXDOMAIN", err)
+	}
+	_, err = z.Resolve("example.com", TypeTXT)
+	if !errors.Is(err, ErrNoData) {
+		t.Errorf("missing type -> %v, want NoData", err)
+	}
+}
+
+func TestCNAMEChase(t *testing.T) {
+	z := NewZone()
+	z.Add("alias.example.com", TypeCNAME, "target.example.net")
+	z.Add("target.example.net", TypeA, "192.0.2.7")
+	got, err := z.Resolve("alias.example.com", TypeA)
+	if err != nil || got[0] != "192.0.2.7" {
+		t.Fatalf("CNAME chase = %v, %v", got, err)
+	}
+	// Asking for the CNAME itself returns it directly.
+	got, err = z.Resolve("alias.example.com", TypeCNAME)
+	if err != nil || got[0] != "target.example.net" {
+		t.Fatalf("CNAME direct = %v, %v", got, err)
+	}
+}
+
+func TestCNAMELoop(t *testing.T) {
+	z := NewZone()
+	z.Add("a.example", TypeCNAME, "b.example")
+	z.Add("b.example", TypeCNAME, "a.example")
+	_, err := z.Resolve("a.example", TypeA)
+	if !errors.Is(err, ErrLoop) {
+		t.Errorf("loop -> %v, want ErrLoop", err)
+	}
+}
+
+func TestWildcardOwner(t *testing.T) {
+	z := NewZone()
+	z.AddTXT("*.mail.example.com", "wild")
+	z.AddTXT("special.mail.example.com", "explicit")
+
+	got, err := z.TXT("anything.mail.example.com")
+	if err != nil || got[0] != "wild" {
+		t.Fatalf("wildcard = %v, %v", got, err)
+	}
+	got, err = z.TXT("special.mail.example.com")
+	if err != nil || got[0] != "explicit" {
+		t.Fatalf("explicit beats wildcard: %v, %v", got, err)
+	}
+	// The wildcard does not apply at its own parent.
+	if _, err := z.TXT("mail.example.com"); !errors.Is(err, ErrNXDomain) {
+		t.Errorf("parent of wildcard -> %v, want NXDOMAIN", err)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	z := NewZone()
+	z.AddTXT("x.example", "v")
+	z.Remove("x.example", TypeTXT)
+	if _, err := z.TXT("x.example"); !errors.Is(err, ErrNXDomain) {
+		t.Errorf("after remove -> %v, want NXDOMAIN", err)
+	}
+}
+
+func TestMultipleValues(t *testing.T) {
+	z := NewZone()
+	z.AddTXT("multi.example", "one")
+	z.AddTXT("multi.example", "two")
+	got, err := z.TXT("multi.example")
+	if err != nil || len(got) != 2 {
+		t.Fatalf("multi = %v, %v", got, err)
+	}
+}
+
+func TestQueriesCounterAndDump(t *testing.T) {
+	z := NewZone()
+	z.Add("a.example", TypeA, "192.0.2.1")
+	z.AddTXT("a.example", "t")
+	_, _ = z.TXT("a.example")
+	_, _ = z.Resolve("a.example", TypeA)
+	if z.Queries() != 2 {
+		t.Errorf("queries = %d, want 2", z.Queries())
+	}
+	dump := z.Dump()
+	if len(dump) != 2 {
+		t.Fatalf("dump = %v", dump)
+	}
+	if dump[0].Type != TypeA || dump[1].Type != TypeTXT {
+		t.Errorf("dump order = %v", dump)
+	}
+}
+
+func TestResolveConcurrent(t *testing.T) {
+	z := NewZone()
+	z.AddTXT("c.example", "v")
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for j := 0; j < 100; j++ {
+				if _, err := z.TXT("c.example"); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+}
+
+func TestRTypeString(t *testing.T) {
+	if TypeA.String() != "A" || TypeTXT.String() != "TXT" || TypeCNAME.String() != "CNAME" {
+		t.Error("record type names wrong")
+	}
+}

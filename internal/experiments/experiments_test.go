@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/history"
+)
+
+// testEnv is shared; scale kept small for speed.
+var testEnv = New(history.DefaultSeed, 0.02)
+
+func TestRenderKnownIDs(t *testing.T) {
+	for _, id := range append(IDs(), "categories") {
+		out, ok := testEnv.Render(id)
+		if !ok {
+			t.Errorf("Render(%q) unknown", id)
+			continue
+		}
+		if len(out) < 40 {
+			t.Errorf("Render(%q) suspiciously short: %q", id, out)
+		}
+	}
+	if _, ok := testEnv.Render("fig99"); ok {
+		t.Error("unknown artefact accepted")
+	}
+}
+
+func TestFig2MentionsCalibration(t *testing.T) {
+	out := testEnv.Fig2()
+	for _, want := range []string{"2007-03-22", "2447", "9368", "Final component mix"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig2 output missing %q", want)
+		}
+	}
+}
+
+func TestTab1ExactRows(t *testing.T) {
+	out := testEnv.Tab1()
+	for _, want := range []string{"Fixed (F)", "68", "24.9%", "java:jre", "113"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Tab1 output missing %q", want)
+		}
+	}
+}
+
+func TestTab2HeadRow(t *testing.T) {
+	out := testEnv.Tab2()
+	if !strings.Contains(out, "myshopify.com") || !strings.Contains(out, "7848") {
+		t.Errorf("Tab2 missing the head row:\n%s", out)
+	}
+	if !strings.Contains(out, "paper: 1,313 / 50,750") {
+		t.Error("Tab2 missing the paper comparison line")
+	}
+}
+
+func TestTab3IncludesPaperAndMeasured(t *testing.T) {
+	out := testEnv.Tab3()
+	if !strings.Contains(out, "bitwarden/server") || !strings.Contains(out, "36326") {
+		t.Errorf("Tab3 missing bitwarden anchor:\n%.400s", out)
+	}
+	if !strings.Contains(out, "missing (measured)") {
+		t.Error("Tab3 missing measured column")
+	}
+}
+
+func TestFig3Medians(t *testing.T) {
+	out := testEnv.Fig3()
+	for _, want := range []string{"871", "825", "915"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig3 missing median %s:\n%s", want, out)
+		}
+	}
+}
+
+func TestCategoriesBreakdown(t *testing.T) {
+	out := testEnv.Categories()
+	for _, want := range []string{"generic", "country-code", "sponsored", "infrastructure", "private"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Categories missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAllStitchesEverything(t *testing.T) {
+	out := testEnv.All()
+	for _, want := range []string{"Figure 2", "Table 1", "Figure 5", "Table 3", "Suffix entries by category"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("All() missing section %q", want)
+		}
+	}
+}
+
+func TestNewWithCaches(t *testing.T) {
+	dir := t.TempDir()
+	histPath := filepath.Join(dir, "h.gob")
+	snapPath := filepath.Join(dir, "s.gob")
+
+	hf, err := os.Create(histPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := testEnv.H.WriteTo(hf); err != nil {
+		t.Fatal(err)
+	}
+	hf.Close()
+	sf, err := os.Create(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := testEnv.Snap.WriteTo(sf); err != nil {
+		t.Fatal(err)
+	}
+	sf.Close()
+
+	e, err := NewWithCaches(history.DefaultSeed, 0.02, histPath, snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.H.Len() != testEnv.H.Len() || len(e.Snap.Hosts) != len(testEnv.Snap.Hosts) {
+		t.Error("cached environment differs from generated one")
+	}
+	if e.Tab1() != testEnv.Tab1() {
+		t.Error("cached environment renders differently")
+	}
+	// Missing cache files fail loudly.
+	if _, err := NewWithCaches(1, 1, filepath.Join(dir, "nope.gob"), ""); err == nil {
+		t.Error("missing history cache accepted")
+	}
+}
+
+func TestPipelineLazyAndShared(t *testing.T) {
+	a := testEnv.Pipeline()
+	b := testEnv.Pipeline()
+	if a != b {
+		t.Error("Pipeline not cached")
+	}
+}

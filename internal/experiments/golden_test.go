@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestGoldenTables compares the scale-independent table artefacts
+// against golden files, catching accidental changes to either the
+// numbers or the rendering. Regenerate with:
+//
+//	go test ./internal/experiments -run TestGoldenTables -update
+var update = os.Getenv("UPDATE_GOLDEN") != ""
+
+func TestGoldenTables(t *testing.T) {
+	// tab1 and fig3 depend only on the corpus (never on snapshot
+	// scale); tab2's fifteen head rows are scale-independent too, but
+	// its totals line is not, so only the exact artefacts are pinned.
+	artefacts := map[string]string{
+		"tab1": testEnv.Tab1(),
+		"fig3": testEnv.Fig3(),
+		"fig4": testEnv.Fig4(),
+	}
+	for id, got := range artefacts {
+		path := filepath.Join("testdata", id+".golden")
+		if update {
+			if err := os.MkdirAll("testdata", 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("missing golden file %s — run with UPDATE_GOLDEN=1 to create: %v", path, err)
+		}
+		if string(want) != got {
+			t.Errorf("%s drifted from golden file %s:\n--- got ---\n%s\n--- want ---\n%s",
+				id, path, got, want)
+		}
+	}
+}

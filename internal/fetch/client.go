@@ -1,0 +1,267 @@
+package fetch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/psl"
+)
+
+// ErrNotModified is returned by Client.Fetch when the server reports
+// the cached version is still current.
+var ErrNotModified = errors.New("fetch: list not modified")
+
+// Client downloads the public suffix list with conditional-request
+// caching (ETag / Last-Modified). It is safe for concurrent use.
+type Client struct {
+	// URL of the list resource.
+	URL string
+	// HTTPClient defaults to a client with a 30s timeout.
+	HTTPClient *http.Client
+
+	mu           sync.Mutex
+	etag         string
+	lastModified string
+}
+
+// NewClient creates a client for the given list URL.
+func NewClient(url string) *Client {
+	return &Client{
+		URL:        url,
+		HTTPClient: &http.Client{Timeout: 30 * time.Second},
+	}
+}
+
+// Fetch downloads and parses the list. It returns ErrNotModified when
+// the server's copy matches the last successful fetch.
+func (c *Client) Fetch(ctx context.Context) (*psl.List, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.URL, nil)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if c.etag != "" {
+		req.Header.Set("If-None-Match", c.etag)
+	}
+	if c.lastModified != "" {
+		req.Header.Set("If-Modified-Since", c.lastModified)
+	}
+	c.mu.Unlock()
+
+	resp, err := c.HTTPClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotModified:
+		return nil, ErrNotModified
+	default:
+		// Drain so the connection can be reused.
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		return nil, fmt.Errorf("fetch: server returned %s", resp.Status)
+	}
+
+	l, err := psl.Parse(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("fetch: parsing list: %w", err)
+	}
+	if l.Len() == 0 {
+		return nil, errors.New("fetch: server returned an empty list")
+	}
+
+	c.mu.Lock()
+	c.etag = resp.Header.Get("ETag")
+	c.lastModified = resp.Header.Get("Last-Modified")
+	c.mu.Unlock()
+
+	if t, err := http.ParseTime(resp.Header.Get("Last-Modified")); err == nil {
+		l.Date = t
+	}
+	return l, nil
+}
+
+// Strategy is a Table 1 update strategy.
+type Strategy uint8
+
+const (
+	// StrategyFixed never updates: the embedded copy is used forever.
+	StrategyFixed Strategy = iota
+	// StrategyAtBuild updates once, at "build" time (Updater creation),
+	// then never again.
+	StrategyAtBuild
+	// StrategyOnStartup updates once per Start call.
+	StrategyOnStartup
+	// StrategyPeriodic updates on an interval while running.
+	StrategyPeriodic
+)
+
+// String names the strategy as in the paper's taxonomy.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyFixed:
+		return "fixed"
+	case StrategyAtBuild:
+		return "build"
+	case StrategyOnStartup:
+		return "user"
+	case StrategyPeriodic:
+		return "periodic"
+	default:
+		return "unknown"
+	}
+}
+
+// Updater maintains a current list per the configured strategy, always
+// falling back to the embedded copy — the exact behaviour whose failure
+// modes the paper studies.
+type Updater struct {
+	client   *Client
+	strategy Strategy
+	interval time.Duration
+
+	// OnSwap, if set, observes list replacements (old may equal new).
+	OnSwap func(old, new *psl.List)
+
+	mu        sync.RWMutex
+	current   *psl.List
+	embedded  *psl.List
+	successes int
+	failures  int
+}
+
+// NewUpdater creates an updater over an embedded fallback list. For
+// StrategyAtBuild the single update attempt happens here.
+func NewUpdater(embedded *psl.List, client *Client, strategy Strategy, interval time.Duration) *Updater {
+	u := &Updater{
+		client:   client,
+		strategy: strategy,
+		interval: interval,
+		current:  embedded,
+		embedded: embedded,
+	}
+	if strategy == StrategyAtBuild && client != nil {
+		// Ignore the error: fallback-to-embedded is the point.
+		_ = u.Refresh(context.Background())
+	}
+	return u
+}
+
+// Current returns the list in effect.
+func (u *Updater) Current() *psl.List {
+	u.mu.RLock()
+	defer u.mu.RUnlock()
+	return u.current
+}
+
+// Embedded returns the fallback copy.
+func (u *Updater) Embedded() *psl.List { return u.embedded }
+
+// Stats reports update attempts that succeeded and failed.
+func (u *Updater) Stats() (successes, failures int) {
+	u.mu.RLock()
+	defer u.mu.RUnlock()
+	return u.successes, u.failures
+}
+
+// UsingFallback reports whether the updater is still running on its
+// embedded copy (no update has ever succeeded).
+func (u *Updater) UsingFallback() bool {
+	u.mu.RLock()
+	defer u.mu.RUnlock()
+	return u.current == u.embedded
+}
+
+// ListAge returns the age of the current list relative to now.
+func (u *Updater) ListAge(now time.Time) time.Duration {
+	cur := u.Current()
+	if cur.Date.IsZero() {
+		return 0
+	}
+	return now.Sub(cur.Date)
+}
+
+// Refresh performs one update attempt. On any failure the current list
+// is kept (fallback semantics) and the error returned. A fixed-strategy
+// updater refuses to refresh.
+func (u *Updater) Refresh(ctx context.Context) error {
+	if u.strategy == StrategyFixed || u.client == nil {
+		return errors.New("fetch: fixed strategy never refreshes")
+	}
+	l, err := u.client.Fetch(ctx)
+	if errors.Is(err, ErrNotModified) {
+		u.mu.Lock()
+		u.successes++
+		u.mu.Unlock()
+		return nil
+	}
+	if err != nil {
+		u.mu.Lock()
+		u.failures++
+		u.mu.Unlock()
+		return err
+	}
+	u.mu.Lock()
+	old := u.current
+	u.current = l
+	u.successes++
+	swap := u.OnSwap
+	u.mu.Unlock()
+	if swap != nil {
+		swap(old, l)
+	}
+	return nil
+}
+
+// RefreshWithRetry attempts Refresh up to attempts times, sleeping with
+// exponential backoff (base, 2*base, 4*base, …) between failures. It
+// stops early on success or context cancellation; the embedded copy
+// stays in effect throughout, per the fallback semantics.
+func (u *Updater) RefreshWithRetry(ctx context.Context, attempts int, base time.Duration) error {
+	var err error
+	delay := base
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(delay):
+			}
+			delay *= 2
+		}
+		if err = u.Refresh(ctx); err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
+// Start runs the strategy until ctx is cancelled: one refresh for
+// OnStartup, a ticker loop for Periodic, a no-op otherwise. It blocks
+// only for the initial refresh; the periodic loop runs in the calling
+// goroutine, so run Start in its own goroutine for daemons.
+func (u *Updater) Start(ctx context.Context) {
+	switch u.strategy {
+	case StrategyOnStartup:
+		_ = u.Refresh(ctx)
+	case StrategyPeriodic:
+		_ = u.Refresh(ctx)
+		t := time.NewTicker(u.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				_ = u.Refresh(ctx)
+			}
+		}
+	}
+}

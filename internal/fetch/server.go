@@ -1,0 +1,150 @@
+// Package fetch implements the list-updating behaviours the paper's
+// Table 1 taxonomy describes — fixed, build-time, on-startup, and
+// periodic updating, each falling back to an embedded copy when the
+// network fails — together with an HTTP server that publishes
+// historical list versions (a stand-in for publicsuffix.org).
+//
+// Failure injection on the server side lets the examples and tests
+// reproduce the paper's core risk scenario: an "updated" project whose
+// update silently fails and which continues running on its stale
+// embedded copy.
+package fetch
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/history"
+)
+
+// ListPath is the canonical request path for the current list, matching
+// the upstream layout.
+const ListPath = "/list/public_suffix_list.dat"
+
+// Server publishes a history's list versions over HTTP.
+//
+//	GET /list/public_suffix_list.dat   -> the "current" version
+//	GET /v/<seq>                       -> a specific version
+//
+// Responses carry ETag (the rule-set fingerprint) and Last-Modified
+// headers and honour If-None-Match / If-Modified-Since.
+type Server struct {
+	h *history.History
+
+	mu        sync.Mutex
+	current   int
+	failRate  float64
+	failCount int
+	failCode  int
+	rng       *rand.Rand
+	requests  int
+	failures  int
+}
+
+// NewServer creates a server initially publishing the newest version.
+func NewServer(h *history.History) *Server {
+	return &Server{
+		h:        h,
+		current:  h.Len() - 1,
+		failCode: http.StatusServiceUnavailable,
+		rng:      rand.New(rand.NewSource(1)),
+	}
+}
+
+// SetCurrent changes which version the canonical path serves, so tests
+// can simulate the passage of time.
+func (s *Server) SetCurrent(seq int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if seq < 0 || seq >= s.h.Len() {
+		panic(fmt.Sprintf("fetch: version %d out of range", seq))
+	}
+	s.current = seq
+}
+
+// SetFailureRate makes the server fail the given fraction of requests
+// (1.0 = all) with 503, exercising client fallback paths.
+func (s *Server) SetFailureRate(p float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.failRate = p
+}
+
+// FailNext makes the server fail exactly the next n requests with 503,
+// for deterministic retry tests.
+func (s *Server) FailNext(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.failCount = n
+}
+
+// Stats reports requests served and failures injected.
+func (s *Server) Stats() (requests, failures int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.requests, s.failures
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	s.requests++
+	fail := s.failRate > 0 && s.rng.Float64() < s.failRate
+	if s.failCount > 0 {
+		s.failCount--
+		fail = true
+	}
+	if fail {
+		s.failures++
+	}
+	seq := s.current
+	s.mu.Unlock()
+
+	if fail {
+		http.Error(w, "injected failure", s.failCode)
+		return
+	}
+
+	switch {
+	case r.URL.Path == ListPath:
+		// seq stays as the configured current version.
+	case strings.HasPrefix(r.URL.Path, "/v/"):
+		n, err := strconv.Atoi(strings.TrimPrefix(r.URL.Path, "/v/"))
+		if err != nil || n < 0 || n >= s.h.Len() {
+			http.NotFound(w, r)
+			return
+		}
+		seq = n
+	default:
+		http.NotFound(w, r)
+		return
+	}
+
+	l := s.h.ListAt(seq)
+	etag := `"` + l.Fingerprint() + `"`
+	modified := s.h.Meta(seq).Date.UTC()
+
+	if match := r.Header.Get("If-None-Match"); match != "" && match == etag {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	if since := r.Header.Get("If-Modified-Since"); since != "" {
+		if t, err := http.ParseTime(since); err == nil && !modified.After(t) {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+	}
+
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Header().Set("ETag", etag)
+	w.Header().Set("Last-Modified", modified.Format(http.TimeFormat))
+	if r.Method == http.MethodHead {
+		return
+	}
+	// A short write means the client went away; nothing to do.
+	_, _ = w.Write([]byte(l.Serialize()))
+}

@@ -1,0 +1,104 @@
+package history
+
+import "time"
+
+// MeasurementDate is t, the instant the paper performed its age
+// measurements (Section 5: t = 8 December 2022). Curated rule addition
+// dates are expressed in days before this instant so that the Table 2
+// project counts fall out of the embedded Table 3 repository ages.
+var MeasurementDate = time.Date(2022, 12, 8, 0, 0, 0, 0, time.UTC)
+
+// CuratedSuffix is a real-world suffix planted into the generated
+// history at a calibrated date.
+type CuratedSuffix struct {
+	// Suffix in list syntax (no wildcard/exception markers are used by
+	// the curated set).
+	Suffix string
+	// Private reports whether the rule belongs in the PRIVATE section.
+	Private bool
+	// AgeDays is the addition date expressed as days before
+	// MeasurementDate. 0 means "present from the first version".
+	AgeDays int
+}
+
+// Table2Suffixes are the 15 eTLDs of the paper's Table 2. Their AgeDays
+// are calibrated against the Table 3 repository list ages (see
+// repos.FixedProjects) so that the number of fixed-production,
+// fixed-test/other, and updated projects whose embedded list predates
+// each suffix reproduces the paper's columns.
+var Table2Suffixes = []CuratedSuffix{
+	{Suffix: "myshopify.com", Private: true, AgeDays: 700},
+	{Suffix: "digitaloceanspaces.com", Private: true, AgeDays: 450},
+	{Suffix: "smushcdn.com", Private: true, AgeDays: 710},
+	{Suffix: "r.appspot.com", Private: true, AgeDays: 1100},
+	{Suffix: "sp.gov.br", Private: false, AgeDays: 1980},
+	{Suffix: "altervista.org", Private: true, AgeDays: 1150},
+	{Suffix: "readthedocs.io", Private: true, AgeDays: 1300},
+	{Suffix: "netlify.app", Private: true, AgeDays: 1000},
+	{Suffix: "mg.gov.br", Private: false, AgeDays: 1990},
+	{Suffix: "lpages.co", Private: true, AgeDays: 1350},
+	{Suffix: "pr.gov.br", Private: false, AgeDays: 1985},
+	{Suffix: "web.app", Private: true, AgeDays: 1250},
+	{Suffix: "carrd.co", Private: true, AgeDays: 1260},
+	{Suffix: "rs.gov.br", Private: false, AgeDays: 1995},
+	{Suffix: "sc.gov.br", Private: false, AgeDays: 2000},
+}
+
+// PlatformSuffixes are additional well-known private suffixes with
+// approximate real-world addition eras, included for realism and used by
+// the examples. Ages are days before MeasurementDate.
+var PlatformSuffixes = []CuratedSuffix{
+	{Suffix: "blogspot.com", Private: true, AgeDays: 0},   // founding era
+	{Suffix: "appspot.com", Private: true, AgeDays: 4900}, // ~2009
+	{Suffix: "operaunite.com", Private: true, AgeDays: 4800},
+	{Suffix: "github.io", Private: true, AgeDays: 3500}, // ~2013
+	{Suffix: "githubusercontent.com", Private: true, AgeDays: 3400},
+	{Suffix: "herokuapp.com", Private: true, AgeDays: 3450},
+	{Suffix: "cloudfront.net", Private: true, AgeDays: 3550},
+	{Suffix: "elasticbeanstalk.com", Private: true, AgeDays: 3500},
+	{Suffix: "*.compute.amazonaws.com", Private: true, AgeDays: 3500},
+	{Suffix: "azurewebsites.net", Private: true, AgeDays: 3100}, // ~2014
+	{Suffix: "cloudapp.net", Private: true, AgeDays: 3100},
+	{Suffix: "fastly.net", Private: true, AgeDays: 3000},
+	{Suffix: "gitlab.io", Private: true, AgeDays: 2700},       // ~2015
+	{Suffix: "firebaseapp.com", Private: true, AgeDays: 2450}, // ~2016
+	{Suffix: "netlify.com", Private: true, AgeDays: 2400},
+	{Suffix: "bitbucket.io", Private: true, AgeDays: 2300},
+	{Suffix: "glitch.me", Private: true, AgeDays: 2100},
+	{Suffix: "workers.dev", Private: true, AgeDays: 1350},  // ~2019
+	{Suffix: "onrender.com", Private: true, AgeDays: 1000}, // ~2020
+	{Suffix: "fly.dev", Private: true, AgeDays: 980},
+	{Suffix: "vercel.app", Private: true, AgeDays: 900},
+	{Suffix: "pages.dev", Private: true, AgeDays: 640}, // ~2021
+	{Suffix: "deno.dev", Private: true, AgeDays: 560},
+	{Suffix: "wixsite.com", Private: true, AgeDays: 1900},
+}
+
+// japanesePrefectures are the 47 prefecture labels used to synthesise
+// the mid-2012 spike of city-level *.jp registrations (Section 3 /
+// Figure 2: ~1,623 rules added to support 4th-level registrations).
+var japanesePrefectures = []string{
+	"aichi", "akita", "aomori", "chiba", "ehime", "fukui", "fukuoka",
+	"fukushima", "gifu", "gunma", "hiroshima", "hokkaido", "hyogo",
+	"ibaraki", "ishikawa", "iwate", "kagawa", "kagoshima", "kanagawa",
+	"kochi", "kumamoto", "kyoto", "mie", "miyagi", "miyazaki", "nagano",
+	"nagasaki", "nara", "niigata", "oita", "okayama", "okinawa", "osaka",
+	"saga", "saitama", "shiga", "shimane", "shizuoka", "tochigi",
+	"tokushima", "tokyo", "tottori", "toyama", "wakayama", "yamagata",
+	"yamaguchi", "yamanashi",
+}
+
+// secondLevelLabels are common administrative second-level labels used
+// to synthesise ccTLD second-level rules ("co.uk"-style, 2 components).
+var secondLevelLabels = []string{
+	"co", "com", "net", "org", "gov", "ac", "edu", "mil", "sch", "web",
+	"info", "or", "ne", "go", "press", "ltd", "plc", "nom", "art", "firm",
+}
+
+// curatedAll returns the curated suffixes (Table 2 + platforms).
+func curatedAll() []CuratedSuffix {
+	out := make([]CuratedSuffix, 0, len(Table2Suffixes)+len(PlatformSuffixes))
+	out = append(out, Table2Suffixes...)
+	out = append(out, PlatformSuffixes...)
+	return out
+}

@@ -1,0 +1,331 @@
+package history
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro/internal/psl"
+)
+
+// factory generates unique synthetic suffix rules with an era-dependent
+// component mix, so the final corpus lands near the paper's Figure 2
+// composition: ~17% one-component rules, ~57.5% two, ~25.3% three, and
+// ~0.1% four or more.
+type factory struct {
+	rng  *rand.Rand
+	used map[string]bool
+	// ccPool is the country-code TLD universe for ccTLD-style rules.
+	ccPool []string
+	// jpIndex walks the prefecture/city grid for the 2012 spike.
+	jpIndex int
+}
+
+// syllables compose pronounceable synthetic labels.
+var syllables = []string{
+	"ba", "be", "bi", "bo", "bu", "da", "de", "di", "do", "du",
+	"fa", "fe", "fi", "fo", "ga", "ge", "go", "ha", "he", "hi",
+	"ka", "ke", "ki", "ko", "ku", "la", "le", "li", "lo", "lu",
+	"ma", "me", "mi", "mo", "mu", "na", "ne", "ni", "no", "nu",
+	"pa", "pe", "pi", "po", "ra", "re", "ri", "ro", "ru", "sa",
+	"se", "si", "so", "su", "ta", "te", "ti", "to", "tu", "va",
+	"ve", "vi", "vo", "wa", "wi", "ya", "yo", "za", "ze", "zo",
+}
+
+// privateTLDs host synthetic private platform suffixes ("brand.com").
+var privateTLDs = []string{"com", "net", "org", "io", "co", "app", "dev", "cloud", "me"}
+
+// ccTLDUniverse is the country-code pool (kept local so the history
+// package does not depend on package iana).
+var ccTLDUniverse = []string{
+	"ac", "ad", "ae", "af", "ag", "ai", "al", "am", "ao", "ar", "at",
+	"au", "az", "ba", "bd", "be", "bg", "bh", "bo", "br", "bw", "by",
+	"bz", "ca", "ch", "ci", "cl", "cn", "co", "cr", "cu", "cy", "cz",
+	"de", "dk", "do", "dz", "ec", "ee", "eg", "es", "et", "eu", "fi",
+	"fj", "fr", "ge", "gh", "gi", "gr", "gt", "hk", "hn", "hr", "ht",
+	"hu", "id", "ie", "il", "in", "iq", "ir", "is", "it", "jm", "jo",
+	"jp", "ke", "kg", "kh", "kr", "kw", "kz", "la", "lb", "li", "lk",
+	"lt", "lu", "lv", "ly", "ma", "md", "me", "mg", "mk", "ml", "mm",
+	"mn", "mo", "mt", "mu", "mv", "mx", "my", "mz", "na", "ng", "ni",
+	"nl", "no", "np", "nz", "om", "pa", "pe", "pg", "ph", "pk", "pl",
+	"pr", "ps", "pt", "py", "qa", "ro", "rs", "ru", "rw", "sa", "sb",
+	"sc", "sd", "se", "sg", "si", "sk", "sl", "sm", "sn", "so", "sr",
+	"sv", "sy", "sz", "th", "tj", "tm", "tn", "to", "tr", "tt", "tw",
+	"tz", "ua", "ug", "uk", "us", "uy", "uz", "ve", "vn", "ye", "za",
+	"zm", "zw",
+}
+
+func newFactory(rng *rand.Rand) *factory {
+	return &factory{
+		rng:    rng,
+		used:   make(map[string]bool, 12000),
+		ccPool: ccTLDUniverse,
+	}
+}
+
+// reserve marks a suffix as taken so synthetic generation avoids it.
+func (f *factory) reserve(suffix string) { f.used[suffix] = true }
+
+// brandName builds a 2-4 syllable pronounceable label.
+func (f *factory) brandName() string {
+	n := 2 + f.rng.Intn(3)
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteString(syllables[f.rng.Intn(len(syllables))])
+	}
+	return b.String()
+}
+
+// unique retries gen until it produces an unused suffix. Finite pools
+// (e.g. the sld × ccTLD grid) can be exhausted, so after a bounded
+// number of collisions the candidate is made unique by prefixing a
+// fresh brand label, which the used-set can never have seen densely.
+func (f *factory) unique(gen func() string) string {
+	for tries := 0; tries < 32; tries++ {
+		s := gen()
+		if !f.used[s] {
+			f.used[s] = true
+			return s
+		}
+	}
+	for {
+		s := f.brandName() + "-" + gen()
+		if !f.used[s] {
+			f.used[s] = true
+			return s
+		}
+	}
+}
+
+// newGTLD synthesises a one-component rule (a new-programme gTLD).
+func (f *factory) newGTLD() psl.Rule {
+	s := f.unique(func() string { return f.brandName() })
+	return mustRule(s, psl.SectionICANN)
+}
+
+// ccSecondLevel synthesises a "co.uk"-style two-component ICANN rule.
+func (f *factory) ccSecondLevel() psl.Rule {
+	s := f.unique(func() string {
+		sld := secondLevelLabels[f.rng.Intn(len(secondLevelLabels))]
+		cc := f.ccPool[f.rng.Intn(len(f.ccPool))]
+		return sld + "." + cc
+	})
+	return mustRule(s, psl.SectionICANN)
+}
+
+// privatePlatform synthesises a "brand.com"-style private rule,
+// occasionally as a wildcard.
+func (f *factory) privatePlatform() psl.Rule {
+	s := f.unique(func() string {
+		return f.brandName() + "." + privateTLDs[f.rng.Intn(len(privateTLDs))]
+	})
+	if f.rng.Intn(66) == 0 {
+		return mustRule("*."+s, psl.SectionPrivate)
+	}
+	return mustRule(s, psl.SectionPrivate)
+}
+
+// threeComponent synthesises a three-component rule: either a regional
+// ICANN entry ("brand.sld.cc") or a private platform region
+// ("region.brand.com").
+func (f *factory) threeComponent() psl.Rule {
+	if f.rng.Intn(2) == 0 {
+		s := f.unique(func() string {
+			return f.brandName() + "." + secondLevelLabels[f.rng.Intn(len(secondLevelLabels))] +
+				"." + f.ccPool[f.rng.Intn(len(f.ccPool))]
+		})
+		return mustRule(s, psl.SectionICANN)
+	}
+	s := f.unique(func() string {
+		return f.brandName() + "." + f.brandName() + "." + privateTLDs[f.rng.Intn(len(privateTLDs))]
+	})
+	return mustRule(s, psl.SectionPrivate)
+}
+
+// fourComponent synthesises a rare four-component rule.
+func (f *factory) fourComponent() psl.Rule {
+	s := f.unique(func() string {
+		return f.brandName() + "." + f.brandName() + "." +
+			secondLevelLabels[f.rng.Intn(len(secondLevelLabels))] + "." +
+			f.ccPool[f.rng.Intn(len(f.ccPool))]
+	})
+	return mustRule(s, psl.SectionICANN)
+}
+
+// jpSpikeRules produces n three-component Japanese city-level rules
+// (the mid-2012 spike).
+func (f *factory) jpSpikeRules(n int) []psl.Rule {
+	out := make([]psl.Rule, 0, n)
+	for len(out) < n {
+		pref := japanesePrefectures[f.jpIndex%len(japanesePrefectures)]
+		city := fmt.Sprintf("city%02d", f.jpIndex/len(japanesePrefectures))
+		f.jpIndex++
+		s := city + "." + pref + ".jp"
+		if f.used[s] {
+			continue
+		}
+		f.used[s] = true
+		out = append(out, mustRule(s, psl.SectionICANN))
+	}
+	return out
+}
+
+// eraWeights returns cumulative probability thresholds for drawing the
+// component class of a synthetic rule added at the given date, shaping
+// the corpus composition per era:
+//
+//   - 2007–2012: ccTLD build-out, almost all two-component rules;
+//   - 2012–2014: aftermath of the JP spike, still ccTLD-heavy;
+//   - 2014–2017: the new gTLD programme, dominated by one-component rules;
+//   - 2017–2022: the private-domain era, two/three-component platform rules.
+func eraWeights(d time.Time) (w1, w2, w3, w4 float64) {
+	switch {
+	case d.Before(time.Date(2012, 6, 1, 0, 0, 0, 0, time.UTC)):
+		return 0.02, 0.86, 0.118, 0.002
+	case d.Before(time.Date(2014, 1, 1, 0, 0, 0, 0, time.UTC)):
+		return 0.05, 0.75, 0.20, 0.0
+	case d.Before(time.Date(2017, 1, 1, 0, 0, 0, 0, time.UTC)):
+		return 0.75, 0.22, 0.03, 0.0
+	default:
+		return 0.12, 0.772, 0.105, 0.003
+	}
+}
+
+// syntheticRule draws one rule with era-appropriate composition.
+func (f *factory) syntheticRule(date time.Time) psl.Rule {
+	w1, w2, w3, _ := eraWeights(date)
+	x := f.rng.Float64()
+	switch {
+	case x < w1:
+		return f.newGTLD()
+	case x < w1+w2:
+		// Two-component: split between ccTLD second-levels and
+		// private platforms, drifting private over time.
+		privateShare := 0.25
+		if date.Year() >= 2017 {
+			privateShare = 0.75
+		} else if date.Year() >= 2013 {
+			privateShare = 0.5
+		}
+		if f.rng.Float64() < privateShare {
+			return f.privatePlatform()
+		}
+		return f.ccSecondLevel()
+	case x < w1+w2+w3:
+		return f.threeComponent()
+	default:
+		return f.fourComponent()
+	}
+}
+
+// WildcardCCs returns the country codes whose first-version entry is an
+// over-broad wildcard rule ("*.uk"-style), mirroring the real list's
+// early years. Each is later "restructured": the wildcard is removed and
+// explicit second-level rules added. The restructure wave (2008–2013)
+// is what produces the early drop in third-party classifications the
+// paper observes in Figure 6: over-broad wildcards fragment every
+// registrable name under the ccTLD into per-host sites until the
+// explicit rules merge them back.
+func WildcardCCs() []string {
+	// Every third country code, skipping ck/er (kept permanently
+	// wildcard to preserve the canonical exception family).
+	var out []string
+	for i, cc := range ccTLDUniverse {
+		if cc == "ck" || cc == "er" {
+			continue
+		}
+		if i%3 == 0 {
+			out = append(out, cc)
+		}
+	}
+	return out
+}
+
+// restructureRules returns the explicit rules that replace "*.cc" when
+// the country code is restructured.
+func restructureRules(cc string) []psl.Rule {
+	slds := []string{"co", "gov", "ac", "org"}
+	rules := make([]psl.Rule, 0, 1+len(slds))
+	rules = append(rules, mustRule(cc, psl.SectionICANN))
+	for _, sld := range slds {
+		rules = append(rules, mustRule(sld+"."+cc, psl.SectionICANN))
+	}
+	return rules
+}
+
+// initialRules builds the 2007 starting rule set: the TLD universe plus
+// a ccTLD second-level build-out and a sprinkle of deeper rules.
+func (f *factory) initialRules(n int) []psl.Rule {
+	rules := make([]psl.Rule, 0, n)
+	add := func(r psl.Rule) {
+		if len(rules) < n {
+			rules = append(rules, r)
+		}
+	}
+	// Legacy gTLDs, sponsored TLDs, infrastructure.
+	for _, t := range []string{
+		"com", "net", "org", "info", "biz", "name", "pro",
+		"aero", "asia", "cat", "coop", "edu", "gov", "int", "jobs",
+		"mil", "mobi", "museum", "post", "tel", "travel", "arpa",
+	} {
+		if !f.used[t] {
+			f.used[t] = true
+			add(mustRule(t, psl.SectionICANN))
+		}
+	}
+	// Country codes. Wildcard-era ccTLDs enter as a single "*.cc" rule
+	// (restructured later); the rest get explicit co./gov. second
+	// levels from the start (guaranteeing familiar entries like co.uk).
+	wildcard := make(map[string]bool)
+	for _, cc := range WildcardCCs() {
+		wildcard[cc] = true
+	}
+	for _, cc := range f.ccPool {
+		if wildcard[cc] {
+			s := "*." + cc
+			if !f.used[s] {
+				f.used[s] = true
+				add(mustRule(s, psl.SectionICANN))
+			}
+			continue
+		}
+		if !f.used[cc] {
+			f.used[cc] = true
+			add(mustRule(cc, psl.SectionICANN))
+		}
+		for _, sld := range []string{"co", "gov"} {
+			s := sld + "." + cc
+			if !f.used[s] {
+				f.used[s] = true
+				add(mustRule(s, psl.SectionICANN))
+			}
+		}
+	}
+	// A couple of canonical wildcard/exception families.
+	for _, raw := range []string{"*.ck", "!www.ck", "*.er", "*.kobe.jp", "!city.kobe.jp"} {
+		section := psl.SectionICANN
+		r, err := psl.ParseRule(raw, section)
+		if err != nil {
+			panic(err)
+		}
+		if !f.used[r.String()] {
+			f.used[r.String()] = true
+			add(r)
+		}
+	}
+	// Fill the remainder with era-2007 composition.
+	epoch := time.Date(2007, 6, 1, 0, 0, 0, 0, time.UTC)
+	for len(rules) < n {
+		rules = append(rules, f.syntheticRule(epoch))
+	}
+	return rules
+}
+
+func mustRule(s string, section psl.Section) psl.Rule {
+	r, err := psl.ParseRule(s, section)
+	if err != nil {
+		panic(fmt.Sprintf("history: bad synthetic rule %q: %v", s, err))
+	}
+	return r
+}

@@ -1,0 +1,76 @@
+package history
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// historyMagic versions the on-disk format.
+const historyMagic = "pslharm-history-v1"
+
+// historyFile is the gob-encoded representation: the configuration and
+// the full event stream, from which everything else replays.
+type historyFile struct {
+	Magic  string
+	Config Config
+	Events []Event
+	Metas  []VersionMeta
+}
+
+// WriteTo serialises the history (configuration, events, metadata) so
+// tooling can cache a generated corpus.
+func (h *History) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	cw := &countingWriter{w: bw}
+	err := gob.NewEncoder(cw).Encode(historyFile{
+		Magic:  historyMagic,
+		Config: h.cfg,
+		Events: h.events,
+		Metas:  h.metas,
+	})
+	if err != nil {
+		return cw.n, err
+	}
+	return cw.n, bw.Flush()
+}
+
+// ReadHistory deserialises a history written by WriteTo and validates
+// its internal consistency (event and metadata streams must agree).
+func ReadHistory(r io.Reader) (*History, error) {
+	var f historyFile
+	if err := gob.NewDecoder(bufio.NewReader(r)).Decode(&f); err != nil {
+		return nil, fmt.Errorf("history: decoding: %w", err)
+	}
+	if f.Magic != historyMagic {
+		return nil, fmt.Errorf("history: bad magic %q", f.Magic)
+	}
+	if len(f.Events) != len(f.Metas) {
+		return nil, fmt.Errorf("history: %d events vs %d metas", len(f.Events), len(f.Metas))
+	}
+	count := 0
+	for i, ev := range f.Events {
+		if ev.Seq != i || f.Metas[i].Seq != i {
+			return nil, fmt.Errorf("history: sequence mismatch at %d", i)
+		}
+		count += len(ev.Added) - len(ev.Removed)
+		if f.Metas[i].Rules != count {
+			return nil, fmt.Errorf("history: rule count mismatch at version %d: %d vs %d",
+				i, f.Metas[i].Rules, count)
+		}
+	}
+	return &History{cfg: f.Config, events: f.Events, metas: f.Metas}, nil
+}
+
+// countingWriter tracks bytes written.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,49 @@
+package httparchive
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSnapshotRoundtrip(t *testing.T) {
+	var buf bytes.Buffer
+	n, err := testSnapshot.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+
+	back, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Hosts) != len(testSnapshot.Hosts) || len(back.Pairs) != len(testSnapshot.Pairs) {
+		t.Fatalf("roundtrip sizes differ: %d/%d vs %d/%d",
+			len(back.Hosts), len(back.Pairs), len(testSnapshot.Hosts), len(testSnapshot.Pairs))
+	}
+	if back.Requests != testSnapshot.Requests {
+		t.Error("request count differs")
+	}
+	if !back.Date.Equal(testSnapshot.Date) {
+		t.Errorf("date differs: %v vs %v", back.Date, testSnapshot.Date)
+	}
+	for i := range back.Hosts {
+		if back.Hosts[i] != testSnapshot.Hosts[i] {
+			t.Fatalf("host %d differs", i)
+		}
+	}
+	for i := range back.Pairs {
+		if back.Pairs[i] != testSnapshot.Pairs[i] {
+			t.Fatalf("pair %d differs", i)
+		}
+	}
+}
+
+func TestReadSnapshotRejectsGarbage(t *testing.T) {
+	if _, err := ReadSnapshot(strings.NewReader("nope")); err == nil {
+		t.Error("garbage accepted")
+	}
+}

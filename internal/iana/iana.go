@@ -1,0 +1,175 @@
+// Package iana embeds a snapshot of the IANA Root Zone Database and
+// categorises top-level domains the way the paper's Section 3 does:
+// generic, country-code, sponsored, and infrastructure TLDs. Suffix
+// entries that are not TLDs are classified as private domains.
+//
+// The paper consumed https://www.iana.org/domains/root/db; this package
+// embeds the equivalent categorisation table (the database changes
+// rarely, and only the category of each TLD matters downstream).
+package iana
+
+import (
+	"strings"
+
+	"repro/internal/domain"
+	"repro/internal/psl"
+)
+
+// Category is the IANA delegation category of a TLD, extended with
+// Private for non-TLD suffix entries (the paper's two-way split of
+// suffix entries into top-level vs private domains).
+type Category uint8
+
+const (
+	// CategoryUnknown marks TLDs absent from the database snapshot.
+	CategoryUnknown Category = iota
+	// CategoryGeneric covers gTLDs: com, net, org, and new gTLDs.
+	CategoryGeneric
+	// CategoryCountryCode covers ccTLDs: uk, de, jp, …
+	CategoryCountryCode
+	// CategorySponsored covers sTLDs: edu, gov, aero, museum, …
+	CategorySponsored
+	// CategoryInfrastructure covers arpa.
+	CategoryInfrastructure
+	// CategoryPrivate marks suffix entries below a TLD (private
+	// domains such as github.io rules, or ccTLD second-level rules).
+	CategoryPrivate
+)
+
+// String returns the IANA-style label for the category.
+func (c Category) String() string {
+	switch c {
+	case CategoryGeneric:
+		return "generic"
+	case CategoryCountryCode:
+		return "country-code"
+	case CategorySponsored:
+		return "sponsored"
+	case CategoryInfrastructure:
+		return "infrastructure"
+	case CategoryPrivate:
+		return "private"
+	default:
+		return "unknown"
+	}
+}
+
+// ccTLDs is the ISO 3166-1 alpha-2 derived country-code TLD set
+// (including IDN ccTLD examples in punycode form).
+var ccTLDs = []string{
+	"ac", "ad", "ae", "af", "ag", "ai", "al", "am", "ao", "aq", "ar",
+	"as", "at", "au", "aw", "ax", "az", "ba", "bb", "bd", "be", "bf",
+	"bg", "bh", "bi", "bj", "bm", "bn", "bo", "br", "bs", "bt", "bw",
+	"by", "bz", "ca", "cc", "cd", "cf", "cg", "ch", "ci", "ck", "cl",
+	"cm", "cn", "co", "cr", "cu", "cv", "cw", "cx", "cy", "cz", "de",
+	"dj", "dk", "dm", "do", "dz", "ec", "ee", "eg", "er", "es", "et",
+	"eu", "fi", "fj", "fk", "fm", "fo", "fr", "ga", "gd", "ge", "gf",
+	"gg", "gh", "gi", "gl", "gm", "gn", "gp", "gq", "gr", "gs", "gt",
+	"gu", "gw", "gy", "hk", "hm", "hn", "hr", "ht", "hu", "id", "ie",
+	"il", "im", "in", "io", "iq", "ir", "is", "it", "je", "jm", "jo",
+	"jp", "ke", "kg", "kh", "ki", "km", "kn", "kp", "kr", "kw", "ky",
+	"kz", "la", "lb", "lc", "li", "lk", "lr", "ls", "lt", "lu", "lv",
+	"ly", "ma", "mc", "md", "me", "mg", "mh", "mk", "ml", "mm", "mn",
+	"mo", "mp", "mq", "mr", "ms", "mt", "mu", "mv", "mw", "mx", "my",
+	"mz", "na", "nc", "ne", "nf", "ng", "ni", "nl", "no", "np", "nr",
+	"nu", "nz", "om", "pa", "pe", "pf", "pg", "ph", "pk", "pl", "pm",
+	"pn", "pr", "ps", "pt", "pw", "py", "qa", "re", "ro", "rs", "ru",
+	"rw", "sa", "sb", "sc", "sd", "se", "sg", "sh", "si", "sk", "sl",
+	"sm", "sn", "so", "sr", "ss", "st", "sv", "sx", "sy", "sz", "tc",
+	"td", "tf", "tg", "th", "tj", "tk", "tl", "tm", "tn", "to", "tr",
+	"tt", "tv", "tw", "tz", "ua", "ug", "uk", "us", "uy", "uz", "va",
+	"vc", "ve", "vg", "vi", "vn", "vu", "wf", "ws", "ye", "yt", "za",
+	"zm", "zw",
+	// IDN ccTLDs (punycode): .中国, .рф, .香港, .한국, .ελ
+	"xn--fiqs8s", "xn--p1ai", "xn--j6w193g", "xn--3e0b707e", "xn--qxam",
+}
+
+// sponsoredTLDs are the sTLDs operated under sponsorship agreements.
+var sponsoredTLDs = []string{
+	"aero", "asia", "cat", "coop", "edu", "gov", "int", "jobs", "mil",
+	"mobi", "museum", "post", "tel", "travel", "xxx",
+}
+
+// genericTLDs are legacy gTLDs plus a representative slice of the new
+// gTLD programme (the database snapshot is deliberately partial in the
+// long tail; Lookup falls back to CategoryGeneric heuristics for
+// unlisted multi-letter TLDs — see Lookup).
+var genericTLDs = []string{
+	"com", "net", "org", "info", "biz", "name", "pro",
+	"app", "dev", "page", "blog", "cloud", "shop", "site", "online",
+	"store", "tech", "space", "website", "live", "news", "top", "xyz",
+	"club", "vip", "work", "world", "zone", "agency", "digital", "email",
+	"google", "goog", "youtube", "android", "chrome", "play",
+	"amazon", "aws", "microsoft", "azure", "windows", "office",
+	"apple", "brave", "io2", // io2 is synthetic filler used by tests
+}
+
+// DB is the root-zone category database.
+type DB struct {
+	categories map[string]Category
+}
+
+// defaultDB is built once at init from the embedded tables.
+var defaultDB = build()
+
+func build() *DB {
+	db := &DB{categories: make(map[string]Category, 300)}
+	add := func(tlds []string, c Category) {
+		for _, t := range tlds {
+			db.categories[t] = c
+		}
+	}
+	add(ccTLDs, CategoryCountryCode)
+	add(sponsoredTLDs, CategorySponsored)
+	add(genericTLDs, CategoryGeneric)
+	db.categories["arpa"] = CategoryInfrastructure
+	return db
+}
+
+// Default returns the embedded database snapshot.
+func Default() *DB { return defaultDB }
+
+// Lookup returns the category of a TLD (a single label, without dots).
+// Two-letter TLDs absent from the snapshot are classified country-code
+// (ISO reserves all alpha-2 codes); longer unlisted TLDs are classified
+// generic, matching how IANA categorises new-programme strings.
+func (db *DB) Lookup(tld string) Category {
+	tld = domain.Normalize(tld)
+	if tld == "" || strings.Contains(tld, ".") {
+		return CategoryUnknown
+	}
+	if c, ok := db.categories[tld]; ok {
+		return c
+	}
+	if len(tld) == 2 && !strings.HasPrefix(tld, "xn--") {
+		return CategoryCountryCode
+	}
+	return CategoryGeneric
+}
+
+// IsTLD reports whether the suffix string is a single-label entry (a
+// top-level domain) as opposed to a private domain entry.
+func IsTLD(suffix string) bool {
+	return suffix != "" && !strings.Contains(suffix, ".")
+}
+
+// ClassifyRule categorises a PSL rule the way the paper's Section 3
+// does: rules from the PRIVATE section are private domains; ICANN
+// rules take the root-zone category of the top-level domain they fall
+// under, so registry second-level entries such as co.uk count as
+// country-code.
+func (db *DB) ClassifyRule(r psl.Rule) Category {
+	if r.Section == psl.SectionPrivate {
+		return CategoryPrivate
+	}
+	return db.Lookup(domain.LastLabels(r.Suffix, 1))
+}
+
+// CategoryHistogram counts a list's rules per category.
+func (db *DB) CategoryHistogram(l *psl.List) map[Category]int {
+	h := make(map[Category]int)
+	for _, r := range l.Rules() {
+		h[db.ClassifyRule(r)]++
+	}
+	return h
+}

@@ -1,0 +1,122 @@
+package iana
+
+import (
+	"testing"
+
+	"repro/internal/psl"
+)
+
+func TestLookupKnown(t *testing.T) {
+	db := Default()
+	cases := []struct {
+		tld  string
+		want Category
+	}{
+		{"com", CategoryGeneric},
+		{"google", CategoryGeneric},
+		{"uk", CategoryCountryCode},
+		{"de", CategoryCountryCode},
+		{"jp", CategoryCountryCode},
+		{"edu", CategorySponsored},
+		{"aero", CategorySponsored},
+		{"arpa", CategoryInfrastructure},
+		{"xn--fiqs8s", CategoryCountryCode},
+	}
+	for _, c := range cases {
+		if got := db.Lookup(c.tld); got != c.want {
+			t.Errorf("Lookup(%q) = %v, want %v", c.tld, got, c.want)
+		}
+	}
+}
+
+func TestLookupFallbacks(t *testing.T) {
+	db := Default()
+	// Unlisted alpha-2 strings are ccTLDs by ISO reservation.
+	if got := db.Lookup("zz"); got != CategoryCountryCode {
+		t.Errorf("Lookup(zz) = %v, want country-code", got)
+	}
+	// Unlisted longer strings are new-programme gTLDs.
+	if got := db.Lookup("futurebrand"); got != CategoryGeneric {
+		t.Errorf("Lookup(futurebrand) = %v, want generic", got)
+	}
+	// Non-TLD inputs are unknown.
+	if got := db.Lookup("co.uk"); got != CategoryUnknown {
+		t.Errorf("Lookup(co.uk) = %v, want unknown", got)
+	}
+	if got := db.Lookup(""); got != CategoryUnknown {
+		t.Errorf("Lookup(\"\") = %v, want unknown", got)
+	}
+	// Normalisation applies.
+	if got := db.Lookup("COM"); got != CategoryGeneric {
+		t.Errorf("Lookup(COM) = %v, want generic", got)
+	}
+}
+
+func TestIsTLD(t *testing.T) {
+	if !IsTLD("com") || IsTLD("co.uk") || IsTLD("") {
+		t.Error("IsTLD misclassifies")
+	}
+}
+
+func TestClassifyRule(t *testing.T) {
+	db := Default()
+	l := psl.MustParse(`
+// ===BEGIN ICANN DOMAINS===
+com
+uk
+co.uk
+edu
+arpa
+*.ck
+// ===END ICANN DOMAINS===
+// ===BEGIN PRIVATE DOMAINS===
+github.io
+// ===END PRIVATE DOMAINS===
+`)
+	want := map[string]Category{
+		"com":       CategoryGeneric,
+		"uk":        CategoryCountryCode,
+		"co.uk":     CategoryCountryCode, // registry second level under .uk
+		"edu":       CategorySponsored,
+		"arpa":      CategoryInfrastructure,
+		"*.ck":      CategoryCountryCode,
+		"github.io": CategoryPrivate,
+	}
+	for _, r := range l.Rules() {
+		if got := db.ClassifyRule(r); got != want[r.String()] {
+			t.Errorf("ClassifyRule(%v) = %v, want %v", r, got, want[r.String()])
+		}
+	}
+}
+
+func TestCategoryHistogram(t *testing.T) {
+	db := Default()
+	l := psl.MustParse("com\nnet\nuk\nedu\nco.uk\n")
+	h := db.CategoryHistogram(l)
+	if h[CategoryGeneric] != 2 || h[CategoryCountryCode] != 2 ||
+		h[CategorySponsored] != 1 {
+		t.Errorf("histogram = %v", h)
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	for c, want := range map[Category]string{
+		CategoryGeneric:        "generic",
+		CategoryCountryCode:    "country-code",
+		CategorySponsored:      "sponsored",
+		CategoryInfrastructure: "infrastructure",
+		CategoryPrivate:        "private",
+		CategoryUnknown:        "unknown",
+	} {
+		if c.String() != want {
+			t.Errorf("Category(%d).String() = %q, want %q", c, c.String(), want)
+		}
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	db := Default()
+	for i := 0; i < b.N; i++ {
+		db.Lookup("uk")
+	}
+}

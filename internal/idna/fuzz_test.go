@@ -1,0 +1,54 @@
+package idna
+
+import "testing"
+
+// FuzzDecodeLabel checks the punycode decoder never panics and that
+// successfully decoded labels re-encode to the same string (decoder and
+// encoder are mutually consistent).
+func FuzzDecodeLabel(f *testing.F) {
+	for _, seed := range []string{
+		"", "-", "a-", "egbpdaj6bu4bxfgehfvwxn", "ihqwcrb4cv8a8dqg056pqjye",
+		"-> $1.00 <--", "zzzzzz", "99999999999999999999",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, enc string) {
+		dec, err := DecodeLabel(enc)
+		if err != nil {
+			return
+		}
+		re, err := EncodeLabel(dec)
+		if err != nil {
+			t.Fatalf("decoded %q -> %q, but re-encode failed: %v", enc, dec, err)
+		}
+		// Punycode is not injective on its full input space (mixed
+		// case digits map together), so compare by decoding again.
+		dec2, err := DecodeLabel(re)
+		if err != nil || dec2 != dec {
+			t.Fatalf("re-encode of %q is not stable: %q vs %q (%v)", enc, dec, dec2, err)
+		}
+	})
+}
+
+// FuzzToASCII checks ToASCII output is always ASCII and idempotent.
+func FuzzToASCII(f *testing.F) {
+	for _, seed := range []string{
+		"example.com", "bücher.de", "公司.cn", "*.compute.amazonaws.com",
+		"mixed.日本語.example", "",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, name string) {
+		ascii, err := ToASCII(name)
+		if err != nil {
+			return
+		}
+		if !isASCII(ascii) {
+			t.Fatalf("ToASCII(%q) = %q is not ASCII", name, ascii)
+		}
+		again, err := ToASCII(ascii)
+		if err != nil || again != ascii {
+			t.Fatalf("ToASCII not idempotent on %q: %q -> %q (%v)", name, ascii, again, err)
+		}
+	})
+}

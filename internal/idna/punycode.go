@@ -1,0 +1,288 @@
+// Package idna implements the Punycode encoding of RFC 3492 and a small
+// IDNA profile (ToASCII / ToUnicode) sufficient for handling
+// internationalised rules on the public suffix list (e.g. 政府.hk,
+// 公司.cn) without pulling in external dependencies.
+//
+// The profile is intentionally "lite": it performs Unicode lowercasing of
+// ASCII letters only and does not apply the full IDNA2008 mapping tables
+// (Nameprep/UTS-46). That is sufficient for the PSL, whose canonical file
+// already stores rules in normalised form.
+package idna
+
+import (
+	"errors"
+	"strings"
+	"unicode/utf8"
+)
+
+// ACEPrefix is the ASCII-compatible-encoding prefix of RFC 3490.
+const ACEPrefix = "xn--"
+
+// Bootstring parameters for Punycode, per RFC 3492 section 5.
+const (
+	base        = 36
+	tmin        = 1
+	tmax        = 26
+	skew        = 38
+	damp        = 700
+	initialBias = 72
+	initialN    = 128
+	delimiter   = '-'
+)
+
+// Errors returned by the codec.
+var (
+	ErrOverflow  = errors.New("idna: punycode overflow")
+	ErrBadInput  = errors.New("idna: invalid punycode input")
+	ErrLongLabel = errors.New("idna: encoded label exceeds 63 characters")
+)
+
+// adapt is the bias adaptation function of RFC 3492 section 6.1.
+func adapt(delta, numPoints int, firstTime bool) int {
+	if firstTime {
+		delta /= damp
+	} else {
+		delta /= 2
+	}
+	delta += delta / numPoints
+	k := 0
+	for delta > ((base-tmin)*tmax)/2 {
+		delta /= base - tmin
+		k += base
+	}
+	return k + (base-tmin+1)*delta/(delta+skew)
+}
+
+// encodeDigit converts a digit value (0..35) to its basic code point.
+func encodeDigit(d int) byte {
+	if d < 26 {
+		return byte('a' + d)
+	}
+	return byte('0' + d - 26)
+}
+
+// decodeDigit converts a basic code point to its digit value, or -1.
+func decodeDigit(c byte) int {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c-'0') + 26
+	case c >= 'a' && c <= 'z':
+		return int(c - 'a')
+	case c >= 'A' && c <= 'Z':
+		return int(c - 'A')
+	}
+	return -1
+}
+
+// EncodeLabel Punycode-encodes a single label. The result does not include
+// the ACE prefix. Labels that are already pure ASCII are returned
+// unchanged (no trailing delimiter is produced for them by ToASCII, which
+// skips encoding entirely).
+func EncodeLabel(label string) (string, error) {
+	var runes []rune
+	basic := make([]byte, 0, len(label))
+	for _, r := range label {
+		runes = append(runes, r)
+		if r < 0x80 {
+			basic = append(basic, byte(r))
+		}
+	}
+	var out strings.Builder
+	out.Write(basic)
+	h := len(basic)
+	if h > 0 {
+		out.WriteByte(delimiter)
+	}
+	n, delta, bias := initialN, 0, initialBias
+	for h < len(runes) {
+		// Find the smallest code point >= n among the remaining runes.
+		m := int(^uint32(0) >> 1)
+		for _, r := range runes {
+			if int(r) >= n && int(r) < m {
+				m = int(r)
+			}
+		}
+		delta += (m - n) * (h + 1)
+		if delta < 0 {
+			return "", ErrOverflow
+		}
+		n = m
+		for _, r := range runes {
+			if int(r) < n {
+				delta++
+				if delta < 0 {
+					return "", ErrOverflow
+				}
+				continue
+			}
+			if int(r) > n {
+				continue
+			}
+			q := delta
+			for k := base; ; k += base {
+				t := k - bias
+				if t < tmin {
+					t = tmin
+				} else if t > tmax {
+					t = tmax
+				}
+				if q < t {
+					break
+				}
+				out.WriteByte(encodeDigit(t + (q-t)%(base-t)))
+				q = (q - t) / (base - t)
+			}
+			out.WriteByte(encodeDigit(q))
+			bias = adapt(delta, h+1, h == len(basic))
+			delta = 0
+			h++
+		}
+		delta++
+		n++
+	}
+	return out.String(), nil
+}
+
+// DecodeLabel decodes a single Punycode label (without the ACE prefix).
+func DecodeLabel(encoded string) (string, error) {
+	var output []rune
+	pos := 0
+	if i := strings.LastIndexByte(encoded, delimiter); i >= 0 {
+		for _, c := range []byte(encoded[:i]) {
+			if c >= 0x80 {
+				return "", ErrBadInput
+			}
+			output = append(output, rune(c))
+		}
+		pos = i + 1
+	}
+	n, i, bias := initialN, 0, initialBias
+	for pos < len(encoded) {
+		oldi, w := i, 1
+		for k := base; ; k += base {
+			if pos >= len(encoded) {
+				return "", ErrBadInput
+			}
+			d := decodeDigit(encoded[pos])
+			pos++
+			if d < 0 {
+				return "", ErrBadInput
+			}
+			if d > (int(^uint32(0)>>1)-i)/w {
+				return "", ErrOverflow
+			}
+			i += d * w
+			t := k - bias
+			if t < tmin {
+				t = tmin
+			} else if t > tmax {
+				t = tmax
+			}
+			if d < t {
+				break
+			}
+			if w > int(^uint32(0)>>1)/(base-t) {
+				return "", ErrOverflow
+			}
+			w *= base - t
+		}
+		out := len(output) + 1
+		bias = adapt(i-oldi, out, oldi == 0)
+		if i/out > int(^uint32(0)>>1)-n {
+			return "", ErrOverflow
+		}
+		n += i / out
+		i %= out
+		if n > utf8.MaxRune || !utf8.ValidRune(rune(n)) {
+			return "", ErrBadInput
+		}
+		output = append(output, 0)
+		copy(output[i+1:], output[i:])
+		output[i] = rune(n)
+		i++
+	}
+	return string(output), nil
+}
+
+// isASCII reports whether s contains only ASCII bytes.
+func isASCII(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 0x80 {
+			return false
+		}
+	}
+	return true
+}
+
+// ToASCII converts a domain name to its ASCII (A-label) form, encoding
+// each non-ASCII label with Punycode and the ACE prefix. ASCII labels pass
+// through with ASCII letters lowercased. Wildcard labels ("*") and
+// exception markers are preserved, so PSL rules can be passed directly.
+func ToASCII(name string) (string, error) {
+	if isASCII(name) {
+		return lowerASCII(name), nil
+	}
+	labels := strings.Split(name, ".")
+	for i, label := range labels {
+		if isASCII(label) {
+			labels[i] = lowerASCII(label)
+			continue
+		}
+		enc, err := EncodeLabel(lowerRunes(label))
+		if err != nil {
+			return "", err
+		}
+		if len(ACEPrefix)+len(enc) > 63 {
+			return "", ErrLongLabel
+		}
+		labels[i] = ACEPrefix + enc
+	}
+	return strings.Join(labels, "."), nil
+}
+
+// ToUnicode converts a domain name to its Unicode (U-label) form, decoding
+// any labels carrying the ACE prefix. Labels that fail to decode are left
+// in their ASCII form, mirroring the lenient behaviour of browsers.
+func ToUnicode(name string) string {
+	if !strings.Contains(name, ACEPrefix) {
+		return lowerASCII(name)
+	}
+	labels := strings.Split(lowerASCII(name), ".")
+	for i, label := range labels {
+		if !strings.HasPrefix(label, ACEPrefix) {
+			continue
+		}
+		dec, err := DecodeLabel(label[len(ACEPrefix):])
+		if err == nil && dec != "" {
+			labels[i] = dec
+		}
+	}
+	return strings.Join(labels, ".")
+}
+
+// lowerASCII lowercases ASCII letters only, leaving other bytes intact.
+func lowerASCII(s string) string {
+	hasUpper := false
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c >= 'A' && c <= 'Z' {
+			hasUpper = true
+			break
+		}
+	}
+	if !hasUpper {
+		return s
+	}
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			b[i] = c + ('a' - 'A')
+		}
+	}
+	return string(b)
+}
+
+// lowerRunes lowercases ASCII letters within a possibly non-ASCII string.
+// Full Unicode case folding is out of scope for the lite profile.
+func lowerRunes(s string) string {
+	return lowerASCII(s)
+}

@@ -1,0 +1,217 @@
+package idna
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"unicode/utf8"
+)
+
+// rfc3492Samples are the official sample strings from RFC 3492 section 7.1.
+var rfc3492Samples = []struct {
+	name    string
+	unicode string
+	encoded string
+}{
+	{"Arabic (Egyptian)",
+		"ليهمابتكلموشعربي؟",
+		"egbpdaj6bu4bxfgehfvwxn"},
+	{"Chinese (simplified)",
+		"他们为什么不说中文",
+		"ihqwcrb4cv8a8dqg056pqjye"},
+	{"Chinese (traditional)",
+		"他們爲什麽不說中文",
+		"ihqwctvzc91f659drss3x8bo0yb"},
+	{"Czech",
+		"Pročprostěnemluvíčesky",
+		"Proprostnemluvesky-uyb24dma41a"},
+	{"Hebrew",
+		"למההםפשוטלאמדבריםעברית",
+		"4dbcagdahymbxekheh6e0a7fei0b"},
+	{"Japanese",
+		"なぜみんな日本語を話してくれないのか",
+		"n8jok5ay5dzabd5bym9f0cm5685rrjetr6pdxa"},
+	{"Russian (Cyrillic)",
+		"почемужеонинеговорятпорусски",
+		"b1abfaaepdrnnbgefbadotcwatmq2g4l"},
+	{"Spanish",
+		"PorquénopuedensimplementehablarenEspañol",
+		"PorqunopuedensimplementehablarenEspaol-fmd56a"},
+	{"Vietnamese",
+		"TạisaohọkhôngthểchỉnóitiếngViệt",
+		"TisaohkhngthchnitingVit-kjcr8268qyxafd2f1b9g"},
+	{"Japanese artist 3<nen>B<gumi><kinpachi><sensei>",
+		"3年B組金八先生",
+		"3B-ww4c5e180e575a65lsy2b"},
+	{"<amuro><namie>-with-SUPER-MONKEYS",
+		"安室奈美恵-with-SUPER-MONKEYS",
+		"-with-SUPER-MONKEYS-pc58ag80a8qai00g7n9n"},
+	{"Hello-Another-Way-<sorezore><no><basho>",
+		"Hello-Another-Way-それぞれの場所",
+		"Hello-Another-Way--fc4qua05auwb3674vfr0b"},
+	{"<hitotsu><yane><no><shita>2",
+		"ひとつ屋根の下2",
+		"2-u9tlzr9756bt3uc0v"},
+	{"Maji<de>Koi<suru>5<byou><mae>",
+		"MajiでKoiする5秒前",
+		"MajiKoi5-783gue6qz075azm5e"},
+	{"<pafii>de<runba>",
+		"パフィーdeルンバ",
+		"de-jg4avhby1noc0d"},
+	{"<sono><supiido><de>",
+		"そのスピードで",
+		"d9juau41awczczp"},
+	{"-> $1.00 <-",
+		"-> $1.00 <-",
+		"-> $1.00 <--"},
+}
+
+func TestRFC3492EncodeSamples(t *testing.T) {
+	for _, s := range rfc3492Samples {
+		got, err := EncodeLabel(s.unicode)
+		if err != nil {
+			t.Errorf("%s: EncodeLabel error: %v", s.name, err)
+			continue
+		}
+		if got != s.encoded {
+			t.Errorf("%s: EncodeLabel = %q, want %q", s.name, got, s.encoded)
+		}
+	}
+}
+
+func TestRFC3492DecodeSamples(t *testing.T) {
+	for _, s := range rfc3492Samples {
+		got, err := DecodeLabel(s.encoded)
+		if err != nil {
+			t.Errorf("%s: DecodeLabel error: %v", s.name, err)
+			continue
+		}
+		if got != s.unicode {
+			t.Errorf("%s: DecodeLabel = %q, want %q", s.name, got, s.unicode)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundtrip(t *testing.T) {
+	f := func(runes []rune) bool {
+		var b strings.Builder
+		for _, r := range runes {
+			if !utf8.ValidRune(r) || r == 0 {
+				return true
+			}
+			b.WriteRune(r)
+		}
+		s := b.String()
+		enc, err := EncodeLabel(s)
+		if err != nil {
+			return true // overflow on adversarial input is acceptable
+		}
+		dec, err := DecodeLabel(enc)
+		if err != nil {
+			return false
+		}
+		return dec == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	bad := []string{"!!!", "a§b", "zzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzz99999999999999999999"}
+	for _, s := range bad {
+		if _, err := DecodeLabel(s); err == nil {
+			t.Errorf("DecodeLabel(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestToASCII(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"example.com", "example.com"},
+		{"EXAMPLE.COM", "example.com"},
+		{"bücher.example", "xn--bcher-kva.example"},
+		{"公司.cn", "xn--55qx5d.cn"},
+		{"*.compute.amazonaws.com", "*.compute.amazonaws.com"},
+	}
+	for _, c := range cases {
+		got, err := ToASCII(c.in)
+		if err != nil {
+			t.Errorf("ToASCII(%q) error: %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ToASCII(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestToUnicode(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"example.com", "example.com"},
+		{"xn--bcher-kva.example", "bücher.example"},
+		{"xn--55qx5d.cn", "公司.cn"},
+		{"xn--!!!.example", "xn--!!!.example"}, // undecodable stays ASCII
+	}
+	for _, c := range cases {
+		if got := ToUnicode(c.in); got != c.want {
+			t.Errorf("ToUnicode(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestToASCIIToUnicodeRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	alphabets := []rune("abcxyz仮名漢字бёвгд日本語中文한국")
+	for i := 0; i < 500; i++ {
+		n := 1 + rng.Intn(8)
+		var b strings.Builder
+		for j := 0; j < n; j++ {
+			b.WriteRune(alphabets[rng.Intn(len(alphabets))])
+		}
+		label := b.String()
+		name := label + ".example"
+		ascii, err := ToASCII(name)
+		if err != nil {
+			t.Fatalf("ToASCII(%q): %v", name, err)
+		}
+		if !isASCII(ascii) {
+			t.Fatalf("ToASCII(%q) = %q is not ASCII", name, ascii)
+		}
+		if got := ToUnicode(ascii); got != name {
+			t.Fatalf("roundtrip %q -> %q -> %q", name, ascii, got)
+		}
+	}
+}
+
+func TestToASCIIRejectsOverlongLabel(t *testing.T) {
+	long := strings.Repeat("漢", 64) + ".example"
+	if _, err := ToASCII(long); err == nil {
+		t.Error("ToASCII of overlong encoded label should fail")
+	}
+}
+
+func BenchmarkEncodeLabel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := EncodeLabel("日本語ドメイン"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeLabel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeLabel("wgv71a119e"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkToASCIIPassthrough(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := ToASCII("already.ascii.example.com"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

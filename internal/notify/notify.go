@@ -1,0 +1,110 @@
+// Package notify generates responsible-disclosure reports for projects
+// carrying out-of-date public suffix lists — the paper's Section 3
+// step of contacting maintainers ("either privately ... or by opening
+// a GitHub issue explaining the correct use of the public suffix
+// list"). Reports are rendered as ready-to-file markdown issues.
+package notify
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/scanner"
+)
+
+// Report is one disclosure for one project.
+type Report struct {
+	// Project labels the repository (owner/name).
+	Project string
+	// Scan is the detection result the disclosure is based on.
+	Scan *scanner.Report
+	// AffectedHostnames optionally quantifies the harm (Table 3's
+	// measured column); negative means unknown.
+	AffectedHostnames int
+	// Date stamps the disclosure.
+	Date time.Time
+}
+
+// Severity summarises how urgent the disclosure is, by list age.
+func (r *Report) Severity() string {
+	age := r.Scan.OldestAgeDays()
+	switch {
+	case age < 0:
+		return "none"
+	case age > 3*365:
+		return "critical"
+	case age > 365:
+		return "high"
+	case age > 180:
+		return "medium"
+	default:
+		return "low"
+	}
+}
+
+// Title renders the issue title.
+func (r *Report) Title() string {
+	age := r.Scan.OldestAgeDays()
+	if age < 0 {
+		return "Public suffix list handling review"
+	}
+	return fmt.Sprintf("Bundled public suffix list is %d days out of date", age)
+}
+
+// Markdown renders the full issue body.
+func (r *Report) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n\n", r.Title())
+	fmt.Fprintf(&b, "_Automated disclosure, %s. Severity: **%s**._\n\n",
+		r.Date.Format("2006-01-02"), r.Severity())
+
+	b.WriteString("## What we found\n\n")
+	if len(r.Scan.Findings) == 0 {
+		b.WriteString("No embedded public suffix list was located, but the " +
+			"project appears to consume one (see evidence below).\n\n")
+	}
+	for _, f := range r.Scan.Findings {
+		match := "closest to"
+		if f.ID.Exact >= 0 {
+			match = "exactly"
+		}
+		fmt.Fprintf(&b, "- `%s`: %d rules, matching %s upstream version v%04d "+
+			"(published ~%d days before this scan); it is missing %d rules "+
+			"present in the current list.\n",
+			f.Path, f.Rules, match, f.ID.Nearest, f.ID.AgeDays, f.ID.MissingVsLatest)
+	}
+	fmt.Fprintf(&b, "\nIntegration strategy detected: **%s/%s**.\n\n", r.Scan.Strategy, r.Scan.Sub)
+	for _, e := range r.Scan.Evidence {
+		fmt.Fprintf(&b, "- evidence: %s\n", e)
+	}
+
+	b.WriteString("\n## Why it matters\n\n")
+	b.WriteString("The public suffix list defines privacy boundaries: which " +
+		"domains may share cookies and other state, where password " +
+		"managers offer autofill, and how sites are grouped in UI. " +
+		"Newly added suffixes (for example `myshopify.com` or " +
+		"`digitaloceanspaces.com`, whose subdomains are registrable by " +
+		"unrelated parties) are invisible to an out-of-date copy, so " +
+		"software using one will treat unrelated organizations as a " +
+		"single site.\n")
+	if r.AffectedHostnames >= 0 {
+		fmt.Fprintf(&b, "\nAgainst a recent web crawl, this copy draws incorrect "+
+			"boundaries for **%d hostnames**.\n", r.AffectedHostnames)
+	}
+
+	b.WriteString("\n## Recommended fix\n\n")
+	switch {
+	case r.Scan.Strategy.String() == "fixed":
+		b.WriteString("1. Fetch the list at build time from " +
+			"https://publicsuffix.org/list/public_suffix_list.dat, or use a " +
+			"maintained library that updates it.\n" +
+			"2. Refresh the bundled fallback copy with every release.\n" +
+			"3. Alert (do not silently continue) when the copy exceeds ~30 days of age.\n")
+	default:
+		b.WriteString("1. Refresh the bundled fallback copy with every release " +
+			"so a failed update degrades gracefully.\n" +
+			"2. Surface update failures instead of continuing silently.\n")
+	}
+	return b.String()
+}

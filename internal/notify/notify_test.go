@@ -1,0 +1,97 @@
+package notify
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/repos"
+	"repro/internal/scanner"
+)
+
+func sampleScan(age int) *scanner.Report {
+	return &scanner.Report{
+		Root:     "bitwarden/server",
+		Strategy: repos.StrategyFixed,
+		Sub:      repos.SubProduction,
+		Findings: []scanner.Finding{{
+			Path:  "data/public_suffix_list.dat",
+			Rules: 8557,
+			ID: scanner.Identification{
+				Exact: 830, Nearest: 830, Similarity: 1,
+				AgeDays: age, MissingVsLatest: 823,
+			},
+		}},
+		Evidence: []string{"hard-coded data file"},
+	}
+}
+
+func TestSeverityLadder(t *testing.T) {
+	cases := []struct {
+		age  int
+		want string
+	}{
+		{1596, "critical"},
+		{800, "high"},
+		{200, "medium"},
+		{30, "low"},
+	}
+	for _, c := range cases {
+		r := &Report{Scan: sampleScan(c.age)}
+		if got := r.Severity(); got != c.want {
+			t.Errorf("age %d -> %s, want %s", c.age, got, c.want)
+		}
+	}
+	empty := &Report{Scan: &scanner.Report{}}
+	if empty.Severity() != "none" {
+		t.Error("empty scan should have severity none")
+	}
+}
+
+func TestMarkdownContent(t *testing.T) {
+	r := &Report{
+		Project:           "bitwarden/server",
+		Scan:              sampleScan(1596),
+		AffectedHostnames: 36284,
+		Date:              time.Date(2022, 12, 8, 0, 0, 0, 0, time.UTC),
+	}
+	md := r.Markdown()
+	for _, want := range []string{
+		"1596 days out of date",
+		"critical",
+		"v0830",
+		"missing 823 rules",
+		"fixed/production",
+		"36284 hostnames",
+		"publicsuffix.org/list/public_suffix_list.dat",
+		"2022-12-08",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q", want)
+		}
+	}
+}
+
+func TestMarkdownUnknownHarm(t *testing.T) {
+	r := &Report{Project: "x", Scan: sampleScan(400), AffectedHostnames: -1}
+	if strings.Contains(r.Markdown(), "hostnames**") {
+		t.Error("unknown harm should not be quantified")
+	}
+}
+
+func TestTitleWithoutFindings(t *testing.T) {
+	r := &Report{Scan: &scanner.Report{}}
+	if !strings.Contains(r.Title(), "review") {
+		t.Errorf("title = %q", r.Title())
+	}
+}
+
+func TestUpdatedStrategyAdvice(t *testing.T) {
+	scan := sampleScan(915)
+	scan.Strategy, scan.Sub = repos.StrategyUpdated, repos.SubBuild
+	r := &Report{Scan: scan}
+	md := r.Markdown()
+	if !strings.Contains(md, "failed update degrades gracefully") {
+		t.Error("updated-strategy advice missing")
+	}
+}

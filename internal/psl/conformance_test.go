@@ -1,0 +1,106 @@
+package psl
+
+import (
+	"bufio"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/idna"
+)
+
+// vector is one checkPublicSuffix(...) line.
+type vector struct {
+	line   int
+	domain string // "" encodes null
+	want   string // "" encodes null
+}
+
+// parseVectors reads the upstream test_psl.txt format: lines of
+// checkPublicSuffix('<domain>', '<registrable>'); with null literals
+// and // comments.
+func parseVectors(t *testing.T, path string) []vector {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	var out []vector
+	sc := bufio.NewScanner(f)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "//") {
+			continue
+		}
+		if !strings.HasPrefix(line, "checkPublicSuffix(") || !strings.HasSuffix(line, ");") {
+			t.Fatalf("%s:%d: unrecognised vector %q", path, lineno, line)
+		}
+		body := strings.TrimSuffix(strings.TrimPrefix(line, "checkPublicSuffix("), ");")
+		parts := strings.SplitN(body, ",", 2)
+		if len(parts) != 2 {
+			t.Fatalf("%s:%d: malformed arguments %q", path, lineno, body)
+		}
+		out = append(out, vector{
+			line:   lineno,
+			domain: unquoteArg(strings.TrimSpace(parts[0])),
+			want:   unquoteArg(strings.TrimSpace(parts[1])),
+		})
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// unquoteArg strips single quotes; "null" maps to the empty string.
+func unquoteArg(s string) string {
+	if s == "null" {
+		return ""
+	}
+	return strings.Trim(s, "'")
+}
+
+// TestConformanceFile runs the embedded upstream-format vectors against
+// the fixture list, proving the engine consumes the official
+// conformance suite unmodified.
+func TestConformanceFile(t *testing.T) {
+	l := fixture(t)
+	vectors := parseVectors(t, "testdata/test_psl.txt")
+	if len(vectors) < 60 {
+		t.Fatalf("only %d vectors parsed", len(vectors))
+	}
+	for _, v := range vectors {
+		if v.domain == "" {
+			// null input: nothing to check beyond "no panic" paths,
+			// which Site's validation covers.
+			if _, err := l.Site(""); err == nil {
+				t.Errorf("line %d: Site(null) succeeded", v.line)
+			}
+			continue
+		}
+		got, err := l.Site(v.domain)
+		if v.want == "" {
+			if err == nil {
+				t.Errorf("line %d: Site(%q) = %q, want null", v.line, v.domain, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("line %d: Site(%q) error %v, want %q", v.line, v.domain, err, v.want)
+			continue
+		}
+		// Expected values may be in U-label form; our engine answers
+		// in canonical A-label form.
+		wantASCII, aerr := idna.ToASCII(v.want)
+		if aerr != nil {
+			t.Fatalf("line %d: bad expected value %q: %v", v.line, v.want, aerr)
+		}
+		if got != wantASCII {
+			t.Errorf("line %d: Site(%q) = %q, want %q", v.line, v.domain, got, wantASCII)
+		}
+	}
+}

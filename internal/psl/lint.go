@@ -1,0 +1,191 @@
+package psl
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Severity grades a lint finding.
+type Severity uint8
+
+const (
+	// SeverityInfo marks stylistic or informational findings.
+	SeverityInfo Severity = iota
+	// SeverityWarning marks constructs that are legal but usually
+	// mistakes.
+	SeverityWarning
+	// SeverityError marks rules that cannot be parsed or that have no
+	// effect.
+	SeverityError
+)
+
+// String returns the conventional label.
+func (s Severity) String() string {
+	switch s {
+	case SeverityError:
+		return "error"
+	case SeverityWarning:
+		return "warning"
+	default:
+		return "info"
+	}
+}
+
+// LintFinding is one issue found in a list file.
+type LintFinding struct {
+	Line     int
+	Severity Severity
+	Rule     string
+	Message  string
+}
+
+// String renders the finding in compiler style.
+func (f LintFinding) String() string {
+	return fmt.Sprintf("%d: %s: %s (%s)", f.Line, f.Severity, f.Message, f.Rule)
+}
+
+// Lint checks a list file for structural problems the parser tolerates:
+// duplicate rules, exception rules without a covering wildcard,
+// rules outside any section, wildcards shadowing an identical plain
+// rule, and unparseable lines. It reads the raw text because several
+// findings (duplicates, section placement) are erased by parsing.
+func Lint(r io.Reader) ([]LintFinding, error) {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+
+	var findings []LintFinding
+	seen := make(map[string]int)          // canonical rule -> first line
+	wildcardBases := make(map[string]int) // wildcard base suffix -> line
+	plain := make(map[string]int)         // plain suffix -> line
+	var exceptions []struct {
+		rule Rule
+		line int
+	}
+	section := SectionUnknown
+	sawSectionMarker := false
+	lineno := 0
+
+	for scanner.Scan() {
+		lineno++
+		raw := strings.TrimSpace(scanner.Text())
+		if raw == "" {
+			continue
+		}
+		if strings.HasPrefix(raw, "//") {
+			switch raw {
+			case beginICANN:
+				section, sawSectionMarker = SectionICANN, true
+			case endICANN, endPrivate:
+				section = SectionUnknown
+			case beginPrivate:
+				section, sawSectionMarker = SectionPrivate, true
+			}
+			continue
+		}
+		line := raw
+		if i := strings.IndexAny(line, " \t"); i >= 0 {
+			line = line[:i]
+		}
+		rule, err := ParseRule(line, section)
+		if err != nil {
+			findings = append(findings, LintFinding{
+				Line: lineno, Severity: SeverityError, Rule: line,
+				Message: "unparseable rule: " + err.Error(),
+			})
+			continue
+		}
+		key := rule.String()
+		if first, dup := seen[key]; dup {
+			findings = append(findings, LintFinding{
+				Line: lineno, Severity: SeverityWarning, Rule: key,
+				Message: fmt.Sprintf("duplicate of line %d", first),
+			})
+		} else {
+			seen[key] = lineno
+		}
+		if section == SectionUnknown {
+			findings = append(findings, LintFinding{
+				Line: lineno, Severity: SeverityInfo, Rule: key,
+				Message: "rule outside ICANN/PRIVATE section markers",
+			})
+		}
+		switch {
+		case rule.Exception:
+			exceptions = append(exceptions, struct {
+				rule Rule
+				line int
+			}{rule, lineno})
+		case rule.Wildcard:
+			wildcardBases[rule.Suffix] = lineno
+		default:
+			plain[rule.Suffix] = lineno
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, err
+	}
+
+	// Exceptions must cancel a wildcard: "!www.ck" needs "*.ck".
+	for _, e := range exceptions {
+		parent, ok := parentOf(e.rule.Suffix)
+		if !ok {
+			findings = append(findings, LintFinding{
+				Line: e.line, Severity: SeverityError, Rule: e.rule.String(),
+				Message: "single-label exception cancels nothing",
+			})
+			continue
+		}
+		if _, ok := wildcardBases[parent]; !ok {
+			findings = append(findings, LintFinding{
+				Line: e.line, Severity: SeverityWarning, Rule: e.rule.String(),
+				Message: fmt.Sprintf("exception has no covering wildcard rule *.%s", parent),
+			})
+		}
+	}
+	// A wildcard next to an identical plain rule is usually an
+	// incomplete migration ("ck" + "*.ck" both present).
+	for base, line := range wildcardBases {
+		if _, ok := plain[base]; ok {
+			findings = append(findings, LintFinding{
+				Line: line, Severity: SeverityInfo, Rule: "*." + base,
+				Message: fmt.Sprintf("wildcard coexists with plain rule %q", base),
+			})
+		}
+	}
+	if !sawSectionMarker && len(seen) > 0 {
+		findings = append(findings, LintFinding{
+			Line: 1, Severity: SeverityInfo, Rule: "",
+			Message: "file has no ICANN/PRIVATE section markers",
+		})
+	}
+	return findings, nil
+}
+
+// parentOf is domain.Parent without the import cycle risk; rules are
+// already validated so a simple split suffices.
+func parentOf(s string) (string, bool) {
+	i := strings.IndexByte(s, '.')
+	if i < 0 {
+		return "", false
+	}
+	return s[i+1:], true
+}
+
+// LintString is Lint over a string.
+func LintString(s string) ([]LintFinding, error) {
+	return Lint(strings.NewReader(s))
+}
+
+// MaxSeverity returns the highest severity among findings, or
+// SeverityInfo for an empty set.
+func MaxSeverity(findings []LintFinding) Severity {
+	max := SeverityInfo
+	for _, f := range findings {
+		if f.Severity > max {
+			max = f.Severity
+		}
+	}
+	return max
+}

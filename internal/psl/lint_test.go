@@ -1,0 +1,112 @@
+package psl
+
+import (
+	"strings"
+	"testing"
+)
+
+func lintOf(t *testing.T, text string) []LintFinding {
+	t.Helper()
+	fs, err := LintString(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func hasFinding(fs []LintFinding, sev Severity, substr string) bool {
+	for _, f := range fs {
+		if f.Severity == sev && strings.Contains(f.Message, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestLintCleanFile(t *testing.T) {
+	fs := lintOf(t, `
+// ===BEGIN ICANN DOMAINS===
+com
+co.uk
+*.ck
+!www.ck
+// ===END ICANN DOMAINS===
+`)
+	if len(fs) != 0 {
+		t.Errorf("clean file produced findings: %v", fs)
+	}
+}
+
+func TestLintDuplicate(t *testing.T) {
+	fs := lintOf(t, "// ===BEGIN ICANN DOMAINS===\ncom\nnet\ncom\n")
+	if !hasFinding(fs, SeverityWarning, "duplicate of line 2") {
+		t.Errorf("findings = %v", fs)
+	}
+}
+
+func TestLintExceptionWithoutWildcard(t *testing.T) {
+	fs := lintOf(t, "// ===BEGIN ICANN DOMAINS===\n!www.example\n")
+	if !hasFinding(fs, SeverityWarning, "no covering wildcard") {
+		t.Errorf("findings = %v", fs)
+	}
+}
+
+func TestLintSingleLabelException(t *testing.T) {
+	fs := lintOf(t, "// ===BEGIN ICANN DOMAINS===\n!ck\n")
+	if !hasFinding(fs, SeverityError, "cancels nothing") {
+		t.Errorf("findings = %v", fs)
+	}
+}
+
+func TestLintUnparseable(t *testing.T) {
+	fs := lintOf(t, "// ===BEGIN ICANN DOMAINS===\na..b\n")
+	if !hasFinding(fs, SeverityError, "unparseable") {
+		t.Errorf("findings = %v", fs)
+	}
+}
+
+func TestLintOutsideSection(t *testing.T) {
+	fs := lintOf(t, "com\n")
+	if !hasFinding(fs, SeverityInfo, "outside ICANN/PRIVATE") {
+		t.Errorf("findings = %v", fs)
+	}
+	if !hasFinding(fs, SeverityInfo, "no ICANN/PRIVATE section markers") {
+		t.Errorf("findings = %v", fs)
+	}
+}
+
+func TestLintWildcardPlainCoexistence(t *testing.T) {
+	fs := lintOf(t, "// ===BEGIN ICANN DOMAINS===\nck\n*.ck\n")
+	if !hasFinding(fs, SeverityInfo, "coexists with plain rule") {
+		t.Errorf("findings = %v", fs)
+	}
+}
+
+func TestLintGeneratedHistoryIsClean(t *testing.T) {
+	// The corpus generator must emit lint-clean lists (no errors).
+	l := MustParse(fixtureList)
+	fs, err := LintString(l.Serialize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MaxSeverity(fs) >= SeverityError {
+		t.Errorf("serialized fixture has lint errors: %v", fs)
+	}
+}
+
+func TestMaxSeverity(t *testing.T) {
+	if MaxSeverity(nil) != SeverityInfo {
+		t.Error("empty set should be info")
+	}
+	fs := []LintFinding{{Severity: SeverityInfo}, {Severity: SeverityError}, {Severity: SeverityWarning}}
+	if MaxSeverity(fs) != SeverityError {
+		t.Error("max severity wrong")
+	}
+}
+
+func TestLintFindingString(t *testing.T) {
+	f := LintFinding{Line: 7, Severity: SeverityWarning, Rule: "com", Message: "duplicate of line 2"}
+	if got := f.String(); got != "7: warning: duplicate of line 2 (com)" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,110 @@
+package psl
+
+import (
+	"sort"
+
+	"repro/internal/domain"
+)
+
+// SortedMatcher stores rules as a sorted array of reversed-name keys
+// probed by binary search. It allocates one contiguous slice — no
+// per-entry map or trie nodes — trading a log-factor of comparisons
+// for locality and a minimal memory footprint. It completes the
+// representation ablation alongside MapMatcher, TrieMatcher and
+// LinearMatcher.
+type SortedMatcher struct {
+	// keys are reversed suffixes ("ku.oc" for co.uk), sorted.
+	keys []string
+	// entries[i] describes the rules present at keys[i].
+	entries []mapEntry
+}
+
+// NewSortedMatcher builds a SortedMatcher over the list's rules.
+func NewSortedMatcher(l *List) *SortedMatcher {
+	byKey := make(map[string]*mapEntry, l.Len())
+	for _, r := range l.Rules() {
+		k := domain.Reverse(r.Suffix)
+		e := byKey[k]
+		if e == nil {
+			e = &mapEntry{}
+			byKey[k] = e
+		}
+		switch {
+		case r.Exception:
+			e.exception = true
+			e.exceptionRule = r
+		case r.Wildcard:
+			e.wildcard = true
+			e.wildcardRule = r
+		default:
+			e.normal = true
+			e.normalRule = r
+		}
+	}
+	sm := &SortedMatcher{
+		keys:    make([]string, 0, len(byKey)),
+		entries: make([]mapEntry, 0, len(byKey)),
+	}
+	for k := range byKey {
+		sm.keys = append(sm.keys, k)
+	}
+	sort.Strings(sm.keys)
+	for _, k := range sm.keys {
+		sm.entries = append(sm.entries, *byKey[k])
+	}
+	return sm
+}
+
+// find locates a reversed key by binary search.
+func (sm *SortedMatcher) find(key string) *mapEntry {
+	i := sort.SearchStrings(sm.keys, key)
+	if i < len(sm.keys) && sm.keys[i] == key {
+		return &sm.entries[i]
+	}
+	return nil
+}
+
+// Match implements Matcher.
+func (sm *SortedMatcher) Match(name string) Result {
+	best := Result{SuffixLabels: 1, Implicit: true}
+	totalLabels := domain.CountLabels(name)
+	// Build the reversed name once; reversed suffixes of the name are
+	// its prefixes, probed label by label.
+	reversed := domain.Reverse(name)
+	labels := 0
+	for i := 0; i <= len(reversed); i++ {
+		if i != len(reversed) && reversed[i] != '.' {
+			continue
+		}
+		labels++
+		key := reversed[:i]
+		if i == len(reversed) {
+			key = reversed
+		}
+		e := sm.find(key)
+		if e == nil {
+			continue
+		}
+		if e.exception {
+			return Result{SuffixLabels: labels - 1, Rule: e.exceptionRule}
+		}
+		if e.normal && labels >= best.SuffixLabels {
+			best = Result{SuffixLabels: labels, Rule: e.normalRule}
+		}
+		if e.wildcard && totalLabels > labels && labels+1 >= best.SuffixLabels {
+			best = Result{SuffixLabels: labels + 1, Rule: e.wildcardRule}
+		}
+	}
+	return best
+}
+
+// Size reports the matcher's entry count (diagnostics).
+func (sm *SortedMatcher) Size() int { return len(sm.keys) }
+
+// ensure interface conformance for all matcher implementations.
+var (
+	_ Matcher = (*MapMatcher)(nil)
+	_ Matcher = (*TrieMatcher)(nil)
+	_ Matcher = (*LinearMatcher)(nil)
+	_ Matcher = (*SortedMatcher)(nil)
+)

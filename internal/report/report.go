@@ -1,0 +1,195 @@
+// Package report renders the pipeline's tables and series as aligned
+// ASCII tables, CSV, and downsampled time series, so every figure and
+// table of the paper can be printed by the pslharm tool and the bench
+// harness with consistent formatting.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+	// aligns holds 'l' or 'r' per column; defaults to left.
+	aligns []byte
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{title: title, headers: headers, aligns: make([]byte, len(headers))}
+}
+
+// AlignRight marks columns (by index) as right-aligned.
+func (t *Table) AlignRight(cols ...int) *Table {
+	for _, c := range cols {
+		if c >= 0 && c < len(t.aligns) {
+			t.aligns[c] = 'r'
+		}
+	}
+	return t
+}
+
+// Row appends a row; values are stringified with %v.
+func (t *Table) Row(values ...interface{}) {
+	row := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			row[i] = strconv.FormatFloat(x, 'f', 1, 64)
+		case time.Time:
+			row[i] = x.Format("2006-01-02")
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// WriteTo renders the table.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.title != "" {
+		b.WriteString(t.title + "\n")
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			pad := widths[i] - len(cell)
+			if i < len(t.aligns) && t.aligns[i] == 'r' {
+				b.WriteString(strings.Repeat(" ", pad))
+				b.WriteString(cell)
+			} else {
+				b.WriteString(cell)
+				if i < len(cells)-1 {
+					b.WriteString(strings.Repeat(" ", pad))
+				}
+			}
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.headers)
+	rule := make([]string, len(t.headers))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(rule)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	if _, err := t.WriteTo(&b); err != nil {
+		panic(err) // strings.Builder cannot fail
+	}
+	return b.String()
+}
+
+// CSV renders the table as RFC-4180-ish CSV (quoting cells containing
+// commas or quotes).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(cell, "\"", "\"\""))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// SeriesPoint is one (x, y) sample of a rendered time series.
+type SeriesPoint struct {
+	Date  time.Time
+	Value float64
+}
+
+// Downsample reduces a series to at most n points, keeping the first
+// and last and sampling evenly in between — enough to see the shape in
+// a terminal.
+func Downsample(points []SeriesPoint, n int) []SeriesPoint {
+	if n <= 0 || len(points) <= n {
+		return points
+	}
+	out := make([]SeriesPoint, 0, n)
+	for i := 0; i < n; i++ {
+		idx := i * (len(points) - 1) / (n - 1)
+		out = append(out, points[idx])
+	}
+	return out
+}
+
+// Sparkline renders a series as a one-line unicode sparkline.
+func Sparkline(points []SeriesPoint) string {
+	if len(points) == 0 {
+		return ""
+	}
+	blocks := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := points[0].Value, points[0].Value
+	for _, p := range points {
+		if p.Value < lo {
+			lo = p.Value
+		}
+		if p.Value > hi {
+			hi = p.Value
+		}
+	}
+	var b strings.Builder
+	for _, p := range points {
+		i := 0
+		if hi > lo {
+			i = int((p.Value - lo) / (hi - lo) * float64(len(blocks)-1))
+		}
+		b.WriteRune(blocks[i])
+	}
+	return b.String()
+}
+
+// Series renders a downsampled series as a table of date/value rows
+// plus a sparkline, suitable for terminal output of the paper's
+// figures.
+func Series(title string, points []SeriesPoint, samples int) string {
+	ds := Downsample(points, samples)
+	t := NewTable(title, "date", "value").AlignRight(1)
+	for _, p := range ds {
+		t.Row(p.Date, fmt.Sprintf("%.0f", p.Value))
+	}
+	return t.String() + "shape: " + Sparkline(Downsample(points, 60)) + "\n"
+}

@@ -1,0 +1,104 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tbl := NewTable("Demo", "name", "count").AlignRight(1)
+	tbl.Row("alpha", 5)
+	tbl.Row("b", 12345)
+	out := tbl.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	if lines[0] != "Demo" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.HasSuffix(lines[3], "    5") {
+		t.Errorf("right alignment broken: %q", lines[3])
+	}
+	// Header separator covers both columns.
+	if !strings.Contains(lines[2], "-----") {
+		t.Errorf("rule line = %q", lines[2])
+	}
+}
+
+func TestTableFormatsTypes(t *testing.T) {
+	tbl := NewTable("", "a", "b")
+	tbl.Row(3.14159, time.Date(2022, 7, 1, 0, 0, 0, 0, time.UTC))
+	out := tbl.String()
+	if !strings.Contains(out, "3.1") || !strings.Contains(out, "2022-07-01") {
+		t.Errorf("type formatting broken: %q", out)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tbl := NewTable("", "name", "note")
+	tbl.Row("a,b", `say "hi"`)
+	csv := tbl.CSV()
+	want := "name,note\n\"a,b\",\"say \"\"hi\"\"\"\n"
+	if csv != want {
+		t.Errorf("CSV = %q, want %q", csv, want)
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	var pts []SeriesPoint
+	base := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 100; i++ {
+		pts = append(pts, SeriesPoint{Date: base.AddDate(0, 0, i), Value: float64(i)})
+	}
+	ds := Downsample(pts, 10)
+	if len(ds) != 10 {
+		t.Fatalf("downsampled to %d, want 10", len(ds))
+	}
+	if ds[0] != pts[0] || ds[9] != pts[99] {
+		t.Error("downsample must keep endpoints")
+	}
+	// No-op cases.
+	if got := Downsample(pts, 200); len(got) != 100 {
+		t.Error("downsample should not upsample")
+	}
+	if got := Downsample(pts, 0); len(got) != 100 {
+		t.Error("n<=0 should be a no-op")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	pts := []SeriesPoint{{Value: 0}, {Value: 5}, {Value: 10}}
+	s := Sparkline(pts)
+	runes := []rune(s)
+	if len(runes) != 3 {
+		t.Fatalf("sparkline runes = %d", len(runes))
+	}
+	if runes[0] != '▁' || runes[2] != '█' {
+		t.Errorf("sparkline = %q", s)
+	}
+	// Constant series renders the lowest block, not a panic.
+	flat := Sparkline([]SeriesPoint{{Value: 3}, {Value: 3}})
+	if []rune(flat)[0] != '▁' {
+		t.Errorf("flat sparkline = %q", flat)
+	}
+	if Sparkline(nil) != "" {
+		t.Error("empty sparkline should be empty")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	base := time.Date(2007, 3, 22, 0, 0, 0, 0, time.UTC)
+	var pts []SeriesPoint
+	for i := 0; i < 50; i++ {
+		pts = append(pts, SeriesPoint{Date: base.AddDate(0, 0, i*30), Value: float64(i * i)})
+	}
+	out := Series("Fig X", pts, 8)
+	if !strings.Contains(out, "Fig X") || !strings.Contains(out, "shape: ") {
+		t.Errorf("series output missing parts: %q", out)
+	}
+	if !strings.Contains(out, "2007-03-22") {
+		t.Error("series lost first date")
+	}
+}

@@ -1,0 +1,92 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func seriesFixture(n int) []SeriesPoint {
+	base := time.Date(2007, 3, 22, 0, 0, 0, 0, time.UTC)
+	pts := make([]SeriesPoint, n)
+	for i := range pts {
+		pts[i] = SeriesPoint{Date: base.AddDate(0, 0, i*5), Value: float64(2447 + i*6)}
+	}
+	return pts
+}
+
+func TestSVGLineWellFormed(t *testing.T) {
+	var b strings.Builder
+	err := SVGLine(&b, seriesFixture(1142), SVGOptions{Title: "Figure 2", YLabel: "rules"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"<svg", "</svg>", "polyline", "Figure 2", "rules", "2007-0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(out, "<svg") != 1 || strings.Count(out, "</svg>") != 1 {
+		t.Error("malformed document structure")
+	}
+}
+
+func TestSVGLineDeterministic(t *testing.T) {
+	var a, b strings.Builder
+	pts := seriesFixture(100)
+	if err := SVGLine(&a, pts, SVGOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := SVGLine(&b, pts, SVGOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("SVG output not deterministic")
+	}
+}
+
+func TestSVGLineEdgeCases(t *testing.T) {
+	var b strings.Builder
+	if err := SVGLine(&b, nil, SVGOptions{}); err == nil {
+		t.Error("empty series should error")
+	}
+	// Constant series must not divide by zero.
+	flat := []SeriesPoint{
+		{Date: time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC), Value: 5},
+		{Date: time.Date(2020, 2, 1, 0, 0, 0, 0, time.UTC), Value: 5},
+	}
+	b.Reset()
+	if err := SVGLine(&b, flat, SVGOptions{}); err != nil {
+		t.Errorf("flat series: %v", err)
+	}
+	// Single point.
+	b.Reset()
+	if err := SVGLine(&b, flat[:1], SVGOptions{}); err != nil {
+		t.Errorf("single point: %v", err)
+	}
+}
+
+func TestSVGEscapesTitle(t *testing.T) {
+	var b strings.Builder
+	if err := SVGLine(&b, seriesFixture(3), SVGOptions{Title: `a <b> & "c"`}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "a &lt;b&gt; &amp; &quot;c&quot;") {
+		t.Error("title not escaped")
+	}
+}
+
+func TestCompactNumber(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{{500, "500"}, {9368, "9.4k"}, {1547079, "1.5M"}, {0, "0"}}
+	for _, c := range cases {
+		if got := compactNumber(c.in); got != c.want {
+			t.Errorf("compactNumber(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package repos
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/psl"
+)
+
+// Materialize writes a simulated checkout of the repository into dir,
+// embedding the given public suffix list version the way the
+// repository's usage strategy would: a hard-coded data file for fixed
+// usage, fetch-at-build scaffolding for build-updated projects,
+// runtime-update code for user/server projects, and a vendored library
+// copy for dependency projects.
+//
+// The trees exist so the detection tooling (package scanner) and its
+// examples have realistic inputs; the layout mirrors the integration
+// patterns the paper describes in Section 4.
+func Materialize(dir string, r Repository, embedded *psl.List) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(rel, content string) error {
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			return err
+		}
+		return os.WriteFile(path, []byte(content), 0o644)
+	}
+
+	readme := fmt.Sprintf("# %s\n\nSimulated checkout (strategy: %s/%s, stars: %d).\n",
+		r.Name, r.Strategy, r.Sub, r.Stars)
+	if err := write("README.md", readme); err != nil {
+		return err
+	}
+
+	listText := ""
+	if embedded != nil {
+		listText = embedded.Serialize()
+	}
+
+	switch r.Strategy {
+	case StrategyFixed:
+		code := "import os\n\nDATA = os.path.join(os.path.dirname(__file__), '..', 'data', 'public_suffix_list.dat')\n\ndef load_suffixes():\n    with open(DATA) as f:\n        return [l.strip() for l in f if l.strip() and not l.startswith('//')]\n"
+		if r.Sub == SubTest {
+			if embedded != nil {
+				if err := write("tests/fixtures/public_suffix_list.dat", listText); err != nil {
+					return err
+				}
+			}
+			return write("tests/fixtures_test.py", code)
+		}
+		if embedded != nil {
+			if err := write("data/public_suffix_list.dat", listText); err != nil {
+				return err
+			}
+		}
+		return write("src/suffixes.py", code)
+
+	case StrategyUpdated:
+		if embedded != nil {
+			if err := write("data/public_suffix_list.dat", listText); err != nil {
+				return err
+			}
+		}
+		switch r.Sub {
+		case SubBuild:
+			makefile := "all: data/public_suffix_list.dat build\n\ndata/public_suffix_list.dat:\n\tcurl -fsSL https://publicsuffix.org/list/public_suffix_list.dat -o $@\n\nbuild:\n\tgo build ./...\n"
+			return write("Makefile", makefile)
+		case SubServer:
+			code := "\"\"\"Long-running daemon; refreshes the PSL at bootstrap only.\"\"\"\nimport urllib.request\n\nPSL_URL = 'https://publicsuffix.org/list/public_suffix_list.dat'\n\ndef bootstrap():\n    try:\n        return urllib.request.urlopen(PSL_URL).read()\n    except OSError:\n        with open('data/public_suffix_list.dat') as f:  # fallback\n            return f.read()\n\ndef serve_forever():\n    pass\n"
+			return write("src/daemon.py", code)
+		default: // SubUser
+			code := "import urllib.request\n\nPSL_URL = 'https://publicsuffix.org/list/public_suffix_list.dat'\n\ndef refresh_on_startup():\n    try:\n        return urllib.request.urlopen(PSL_URL).read()\n    except OSError:\n        with open('data/public_suffix_list.dat') as f:  # fallback\n            return f.read()\n"
+			return write("src/app.py", code)
+		}
+
+	default: // StrategyDependency
+		manifest := "requests==2.28\n" + dependencyRequirement(r.Library) + "\n"
+		if err := write("requirements.txt", manifest); err != nil {
+			return err
+		}
+		if embedded != nil {
+			vendored := filepath.Join("vendor", vendorPath(r.Library), "public_suffix_list.dat")
+			return write(vendored, listText)
+		}
+		return nil
+	}
+}
+
+// dependencyRequirement maps a Table 1 library label to a plausible
+// manifest line.
+func dependencyRequirement(library string) string {
+	switch library {
+	case "python:oneforall":
+		return "oneforall==0.4"
+	case "python:python-whois":
+		return "python-whois==0.8"
+	case "ruby:domain_name":
+		return "# Gemfile: gem 'domain_name'"
+	case "shell:ddns-scripts":
+		return "# uses ddns-scripts"
+	case "java:jre":
+		return "# bundled by the JRE (sun.security.util)"
+	default:
+		return "publicsuffix2==2.2"
+	}
+}
+
+// vendorPath maps a library label to its vendored directory.
+func vendorPath(library string) string {
+	switch library {
+	case "java:jre":
+		return "jre/lib/security"
+	case "ruby:domain_name":
+		return "gems/domain_name/data"
+	default:
+		return "publicsuffix/data"
+	}
+}

@@ -1,0 +1,363 @@
+// Package repos models the corpus of 273 GitHub repositories the paper
+// identified as containing a copy of the public suffix list (Section 3,
+// "GitHub Repositories"), together with the paper's usage taxonomy
+// (Section 4, Table 1).
+//
+// The 47 fixed-usage repositories of appendix Table 3 are embedded
+// verbatim (name, stars, forks, list age, reported missing-hostname
+// count). The remainder of the corpus — undated fixed repositories,
+// updated-strategy repositories, and dependency repositories — is
+// synthesized deterministically with list ages calibrated so the
+// paper's aggregate results reproduce exactly (see calibrated.go).
+package repos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Strategy is the top-level usage category of Table 1.
+type Strategy uint8
+
+const (
+	// StrategyFixed: a hard-coded list with no update mechanism.
+	StrategyFixed Strategy = iota
+	// StrategyUpdated: a bundled list with an update attempt (falling
+	// back to the bundled copy on failure).
+	StrategyUpdated
+	// StrategyDependency: the list arrives via a third-party library.
+	StrategyDependency
+)
+
+// String returns the Table 1 label.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyFixed:
+		return "fixed"
+	case StrategyUpdated:
+		return "updated"
+	case StrategyDependency:
+		return "dependency"
+	default:
+		return "unknown"
+	}
+}
+
+// SubCategory refines Strategy per Table 1.
+type SubCategory uint8
+
+const (
+	// SubProduction: fixed list used in production code.
+	SubProduction SubCategory = iota
+	// SubTest: fixed list used only by a test suite.
+	SubTest
+	// SubOther: fixed list present but unused.
+	SubOther
+	// SubBuild: updated at build time.
+	SubBuild
+	// SubUser: updated at startup of a frequently-restarted app.
+	SubUser
+	// SubServer: updated at startup of a rarely-restarted daemon.
+	SubServer
+	// SubLibrary: dependency incorporation (see Repository.Library).
+	SubLibrary
+)
+
+// String returns the Table 1 label.
+func (s SubCategory) String() string {
+	switch s {
+	case SubProduction:
+		return "production"
+	case SubTest:
+		return "test"
+	case SubOther:
+		return "other"
+	case SubBuild:
+		return "build"
+	case SubUser:
+		return "user"
+	case SubServer:
+		return "server"
+	case SubLibrary:
+		return "library"
+	default:
+		return "unknown"
+	}
+}
+
+// Repository is one corpus entry.
+type Repository struct {
+	// Name is the GitHub owner/name slug.
+	Name string
+	// Stars and Forks are the popularity counts at measurement time.
+	Stars, Forks int
+	// Strategy and Sub classify the repository per Table 1.
+	Strategy Strategy
+	Sub      SubCategory
+	// Library names the fetching library for dependency repositories
+	// (e.g. "java:jre"), empty otherwise.
+	Library string
+	// ListAgeDays is the age of the embedded list in days before
+	// t = 2022-12-08, or -1 when the age could not be obtained.
+	ListAgeDays int
+	// LastCommitDays is the time since the repository's last commit at
+	// t, in days (the Figure 4 x-axis).
+	LastCommitDays int
+	// MissingPaper is the missing-hostname count the paper reports for
+	// this repository in Table 3, or -1 when not reported.
+	MissingPaper int
+	// FromPaper marks rows embedded from the paper's appendix, as
+	// opposed to synthesized corpus filler.
+	FromPaper bool
+}
+
+// HasKnownAge reports whether the embedded list could be dated.
+func (r Repository) HasKnownAge() bool { return r.ListAgeDays >= 0 }
+
+// Corpus builds the deterministic 273-repository corpus.
+func Corpus(seed int64) []Repository {
+	rng := rand.New(rand.NewSource(seed ^ 0x7265706f)) // "repo"
+	var out []Repository
+
+	add := func(r Repository) {
+		if r.LastCommitDays == 0 {
+			r.LastCommitDays = lastCommit(rng, r.Stars)
+		}
+		out = append(out, r)
+	}
+
+	// Fixed / production: 33 embedded + 10 synthetic = 43.
+	for _, r := range table3Production {
+		r.Strategy, r.Sub, r.FromPaper = StrategyFixed, SubProduction, true
+		add(r)
+	}
+	for i, stars := range syntheticProductionStars {
+		add(Repository{
+			Name:         synthName(rng, "prod", i),
+			Stars:        stars,
+			Forks:        synthForks(rng, stars),
+			Strategy:     StrategyFixed,
+			Sub:          SubProduction,
+			ListAgeDays:  -1,
+			MissingPaper: -1,
+		})
+	}
+	// Fixed / test: 13 embedded + 11 synthetic = 24.
+	for _, r := range table3Test {
+		r.Strategy, r.Sub, r.FromPaper = StrategyFixed, SubTest, true
+		add(r)
+	}
+	for i, stars := range syntheticTestStars {
+		add(Repository{
+			Name:         synthName(rng, "test", i),
+			Stars:        stars,
+			Forks:        synthForks(rng, stars),
+			Strategy:     StrategyFixed,
+			Sub:          SubTest,
+			ListAgeDays:  -1,
+			MissingPaper: -1,
+		})
+	}
+	// Fixed / other: 1 embedded.
+	for _, r := range table3Other {
+		r.Strategy, r.Sub, r.FromPaper = StrategyFixed, SubOther, true
+		add(r)
+	}
+
+	// Updated: 24 build + 8 user + 3 server = 35; the first 25 (in
+	// deterministic order) carry the calibrated known ages.
+	subs := make([]SubCategory, 0, 35)
+	for i := 0; i < 24; i++ {
+		subs = append(subs, SubBuild)
+	}
+	for i := 0; i < 8; i++ {
+		subs = append(subs, SubUser)
+	}
+	for i := 0; i < 3; i++ {
+		subs = append(subs, SubServer)
+	}
+	for i, sub := range subs {
+		age := -1
+		if i < len(updatedKnownAges) {
+			age = updatedKnownAges[i]
+		}
+		add(Repository{
+			Name:         synthName(rng, "upd", i),
+			Stars:        updatedStars[i],
+			Forks:        synthForks(rng, updatedStars[i]),
+			Strategy:     StrategyUpdated,
+			Sub:          sub,
+			ListAgeDays:  age,
+			MissingPaper: -1,
+		})
+	}
+
+	// Dependency: 170 across the Table 1 library breakdown; the first
+	// 72 carry the calibrated known bundled-list ages.
+	i := 0
+	for _, lib := range dependencyLibraries {
+		for j := 0; j < lib.Count; j++ {
+			age := -1
+			if i < len(dependencyKnownAges) {
+				age = dependencyKnownAges[i]
+			}
+			stars := depStars(rng, i)
+			add(Repository{
+				Name:         synthName(rng, "dep", i),
+				Stars:        stars,
+				Forks:        synthForks(rng, stars),
+				Strategy:     StrategyDependency,
+				Sub:          SubLibrary,
+				Library:      lib.Library,
+				ListAgeDays:  age,
+				MissingPaper: -1,
+			})
+			i++
+		}
+	}
+	return out
+}
+
+// lastCommit draws a plausible days-since-last-commit figure: popular
+// repositories are actively maintained (the paper's Figure 4 point —
+// active, popular projects still carry stale lists).
+func lastCommit(rng *rand.Rand, stars int) int {
+	switch {
+	case stars >= 500:
+		return 1 + rng.Intn(60)
+	case stars >= 100:
+		return 1 + rng.Intn(200)
+	default:
+		return 1 + rng.Intn(1400)
+	}
+}
+
+// synthForks draws a fork count correlated with stars (the paper reports
+// a stars/forks Pearson correlation of 0.96).
+func synthForks(rng *rand.Rand, stars int) int {
+	f := stars/8 + rng.Intn(stars/10+2)
+	if f < 1 {
+		f = 1
+	}
+	return f
+}
+
+// depStars draws a long-tailed star distribution for dependency repos.
+func depStars(rng *rand.Rand, i int) int {
+	base := 2000 / (i + 2)
+	return base + rng.Intn(base+5)
+}
+
+var synthSyllables = []string{
+	"net", "dns", "url", "web", "suffix", "domain", "crawl", "parse",
+	"scan", "mail", "cert", "proxy", "fetch", "link", "host", "zone",
+}
+
+// synthName builds a deterministic plausible owner/name slug.
+func synthName(rng *rand.Rand, kind string, i int) string {
+	a := synthSyllables[rng.Intn(len(synthSyllables))]
+	b := synthSyllables[rng.Intn(len(synthSyllables))]
+	return fmt.Sprintf("%s-labs/%s-%s-%s%02d", a, b, kind, "kit", i)
+}
+
+// Filter returns the repositories matching the predicate.
+func Filter(rs []Repository, keep func(Repository) bool) []Repository {
+	var out []Repository
+	for _, r := range rs {
+		if keep(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// ByStrategy returns the repositories with the given strategy.
+func ByStrategy(rs []Repository, s Strategy) []Repository {
+	return Filter(rs, func(r Repository) bool { return r.Strategy == s })
+}
+
+// BySub returns the repositories with the given subcategory.
+func BySub(rs []Repository, sub SubCategory) []Repository {
+	return Filter(rs, func(r Repository) bool { return r.Sub == sub })
+}
+
+// KnownAges extracts the known list ages from a repository set, sorted
+// ascending.
+func KnownAges(rs []Repository) []int {
+	var ages []int
+	for _, r := range rs {
+		if r.HasKnownAge() {
+			ages = append(ages, r.ListAgeDays)
+		}
+	}
+	sort.Ints(ages)
+	return ages
+}
+
+// Table1Row is one line of the paper's Table 1.
+type Table1Row struct {
+	Label    string
+	Count    int
+	Percent  float64
+	Indented bool
+}
+
+// Table1 computes the taxonomy breakdown of Table 1 from a corpus.
+func Table1(rs []Repository) []Table1Row {
+	total := len(rs)
+	count := func(keep func(Repository) bool) int { return len(Filter(rs, keep)) }
+	pct := func(n int) float64 { return 100 * float64(n) / float64(total) }
+
+	var rows []Table1Row
+	push := func(label string, n int, indent bool) {
+		rows = append(rows, Table1Row{Label: label, Count: n, Percent: pct(n), Indented: indent})
+	}
+	push("Fixed (F)", count(func(r Repository) bool { return r.Strategy == StrategyFixed }), false)
+	push("Production (Prd.)", count(func(r Repository) bool { return r.Sub == SubProduction }), true)
+	push("Test (T)", count(func(r Repository) bool { return r.Sub == SubTest }), true)
+	push("Other (O)", count(func(r Repository) bool { return r.Sub == SubOther }), true)
+	push("Updated (U)", count(func(r Repository) bool { return r.Strategy == StrategyUpdated }), false)
+	push("Build", count(func(r Repository) bool { return r.Sub == SubBuild }), true)
+	push("User", count(func(r Repository) bool { return r.Sub == SubUser }), true)
+	push("Server", count(func(r Repository) bool { return r.Sub == SubServer }), true)
+	push("Dependency (D)", count(func(r Repository) bool { return r.Strategy == StrategyDependency }), false)
+	for _, lib := range dependencyLibraries {
+		lib := lib
+		push(lib.Library, count(func(r Repository) bool { return r.Library == lib.Library }), true)
+	}
+	return rows
+}
+
+// FixedWithAges returns the Table 3 population: fixed repositories with
+// a known list age, production first, then test, then other, each block
+// sorted by stars descending (the appendix ordering).
+func FixedWithAges(rs []Repository) []Repository {
+	pick := func(sub SubCategory) []Repository {
+		sel := Filter(rs, func(r Repository) bool {
+			return r.Strategy == StrategyFixed && r.Sub == sub && r.HasKnownAge()
+		})
+		sort.SliceStable(sel, func(i, j int) bool { return sel[i].Stars > sel[j].Stars })
+		return sel
+	}
+	var out []Repository
+	out = append(out, pick(SubProduction)...)
+	out = append(out, pick(SubTest)...)
+	out = append(out, pick(SubOther)...)
+	return out
+}
+
+// IsSecurityFocused reports whether the repository name suggests a
+// security-sensitive project (password managers, forensics, scanners) —
+// used by the report narrative, mirroring the paper's observation about
+// Bitwarden and Autopsy.
+func IsSecurityFocused(r Repository) bool {
+	name := strings.ToLower(r.Name)
+	for _, kw := range []string{"bitwarden", "autopsy", "keeper", "keevault", "fido", "acme", "trueseeing", "firewalla"} {
+		if strings.Contains(name, kw) {
+			return true
+		}
+	}
+	return false
+}

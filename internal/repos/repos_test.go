@@ -1,0 +1,246 @@
+package repos
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+const testSeed = 0x5157
+
+func corpus(t testing.TB) []Repository {
+	t.Helper()
+	return Corpus(testSeed)
+}
+
+func TestCorpusSize(t *testing.T) {
+	rs := corpus(t)
+	if len(rs) != 273 {
+		t.Fatalf("corpus size = %d, want 273 (paper Section 3)", len(rs))
+	}
+}
+
+// TestTable1Marginals pins the exact Table 1 taxonomy counts.
+func TestTable1Marginals(t *testing.T) {
+	rs := corpus(t)
+	want := map[string]int{
+		"Fixed (F)":           68,
+		"Production (Prd.)":   43,
+		"Test (T)":            24,
+		"Other (O)":           1,
+		"Updated (U)":         35,
+		"Build":               24,
+		"User":                8,
+		"Server":              3,
+		"Dependency (D)":      170,
+		"java:jre":            113,
+		"shell:ddns-scripts":  15,
+		"python:oneforall":    12,
+		"python:python-whois": 10,
+		"ruby:domain_name":    10,
+		"other":               10,
+	}
+	rows := Table1(rs)
+	if len(rows) != len(want) {
+		t.Fatalf("Table1 has %d rows, want %d", len(rows), len(want))
+	}
+	for _, row := range rows {
+		if row.Count != want[row.Label] {
+			t.Errorf("Table1[%s] = %d, want %d", row.Label, row.Count, want[row.Label])
+		}
+	}
+}
+
+// TestTable1Percentages pins the headline shares the paper quotes:
+// 24.9% fixed, 12.8% updated, 62.3% dependency.
+func TestTable1Percentages(t *testing.T) {
+	rs := corpus(t)
+	for _, row := range Table1(rs) {
+		var want float64
+		switch row.Label {
+		case "Fixed (F)":
+			want = 24.9
+		case "Updated (U)":
+			want = 12.8
+		case "Dependency (D)":
+			want = 62.3
+		default:
+			continue
+		}
+		if diff := row.Percent - want; diff > 0.05 || diff < -0.05 {
+			t.Errorf("%s = %.1f%%, want %.1f%%", row.Label, row.Percent, want)
+		}
+	}
+}
+
+// TestListAgeMedians pins the paper's Section 5 medians: 825 days for
+// fixed, 915 for updated, 871 across all repositories with known ages.
+func TestListAgeMedians(t *testing.T) {
+	rs := corpus(t)
+	fixed := stats.MedianInts(KnownAges(ByStrategy(rs, StrategyFixed)))
+	if fixed != 825 {
+		t.Errorf("fixed median = %v, want 825", fixed)
+	}
+	updated := stats.MedianInts(KnownAges(ByStrategy(rs, StrategyUpdated)))
+	if updated != 915 {
+		t.Errorf("updated median = %v, want 915", updated)
+	}
+	all := stats.MedianInts(KnownAges(rs))
+	if all != 871 {
+		t.Errorf("all-repositories median = %v, want 871", all)
+	}
+}
+
+// TestKnownAgeCounts pins how many repositories in each class have a
+// datable embedded list.
+func TestKnownAgeCounts(t *testing.T) {
+	rs := corpus(t)
+	if n := len(KnownAges(ByStrategy(rs, StrategyFixed))); n != 47 {
+		t.Errorf("fixed with ages = %d, want 47 (Table 3)", n)
+	}
+	if n := len(KnownAges(ByStrategy(rs, StrategyUpdated))); n != 25 {
+		t.Errorf("updated with ages = %d, want 25", n)
+	}
+	if n := len(KnownAges(ByStrategy(rs, StrategyDependency))); n != 72 {
+		t.Errorf("dependency with ages = %d, want 72", n)
+	}
+}
+
+// TestPopularity pins the paper's popularity observations: among fixed
+// production repositories, 5 have >= 500 stars and the median is 60.
+func TestPopularity(t *testing.T) {
+	rs := corpus(t)
+	prod := BySub(rs, SubProduction)
+	if len(prod) != 43 {
+		t.Fatalf("production repos = %d, want 43", len(prod))
+	}
+	big := 0
+	var starValues []int
+	for _, r := range prod {
+		if r.Stars >= 500 {
+			big++
+		}
+		starValues = append(starValues, r.Stars)
+	}
+	if big != 5 {
+		t.Errorf("production repos with >=500 stars = %d, want 5", big)
+	}
+	if med := stats.MedianInts(starValues); med != 60 {
+		t.Errorf("production star median = %v, want 60", med)
+	}
+}
+
+// TestStarsForksCorrelation checks the stars/forks Pearson correlation
+// on the embedded Table 3 rows (the paper reports 0.96).
+func TestStarsForksCorrelation(t *testing.T) {
+	rs := Filter(corpus(t), func(r Repository) bool { return r.FromPaper })
+	var starValues, forks []int
+	for _, r := range rs {
+		starValues = append(starValues, r.Stars)
+		forks = append(forks, r.Forks)
+	}
+	r := stats.PearsonInts(starValues, forks)
+	if r < 0.9 || r > 1.0 {
+		t.Errorf("stars/forks Pearson = %.3f, want ~0.96", r)
+	}
+}
+
+func TestBitwardenAndAutopsyPresent(t *testing.T) {
+	rs := corpus(t)
+	found := map[string]Repository{}
+	for _, r := range rs {
+		found[r.Name] = r
+	}
+	bw, ok := found["bitwarden/server"]
+	if !ok || bw.Stars != 10959 || bw.ListAgeDays != 1596 || bw.Sub != SubProduction {
+		t.Errorf("bitwarden/server wrong or missing: %+v", bw)
+	}
+	ap, ok := found["sleuthkit/autopsy"]
+	if !ok || ap.Stars != 1720 || ap.ListAgeDays != 746 {
+		t.Errorf("sleuthkit/autopsy wrong or missing: %+v", ap)
+	}
+	if !IsSecurityFocused(bw) || !IsSecurityFocused(ap) {
+		t.Error("security-focused flag misses bitwarden/autopsy")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Corpus(testSeed)
+	b := Corpus(testSeed)
+	if len(a) != len(b) {
+		t.Fatal("corpus lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("corpus differs at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestFixedWithAgesOrdering(t *testing.T) {
+	rs := corpus(t)
+	fixed := FixedWithAges(rs)
+	if len(fixed) != 47 {
+		t.Fatalf("FixedWithAges = %d rows, want 47", len(fixed))
+	}
+	if fixed[0].Name != "bitwarden/server" {
+		t.Errorf("first row = %s, want bitwarden/server", fixed[0].Name)
+	}
+	// Production block first, sorted by stars descending.
+	seenTest := false
+	for _, r := range fixed {
+		if r.Sub == SubTest {
+			seenTest = true
+		}
+		if seenTest && r.Sub == SubProduction {
+			t.Fatal("production row after test block")
+		}
+	}
+	if fixed[len(fixed)-1].Sub != SubOther {
+		t.Error("last row should be the single Other repository")
+	}
+}
+
+func TestLastCommitPlausibility(t *testing.T) {
+	rs := corpus(t)
+	for _, r := range rs {
+		if r.LastCommitDays <= 0 || r.LastCommitDays > 2000 {
+			t.Fatalf("%s: implausible LastCommitDays %d", r.Name, r.LastCommitDays)
+		}
+		if r.Stars >= 500 && r.LastCommitDays > 60 {
+			t.Errorf("%s: popular repo with stale commits (%d days)", r.Name, r.LastCommitDays)
+		}
+	}
+}
+
+func TestFilterHelpers(t *testing.T) {
+	rs := corpus(t)
+	if n := len(ByStrategy(rs, StrategyFixed)); n != 68 {
+		t.Errorf("ByStrategy(fixed) = %d", n)
+	}
+	if n := len(BySub(rs, SubServer)); n != 3 {
+		t.Errorf("BySub(server) = %d", n)
+	}
+	ages := KnownAges(rs)
+	for i := 1; i < len(ages); i++ {
+		if ages[i] < ages[i-1] {
+			t.Fatal("KnownAges not sorted")
+		}
+	}
+}
+
+func TestStrategySubStrings(t *testing.T) {
+	if StrategyFixed.String() != "fixed" || StrategyUpdated.String() != "updated" ||
+		StrategyDependency.String() != "dependency" {
+		t.Error("Strategy labels wrong")
+	}
+	if SubProduction.String() != "production" || SubLibrary.String() != "library" {
+		t.Error("SubCategory labels wrong")
+	}
+}
+
+func BenchmarkCorpus(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Corpus(testSeed)
+	}
+}

@@ -1,0 +1,66 @@
+package repos
+
+// The paper's appendix Table 3: GitHub projects identified as having
+// fixed usage of the public suffix list, where the age of the embedded
+// list could be obtained. Star/fork counts, list ages (days before
+// t = 2022-12-08) and the paper's reported missing-hostname counts are
+// embedded verbatim. MissingPaper == -1 marks rows whose count the
+// paper left blank.
+//
+// A handful of cells are illegible in the archived copy; those carry a
+// best-effort reading and are flagged in the comment on the row.
+var table3Production = []Repository{
+	{Name: "bitwarden/server", Stars: 10959, Forks: 1087, ListAgeDays: 1596, MissingPaper: 36326},
+	{Name: "bitwarden/mobile", Stars: 4059, Forks: 635, ListAgeDays: 1596, MissingPaper: 36326},
+	{Name: "sleuthkit/autopsy", Stars: 1720, Forks: 561, ListAgeDays: 746, MissingPaper: 21494},
+	{Name: "alkacon/opencms-core", Stars: 473, Forks: 384, ListAgeDays: 1778, MissingPaper: 36936},
+	{Name: "firewalla/firewalla", Stars: 434, Forks: 117, ListAgeDays: 746, MissingPaper: 21494},
+	{Name: "SAP/SapMachine", Stars: 397, Forks: 79, ListAgeDays: 376, MissingPaper: 3966},
+	{Name: "Yubico/python-fido2", Stars: 324, Forks: 102, ListAgeDays: 188, MissingPaper: 1},
+	{Name: "gorhill/uBO-Scope", Stars: 222, Forks: 20, ListAgeDays: 1927, MissingPaper: 37739},
+	{Name: "fgont/ipv6toolkit", Stars: 222, Forks: 66, ListAgeDays: 1791, MissingPaper: 36966},
+	{Name: "LeFroid/Viper-Browser", Stars: 164, Forks: 22, ListAgeDays: 529, MissingPaper: 8166},
+	{Name: "Keeper-Security/Commander", Stars: 145, Forks: 67, ListAgeDays: 1113, MissingPaper: 27685},
+	{Name: "nabeelio/phpvms", Stars: 134, Forks: 116, ListAgeDays: 644, MissingPaper: 9228},
+	{Name: "coreruleset/ftw", Stars: 104, Forks: 36, ListAgeDays: 750, MissingPaper: 21576},
+	{Name: "gorhill/publicsuffixlist.js", Stars: 79, Forks: 12, ListAgeDays: 289, MissingPaper: 2236},
+	{Name: "Twi1ight/TSpider", Stars: 68, Forks: 21, ListAgeDays: 2070, MissingPaper: 4958},
+	{Name: "j3ssie/go-auxs", Stars: 60, Forks: 22, ListAgeDays: 664, MissingPaper: 9230},
+	{Name: "Intsights/PyDomainExtractor", Stars: 59, Forks: 5, ListAgeDays: 31, MissingPaper: -1},
+	{Name: "alterakey/trueseeing", Stars: 47, Forks: 13, ListAgeDays: 296, MissingPaper: 224},
+	{Name: "BenWiederhake/domain-word", Stars: 40, Forks: 3, ListAgeDays: 1233, MissingPaper: 3008},
+	{Name: "timlib/webXray", Stars: 27, Forks: 22, ListAgeDays: 1659, MissingPaper: 3632},
+	{Name: "mecsa/mecsa-st", Stars: 20, Forks: 4, ListAgeDays: 1659, MissingPaper: 3632}, // fork count illegible
+	{Name: "amphp/artax", Stars: 20, Forks: 4, ListAgeDays: 2054, MissingPaper: 4919},
+	{Name: "dicekeys/dicekeys-app-typescript", Stars: 15, Forks: 4, ListAgeDays: 825, MissingPaper: 2172},
+	{Name: "netarchivesuite/netarchivesuite", Stars: 14, Forks: 22, ListAgeDays: 1778, MissingPaper: 3693},
+	{Name: "mallardduck/php-whois-client", Stars: 11, Forks: 3, ListAgeDays: 657, MissingPaper: 923},
+	{Name: "kee-org/keevault2", Stars: 10, Forks: 4, ListAgeDays: 895, MissingPaper: 2196},
+	{Name: "AdaptedAS/url_parser", Stars: 9, Forks: 3, ListAgeDays: 924, MissingPaper: 2190},
+	{Name: "b-i-13/WHOISpy", Stars: 9, Forks: 3, ListAgeDays: 1527, MissingPaper: 3630},
+	{Name: "oaplatform/oap", Stars: 9, Forks: 5, ListAgeDays: 1527, MissingPaper: 3630},
+	{Name: "amphp/http-client-cookies", Stars: 7, Forks: 5, ListAgeDays: 162, MissingPaper: -1},
+	{Name: "hrbrmstr/psl", Stars: 6, Forks: 5, ListAgeDays: 1520, MissingPaper: 3603}, // age cell illegible
+	{Name: "szepeviktor/validate-email-address", Stars: 6, Forks: 2, ListAgeDays: 810, MissingPaper: 2167},
+	{Name: "WebCuratorTool/webcurator", Stars: 6, Forks: 4, ListAgeDays: 973, MissingPaper: 2207},
+}
+
+var table3Test = []Repository{
+	{Name: "ClickHouse/ClickHouse", Stars: 26127, Forks: 5725, ListAgeDays: 737, MissingPaper: 2149},
+	{Name: "win-acme/win-acme", Stars: 4620, Forks: 770, ListAgeDays: 560, MissingPaper: 817},
+	{Name: "yasserg/crawler4j", Stars: 4336, Forks: 1923, ListAgeDays: 1527, MissingPaper: 3630},
+	{Name: "jeremykendall/php-domain-parser", Stars: 1021, Forks: 121, ListAgeDays: 296, MissingPaper: 224},
+	{Name: "rockdaboot/wget2", Stars: 365, Forks: 61, ListAgeDays: 1805, MissingPaper: 3698},
+	{Name: "DNS-OARC/dsc", Stars: 94, Forks: 23, ListAgeDays: 1010, MissingPaper: 2429},
+	{Name: "rushmorem/publicsuffix", Stars: 90, Forks: 17, ListAgeDays: 636, MissingPaper: 916},
+	{Name: "park-manager/park-manager", Stars: 49, Forks: 7, ListAgeDays: 653, MissingPaper: 922},
+	{Name: "addr-rs/addr", Stars: 40, Forks: 11, ListAgeDays: 636, MissingPaper: 916},
+	{Name: "datablade-io/daisy", Stars: 32, Forks: 7, ListAgeDays: 737, MissingPaper: 2149},
+	{Name: "elliotwutingfeng/go-fasttld", Stars: 10, Forks: 3, ListAgeDays: 221, MissingPaper: 2117},
+	{Name: "m2osw/libtld", Stars: 9, Forks: 3, ListAgeDays: 581, MissingPaper: 817},
+	{Name: "Komposten/public_suffix", Stars: 8, Forks: 2, ListAgeDays: 1217, MissingPaper: 29974},
+}
+
+var table3Other = []Repository{
+	{Name: "du5/gfwlist", Stars: 29, Forks: 16, ListAgeDays: 1023, MissingPaper: 2429},
+}

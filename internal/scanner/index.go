@@ -1,0 +1,145 @@
+// Package scanner is the outdated-PSL detection tooling: it walks a
+// project tree, finds embedded copies of the public suffix list,
+// identifies which historical version each copy is (exactly by set
+// hash, or the nearest version by Jaccard similarity), and classifies
+// the project's update strategy from code heuristics — automating the
+// manual inspection the paper performed over 273 repositories.
+package scanner
+
+import (
+	"hash/fnv"
+
+	"repro/internal/history"
+	"repro/internal/psl"
+)
+
+// VersionIndex indexes a history for fast identification of scanned
+// lists. Building it costs one pass over the history's rule deltas.
+type VersionIndex struct {
+	h *history.History
+	// byHash maps an order-independent rule-set hash to the earliest
+	// version with that exact rule set.
+	byHash map[uint64]int
+	// spans are the history's rule presence intervals.
+	spans map[string][]history.Span
+	// sizes[i] is the rule count of version i.
+	sizes []int
+}
+
+// ruleHash hashes one canonical rule string.
+func ruleHash(key string) uint64 {
+	f := fnv.New64a()
+	f.Write([]byte(key))
+	return f.Sum64()
+}
+
+// setHash combines rule hashes order-independently (XOR), so it can be
+// maintained incrementally across versions and is insensitive to file
+// ordering. It is an identification aid, not a security boundary; the
+// scanner reports psl.Fingerprint (SHA-256) alongside it.
+func setHash(l *psl.List) uint64 {
+	var x uint64
+	for _, r := range l.Rules() {
+		x ^= ruleHash(r.String())
+	}
+	return x
+}
+
+// NewVersionIndex builds the index for a history.
+func NewVersionIndex(h *history.History) *VersionIndex {
+	ix := &VersionIndex{
+		h:      h,
+		byHash: make(map[uint64]int, h.Len()),
+		spans:  h.RuleSpans(),
+		sizes:  make([]int, h.Len()),
+	}
+	var x uint64
+	for _, ev := range h.Events() {
+		for _, r := range ev.Removed {
+			x ^= ruleHash(r.String())
+		}
+		for _, r := range ev.Added {
+			x ^= ruleHash(r.String())
+		}
+		if _, seen := ix.byHash[x]; !seen {
+			ix.byHash[x] = ev.Seq
+		}
+		ix.sizes[ev.Seq] = ix.h.Meta(ev.Seq).Rules
+	}
+	return ix
+}
+
+// Identification is the result of matching a scanned list against the
+// history.
+type Identification struct {
+	// Exact is the earliest version whose rule set equals the scanned
+	// list, or -1.
+	Exact int
+	// Nearest is the version with the highest Jaccard similarity to
+	// the scanned list (equal to Exact when Exact >= 0).
+	Nearest int
+	// Similarity is the Jaccard similarity to Nearest, in [0, 1].
+	Similarity float64
+	// AgeDays is the age of the identified version relative to the
+	// measurement instant.
+	AgeDays int
+	// MissingVsLatest counts rules in the latest version absent from
+	// the scanned list.
+	MissingVsLatest int
+}
+
+// Identify matches a scanned list against every history version in
+// O(|list| + versions): the per-version intersection size is obtained
+// by summing the scanned rules' presence spans, which also yields the
+// exact Jaccard similarity everywhere.
+func (ix *VersionIndex) Identify(l *psl.List) Identification {
+	id := Identification{Exact: -1, Nearest: -1}
+	if seq, ok := ix.byHash[setHash(l)]; ok && ix.sizes[seq] == l.Len() {
+		id.Exact = seq
+	}
+
+	n := ix.h.Len()
+	diff := make([]int, n+1)
+	latestMatched := 0
+	for _, r := range l.Rules() {
+		ss := ix.spans[r.String()]
+		for _, sp := range ss {
+			diff[sp.From]++
+			diff[sp.To]--
+		}
+		if activeAtLatest(ss, n) {
+			latestMatched++
+		}
+	}
+	inter := 0
+	best, bestJ := -1, -1.0
+	for seq := 0; seq < n; seq++ {
+		inter += diff[seq]
+		union := l.Len() + ix.sizes[seq] - inter
+		var j float64
+		if union > 0 {
+			j = float64(inter) / float64(union)
+		} else {
+			j = 1
+		}
+		if j > bestJ {
+			best, bestJ = seq, j
+		}
+	}
+	id.Nearest, id.Similarity = best, bestJ
+	if id.Exact >= 0 {
+		id.Nearest, id.Similarity = id.Exact, 1.0
+	}
+	id.AgeDays = ix.h.AgeOfVersion(id.Nearest)
+	id.MissingVsLatest = ix.h.Meta(n-1).Rules - latestMatched
+	return id
+}
+
+func activeAtLatest(spans []history.Span, n int) bool {
+	for _, sp := range spans {
+		if sp.To == n {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,271 @@
+package scanner
+
+import (
+	"io/fs"
+	"path"
+	"sort"
+	"strings"
+
+	"repro/internal/psl"
+	"repro/internal/repos"
+)
+
+// Finding describes one embedded public-suffix-list copy discovered in
+// a project tree.
+type Finding struct {
+	// Path of the file within the scanned tree.
+	Path string
+	// Rules is the number of rules parsed from the file.
+	Rules int
+	// Fingerprint is the SHA-256 rule-set fingerprint (psl.List).
+	Fingerprint string
+	// ID is the match against the version history.
+	ID Identification
+}
+
+// Report is the result of scanning one project tree.
+type Report struct {
+	// Root is a label for the scanned tree.
+	Root string
+	// Findings lists embedded list copies, oldest first.
+	Findings []Finding
+	// Strategy and Sub are the inferred update strategy per the
+	// paper's Table 1 taxonomy.
+	Strategy repos.Strategy
+	Sub      repos.SubCategory
+	// Evidence records which heuristics fired, for human review.
+	Evidence []string
+}
+
+// OldestAgeDays returns the age of the oldest embedded copy, or -1 when
+// nothing was found.
+func (r *Report) OldestAgeDays() int {
+	if len(r.Findings) == 0 {
+		return -1
+	}
+	return r.Findings[0].ID.AgeDays
+}
+
+// listFileNames are the canonical file names of the public suffix list
+// (current and historical).
+var listFileNames = map[string]bool{
+	"public_suffix_list.dat":  true,
+	"effective_tld_names.dat": true,
+	"publicsuffix.dat":        true,
+	"psl.dat":                 true,
+}
+
+// dataExtensions are considered for content sniffing.
+var dataExtensions = map[string]bool{".dat": true, ".txt": true, ".list": true}
+
+// maxSniffSize bounds how much of a candidate file is read.
+const maxSniffSize = 8 << 20
+
+// LooksLikeList reports whether file content resembles a public suffix
+// list: it either carries the canonical section marker or parses with a
+// high rule density.
+func LooksLikeList(content []byte) bool {
+	s := string(content)
+	if strings.Contains(s, "===BEGIN ICANN DOMAINS===") {
+		return true
+	}
+	lines := strings.Split(s, "\n")
+	rules, considered := 0, 0
+	for _, line := range lines {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "//") || strings.HasPrefix(line, "#") {
+			continue
+		}
+		considered++
+		if _, err := psl.ParseRule(line, psl.SectionUnknown); err == nil {
+			rules++
+		}
+		if considered >= 400 {
+			break
+		}
+	}
+	return rules >= 50 && float64(rules) >= 0.9*float64(considered)
+}
+
+// Scan walks the tree, locating embedded lists and classifying the
+// project's update strategy.
+func Scan(fsys fs.FS, root string, ix *VersionIndex) (*Report, error) {
+	rep := &Report{Root: root, Strategy: repos.StrategyFixed, Sub: repos.SubProduction}
+	var fetchInBuild, fetchInSource, daemonHints, testOnly bool
+	var depLibrary string
+	sawList := false
+
+	err := fs.WalkDir(fsys, ".", func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			// Skip VCS internals.
+			if d.Name() == ".git" {
+				return fs.SkipDir
+			}
+			return nil
+		}
+		name := d.Name()
+		ext := path.Ext(name)
+
+		// Candidate list files. A candidate that turns out not to be a
+		// list falls through to the source/manifest heuristics below
+		// (requirements.txt is a .txt file, for example).
+		if listFileNames[name] || dataExtensions[ext] {
+			content, err := readCapped(fsys, p)
+			if err != nil {
+				return err
+			}
+			if listFileNames[name] || LooksLikeList(content) {
+				if l, perr := psl.ParseString(string(content)); perr == nil && l.Len() > 0 {
+					f := Finding{
+						Path:        p,
+						Rules:       l.Len(),
+						Fingerprint: l.Fingerprint(),
+					}
+					if ix != nil {
+						f.ID = ix.Identify(l)
+					}
+					rep.Findings = append(rep.Findings, f)
+					sawList = true
+					if strings.Contains(p, "vendor/") || strings.Contains(p, "gems/") ||
+						strings.Contains(p, "node_modules/") || strings.Contains(p, "jre/") {
+						depLibrary = "vendored"
+					}
+					if strings.Contains(p, "test") || strings.Contains(p, "fixtures") {
+						testOnly = true
+					}
+					return nil
+				}
+			}
+		}
+
+		// Heuristic source inspection.
+		switch {
+		case isBuildFile(name):
+			content, err := readCapped(fsys, p)
+			if err != nil {
+				return err
+			}
+			if mentionsPSLFetch(string(content)) {
+				fetchInBuild = true
+				rep.Evidence = append(rep.Evidence, "fetch in build file: "+p)
+			}
+		case isSourceFile(ext):
+			content, err := readCapped(fsys, p)
+			if err != nil {
+				return err
+			}
+			s := string(content)
+			if mentionsPSLFetch(s) {
+				fetchInSource = true
+				rep.Evidence = append(rep.Evidence, "fetch in source: "+p)
+				if strings.Contains(s, "daemon") || strings.Contains(s, "serve_forever") ||
+					strings.Contains(s, "ListenAndServe") {
+					daemonHints = true
+				}
+			}
+			if lib := dependencyLibraryIn(s); lib != "" && depLibrary == "" {
+				depLibrary = lib
+				rep.Evidence = append(rep.Evidence, "dependency manifest: "+p+" ("+lib+")")
+			}
+		case name == "requirements.txt" || name == "Gemfile" || name == "go.mod" || name == "pom.xml":
+			content, err := readCapped(fsys, p)
+			if err != nil {
+				return err
+			}
+			if lib := dependencyLibraryIn(string(content)); lib != "" {
+				depLibrary = lib
+				rep.Evidence = append(rep.Evidence, "dependency manifest: "+p+" ("+lib+")")
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Classification, mirroring Table 1's taxonomy.
+	switch {
+	case depLibrary != "" && !fetchInBuild && !fetchInSource:
+		rep.Strategy, rep.Sub = repos.StrategyDependency, repos.SubLibrary
+	case fetchInBuild:
+		rep.Strategy, rep.Sub = repos.StrategyUpdated, repos.SubBuild
+	case fetchInSource && daemonHints:
+		rep.Strategy, rep.Sub = repos.StrategyUpdated, repos.SubServer
+	case fetchInSource:
+		rep.Strategy, rep.Sub = repos.StrategyUpdated, repos.SubUser
+	case sawList && testOnly:
+		rep.Strategy, rep.Sub = repos.StrategyFixed, repos.SubTest
+	default:
+		rep.Strategy, rep.Sub = repos.StrategyFixed, repos.SubProduction
+	}
+
+	sort.Slice(rep.Findings, func(i, j int) bool {
+		return rep.Findings[i].ID.AgeDays > rep.Findings[j].ID.AgeDays
+	})
+	return rep, nil
+}
+
+// readCapped reads a file, bounding the size.
+func readCapped(fsys fs.FS, p string) ([]byte, error) {
+	b, err := fs.ReadFile(fsys, p)
+	if err != nil {
+		return nil, err
+	}
+	if len(b) > maxSniffSize {
+		b = b[:maxSniffSize]
+	}
+	return b, nil
+}
+
+// isBuildFile recognises build-system entry points.
+func isBuildFile(name string) bool {
+	switch name {
+	case "Makefile", "makefile", "GNUmakefile", "build.gradle", "build.sh",
+		"CMakeLists.txt", "Rakefile", "justfile":
+		return true
+	}
+	return false
+}
+
+// isSourceFile recognises source code by extension.
+func isSourceFile(ext string) bool {
+	switch ext {
+	case ".go", ".py", ".rb", ".js", ".ts", ".java", ".rs", ".c", ".cc", ".cpp", ".php", ".sh":
+		return true
+	}
+	return false
+}
+
+// mentionsPSLFetch reports whether content fetches the public suffix
+// list over the network.
+func mentionsPSLFetch(content string) bool {
+	if !strings.Contains(content, "publicsuffix.org") &&
+		!strings.Contains(content, "public_suffix_list.dat") {
+		return false
+	}
+	for _, kw := range []string{"curl", "wget", "http.Get", "urlopen", "requests.get",
+		"fetch(", "HttpClient", "URLConnection", "urllib", "https://"} {
+		if strings.Contains(content, kw) {
+			return true
+		}
+	}
+	return false
+}
+
+// dependencyLibraryIn spots well-known PSL-consuming libraries in a
+// dependency manifest or source file.
+func dependencyLibraryIn(content string) string {
+	for _, lib := range []string{
+		"publicsuffix2", "publicsuffixlist", "oneforall", "python-whois",
+		"domain_name", "ddns-scripts", "psl-", "github.com/weppos/publicsuffix-go",
+		"golang.org/x/net/publicsuffix",
+	} {
+		if strings.Contains(content, lib) {
+			return lib
+		}
+	}
+	return ""
+}

@@ -1,0 +1,319 @@
+package scanner
+
+import (
+	"archive/zip"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/fstest"
+
+	"repro/internal/history"
+	"repro/internal/psl"
+	"repro/internal/repos"
+)
+
+var (
+	testHistory = history.Generate(history.Config{Seed: history.DefaultSeed})
+	testIndex   = NewVersionIndex(testHistory)
+)
+
+func TestIdentifyExact(t *testing.T) {
+	for _, seq := range []int{0, 100, 571, testHistory.Len() - 1} {
+		l := testHistory.ListAt(seq)
+		id := testIndex.Identify(l)
+		if id.Exact < 0 {
+			t.Errorf("v%d not identified exactly (nearest %d, sim %.3f)", seq, id.Nearest, id.Similarity)
+			continue
+		}
+		// The earliest version with the same rule set is reported;
+		// empty-delta versions alias to their predecessor.
+		if got := testHistory.Meta(id.Exact).Rules; got != l.Len() {
+			t.Errorf("v%d: exact match %d has %d rules, want %d", seq, id.Exact, got, l.Len())
+		}
+		if id.Similarity != 1 {
+			t.Errorf("v%d: exact match with similarity %v", seq, id.Similarity)
+		}
+	}
+}
+
+func TestIdentifyNearestForPerturbedList(t *testing.T) {
+	seq := 800
+	l := testHistory.ListAt(seq)
+	// Perturb: drop two rules and add a foreign one, as a project that
+	// locally patched its copy would.
+	rules := l.Rules()
+	perturbed := psl.NewList(rules[2:])
+	perturbed = perturbed.WithRules(psl.Rule{Suffix: "locally-patched.example"})
+	id := testIndex.Identify(perturbed)
+	if id.Exact != -1 {
+		t.Fatalf("perturbed list identified exactly as v%d", id.Exact)
+	}
+	if id.Nearest < seq-12 || id.Nearest > seq+12 {
+		t.Errorf("nearest = v%d, want within ±12 of v%d", id.Nearest, seq)
+	}
+	if id.Similarity < 0.99 {
+		t.Errorf("similarity = %v, want ~1", id.Similarity)
+	}
+	if id.MissingVsLatest <= 0 {
+		t.Error("perturbed old list should miss rules vs latest")
+	}
+}
+
+func TestIdentifyAgeAndMissing(t *testing.T) {
+	old := testHistory.ListAt(200)
+	id := testIndex.Identify(old)
+	wantAge := testHistory.AgeOfVersion(id.Nearest)
+	if id.AgeDays != wantAge {
+		t.Errorf("age = %d, want %d", id.AgeDays, wantAge)
+	}
+	latest := testHistory.Latest()
+	d := psl.DiffLists(old, latest)
+	if id.MissingVsLatest != len(d.Added) {
+		t.Errorf("missing vs latest = %d, diff says %d", id.MissingVsLatest, len(d.Added))
+	}
+}
+
+func TestLooksLikeList(t *testing.T) {
+	if !LooksLikeList([]byte("// ===BEGIN ICANN DOMAINS===\ncom\n")) {
+		t.Error("marker not recognised")
+	}
+	var big string
+	for i := 0; i < 60; i++ {
+		big += "suffix" + string(rune('a'+i%26)) + ".example\n"
+	}
+	if !LooksLikeList([]byte(big)) {
+		t.Error("dense rule file not recognised")
+	}
+	if LooksLikeList([]byte("just some words\nnot a list\n")) {
+		t.Error("prose misrecognised as list")
+	}
+	if LooksLikeList([]byte("com\nnet\n")) {
+		t.Error("tiny file should not count (needs >= 50 rules)")
+	}
+}
+
+// scanTree builds an in-memory tree and scans it.
+func scanTree(t *testing.T, files map[string]string) *Report {
+	t.Helper()
+	fsys := fstest.MapFS{}
+	for p, content := range files {
+		fsys[p] = &fstest.MapFile{Data: []byte(content)}
+	}
+	rep, err := Scan(fsys, "test", testIndex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestScanFixedProject(t *testing.T) {
+	listText := testHistory.ListAt(700).Serialize()
+	rep := scanTree(t, map[string]string{
+		"data/public_suffix_list.dat": listText,
+		"src/app.py":                  "open('data/public_suffix_list.dat')\n",
+	})
+	if len(rep.Findings) != 1 {
+		t.Fatalf("findings = %d, want 1", len(rep.Findings))
+	}
+	f := rep.Findings[0]
+	if f.ID.Exact < 0 {
+		t.Errorf("embedded version not exactly identified: %+v", f.ID)
+	}
+	if rep.Strategy != repos.StrategyFixed || rep.Sub != repos.SubProduction {
+		t.Errorf("classified %v/%v, want fixed/production", rep.Strategy, rep.Sub)
+	}
+	if rep.OldestAgeDays() != testHistory.AgeOfVersion(f.ID.Nearest) {
+		t.Error("OldestAgeDays mismatch")
+	}
+}
+
+func TestScanBuildUpdatedProject(t *testing.T) {
+	rep := scanTree(t, map[string]string{
+		"data/public_suffix_list.dat": testHistory.ListAt(900).Serialize(),
+		"Makefile":                    "psl:\n\tcurl https://publicsuffix.org/list/public_suffix_list.dat -o data/public_suffix_list.dat\n",
+	})
+	if rep.Strategy != repos.StrategyUpdated || rep.Sub != repos.SubBuild {
+		t.Errorf("classified %v/%v, want updated/build", rep.Strategy, rep.Sub)
+	}
+}
+
+func TestScanServerUpdatedProject(t *testing.T) {
+	rep := scanTree(t, map[string]string{
+		"src/daemon.py": "import urllib.request\nurllib.request.urlopen('https://publicsuffix.org/list/public_suffix_list.dat')\ndef serve_forever(): pass\n",
+	})
+	if rep.Strategy != repos.StrategyUpdated || rep.Sub != repos.SubServer {
+		t.Errorf("classified %v/%v, want updated/server", rep.Strategy, rep.Sub)
+	}
+}
+
+func TestScanUserUpdatedProject(t *testing.T) {
+	rep := scanTree(t, map[string]string{
+		"src/app.py": "import urllib.request\nurllib.request.urlopen('https://publicsuffix.org/list/public_suffix_list.dat')\n",
+	})
+	if rep.Strategy != repos.StrategyUpdated || rep.Sub != repos.SubUser {
+		t.Errorf("classified %v/%v, want updated/user", rep.Strategy, rep.Sub)
+	}
+}
+
+func TestScanDependencyProject(t *testing.T) {
+	rep := scanTree(t, map[string]string{
+		"requirements.txt": "python-whois==0.8\n",
+	})
+	if rep.Strategy != repos.StrategyDependency {
+		t.Errorf("classified %v, want dependency", rep.Strategy)
+	}
+}
+
+func TestScanTestOnlyProject(t *testing.T) {
+	rep := scanTree(t, map[string]string{
+		"tests/fixtures/public_suffix_list.dat": testHistory.ListAt(500).Serialize(),
+	})
+	if rep.Strategy != repos.StrategyFixed || rep.Sub != repos.SubTest {
+		t.Errorf("classified %v/%v, want fixed/test", rep.Strategy, rep.Sub)
+	}
+}
+
+func TestScanRenamedListDetected(t *testing.T) {
+	rep := scanTree(t, map[string]string{
+		"resources/tld-data.dat": testHistory.ListAt(300).Serialize(),
+	})
+	if len(rep.Findings) != 1 {
+		t.Fatalf("renamed list not sniffed: %d findings", len(rep.Findings))
+	}
+}
+
+func TestScanIgnoresGitDir(t *testing.T) {
+	rep := scanTree(t, map[string]string{
+		".git/objects/packed.dat": testHistory.ListAt(300).Serialize(),
+	})
+	if len(rep.Findings) != 0 {
+		t.Error("scanner descended into .git")
+	}
+}
+
+// TestScanMaterializedCorpus is the end-to-end check: materialize real
+// corpus entries to disk, scan them, and verify the detected version
+// age matches the calibrated list age and the strategy classification
+// round-trips.
+func TestScanMaterializedCorpus(t *testing.T) {
+	corpus := repos.Corpus(history.DefaultSeed)
+	rng := rand.New(rand.NewSource(7))
+	checked := 0
+	for _, r := range corpus {
+		if !r.HasKnownAge() || rng.Intn(10) != 0 && checked > 0 {
+			continue
+		}
+		if checked >= 6 {
+			break
+		}
+		checked++
+		dir := filepath.Join(t.TempDir(), "repo")
+		embedded := testHistory.ListAt(testHistory.IndexForAge(r.ListAgeDays))
+		if err := repos.Materialize(dir, r, embedded); err != nil {
+			t.Fatalf("materialize %s: %v", r.Name, err)
+		}
+		rep, err := Scan(os.DirFS(dir), r.Name, testIndex)
+		if err != nil {
+			t.Fatalf("scan %s: %v", r.Name, err)
+		}
+		if len(rep.Findings) == 0 {
+			t.Errorf("%s (%v/%v): no embedded list found", r.Name, r.Strategy, r.Sub)
+			continue
+		}
+		got := rep.Findings[0].ID.AgeDays
+		// The materialized version is the one in effect at the repo's
+		// list age; its own age may differ by up to one release gap.
+		if diff := got - r.ListAgeDays; diff > 14 || diff < -14 {
+			t.Errorf("%s: detected age %d, calibrated %d", r.Name, got, r.ListAgeDays)
+		}
+		if rep.Strategy != r.Strategy {
+			t.Errorf("%s: classified %v, want %v", r.Name, rep.Strategy, r.Strategy)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no corpus entries checked")
+	}
+}
+
+// writeZip builds a zip archive with the given files.
+func writeZip(t *testing.T, path string, files map[string]string) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	zw := zip.NewWriter(f)
+	for name, content := range files {
+		w, err := zw.Create(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.Write([]byte(content)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanZipWithGitHubRoot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "repo.zip")
+	writeZip(t, path, map[string]string{
+		"myrepo-main/data/public_suffix_list.dat": testHistory.ListAt(600).Serialize(),
+		"myrepo-main/src/app.py":                  "open('data/public_suffix_list.dat')\n",
+	})
+	rep, err := ScanZip(path, testIndex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Findings) != 1 {
+		t.Fatalf("findings = %v", rep.Findings)
+	}
+	if rep.Findings[0].Path != "data/public_suffix_list.dat" {
+		t.Errorf("finding path = %q, want wrapper directory stripped", rep.Findings[0].Path)
+	}
+	if rep.Findings[0].ID.Exact < 0 {
+		t.Error("embedded version not identified")
+	}
+	if rep.Root != path+"!myrepo-main" {
+		t.Errorf("root = %q", rep.Root)
+	}
+}
+
+func TestScanZipFlat(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "flat.zip")
+	writeZip(t, path, map[string]string{
+		"a/public_suffix_list.dat": testHistory.ListAt(300).Serialize(),
+		"b/readme.txt":             "hello",
+	})
+	rep, err := ScanZip(path, testIndex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Findings) != 1 {
+		t.Fatalf("findings = %v", rep.Findings)
+	}
+}
+
+func TestScanZipMissing(t *testing.T) {
+	if _, err := ScanZip(filepath.Join(t.TempDir(), "nope.zip"), testIndex); err == nil {
+		t.Error("missing archive accepted")
+	}
+}
+
+func BenchmarkVersionIndexBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		NewVersionIndex(testHistory)
+	}
+}
+
+func BenchmarkIdentify(b *testing.B) {
+	l := testHistory.ListAt(800)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		testIndex.Identify(l)
+	}
+}

@@ -1,0 +1,50 @@
+package scanner
+
+import (
+	"archive/zip"
+	"fmt"
+	"io/fs"
+	"strings"
+)
+
+// ScanZip scans a zip archive (e.g. a GitHub "Download ZIP" artifact)
+// without extracting it. Archives from GitHub wrap the tree in a
+// single "<repo>-<ref>/" directory; when every entry shares one root
+// the scan is labelled and rooted there.
+func ScanZip(path string, ix *VersionIndex) (*Report, error) {
+	zr, err := zip.OpenReader(path)
+	if err != nil {
+		return nil, fmt.Errorf("scanner: opening %s: %w", path, err)
+	}
+	defer zr.Close()
+	label := path
+	if root := commonRoot(&zr.Reader); root != "" {
+		label = path + "!" + root
+		sub, err := fs.Sub(&zr.Reader, root)
+		if err != nil {
+			return nil, err
+		}
+		return Scan(sub, label, ix)
+	}
+	return Scan(&zr.Reader, label, ix)
+}
+
+// commonRoot returns the single top-level directory shared by every
+// archive entry, or "".
+func commonRoot(r *zip.Reader) string {
+	root := ""
+	for _, f := range r.File {
+		name := f.Name
+		i := strings.IndexByte(name, '/')
+		if i <= 0 {
+			return ""
+		}
+		top := name[:i]
+		if root == "" {
+			root = top
+		} else if root != top {
+			return ""
+		}
+	}
+	return root
+}

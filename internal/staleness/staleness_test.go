@@ -1,0 +1,114 @@
+package staleness
+
+import (
+	"strings"
+	"testing"
+)
+
+// linearHarm is a simple monotone harm curve for tests.
+func linearHarm(ageDays int) int { return ageDays * 10 }
+
+func TestFixedAgesLinearly(t *testing.T) {
+	res := Simulate(Config{Seed: 1, HorizonDays: 1000, Trials: 1},
+		Policy{Name: "fixed", Kind: Fixed, InitialAgeDays: 100}, nil)
+	// Ages run 101..1100; mean 600.5, median ~601.
+	if res.MeanAgeDays < 595 || res.MeanAgeDays > 606 {
+		t.Errorf("fixed mean age = %v, want ~600", res.MeanAgeDays)
+	}
+	if res.P95AgeDays < 1000 {
+		t.Errorf("fixed p95 = %v, want near horizon end", res.P95AgeDays)
+	}
+}
+
+func TestReliablePeriodicStaysFresh(t *testing.T) {
+	res := Simulate(Config{Seed: 1, HorizonDays: 1000, Trials: 10},
+		Policy{Kind: Periodic, IntervalDays: 1, FailureProb: 0}, nil)
+	if res.MeanAgeDays > 1.01 {
+		t.Errorf("daily updater mean age = %v, want ~1", res.MeanAgeDays)
+	}
+}
+
+func TestFailureProbDegradesFreshness(t *testing.T) {
+	cfg := Config{Seed: 7, HorizonDays: 2000, Trials: 20}
+	reliable := Simulate(cfg, Policy{Kind: Restart, IntervalDays: 7, FailureProb: 0.01}, nil)
+	flaky := Simulate(cfg, Policy{Kind: Restart, IntervalDays: 7, FailureProb: 0.8}, nil)
+	if flaky.MeanAgeDays <= reliable.MeanAgeDays {
+		t.Errorf("flaky (%v) should be staler than reliable (%v)",
+			flaky.MeanAgeDays, reliable.MeanAgeDays)
+	}
+}
+
+func TestCadenceOrdersStaleness(t *testing.T) {
+	cfg := Config{Seed: 3, HorizonDays: 2000, Trials: 20}
+	weekly := Simulate(cfg, Policy{Kind: Restart, IntervalDays: 7, FailureProb: 0.05}, nil)
+	yearly := Simulate(cfg, Policy{Kind: Restart, IntervalDays: 365, FailureProb: 0.05}, nil)
+	if weekly.MeanAgeDays >= yearly.MeanAgeDays {
+		t.Errorf("weekly (%v) should be fresher than yearly (%v)",
+			weekly.MeanAgeDays, yearly.MeanAgeDays)
+	}
+}
+
+func TestHarmTracksAge(t *testing.T) {
+	cfg := Config{Seed: 5, HorizonDays: 1000, Trials: 5}
+	fresh := Simulate(cfg, Policy{Kind: Periodic, IntervalDays: 1, FailureProb: 0}, linearHarm)
+	stale := Simulate(cfg, Policy{Kind: Fixed, InitialAgeDays: 500}, linearHarm)
+	if fresh.MeanMissingHostnames >= stale.MeanMissingHostnames {
+		t.Errorf("fresh harm %v should be below stale harm %v",
+			fresh.MeanMissingHostnames, stale.MeanMissingHostnames)
+	}
+	// Harm is the curve applied to the mean age, for a linear curve.
+	want := stale.MeanAgeDays * 10
+	if d := stale.MeanMissingHostnames - want; d > 1 || d < -1 {
+		t.Errorf("linear-harm identity violated: %v vs %v", stale.MeanMissingHostnames, want)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := Config{Seed: 9, HorizonDays: 500, Trials: 5}
+	p := Policy{Kind: Restart, IntervalDays: 30, FailureProb: 0.3}
+	a := Simulate(cfg, p, nil)
+	b := Simulate(cfg, p, nil)
+	if a != b {
+		t.Error("identical seeds produced different results")
+	}
+}
+
+func TestCompareAndDefaults(t *testing.T) {
+	cfg := Config{Seed: 1, HorizonDays: 365, Trials: 3}
+	results := Compare(cfg, DefaultPolicies(), linearHarm)
+	if len(results) != len(DefaultPolicies()) {
+		t.Fatalf("results = %d", len(results))
+	}
+	// The daily periodic updater must beat the fixed policy.
+	var fixed, daily Result
+	for _, r := range results {
+		switch {
+		case strings.HasPrefix(r.Policy.Name, "fixed"):
+			fixed = r
+		case r.Policy.Name == "periodic daily":
+			daily = r
+		}
+	}
+	if daily.MeanMissingHostnames >= fixed.MeanMissingHostnames {
+		t.Errorf("daily updater (%v) should beat fixed (%v)",
+			daily.MeanMissingHostnames, fixed.MeanMissingHostnames)
+	}
+	if !strings.Contains(fixed.String(), "mean age") {
+		t.Errorf("String() = %q", fixed.String())
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Fixed.String() != "fixed" || Build.String() != "build" ||
+		Restart.String() != "restart" || Periodic.String() != "periodic" {
+		t.Error("kind names wrong")
+	}
+}
+
+func BenchmarkSimulateFiveYears(b *testing.B) {
+	cfg := Config{Seed: 1}
+	p := Policy{Kind: Restart, IntervalDays: 7, FailureProb: 0.05}
+	for i := 0; i < b.N; i++ {
+		Simulate(cfg, p, linearHarm)
+	}
+}

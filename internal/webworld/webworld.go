@@ -1,0 +1,130 @@
+// Package webworld serves a synthetic Web derived from an HTTP Archive
+// snapshot: every page host serves an HTML document whose subresources
+// and outlinks reproduce the snapshot's request pairs. Together with
+// package crawler it closes the loop on the paper's methodology — the
+// corpus the pipeline analyses can be re-collected by actually crawling
+// it over HTTP.
+//
+// All hosts are served by a single handler that dispatches on the Host
+// header; tests and examples point a crawler at it through a transport
+// that dials every hostname to the one test server.
+package webworld
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/domain"
+	"repro/internal/httparchive"
+)
+
+// World is the synthetic web.
+type World struct {
+	// pages maps a page host to its outgoing resource requests.
+	pages map[string][]resource
+	// assets is the set of non-page hosts (they serve plain bodies).
+	assets map[string]bool
+	// nav maps each page host to a few other page hosts, giving the
+	// crawler a connected graph.
+	nav map[string][]string
+	// served counts requests handled, for tests.
+	served atomic.Int64
+}
+
+// resource is one subresource reference with its request count.
+type resource struct {
+	host  string
+	count int
+}
+
+// New builds the world from a snapshot. Page hosts are those appearing
+// on the page side of at least one pair.
+func New(snap *httparchive.Snapshot) *World {
+	w := &World{
+		pages:  make(map[string][]resource),
+		assets: make(map[string]bool),
+		nav:    make(map[string][]string),
+	}
+	for _, p := range snap.Pairs {
+		page := snap.Hosts[p.Page]
+		req := snap.Hosts[p.Req]
+		w.pages[page] = append(w.pages[page], resource{host: req, count: int(p.Count)})
+		w.assets[req] = true
+	}
+	// Deterministic navigation ring over sorted page hosts: each page
+	// links to the next three.
+	hosts := make([]string, 0, len(w.pages))
+	for h := range w.pages {
+		hosts = append(hosts, h)
+	}
+	sort.Strings(hosts)
+	for i, h := range hosts {
+		for k := 1; k <= 3 && len(hosts) > 1; k++ {
+			w.nav[h] = append(w.nav[h], hosts[(i+k)%len(hosts)])
+		}
+	}
+	return w
+}
+
+// PageHosts returns the page hosts in deterministic order.
+func (w *World) PageHosts() []string {
+	hosts := make([]string, 0, len(w.pages))
+	for h := range w.pages {
+		hosts = append(hosts, h)
+	}
+	sort.Strings(hosts)
+	return hosts
+}
+
+// Served reports the number of requests handled.
+func (w *World) Served() int64 { return w.served.Load() }
+
+// ServeHTTP implements http.Handler, dispatching on the Host header.
+func (w *World) ServeHTTP(rw http.ResponseWriter, r *http.Request) {
+	w.served.Add(1)
+	host := domain.Normalize(hostOnly(r.Host))
+	if resources, ok := w.pages[host]; ok && r.URL.Path == "/" {
+		rw.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprint(rw, w.renderPage(host, resources))
+		return
+	}
+	if w.assets[host] || w.pages[host] != nil {
+		rw.Header().Set("Content-Type", "application/octet-stream")
+		fmt.Fprintf(rw, "asset body for %s%s\n", host, r.URL.Path)
+		return
+	}
+	http.NotFound(rw, r)
+}
+
+// renderPage emits deterministic HTML with one tag per resource
+// request (script/img alternating) and nav links to other pages.
+func (w *World) renderPage(host string, resources []resource) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "<!DOCTYPE html>\n<html><head><title>%s</title>\n", host)
+	for i, res := range resources {
+		for c := 0; c < res.count; c++ {
+			if i%2 == 0 {
+				fmt.Fprintf(&b, `<script src="http://%s/asset-%d.js"></script>`+"\n", res.host, c)
+			} else {
+				fmt.Fprintf(&b, `<img src="http://%s/img-%d.png">`+"\n", res.host, c)
+			}
+		}
+	}
+	b.WriteString("</head><body>\n")
+	for _, nav := range w.nav[host] {
+		fmt.Fprintf(&b, `<a href="http://%s/">%s</a>`+"\n", nav, nav)
+	}
+	b.WriteString("</body></html>\n")
+	return b.String()
+}
+
+// hostOnly strips a port from a Host header value.
+func hostOnly(hostport string) string {
+	if i := strings.LastIndexByte(hostport, ':'); i >= 0 && !strings.Contains(hostport[i:], "]") {
+		return hostport[:i]
+	}
+	return hostport
+}

@@ -1,0 +1,92 @@
+package webworld
+
+import (
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/history"
+	"repro/internal/httparchive"
+)
+
+var (
+	testHistory  = history.Generate(history.Config{Seed: history.DefaultSeed})
+	testSnapshot = httparchive.Generate(httparchive.Config{Seed: 1, Scale: 0.002}, testHistory)
+	testWorld    = New(testSnapshot)
+)
+
+func get(t *testing.T, host, path string) (int, string) {
+	t.Helper()
+	req := httptest.NewRequest("GET", "http://"+host+path, nil)
+	req.Host = host
+	rw := httptest.NewRecorder()
+	testWorld.ServeHTTP(rw, req)
+	body, _ := io.ReadAll(rw.Result().Body)
+	return rw.Result().StatusCode, string(body)
+}
+
+func TestPageRendersResources(t *testing.T) {
+	pages := testWorld.PageHosts()
+	if len(pages) == 0 {
+		t.Fatal("no page hosts")
+	}
+	status, body := get(t, pages[0], "/")
+	if status != 200 {
+		t.Fatalf("page status %d", status)
+	}
+	if !strings.Contains(body, "<script src=") && !strings.Contains(body, "<img src=") {
+		t.Error("page has no subresources")
+	}
+	if !strings.Contains(body, `<a href="http://`) {
+		t.Error("page has no nav links")
+	}
+}
+
+func TestAssetHostsServeBodies(t *testing.T) {
+	// Find an asset host from a page body.
+	_, body := get(t, testWorld.PageHosts()[0], "/")
+	i := strings.Index(body, `src="http://`)
+	if i < 0 {
+		t.Fatal("no src in page")
+	}
+	rest := body[i+len(`src="http://`):]
+	host := rest[:strings.IndexByte(rest, '/')]
+	status, assetBody := get(t, host, "/asset-0.js")
+	if status != 200 || !strings.Contains(assetBody, "asset body for") {
+		t.Errorf("asset fetch: %d %q", status, assetBody)
+	}
+}
+
+func TestUnknownHost404s(t *testing.T) {
+	if status, _ := get(t, "no-such-host.example", "/"); status != 404 {
+		t.Errorf("unknown host status %d, want 404", status)
+	}
+}
+
+func TestHostWithPortDispatches(t *testing.T) {
+	status, _ := get(t, testWorld.PageHosts()[0]+":8080", "/")
+	if status != 200 {
+		t.Errorf("host:port dispatch failed: %d", status)
+	}
+}
+
+func TestServedCounter(t *testing.T) {
+	before := testWorld.Served()
+	get(t, testWorld.PageHosts()[0], "/")
+	if testWorld.Served() != before+1 {
+		t.Error("served counter not incremented")
+	}
+}
+
+func TestPageHostsSortedAndStable(t *testing.T) {
+	a, b := testWorld.PageHosts(), testWorld.PageHosts()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("PageHosts not stable")
+		}
+		if i > 0 && a[i] <= a[i-1] {
+			t.Fatal("PageHosts not sorted")
+		}
+	}
+}
