@@ -6,6 +6,8 @@
 package repro
 
 import (
+	"math/rand"
+	"strconv"
 	"sync"
 	"testing"
 
@@ -14,6 +16,8 @@ import (
 	"repro/internal/history"
 	"repro/internal/iana"
 	"repro/internal/repos"
+	"repro/internal/serve"
+	"repro/internal/serve/loadgen"
 	"repro/internal/staleness"
 )
 
@@ -149,6 +153,79 @@ func BenchmarkHarmByCategory(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		e.Pipeline().HarmByCategory(e.Corpus, db)
 	}
+}
+
+// --- serving layer ----------------------------------------------------
+
+// serveBenchEnv is shared by the serve benchmarks: a query service over
+// a down-scaled history plus a deterministic host pool. Generation cost
+// is paid once, outside any timer.
+var (
+	serveOnce  sync.Once
+	serveSvc   *serve.Service
+	serveHosts []string
+)
+
+func serveEnv(b *testing.B) (*serve.Service, []string) {
+	b.Helper()
+	serveOnce.Do(func() {
+		h := history.Generate(history.Config{Seed: history.DefaultSeed, Versions: 60})
+		serveSvc = serve.NewFromHistory(h, h.Len()-1, serve.Options{})
+		serveHosts = loadgen.Hostnames(serveSvc.Current().List, 4096, 17)
+	})
+	return serveSvc, serveHosts
+}
+
+// BenchmarkServeLookup measures the query service's two lookup paths:
+// "cached" replays a warm working set (pure cache hits), "cold" makes
+// every query a never-seen hostname (normalize + match + cache insert).
+// The gap between the two is the cache's value; the acceptance bar is
+// cached >= 5x faster than cold.
+func BenchmarkServeLookup(b *testing.B) {
+	svc, hosts := serveEnv(b)
+	const working = 1024
+	b.Run("cached", func(b *testing.B) {
+		for _, h := range hosts[:working] {
+			if _, err := svc.Lookup(h); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := svc.Lookup(hosts[i%working]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			host := "h" + strconv.Itoa(i) + ".cold.example.com"
+			if _, err := svc.Lookup(host); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkServeLookupParallel drives the lock-free read path from all
+// cores with a Zipf-distributed host mix, the shape the load generator
+// uses; most lookups hit the cache, as production traffic would.
+func BenchmarkServeLookupParallel(b *testing.B) {
+	svc, hosts := serveEnv(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(23))
+		zipf := rand.NewZipf(rng, 1.3, 1, uint64(len(hosts)-1))
+		for pb.Next() {
+			if _, err := svc.Lookup(hosts[zipf.Uint64()]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // --- ablations (DESIGN.md section 5) ---------------------------------

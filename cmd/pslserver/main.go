@@ -1,54 +1,86 @@
 // Command pslserver publishes the simulated public-suffix-list history
 // over HTTP, standing in for publicsuffix.org in the examples and in
-// update-strategy experiments.
+// update-strategy experiments, and mounts the production query API of
+// internal/serve next to the raw-list endpoints.
 //
 //	GET /list/public_suffix_list.dat   the configured current version
 //	GET /v/<seq>                       a specific historical version
+//	GET /v1/lookup?host=H[&version=N]  eTLD / eTLD+1 JSON answer
+//	GET /v1/version                    current list version metadata
+//	GET /healthz                       liveness, cache and admission stats
 //
 // Flags:
 //
 //	-addr HOST:PORT   listen address (default 127.0.0.1:8353)
 //	-age DAYS         publish the version in effect DAYS before
 //	                  2022-12-08 (default 0 = newest)
-//	-failrate F       fail this fraction of requests with 503, to
-//	                  exercise client fallback paths
+//	-failrate F       fail this fraction of raw-list requests with 503,
+//	                  to exercise client fallback paths
 //	-seed N           history generator seed
+//	-max-in-flight N  admission bound for /v1/lookup (503 above it)
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/fetch"
 	"repro/internal/history"
+	"repro/internal/serve"
 )
+
+// newHandler assembles the combined handler: the query API owns its
+// three routes, the raw-list server owns everything else. The returned
+// service and list server are exposed for tests and for runtime
+// reconfiguration.
+func newHandler(h *history.History, seq int, failRate float64, maxInFlight int) (http.Handler, *serve.Service, *fetch.Server) {
+	fs := fetch.NewServer(h)
+	fs.SetCurrent(seq)
+	fs.SetFailureRate(failRate)
+
+	svc := serve.NewFromHistory(h, seq, serve.Options{MaxInFlight: maxInFlight})
+
+	mux := http.NewServeMux()
+	mux.Handle(serve.LookupPath, svc)
+	mux.Handle(serve.VersionPath, svc)
+	mux.Handle(serve.HealthPath, svc)
+	mux.Handle("/", fs)
+	return mux, svc, fs
+}
 
 func main() {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:8353", "listen address")
-		age      = flag.Int("age", 0, "publish the version this many days before 2022-12-08")
-		failRate = flag.Float64("failrate", 0, "fraction of requests to fail with 503")
-		seed     = flag.Int64("seed", history.DefaultSeed, "history generator seed")
+		addr        = flag.String("addr", "127.0.0.1:8353", "listen address")
+		age         = flag.Int("age", 0, "publish the version this many days before 2022-12-08")
+		failRate    = flag.Float64("failrate", 0, "fraction of raw-list requests to fail with 503")
+		seed        = flag.Int64("seed", history.DefaultSeed, "history generator seed")
+		maxInFlight = flag.Int("max-in-flight", serve.DefaultMaxInFlight, "admission bound for /v1/lookup")
 	)
 	flag.Parse()
 
 	h := history.Generate(history.Config{Seed: *seed})
-	s := fetch.NewServer(h)
 	seq := h.IndexForAge(*age)
-	s.SetCurrent(seq)
-	s.SetFailureRate(*failRate)
+	handler, _, _ := newHandler(h, seq, *failRate, *maxInFlight)
 
 	meta := h.Meta(seq)
-	fmt.Printf("pslserver: serving v%04d (%s, %d rules) on http://%s%s (failrate %.2f)\n",
-		meta.Seq, meta.Date.Format("2006-01-02"), meta.Rules, *addr, fetch.ListPath, *failRate)
+	fmt.Printf("pslserver: serving v%04d (%s, %d rules) on http://%s%s (failrate %.2f), query API at %s\n",
+		meta.Seq, meta.Date.Format("2006-01-02"), meta.Rules, *addr, fetch.ListPath, *failRate, serve.LookupPath)
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           s,
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	log.Fatal(srv.ListenAndServe())
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := serve.ListenAndServe(ctx, srv, 10*time.Second); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -1,0 +1,218 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fetch"
+	"repro/internal/history"
+	"repro/internal/psl"
+	"repro/internal/serve"
+)
+
+// testHistory is a down-scaled history: the endpoints behave the same,
+// the test suite stays fast.
+var testHistory = history.Generate(history.Config{Seed: history.DefaultSeed, Versions: 50})
+
+// bootServer starts the combined handler on an ephemeral port and
+// returns its base URL plus the handles the smoke tests poke.
+func bootServer(t *testing.T, failRate float64) (string, *serve.Service, *fetch.Server) {
+	t.Helper()
+	seq := testHistory.Len() - 1
+	handler, svc, fs := newHandler(testHistory, seq, failRate, serve.DefaultMaxInFlight)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: handler}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		go func() { done <- srv.Serve(ln) }()
+		<-ctx.Done()
+		sctx, c := context.WithTimeout(context.Background(), 5*time.Second)
+		defer c()
+		srv.Shutdown(sctx)
+	}()
+	t.Cleanup(func() {
+		cancel()
+		if err := <-done; err != http.ErrServerClosed {
+			t.Errorf("server exited: %v", err)
+		}
+	})
+	return "http://" + ln.Addr().String(), svc, fs
+}
+
+// TestSmokeEndToEnd boots the server and walks every mounted route.
+func TestSmokeEndToEnd(t *testing.T) {
+	base, _, _ := bootServer(t, 0)
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	// Raw current list: parseable and the version the server announces.
+	resp, err := client.Get(base + fetch.ListPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s, %v", fetch.ListPath, resp.Status, err)
+	}
+	l, err := psl.ParseString(string(body))
+	if err != nil {
+		t.Fatalf("current list does not parse: %v", err)
+	}
+	if l.Len() != testHistory.Meta(testHistory.Len()-1).Rules {
+		t.Errorf("current list has %d rules, want %d", l.Len(), testHistory.Meta(testHistory.Len()-1).Rules)
+	}
+
+	// Raw historical version.
+	resp, err = client.Get(base + "/v/3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v/3: %s", resp.Status)
+	}
+	if l, err := psl.ParseString(string(body)); err != nil || l.Len() != testHistory.Meta(3).Rules {
+		t.Errorf("/v/3 returned %d rules (err %v), want %d", l.Len(), err, testHistory.Meta(3).Rules)
+	}
+
+	// Query API: lookup, version, healthz.
+	resp, err = client.Get(base + serve.LookupPath + "?host=www.example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a serve.Answer
+	if err := json.NewDecoder(resp.Body).Decode(&a); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || a.Site != "example.com" || a.Seq != testHistory.Len()-1 {
+		t.Errorf("lookup answer %+v (status %s)", a, resp.Status)
+	}
+
+	resp, err = client.Get(base + serve.VersionPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vb map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&vb); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if int(vb["seq"].(float64)) != testHistory.Len()-1 {
+		t.Errorf("version body %v", vb)
+	}
+
+	resp, err = client.Get(base + serve.HealthPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(hb), `"status":"ok"`) {
+		t.Errorf("healthz: %s %s", resp.Status, hb)
+	}
+	if !strings.Contains(string(hb), `"cache_hits"`) || !strings.Contains(string(hb), `"cache_misses"`) {
+		t.Errorf("healthz missing cache counters: %s", hb)
+	}
+
+	// Unknown path 404s through the raw-list server.
+	resp, err = client.Get(base + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET /nope: %s", resp.Status)
+	}
+}
+
+// TestFailrate503Path checks -failrate affects the raw-list endpoints
+// (clients must fall back) while the query API stays up.
+func TestFailrate503Path(t *testing.T) {
+	base, _, fs := bootServer(t, 1.0)
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	resp, err := client.Get(base + fetch.ListPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("failrate 1.0: raw list status %s, want 503", resp.Status)
+	}
+
+	// The lookup API is mounted before the raw server, so it keeps
+	// answering even while list downloads fail.
+	resp, err = client.Get(base + serve.LookupPath + "?host=a.example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("lookup during failrate 1.0: %s", resp.Status)
+	}
+
+	// Healing the failure rate restores the raw path.
+	fs.SetFailureRate(0)
+	resp, err = client.Get(base + fetch.ListPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("after SetFailureRate(0): %s", resp.Status)
+	}
+	if reqs, fails := fs.Stats(); reqs < 2 || fails < 1 {
+		t.Errorf("stats = %d requests %d failures", reqs, fails)
+	}
+}
+
+// TestVersionedLookupAgainstRawList cross-checks the two halves of the
+// server: a versioned /v1/lookup answer must equal the answer computed
+// from the raw /v/<seq> download.
+func TestVersionedLookupAgainstRawList(t *testing.T) {
+	base, _, _ := bootServer(t, 0)
+	client := &http.Client{Timeout: 10 * time.Second}
+	const seq = 7
+	const host = "www.example.co.uk"
+
+	resp, err := client.Get(base + "/v/7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	l, err := psl.ParseString(string(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSuffix, _, err := l.PublicSuffix(host)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err = client.Get(base + serve.LookupPath + "?host=" + host + "&version=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a serve.Answer
+	if err := json.NewDecoder(resp.Body).Decode(&a); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if a.Seq != seq || a.ETLD != wantSuffix {
+		t.Errorf("versioned lookup %+v, raw-list oracle suffix %q", a, wantSuffix)
+	}
+}

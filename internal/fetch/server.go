@@ -12,11 +12,14 @@ package fetch
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"net/http"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/history"
 )
@@ -25,6 +28,17 @@ import (
 // the upstream layout.
 const ListPath = "/list/public_suffix_list.dat"
 
+// renderedVersion is one list version serialized once and reused by
+// every request: body bytes, strong ETag and Last-Modified time. The
+// once gate makes concurrent first requests for a version render it a
+// single time.
+type renderedVersion struct {
+	once     sync.Once
+	body     []byte
+	etag     string
+	modified time.Time
+}
+
 // Server publishes a history's list versions over HTTP.
 //
 //	GET /list/public_suffix_list.dat   -> the "current" version
@@ -32,83 +46,121 @@ const ListPath = "/list/public_suffix_list.dat"
 //
 // Responses carry ETag (the rule-set fingerprint) and Last-Modified
 // headers and honour If-None-Match / If-Modified-Since.
+//
+// All mutators (SetCurrent, SetFailureRate, FailNext) are safe to call
+// while requests are in flight: the knobs are independent atomics, so a
+// request observes each knob at one instant and never a torn mix, and
+// the response body for whatever version it reads is immutable.
 type Server struct {
 	h *history.History
 
-	mu        sync.Mutex
-	current   int
-	failRate  float64
-	failCount int
-	failCode  int
-	rng       *rand.Rand
-	requests  int
-	failures  int
+	current   atomic.Int64  // version served at ListPath
+	failRate  atomic.Uint64 // math.Float64bits of the failure fraction
+	failCount atomic.Int64  // deterministic fail-next budget
+	failCode  int           // immutable after construction
+	requests  atomic.Int64
+	failures  atomic.Int64
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	// rendered caches each version's serialized body and validators;
+	// materialising a version replays the whole event history, so
+	// doing it once per version (not once per request) is what lets
+	// the server sustain concurrent load.
+	rendered sync.Map // int -> *renderedVersion
 }
 
 // NewServer creates a server initially publishing the newest version.
 func NewServer(h *history.History) *Server {
-	return &Server{
+	s := &Server{
 		h:        h,
-		current:  h.Len() - 1,
 		failCode: http.StatusServiceUnavailable,
 		rng:      rand.New(rand.NewSource(1)),
 	}
+	s.current.Store(int64(h.Len() - 1))
+	return s
 }
 
 // SetCurrent changes which version the canonical path serves, so tests
-// can simulate the passage of time.
+// can simulate the passage of time. Safe to call concurrently with
+// in-flight requests.
 func (s *Server) SetCurrent(seq int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if seq < 0 || seq >= s.h.Len() {
 		panic(fmt.Sprintf("fetch: version %d out of range", seq))
 	}
-	s.current = seq
+	s.current.Store(int64(seq))
+}
+
+// Current reports the version currently served at ListPath.
+func (s *Server) Current() int {
+	return int(s.current.Load())
 }
 
 // SetFailureRate makes the server fail the given fraction of requests
-// (1.0 = all) with 503, exercising client fallback paths.
+// (1.0 = all) with 503, exercising client fallback paths. Safe to call
+// concurrently with in-flight requests.
 func (s *Server) SetFailureRate(p float64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.failRate = p
+	s.failRate.Store(math.Float64bits(p))
 }
 
 // FailNext makes the server fail exactly the next n requests with 503,
 // for deterministic retry tests.
 func (s *Server) FailNext(n int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.failCount = n
+	s.failCount.Store(int64(n))
 }
 
 // Stats reports requests served and failures injected.
 func (s *Server) Stats() (requests, failures int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.requests, s.failures
+	return int(s.requests.Load()), int(s.failures.Load())
+}
+
+// shouldFail decides failure injection for one request: first the
+// deterministic FailNext budget, then the random failure rate.
+func (s *Server) shouldFail() bool {
+	for {
+		n := s.failCount.Load()
+		if n <= 0 {
+			break
+		}
+		if s.failCount.CompareAndSwap(n, n-1) {
+			return true
+		}
+	}
+	p := math.Float64frombits(s.failRate.Load())
+	if p <= 0 {
+		return false
+	}
+	s.rngMu.Lock()
+	v := s.rng.Float64()
+	s.rngMu.Unlock()
+	return v < p
+}
+
+// render returns the cached serialization of version seq, building it
+// on first use.
+func (s *Server) render(seq int) *renderedVersion {
+	v, _ := s.rendered.LoadOrStore(seq, &renderedVersion{})
+	rv := v.(*renderedVersion)
+	rv.once.Do(func() {
+		l := s.h.ListAt(seq)
+		rv.body = []byte(l.Serialize())
+		rv.etag = `"` + l.Fingerprint() + `"`
+		rv.modified = s.h.Meta(seq).Date.UTC()
+	})
+	return rv
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	s.requests++
-	fail := s.failRate > 0 && s.rng.Float64() < s.failRate
-	if s.failCount > 0 {
-		s.failCount--
-		fail = true
-	}
-	if fail {
-		s.failures++
-	}
-	seq := s.current
-	s.mu.Unlock()
-
-	if fail {
+	s.requests.Add(1)
+	if s.shouldFail() {
+		s.failures.Add(1)
 		http.Error(w, "injected failure", s.failCode)
 		return
 	}
 
+	seq := s.Current()
 	switch {
 	case r.URL.Path == ListPath:
 		// seq stays as the configured current version.
@@ -124,27 +176,25 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	l := s.h.ListAt(seq)
-	etag := `"` + l.Fingerprint() + `"`
-	modified := s.h.Meta(seq).Date.UTC()
+	rv := s.render(seq)
 
-	if match := r.Header.Get("If-None-Match"); match != "" && match == etag {
+	if match := r.Header.Get("If-None-Match"); match != "" && match == rv.etag {
 		w.WriteHeader(http.StatusNotModified)
 		return
 	}
 	if since := r.Header.Get("If-Modified-Since"); since != "" {
-		if t, err := http.ParseTime(since); err == nil && !modified.After(t) {
+		if t, err := http.ParseTime(since); err == nil && !rv.modified.After(t) {
 			w.WriteHeader(http.StatusNotModified)
 			return
 		}
 	}
 
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	w.Header().Set("ETag", etag)
-	w.Header().Set("Last-Modified", modified.Format(http.TimeFormat))
+	w.Header().Set("ETag", rv.etag)
+	w.Header().Set("Last-Modified", rv.modified.Format(http.TimeFormat))
 	if r.Method == http.MethodHead {
 		return
 	}
 	// A short write means the client went away; nothing to do.
-	_, _ = w.Write([]byte(l.Serialize()))
+	_, _ = w.Write(rv.body)
 }

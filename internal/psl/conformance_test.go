@@ -64,6 +64,106 @@ func unquoteArg(s string) string {
 	return strings.Trim(s, "'")
 }
 
+// suffixSiteCase is one expectation about both PublicSuffix and Site.
+type suffixSiteCase struct {
+	host       string
+	wantSuffix string
+	wantSite   string // "" means ErrIsSuffix
+	wantICANN  bool
+}
+
+// checkSuffixSite asserts one case against the library; the same
+// answers are asserted through the HTTP API by internal/serve's
+// TestConformanceViaHTTP, which consumes the shared vector file.
+func checkSuffixSite(t *testing.T, l *List, c suffixSiteCase) {
+	t.Helper()
+	suffix, icann, err := l.PublicSuffix(c.host)
+	if err != nil {
+		t.Errorf("PublicSuffix(%q): %v", c.host, err)
+		return
+	}
+	if suffix != c.wantSuffix || icann != c.wantICANN {
+		t.Errorf("PublicSuffix(%q) = %q icann=%v, want %q icann=%v",
+			c.host, suffix, icann, c.wantSuffix, c.wantICANN)
+	}
+	site, err := l.Site(c.host)
+	if c.wantSite == "" {
+		if err == nil {
+			t.Errorf("Site(%q) = %q, want ErrIsSuffix", c.host, site)
+		}
+		return
+	}
+	if err != nil {
+		t.Errorf("Site(%q): %v, want %q", c.host, err, c.wantSite)
+		return
+	}
+	if site != c.wantSite {
+		t.Errorf("Site(%q) = %q, want %q", c.host, site, c.wantSite)
+	}
+}
+
+// TestWildcardExceptionInteraction pins how wildcard rules and their
+// exceptions compose on the fixture list — the rule shapes (ck, kobe.jp,
+// compute.amazonaws.com) behind the paper's trickiest cookie-scoping
+// cases.
+func TestWildcardExceptionInteraction(t *testing.T) {
+	l := fixture(t)
+	cases := []suffixSiteCase{
+		// *.ck with !www.ck: the exception carves one name back out.
+		{"ck", "ck", "", false},                     // bare TLD: implicit rule, wildcard needs an extra label
+		{"test.ck", "test.ck", "", true},            // wildcard makes any 2-label name a suffix
+		{"b.test.ck", "test.ck", "b.test.ck", true}, // eTLD+1 under a wildcard suffix
+		{"www.ck", "ck", "www.ck", true},            // exception: www.ck is registrable
+		{"www.www.ck", "ck", "www.ck", true},        // subdomain of the exception name
+		{"a.www.www.ck", "ck", "www.ck", true},      // deeper still
+		// *.kobe.jp with !city.kobe.jp alongside plain jp.
+		{"kobe.jp", "jp", "kobe.jp", true},                  // wildcard idle without the extra label; jp rule prevails
+		{"c.kobe.jp", "c.kobe.jp", "", true},                // wildcard promotes c.kobe.jp to a suffix
+		{"b.c.kobe.jp", "c.kobe.jp", "b.c.kobe.jp", true},   // registrable under the wildcard
+		{"city.kobe.jp", "kobe.jp", "city.kobe.jp", true},   // exception wins over the wildcard
+		{"a.city.kobe.jp", "kobe.jp", "city.kobe.jp", true}, // and scopes its whole subtree
+		// Private-section wildcard without exceptions.
+		{"compute.amazonaws.com", "com", "amazonaws.com", true}, // wildcard needs a label to its left
+		{"x.compute.amazonaws.com", "x.compute.amazonaws.com", "", false},
+		{"y.x.compute.amazonaws.com", "x.compute.amazonaws.com", "y.x.compute.amazonaws.com", false},
+	}
+	for _, c := range cases {
+		checkSuffixSite(t, l, c)
+	}
+}
+
+// TestULabelQueries pins IDNA handling: U-label (Unicode) queries in
+// any case mix must answer identically to their punycoded A-label
+// twins, always in canonical A-label form.
+func TestULabelQueries(t *testing.T) {
+	l := fixture(t)
+	cases := []suffixSiteCase{
+		{"公司.cn", "xn--55qx5d.cn", "", true},
+		{"食狮.公司.cn", "xn--55qx5d.cn", "xn--85x722f.xn--55qx5d.cn", true},
+		{"www.食狮.公司.cn", "xn--55qx5d.cn", "xn--85x722f.xn--55qx5d.cn", true},
+		{"WWW.食狮.公司.CN", "xn--55qx5d.cn", "xn--85x722f.xn--55qx5d.cn", true},
+		{"xn--85x722f.xn--55qx5d.cn", "xn--55qx5d.cn", "xn--85x722f.xn--55qx5d.cn", true},
+		{"食狮.XN--55QX5D.cn", "xn--55qx5d.cn", "xn--85x722f.xn--55qx5d.cn", true},
+		{"shishi.公司.cn", "xn--55qx5d.cn", "shishi.xn--55qx5d.cn", true},
+		{"食狮.com.cn", "com.cn", "xn--85x722f.com.cn", true},
+	}
+	for _, c := range cases {
+		checkSuffixSite(t, l, c)
+	}
+	// U-label and A-label forms of the same name answer identically.
+	pairs := [][2]string{
+		{"食狮.公司.cn", "xn--85x722f.xn--55qx5d.cn"},
+		{"www.食狮.公司.cn", "www.xn--85x722f.xn--55qx5d.cn"},
+	}
+	for _, p := range pairs {
+		su, _, err1 := l.PublicSuffix(p[0])
+		sa, _, err2 := l.PublicSuffix(p[1])
+		if err1 != nil || err2 != nil || su != sa {
+			t.Errorf("U/A-label divergence %q vs %q: %q %v / %q %v", p[0], p[1], su, err1, sa, err2)
+		}
+	}
+}
+
 // TestConformanceFile runs the embedded upstream-format vectors against
 // the fixture list, proving the engine consumes the official
 // conformance suite unmodified.

@@ -56,6 +56,66 @@ func FuzzParseList(f *testing.F) {
 	})
 }
 
+// FuzzMatchersDifferential is the matcher-equivalence fuzz test: every
+// fuzz-generated (rule set, hostname) pair is resolved by all four
+// matcher implementations (Map, Trie, Sorted, Linear) and any
+// disagreement — suffix length, implicit flag or prevailing rule —
+// fails with the offending rule set. The serving layer's snapshot is
+// held to the same Map baseline by FuzzResolveAgreesWithMap in
+// internal/serve.
+func FuzzMatchersDifferential(f *testing.F) {
+	seeds := [][2]string{
+		{fixtureList, "www.example.com"},
+		{fixtureList, "a.b.c.kobe.jp"},
+		{"*.ck\n!www.ck\n", "www.www.ck"},
+		{"uk\nco.uk\n", "a.b.co.uk"},
+		{"*.kobe.jp\n!city.kobe.jp\njp\n", "x.y.kobe.jp"},
+		{"com\n*.com\nfoo.com\n", "foo.com"},
+		{"b\n!b\n", "a.b"},
+		{"公司.cn\ncn\n", "食狮.公司.cn"},
+	}
+	for _, s := range seeds {
+		f.Add(s[0], s[1])
+	}
+	f.Fuzz(func(t *testing.T, listText, host string) {
+		l, err := ParseString(listText)
+		if err != nil || l.Len() == 0 || l.Len() > 2000 {
+			return
+		}
+		ascii, err := normalize(host)
+		if err != nil {
+			return
+		}
+		// The upstream algorithm is underspecified when several
+		// exception rules match one name (real lists never nest
+		// exceptions); skip those inputs.
+		exceptions := 0
+		for _, r := range l.Rules() {
+			if r.Exception && r.Match(ascii) {
+				exceptions++
+			}
+		}
+		if exceptions > 1 {
+			return
+		}
+		results := []struct {
+			name string
+			res  Result
+		}{
+			{"map", NewMapMatcher(l).Match(ascii)},
+			{"trie", NewTrieMatcher(l).Match(ascii)},
+			{"sorted", NewSortedMatcher(l).Match(ascii)},
+			{"linear", NewLinearMatcher(l).Match(ascii)},
+		}
+		for _, r := range results[1:] {
+			if r.res != results[0].res {
+				t.Fatalf("matcher %s disagrees with map on %q:\n %s=%+v\n map=%+v\n rules: %v",
+					r.name, ascii, r.name, r.res, results[0].res, l.Rules())
+			}
+		}
+	})
+}
+
 // FuzzMatch checks that lookups on a fixed realistic list never panic
 // and respect the basic suffix invariant for any input.
 func FuzzMatch(f *testing.F) {

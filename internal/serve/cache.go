@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// cacheShards is the number of independently locked cache segments. 64
+// keeps lock contention negligible at the concurrency levels the stress
+// harness drives (hundreds of clients) while staying cheap to allocate
+// on every snapshot swap.
+const cacheShards = 64
+
+// DefaultCacheSize is the default total entry bound of a lookup cache.
+const DefaultCacheSize = 1 << 16
+
+// Cache is a sharded lookup cache mapping normalized-or-raw host
+// queries to complete Answers. A cache belongs to exactly one snapshot:
+// the Service swaps in a fresh empty cache together with every new
+// snapshot, which makes invalidation trivial and keeps cached answers
+// trivially consistent with the version that produced them. Hit/miss
+// counters live on the Service so they survive swaps.
+type Cache struct {
+	shards   [cacheShards]cacheShard
+	maxShard int
+	size     atomic.Int64
+}
+
+type cacheShard struct {
+	mu sync.RWMutex
+	m  map[string]Answer
+}
+
+// NewCache builds a cache bounded to roughly maxEntries entries
+// (per-shard bounds, so the true ceiling is within one shard's worth).
+// maxEntries <= 0 selects DefaultCacheSize.
+func NewCache(maxEntries int) *Cache {
+	if maxEntries <= 0 {
+		maxEntries = DefaultCacheSize
+	}
+	per := maxEntries / cacheShards
+	if per < 1 {
+		per = 1
+	}
+	c := &Cache{maxShard: per}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]Answer)
+	}
+	return c
+}
+
+// shard picks the segment for a key by FNV-1a.
+func (c *Cache) shard(key string) *cacheShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return &c.shards[h%cacheShards]
+}
+
+// Get returns the cached answer for the key, if present.
+func (c *Cache) Get(key string) (Answer, bool) {
+	s := c.shard(key)
+	s.mu.RLock()
+	a, ok := s.m[key]
+	s.mu.RUnlock()
+	return a, ok
+}
+
+// Put stores an answer. A full shard evicts one arbitrary entry (map
+// iteration order), which is good enough for a cache whose lifetime is
+// one snapshot: the hot Zipf head re-establishes itself immediately.
+func (c *Cache) Put(key string, a Answer) {
+	s := c.shard(key)
+	s.mu.Lock()
+	if _, exists := s.m[key]; !exists {
+		if len(s.m) >= c.maxShard {
+			for k := range s.m {
+				delete(s.m, k)
+				c.size.Add(-1)
+				break
+			}
+		}
+		c.size.Add(1)
+	}
+	s.m[key] = a
+	s.mu.Unlock()
+}
+
+// Len reports the current number of cached entries.
+func (c *Cache) Len() int {
+	return int(c.size.Load())
+}

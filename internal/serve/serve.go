@@ -1,0 +1,347 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/history"
+	"repro/internal/psl"
+)
+
+// Options configures a Service. The zero value selects sane defaults.
+type Options struct {
+	// MaxInFlight bounds concurrently admitted /v1/lookup requests;
+	// excess requests are rejected with 503 + Retry-After. <= 0 selects
+	// DefaultMaxInFlight.
+	MaxInFlight int
+	// CacheSize bounds the lookup cache (entries). <= 0 selects
+	// DefaultCacheSize.
+	CacheSize int
+	// History, when set, enables versioned lookups (?version=N) and
+	// SetVersion, serving any historical list version on demand.
+	History *history.History
+	// VersionCacheSize bounds how many historical snapshots are kept
+	// materialised for ?version=N lookups. <= 0 selects 8.
+	VersionCacheSize int
+}
+
+// DefaultMaxInFlight is the default admission bound.
+const DefaultMaxInFlight = 256
+
+// state is the unit of atomic swap: a snapshot and the cache built for
+// it. Replacing both together means a cached answer can never outlive
+// the snapshot that produced it — cache invalidation on swap is
+// wholesale and race-free by construction.
+type state struct {
+	snap  *Snapshot
+	cache *Cache
+}
+
+// Service answers eTLD / eTLD+1 queries over HTTP against a
+// hot-swappable list snapshot. The lookup read path is lock-free: one
+// atomic load of the current state, a sharded cache probe, and (on
+// miss) a matcher walk.
+type Service struct {
+	st   atomic.Pointer[state]
+	opts Options
+
+	// swap and lookup telemetry; survive snapshot swaps.
+	gen      atomic.Uint64
+	hits     atomic.Uint64
+	misses   atomic.Uint64
+	admitted atomic.Uint64
+	rejected atomic.Uint64
+
+	// admission semaphore for /v1/lookup.
+	tokens chan struct{}
+
+	// bounded cache of materialised historical snapshots for
+	// ?version=N lookups.
+	versionMu    sync.Mutex
+	versionSnaps map[int]*Snapshot
+	versionOrder []int
+
+	mux   http.Handler
+	start time.Time
+}
+
+// New creates a service answering for the given list. seq identifies
+// the version inside opts.History (-1 when the list is standalone).
+func New(l *psl.List, seq int, opts Options) *Service {
+	if opts.MaxInFlight <= 0 {
+		opts.MaxInFlight = DefaultMaxInFlight
+	}
+	s := &Service{
+		opts:         opts,
+		tokens:       make(chan struct{}, opts.MaxInFlight),
+		versionSnaps: make(map[int]*Snapshot),
+		start:        time.Now(),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc(LookupPath, s.handleLookup)
+	mux.HandleFunc(VersionPath, s.handleVersion)
+	mux.HandleFunc(HealthPath, s.handleHealth)
+	s.mux = mux
+	s.Swap(l, seq)
+	return s
+}
+
+// NewFromHistory creates a service following the given history, serving
+// version seq initially.
+func NewFromHistory(h *history.History, seq int, opts Options) *Service {
+	opts.History = h
+	return New(h.ListAt(seq), seq, opts)
+}
+
+// Swap atomically installs a new list version. In-flight lookups keep
+// the snapshot they loaded; subsequent lookups see the new one. The
+// lookup cache is replaced wholesale with an empty cache bound to the
+// new snapshot. Returns the installed snapshot.
+func (s *Service) Swap(l *psl.List, seq int) *Snapshot {
+	snap := NewSnapshot(l, seq)
+	snap.Gen = s.gen.Add(1)
+	s.st.Store(&state{snap: snap, cache: NewCache(s.opts.CacheSize)})
+	return snap
+}
+
+// SetVersion materialises and installs history version seq. It errors
+// without a configured history or for an out-of-range seq.
+func (s *Service) SetVersion(seq int) error {
+	h := s.opts.History
+	if h == nil {
+		return errors.New("serve: no history configured")
+	}
+	if seq < 0 || seq >= h.Len() {
+		return fmt.Errorf("serve: version %d out of range [0,%d)", seq, h.Len())
+	}
+	s.Swap(s.versionSnapshot(seq).List, seq)
+	return nil
+}
+
+// Current returns the snapshot now in effect.
+func (s *Service) Current() *Snapshot { return s.st.Load().snap }
+
+// Swaps reports how many snapshots have been installed (including the
+// initial one).
+func (s *Service) Swaps() uint64 { return s.gen.Load() }
+
+// CacheStats reports cumulative lookup-cache hits and misses and the
+// current cache occupancy.
+func (s *Service) CacheStats() (hits, misses uint64, size int) {
+	return s.hits.Load(), s.misses.Load(), s.st.Load().cache.Len()
+}
+
+// Lookup answers against the current snapshot through the lookup
+// cache. The raw query string is the cache key, so repeated queries
+// skip normalization entirely on hits.
+func (s *Service) Lookup(host string) (Answer, error) {
+	st := s.st.Load()
+	if a, ok := st.cache.Get(host); ok {
+		s.hits.Add(1)
+		a.Cached = true
+		return a, nil
+	}
+	s.misses.Add(1)
+	a, err := st.snap.Resolve(host)
+	if err != nil {
+		return Answer{}, err
+	}
+	st.cache.Put(host, a)
+	return a, nil
+}
+
+// LookupAt answers against a specific history version, bypassing the
+// lookup cache (historical traffic is assumed cold); the materialised
+// snapshot itself is cached so repeated versioned queries stay cheap.
+func (s *Service) LookupAt(host string, seq int) (Answer, error) {
+	h := s.opts.History
+	if h == nil {
+		return Answer{}, errors.New("serve: no history configured")
+	}
+	if seq < 0 || seq >= h.Len() {
+		return Answer{}, fmt.Errorf("serve: version %d out of range [0,%d)", seq, h.Len())
+	}
+	return s.versionSnapshot(seq).Resolve(host)
+}
+
+// versionSnapshot returns a materialised snapshot of history version
+// seq, keeping a small FIFO-bounded cache of recently used versions.
+func (s *Service) versionSnapshot(seq int) *Snapshot {
+	s.versionMu.Lock()
+	defer s.versionMu.Unlock()
+	if snap, ok := s.versionSnaps[seq]; ok {
+		return snap
+	}
+	max := s.opts.VersionCacheSize
+	if max <= 0 {
+		max = 8
+	}
+	snap := NewSnapshot(s.opts.History.ListAt(seq), seq)
+	for len(s.versionOrder) >= max {
+		old := s.versionOrder[0]
+		s.versionOrder = s.versionOrder[1:]
+		delete(s.versionSnaps, old)
+	}
+	s.versionSnaps[seq] = snap
+	s.versionOrder = append(s.versionOrder, seq)
+	return snap
+}
+
+// --- HTTP layer ------------------------------------------------------
+
+// API paths mounted by Handler.
+const (
+	LookupPath  = "/v1/lookup"
+	VersionPath = "/v1/version"
+	HealthPath  = "/healthz"
+)
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// Handler returns the service's HTTP API:
+//
+//	GET /v1/lookup?host=H[&version=N]  eTLD / eTLD+1 answer (JSON)
+//	GET /v1/version                    current list version metadata
+//	GET /healthz                       liveness + cache/admission stats
+func (s *Service) Handler() http.Handler { return s.mux }
+
+// ServeHTTP makes the Service itself mountable as a handler.
+func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// handleLookup serves /v1/lookup behind the admission semaphore.
+func (s *Service) handleLookup(w http.ResponseWriter, r *http.Request) {
+	select {
+	case s.tokens <- struct{}{}:
+		defer func() { <-s.tokens }()
+	default:
+		s.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "server overloaded"})
+		return
+	}
+	s.admitted.Add(1)
+
+	host := r.URL.Query().Get("host")
+	if host == "" {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "missing host parameter"})
+		return
+	}
+	var (
+		a   Answer
+		err error
+	)
+	if v := r.URL.Query().Get("version"); v != "" {
+		seq, perr := strconv.Atoi(v)
+		if perr != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad version parameter"})
+			return
+		}
+		a, err = s.LookupAt(host, seq)
+		if err != nil && !errors.Is(err, psl.ErrNotDomain) {
+			writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
+			return
+		}
+	} else {
+		a, err = s.Lookup(host)
+	}
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, a)
+}
+
+// versionBody is the JSON body of /v1/version.
+type versionBody struct {
+	Version string    `json:"version"`
+	Seq     int       `json:"seq"`
+	Rules   int       `json:"rules"`
+	Date    time.Time `json:"date"`
+	Swaps   uint64    `json:"swaps"`
+}
+
+func (s *Service) handleVersion(w http.ResponseWriter, r *http.Request) {
+	snap := s.Current()
+	writeJSON(w, http.StatusOK, versionBody{
+		Version: snap.List.Version,
+		Seq:     snap.Seq,
+		Rules:   snap.List.Len(),
+		Date:    snap.List.Date,
+		Swaps:   s.Swaps(),
+	})
+}
+
+// healthBody is the JSON body of /healthz.
+type healthBody struct {
+	Status        string `json:"status"`
+	Version       string `json:"version"`
+	Seq           int    `json:"seq"`
+	Swaps         uint64 `json:"swaps"`
+	CacheHits     uint64 `json:"cache_hits"`
+	CacheMisses   uint64 `json:"cache_misses"`
+	CacheSize     int    `json:"cache_size"`
+	InFlight      int    `json:"in_flight"`
+	MaxInFlight   int    `json:"max_in_flight"`
+	Admitted      uint64 `json:"admitted"`
+	Rejected      uint64 `json:"rejected"`
+	UptimeSeconds int64  `json:"uptime_seconds"`
+}
+
+func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
+	hits, misses, size := s.CacheStats()
+	snap := s.Current()
+	writeJSON(w, http.StatusOK, healthBody{
+		Status:        "ok",
+		Version:       snap.List.Version,
+		Seq:           snap.Seq,
+		Swaps:         s.Swaps(),
+		CacheHits:     hits,
+		CacheMisses:   misses,
+		CacheSize:     size,
+		InFlight:      len(s.tokens),
+		MaxInFlight:   s.opts.MaxInFlight,
+		Admitted:      s.admitted.Load(),
+		Rejected:      s.rejected.Load(),
+		UptimeSeconds: int64(time.Since(s.start).Seconds()),
+	})
+}
+
+// ListenAndServe runs srv until ctx is cancelled, then drains it
+// gracefully (up to the given timeout) before returning. A nil error
+// means a clean shutdown.
+func ListenAndServe(ctx context.Context, srv *http.Server, shutdownTimeout time.Duration) error {
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		sctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			return err
+		}
+		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+}
