@@ -1,0 +1,28 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build test race bench bench-json bench-sanity
+
+all: build test
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./internal/psl/ ./internal/serve/ ./internal/experiments/
+
+bench:
+	go test -run '^$$' -bench . -benchmem ./internal/psl/ .
+
+# Regenerate the machine-readable performance baseline.
+bench-json:
+	go run ./cmd/pslbench -out BENCH_matchers.json
+
+# One-iteration pass over every benchmark that backs an acceptance
+# criterion, plus the zero-alloc guard tests — the CI sanity gate.
+bench-sanity:
+	go test -run '^$$' -bench 'BenchmarkMatcherAblation|BenchmarkPackedCompile9k' -benchtime=1x ./internal/psl/
+	go test -run '^$$' -bench 'BenchmarkServeLookup|BenchmarkSweep' -benchtime=1x .
+	go test -run 'ZeroAlloc' -count=1 ./internal/psl/ ./internal/serve/

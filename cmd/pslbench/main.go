@@ -1,0 +1,202 @@
+// pslbench emits the repository's machine-readable performance
+// baseline: ns/op and allocs/op for all five matcher representations
+// over the standard 9k-rule ablation list, the packed compile and blob
+// costs, and the serial-vs-parallel per-version sweep. Results are
+// written as JSON (default BENCH_matchers.json) so successive runs can
+// be diffed to track the perf trajectory.
+//
+//	go run ./cmd/pslbench -out BENCH_matchers.json
+//
+// The measurements mirror the benchmarks in internal/psl and
+// bench_test.go (same list shape, same name mix, same sweep size), just
+// run through testing.Benchmark so a single command produces one
+// comparable artefact.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/history"
+	"repro/internal/psl"
+)
+
+// benchRules mirrors internal/psl's benchList: a realistic 9k-rule mix
+// of one-label TLDs and two-label entries, plus com/co.uk/uk.
+func benchRules(n int) *psl.List {
+	rng := rand.New(rand.NewSource(99))
+	rules := make([]psl.Rule, 0, n)
+	rules = append(rules, psl.Rule{Suffix: "com"}, psl.Rule{Suffix: "co.uk"}, psl.Rule{Suffix: "uk"})
+	for len(rules) < n {
+		rules = append(rules, psl.Rule{Suffix: fmt.Sprintf("r%d.tld%d", rng.Intn(5000), rng.Intn(400))})
+	}
+	return psl.NewList(rules)
+}
+
+// benchNames is the lookup mix of the matcher ablations: common, deep,
+// listed, sub-of-listed and unlisted names.
+var benchNames = []string{
+	"www.example.com",
+	"a.b.c.d.example.co.uk",
+	"r17.tld3",
+	"deep.r17.tld3",
+	"unlisted.zone",
+}
+
+// matcherResult is one matcher's measured lookup cost.
+type matcherResult struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// sweepResult compares the serial and parallel per-version sweeps.
+type sweepResult struct {
+	Versions        int     `json:"versions"`
+	Workers         int     `json:"workers"`
+	SerialNsPerOp   float64 `json:"serial_ns_per_op"`
+	ParallelNsPerOp float64 `json:"parallel_ns_per_op"`
+	Speedup         float64 `json:"speedup"`
+}
+
+// output is the whole BENCH_matchers.json document.
+type output struct {
+	GoVersion         string                   `json:"go_version"`
+	GOMAXPROCS        int                      `json:"gomaxprocs"`
+	Rules             int                      `json:"rules"`
+	Matchers          map[string]matcherResult `json:"matchers"`
+	TrieOverPackedNs  float64                  `json:"trie_over_packed_ns_ratio"`
+	PackedCompileNsOp float64                  `json:"packed_compile_ns_per_op"`
+	PackedBlobBytes   int                      `json:"packed_blob_bytes"`
+	PackedTableBytes  int                      `json:"packed_table_bytes"`
+	Sweep             *sweepResult             `json:"sweep,omitempty"`
+	Notes             []string                 `json:"notes,omitempty"`
+}
+
+// measure runs one matcher over the standard name mix under
+// testing.Benchmark.
+func measure(m psl.Matcher) matcherResult {
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		k := 0
+		for i := 0; i < b.N; i++ {
+			m.Match(benchNames[k])
+			if k++; k == len(benchNames) {
+				k = 0
+			}
+		}
+	})
+	return matcherResult{
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+// sweepSeqs spreads n version sequences evenly over the history, like
+// bench_test.go's benchSweepSeqs.
+func sweepSeqs(e *experiments.Env, n int) []int {
+	seqs := make([]int, n)
+	for i := range seqs {
+		seqs[i] = i * (e.H.Len() - 1) / (n - 1)
+	}
+	return seqs
+}
+
+// measureSweep times the Figure 5/6/7 recomputation sweep serially and
+// across GOMAXPROCS workers, over a warmed compile cache.
+func measureSweep(scale float64, versions int) sweepResult {
+	e := experiments.New(history.DefaultSeed, scale)
+	seqs := sweepSeqs(e, versions)
+	e.Sweep(seqs, 1) // warm the compile cache; both runs time matching only
+	serial := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e.Sweep(seqs, 1)
+		}
+	})
+	parallel := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e.Sweep(seqs, 0)
+		}
+	})
+	s := sweepResult{
+		Versions:        versions,
+		Workers:         runtime.GOMAXPROCS(0),
+		SerialNsPerOp:   float64(serial.T.Nanoseconds()) / float64(serial.N),
+		ParallelNsPerOp: float64(parallel.T.Nanoseconds()) / float64(parallel.N),
+	}
+	if s.ParallelNsPerOp > 0 {
+		s.Speedup = s.SerialNsPerOp / s.ParallelNsPerOp
+	}
+	return s
+}
+
+// collect produces the full document.
+func collect(rules int, scale float64, versions int, withSweep bool) output {
+	l := benchRules(rules)
+	out := output{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Rules:      l.Len(),
+		Matchers:   make(map[string]matcherResult, 5),
+	}
+	out.Matchers["map"] = measure(psl.NewMapMatcher(l))
+	out.Matchers["trie"] = measure(psl.NewTrieMatcher(l))
+	out.Matchers["sorted"] = measure(psl.NewSortedMatcher(l))
+	out.Matchers["linear"] = measure(psl.NewLinearMatcher(l))
+	pm := psl.NewPackedMatcher(l)
+	out.Matchers["packed"] = measure(pm)
+	if p := out.Matchers["packed"].NsPerOp; p > 0 {
+		out.TrieOverPackedNs = out.Matchers["trie"].NsPerOp / p
+	}
+	compile := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			psl.NewPackedMatcher(l)
+		}
+	})
+	out.PackedCompileNsOp = float64(compile.T.Nanoseconds()) / float64(compile.N)
+	out.PackedBlobBytes = len(pm.Marshal())
+	out.PackedTableBytes = pm.SizeBytes()
+	if withSweep {
+		s := measureSweep(scale, versions)
+		out.Sweep = &s
+		if out.GOMAXPROCS < 4 {
+			out.Notes = append(out.Notes,
+				fmt.Sprintf("parallel-sweep speedup measured at GOMAXPROCS=%d; the >=2x acceptance bar applies at GOMAXPROCS>=4", out.GOMAXPROCS))
+		}
+	}
+	return out
+}
+
+func main() {
+	outPath := flag.String("out", "BENCH_matchers.json", "output JSON path ('-' for stdout)")
+	rules := flag.Int("rules", 9000, "benchmark list size")
+	scale := flag.Float64("scale", 0.2, "snapshot scale for the sweep benchmark")
+	versions := flag.Int("versions", 32, "versions per sweep")
+	noSweep := flag.Bool("no-sweep", false, "skip the per-version sweep benchmark")
+	flag.Parse()
+
+	doc := collect(*rules, *scale, *versions, !*noSweep)
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pslbench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *outPath == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "pslbench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (packed %.1f ns/op, trie/packed %.2fx)\n",
+		*outPath, doc.Matchers["packed"].NsPerOp, doc.TrieOverPackedNs)
+}

@@ -18,6 +18,8 @@
 //	                  to exercise client fallback paths
 //	-seed N           history generator seed
 //	-max-in-flight N  admission bound for /v1/lookup (503 above it)
+//	-matcher NAME     matcher implementation for lookups:
+//	                  packed (default), map, trie, sorted or linear
 package main
 
 import (
@@ -33,19 +35,30 @@ import (
 
 	"repro/internal/fetch"
 	"repro/internal/history"
+	"repro/internal/psl"
 	"repro/internal/serve"
 )
+
+// matcherConstructors maps -matcher flag values to constructors. A nil
+// constructor selects serve's default (the packed compiled matcher).
+var matcherConstructors = map[string]func(*psl.List) psl.Matcher{
+	"packed": nil,
+	"map":    func(l *psl.List) psl.Matcher { return psl.NewMapMatcher(l) },
+	"trie":   func(l *psl.List) psl.Matcher { return psl.NewTrieMatcher(l) },
+	"sorted": func(l *psl.List) psl.Matcher { return psl.NewSortedMatcher(l) },
+	"linear": func(l *psl.List) psl.Matcher { return psl.NewLinearMatcher(l) },
+}
 
 // newHandler assembles the combined handler: the query API owns its
 // three routes, the raw-list server owns everything else. The returned
 // service and list server are exposed for tests and for runtime
 // reconfiguration.
-func newHandler(h *history.History, seq int, failRate float64, maxInFlight int) (http.Handler, *serve.Service, *fetch.Server) {
+func newHandler(h *history.History, seq int, failRate float64, maxInFlight int, newMatcher func(*psl.List) psl.Matcher) (http.Handler, *serve.Service, *fetch.Server) {
 	fs := fetch.NewServer(h)
 	fs.SetCurrent(seq)
 	fs.SetFailureRate(failRate)
 
-	svc := serve.NewFromHistory(h, seq, serve.Options{MaxInFlight: maxInFlight})
+	svc := serve.NewFromHistory(h, seq, serve.Options{MaxInFlight: maxInFlight, NewMatcher: newMatcher})
 
 	mux := http.NewServeMux()
 	mux.Handle(serve.LookupPath, svc)
@@ -62,12 +75,18 @@ func main() {
 		failRate    = flag.Float64("failrate", 0, "fraction of raw-list requests to fail with 503")
 		seed        = flag.Int64("seed", history.DefaultSeed, "history generator seed")
 		maxInFlight = flag.Int("max-in-flight", serve.DefaultMaxInFlight, "admission bound for /v1/lookup")
+		matcher     = flag.String("matcher", "packed", "matcher implementation: packed, map, trie, sorted or linear")
 	)
 	flag.Parse()
 
+	newMatcher, ok := matcherConstructors[*matcher]
+	if !ok {
+		log.Fatalf("unknown -matcher %q (want packed, map, trie, sorted or linear)", *matcher)
+	}
+
 	h := history.Generate(history.Config{Seed: *seed})
 	seq := h.IndexForAge(*age)
-	handler, _, _ := newHandler(h, seq, *failRate, *maxInFlight)
+	handler, _, _ := newHandler(h, seq, *failRate, *maxInFlight, newMatcher)
 
 	meta := h.Meta(seq)
 	fmt.Printf("pslserver: serving v%04d (%s, %d rules) on http://%s%s (failrate %.2f), query API at %s\n",

@@ -25,7 +25,7 @@ var testHistory = history.Generate(history.Config{Seed: history.DefaultSeed, Ver
 func bootServer(t *testing.T, failRate float64) (string, *serve.Service, *fetch.Server) {
 	t.Helper()
 	seq := testHistory.Len() - 1
-	handler, svc, fs := newHandler(testHistory, seq, failRate, serve.DefaultMaxInFlight)
+	handler, svc, fs := newHandler(testHistory, seq, failRate, serve.DefaultMaxInFlight, nil)
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

@@ -220,30 +220,38 @@ func Host(rawURL string) string {
 
 // IsIP reports whether the name looks like an IPv4 or (bracketed or bare)
 // IPv6 address literal rather than a domain name. PSL rules never apply to
-// IP addresses.
+// IP addresses. It is on the lookup hot path for every query, so the IPv4
+// scan works label by label without allocating.
 func IsIP(name string) bool {
-	if strings.HasPrefix(name, "[") || strings.Contains(name, ":") {
+	if strings.HasPrefix(name, "[") || strings.IndexByte(name, ':') >= 0 {
 		return true
 	}
-	// IPv4: four decimal octets.
-	parts := strings.Split(name, ".")
-	if len(parts) != 4 {
-		return false
-	}
-	for _, p := range parts {
-		if len(p) == 0 || len(p) > 3 {
+	// IPv4: exactly four decimal octets, each in [0, 255].
+	octets := 0
+	start := 0
+	for i := 0; i <= len(name); i++ {
+		if i != len(name) && name[i] != '.' {
+			continue
+		}
+		l := i - start
+		if l == 0 || l > 3 {
 			return false
 		}
 		n := 0
-		for i := 0; i < len(p); i++ {
-			if p[i] < '0' || p[i] > '9' {
+		for j := start; j < i; j++ {
+			if name[j] < '0' || name[j] > '9' {
 				return false
 			}
-			n = n*10 + int(p[i]-'0')
+			n = n*10 + int(name[j]-'0')
 		}
 		if n > 255 {
 			return false
 		}
+		octets++
+		if octets > 4 {
+			return false
+		}
+		start = i + 1
 	}
-	return true
+	return octets == 4
 }

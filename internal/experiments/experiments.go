@@ -33,6 +33,9 @@ type Env struct {
 
 	pipeOnce sync.Once
 	pipe     *core.Pipeline
+
+	compiledOnce sync.Once
+	compiled     *history.CompileCache
 }
 
 // New assembles an environment. Scale 1.0 is the reference
@@ -246,9 +249,9 @@ func (e *Env) Misclassified() string {
 // hostnames via the measured harm curve (see package staleness).
 func (e *Env) Staleness() string {
 	harm := e.Pipeline().HarmCurve()
-	results := staleness.Compare(
+	results := staleness.CompareParallel(
 		staleness.Config{Seed: e.Seed, HorizonDays: 5 * 365, Trials: 50},
-		staleness.DefaultPolicies(), harm)
+		staleness.DefaultPolicies(), harm, 0)
 	t := report.NewTable("Extension: expected staleness and harm per update policy (5-year Monte Carlo)",
 		"policy", "mean age (d)", "median (d)", "p95 (d)", "mean missing hostnames").
 		AlignRight(1, 2, 3, 4)

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/domain"
+	"repro/internal/history"
+	"repro/internal/psl"
+)
+
+// VersionSample is one list version's fully recomputed statistics: the
+// Figure 5 site count, the Figure 6 third-party request count and the
+// Figure 7 divergence count, derived by matching every snapshot
+// hostname against that version's compiled matcher.
+type VersionSample struct {
+	// Seq is the list version.
+	Seq int
+	// Sites and MeanSize are the Figure 5 sample.
+	Sites    int
+	MeanSize float64
+	// ThirdParty is the Figure 6 sample: requests crossing a site
+	// boundary under this version.
+	ThirdParty int64
+	// Divergent is the Figure 7 sample: hostnames whose site differs
+	// from their site under the latest version.
+	Divergent int
+}
+
+// Compiled returns the environment's shared per-version compile cache:
+// each history version is materialised and compiled into a packed
+// matcher at most once, then reused by every sweep and by any caller
+// that needs a specific version's matcher.
+func (e *Env) Compiled() *history.CompileCache {
+	e.compiledOnce.Do(func() { e.compiled = history.NewCompileCache(e.H, 0) })
+	return e.compiled
+}
+
+// siteUnder derives a hostname's site (eTLD+1, or the host itself when
+// it is a bare suffix) from one matcher. Snapshot hostnames are already
+// canonical ASCII, so no normalization runs and the per-host cost is a
+// single allocation-free packed-trie walk plus a substring.
+func siteUnder(m psl.Matcher, host string) string {
+	res := m.Match(host)
+	n := res.SuffixLabels
+	if n < 1 {
+		n = 1
+	}
+	if domain.CountLabels(host) <= n {
+		return host
+	}
+	return domain.LastLabels(host, n+1)
+}
+
+// Sweep recomputes the per-version Figure 5/6/7 statistics for the given
+// version sequences from scratch — every hostname re-matched under every
+// requested version — fanned across a bounded worker pool over the
+// shared compile cache. workers <= 0 selects GOMAXPROCS; workers == 1 is
+// the serial reference path. Results are ordered like seqs and identical
+// whatever the worker count.
+//
+// This is the full-recompute complement to the incremental pipeline in
+// internal/core: the pipeline answers the same questions via per-host
+// changepoints, and TestSweepMatchesPipeline holds the two
+// implementations to each other.
+func (e *Env) Sweep(seqs []int, workers int) []VersionSample {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(seqs) && len(seqs) > 0 {
+		workers = len(seqs)
+	}
+	cc := e.Compiled()
+	hosts := e.Snap.Hosts
+
+	// Latest-version sites, computed once and shared read-only: the
+	// Figure 7 baseline every worker compares against.
+	_, latestM := cc.Get(e.H.Len() - 1)
+	latest := make([]string, len(hosts))
+	for i, h := range hosts {
+		latest[i] = siteUnder(latestM, h)
+	}
+
+	out := make([]VersionSample, len(seqs))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Per-worker scratch, reused across versions: the per-host
+			// site table and the site multiset.
+			sites := make([]string, len(hosts))
+			counts := make(map[string]int, 1<<12)
+			for idx := range jobs {
+				out[idx] = e.sampleVersion(cc, seqs[idx], sites, counts, latest)
+			}
+		}()
+	}
+	for i := range seqs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}
+
+// sampleVersion recomputes one version's sample using caller-owned
+// scratch storage.
+func (e *Env) sampleVersion(cc *history.CompileCache, seq int, sites []string, counts map[string]int, latest []string) VersionSample {
+	_, m := cc.Get(seq)
+	hosts := e.Snap.Hosts
+	clear(counts)
+	divergent := 0
+	for i, h := range hosts {
+		s := siteUnder(m, h)
+		sites[i] = s
+		counts[s]++
+		if s != latest[i] {
+			divergent++
+		}
+	}
+	var thirdParty int64
+	for _, pr := range e.Snap.Pairs {
+		if sites[pr.Page] != sites[pr.Req] {
+			thirdParty += int64(pr.Count)
+		}
+	}
+	sample := VersionSample{Seq: seq, Sites: len(counts), ThirdParty: thirdParty, Divergent: divergent}
+	if len(counts) > 0 {
+		sample.MeanSize = float64(len(hosts)) / float64(len(counts))
+	}
+	return sample
+}
+
+// AllSeqs returns every version sequence of the environment's history,
+// the natural argument to Sweep for a full-history pass.
+func (e *Env) AllSeqs() []int {
+	seqs := make([]int, e.H.Len())
+	for i := range seqs {
+		seqs[i] = i
+	}
+	return seqs
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// sweepSeqs is the version subset the equivalence tests recompute: the
+// endpoints, the versions around the 2012 spike, and a spread through
+// the rest of the history.
+func sweepSeqs(e *Env) []int {
+	n := e.H.Len()
+	seqs := []int{0, 1, n / 4, n / 2, 3 * n / 4, n - 2, n - 1}
+	for s := 5; s < n; s += n / 9 {
+		seqs = append(seqs, s)
+	}
+	return seqs
+}
+
+// TestSweepMatchesPipeline holds the full-recompute sweep (packed
+// matcher per version) to the incremental changepoint pipeline on every
+// sampled version: same Figure 5 site counts, same Figure 6 third-party
+// counts, same Figure 7 divergence counts.
+func TestSweepMatchesPipeline(t *testing.T) {
+	e := testEnv
+	seqs := sweepSeqs(e)
+	samples := e.Sweep(seqs, 0)
+
+	sites := e.Pipeline().SitesSeries()
+	third := e.Pipeline().ThirdPartySeries()
+	div := e.Pipeline().DivergenceSeries()
+	for i, s := range samples {
+		seq := seqs[i]
+		if s.Seq != seq {
+			t.Fatalf("sample %d: seq %d, want %d", i, s.Seq, seq)
+		}
+		if s.Sites != sites[seq].Sites {
+			t.Errorf("seq %d: sweep sites %d, pipeline %d", seq, s.Sites, sites[seq].Sites)
+		}
+		if s.ThirdParty != third[seq] {
+			t.Errorf("seq %d: sweep third-party %d, pipeline %d", seq, s.ThirdParty, third[seq])
+		}
+		if s.Divergent != div[seq] {
+			t.Errorf("seq %d: sweep divergent %d, pipeline %d", seq, s.Divergent, div[seq])
+		}
+	}
+}
+
+// TestSweepParallelEqualsSerial proves worker count cannot change
+// results: the one-worker serial path and a heavily parallel run return
+// identical samples in identical order.
+func TestSweepParallelEqualsSerial(t *testing.T) {
+	e := testEnv
+	seqs := sweepSeqs(e)
+	serial := e.Sweep(seqs, 1)
+	parallel := e.Sweep(seqs, 8)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("parallel sweep diverges from serial:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+}
+
+// TestSweepCompilesOnce: re-sweeping the same versions reuses the
+// compile cache rather than recompiling.
+func TestSweepCompilesOnce(t *testing.T) {
+	e := New(testEnv.Seed, 0.02)
+	seqs := []int{0, 3, 7}
+	e.Sweep(seqs, 2)
+	after := e.Compiled().Compiles()
+	// 3 swept versions + the latest-version baseline.
+	if want := uint64(len(seqs) + 1); after != want {
+		t.Fatalf("compiles after first sweep = %d, want %d", after, want)
+	}
+	e.Sweep(seqs, 4)
+	if got := e.Compiled().Compiles(); got != after {
+		t.Fatalf("re-sweep recompiled: %d -> %d", after, got)
+	}
+}
+
+// TestAllSeqs sanity-checks the convenience enumerator.
+func TestAllSeqs(t *testing.T) {
+	seqs := testEnv.AllSeqs()
+	if len(seqs) != testEnv.H.Len() || seqs[0] != 0 || seqs[len(seqs)-1] != testEnv.H.Len()-1 {
+		t.Fatalf("AllSeqs malformed: len %d, ends %d..%d", len(seqs), seqs[0], seqs[len(seqs)-1])
+	}
+}

@@ -1,0 +1,74 @@
+package history
+
+import (
+	"sync"
+	"testing"
+)
+
+// compileTestHistory is a down-scaled history shared by the cache tests.
+var compileTestHistory = Generate(Config{Seed: DefaultSeed, Versions: 40})
+
+// TestCompileCacheMatchesListAt: the cache hands back the same rule
+// sets as direct materialisation, and its matcher answers like the
+// list's own.
+func TestCompileCacheMatchesListAt(t *testing.T) {
+	h := compileTestHistory
+	cc := NewCompileCache(h, 0)
+	for _, seq := range []int{0, 1, h.Len() / 2, h.Len() - 1} {
+		l, m := cc.Get(seq)
+		direct := h.ListAt(seq)
+		if !l.Equal(direct) {
+			t.Fatalf("seq %d: cached list differs from ListAt", seq)
+		}
+		for _, host := range []string{"www.example.com", "a.b.co.uk", "x.blogspot.com"} {
+			if got, want := m.Match(host), direct.Matcher().Match(host); got.SuffixLabels != want.SuffixLabels || got.Implicit != want.Implicit {
+				t.Fatalf("seq %d: packed %+v, map %+v for %q", seq, got, want, host)
+			}
+		}
+	}
+}
+
+// TestCompileCacheCompilesOnce: many goroutines hammering the same
+// sequences trigger exactly one compile per distinct sequence.
+func TestCompileCacheCompilesOnce(t *testing.T) {
+	h := compileTestHistory
+	cc := NewCompileCache(h, 0)
+	seqs := []int{0, 5, 9, 13}
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				cc.Get(seqs[(g+i)%len(seqs)])
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := cc.Compiles(); got != uint64(len(seqs)) {
+		t.Fatalf("compiles = %d, want %d", got, len(seqs))
+	}
+	if cc.Len() != len(seqs) {
+		t.Fatalf("entries = %d, want %d", cc.Len(), len(seqs))
+	}
+}
+
+// TestCompileCacheFIFOBound: a bounded cache evicts oldest-first and
+// recompiles on re-request, never exceeding its bound.
+func TestCompileCacheFIFOBound(t *testing.T) {
+	h := compileTestHistory
+	cc := NewCompileCache(h, 2)
+	cc.Get(0)
+	cc.Get(1)
+	cc.Get(2) // evicts 0
+	if cc.Len() != 2 {
+		t.Fatalf("entries = %d, want 2", cc.Len())
+	}
+	l, m := cc.Get(0) // recompile
+	if l == nil || m == nil {
+		t.Fatal("re-request after eviction returned nil")
+	}
+	if got := cc.Compiles(); got != 4 {
+		t.Fatalf("compiles = %d, want 4 (three first-time + one recompile)", got)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/domain"
 	"repro/internal/idna"
 )
 
@@ -160,6 +161,68 @@ func TestULabelQueries(t *testing.T) {
 		sa, _, err2 := l.PublicSuffix(p[1])
 		if err1 != nil || err2 != nil || su != sa {
 			t.Errorf("U/A-label divergence %q vs %q: %q %v / %q %v", p[0], p[1], su, err1, sa, err2)
+		}
+	}
+}
+
+// siteWith derives the registrable domain using an explicit matcher,
+// mirroring List.siteASCII, so the shared vectors can be replayed
+// against every matcher implementation rather than only the default.
+func siteWith(m Matcher, name string) (string, error) {
+	ascii, err := normalize(name)
+	if err != nil {
+		return "", err
+	}
+	res := m.Match(ascii)
+	n := res.SuffixLabels
+	if n <= 0 {
+		n = 1
+	}
+	if domain.CountLabels(ascii) <= n {
+		return "", ErrIsSuffix
+	}
+	return domain.LastLabels(ascii, n+1), nil
+}
+
+// TestConformanceAllMatchers replays the upstream vector file through
+// all five matcher implementations, holding each to the same published
+// expectations rather than only to the in-process map baseline.
+func TestConformanceAllMatchers(t *testing.T) {
+	l := fixture(t)
+	vectors := parseVectors(t, "testdata/test_psl.txt")
+	matchers := []struct {
+		name string
+		m    Matcher
+	}{
+		{"map", NewMapMatcher(l)},
+		{"trie", NewTrieMatcher(l)},
+		{"linear", NewLinearMatcher(l)},
+		{"sorted", NewSortedMatcher(l)},
+		{"packed", NewPackedMatcher(l)},
+	}
+	for _, mc := range matchers {
+		for _, v := range vectors {
+			if v.domain == "" {
+				continue
+			}
+			got, err := siteWith(mc.m, v.domain)
+			if v.want == "" {
+				if err == nil {
+					t.Errorf("%s line %d: site(%q) = %q, want null", mc.name, v.line, v.domain, got)
+				}
+				continue
+			}
+			if err != nil {
+				t.Errorf("%s line %d: site(%q) error %v, want %q", mc.name, v.line, v.domain, err, v.want)
+				continue
+			}
+			wantASCII, aerr := idna.ToASCII(v.want)
+			if aerr != nil {
+				t.Fatalf("line %d: bad expected value %q: %v", v.line, v.want, aerr)
+			}
+			if got != wantASCII {
+				t.Errorf("%s line %d: site(%q) = %q, want %q", mc.name, v.line, v.domain, got, wantASCII)
+			}
 		}
 	}
 }

@@ -57,8 +57,8 @@ func FuzzParseList(f *testing.F) {
 }
 
 // FuzzMatchersDifferential is the matcher-equivalence fuzz test: every
-// fuzz-generated (rule set, hostname) pair is resolved by all four
-// matcher implementations (Map, Trie, Sorted, Linear) and any
+// fuzz-generated (rule set, hostname) pair is resolved by all five
+// matcher implementations (Map, Trie, Sorted, Linear, Packed) and any
 // disagreement — suffix length, implicit flag or prevailing rule —
 // fails with the offending rule set. The serving layer's snapshot is
 // held to the same Map baseline by FuzzResolveAgreesWithMap in
@@ -106,6 +106,7 @@ func FuzzMatchersDifferential(f *testing.F) {
 			{"trie", NewTrieMatcher(l).Match(ascii)},
 			{"sorted", NewSortedMatcher(l).Match(ascii)},
 			{"linear", NewLinearMatcher(l).Match(ascii)},
+			{"packed", NewPackedMatcher(l).Match(ascii)},
 		}
 		for _, r := range results[1:] {
 			if r.res != results[0].res {

@@ -60,16 +60,19 @@ func TestMatchersAgree(t *testing.T) {
 		tm := NewTrieMatcher(l)
 		lm := NewLinearMatcher(l)
 		sm := NewSortedMatcher(l)
+		pm := NewPackedMatcher(l)
 		for i := 0; i < 50; i++ {
 			name := randomName(rng)
 			a, b, c, d := mm.Match(name), tm.Match(name), lm.Match(name), sm.Match(name)
+			e := pm.Match(name)
 			if a.SuffixLabels != b.SuffixLabels || a.SuffixLabels != c.SuffixLabels ||
-				a.SuffixLabels != d.SuffixLabels {
-				t.Fatalf("trial %d: matchers disagree on %q over %v:\n map=%+v\n trie=%+v\n linear=%+v\n sorted=%+v",
-					trial, name, l.Rules(), a, b, c, d)
+				a.SuffixLabels != d.SuffixLabels || a.SuffixLabels != e.SuffixLabels {
+				t.Fatalf("trial %d: matchers disagree on %q over %v:\n map=%+v\n trie=%+v\n linear=%+v\n sorted=%+v\n packed=%+v",
+					trial, name, l.Rules(), a, b, c, d, e)
 			}
-			if a.Implicit != b.Implicit || a.Implicit != c.Implicit || a.Implicit != d.Implicit {
-				t.Fatalf("trial %d: implicit flags disagree on %q: %+v %+v %+v %+v", trial, name, a, b, c, d)
+			if a.Implicit != b.Implicit || a.Implicit != c.Implicit || a.Implicit != d.Implicit ||
+				a.Implicit != e.Implicit {
+				t.Fatalf("trial %d: implicit flags disagree on %q: %+v %+v %+v %+v %+v", trial, name, a, b, c, d, e)
 			}
 		}
 	}
@@ -141,6 +144,7 @@ func TestMatchersAgreeOnFixture(t *testing.T) {
 		{"trie", NewTrieMatcher(l)},
 		{"linear", NewLinearMatcher(l)},
 		{"sorted", NewSortedMatcher(l)},
+		{"packed", NewPackedMatcher(l)},
 	}
 	names := []string{
 		"com", "example.com", "a.b.example.com", "b.test.ck", "www.ck",
@@ -176,7 +180,7 @@ func TestLookupAll(t *testing.T) {
 
 func TestWildcardNeedsExtraLabel(t *testing.T) {
 	l := MustParse("*.ck\n")
-	for _, m := range []Matcher{NewMapMatcher(l), NewTrieMatcher(l), NewLinearMatcher(l), NewSortedMatcher(l)} {
+	for _, m := range []Matcher{NewMapMatcher(l), NewTrieMatcher(l), NewLinearMatcher(l), NewSortedMatcher(l), NewPackedMatcher(l)} {
 		res := m.Match("ck")
 		if !res.Implicit || res.SuffixLabels != 1 {
 			t.Errorf("%T.Match(ck) = %+v, want implicit 1 label", m, res)
@@ -186,7 +190,7 @@ func TestWildcardNeedsExtraLabel(t *testing.T) {
 
 func TestNormalBeatsWildcardAtSameLength(t *testing.T) {
 	l := MustParse("*.ck\nfoo.ck\n")
-	for _, m := range []Matcher{NewMapMatcher(l), NewTrieMatcher(l), NewLinearMatcher(l), NewSortedMatcher(l)} {
+	for _, m := range []Matcher{NewMapMatcher(l), NewTrieMatcher(l), NewLinearMatcher(l), NewSortedMatcher(l), NewPackedMatcher(l)} {
 		res := m.Match("foo.ck")
 		if res.SuffixLabels != 2 {
 			t.Fatalf("%T: SuffixLabels = %d, want 2", m, res.SuffixLabels)
@@ -237,8 +241,15 @@ var benchNames = []string{
 
 func benchMatcher(b *testing.B, m Matcher) {
 	b.ReportAllocs()
+	// Rotate through the names with a cursor rather than i%len: the
+	// modulo's integer divide would otherwise be a fixed tax comparable
+	// to a fast matcher's whole lookup.
+	k := 0
 	for i := 0; i < b.N; i++ {
-		m.Match(benchNames[i%len(benchNames)])
+		m.Match(benchNames[k])
+		if k++; k == len(benchNames) {
+			k = 0
+		}
 	}
 }
 
@@ -249,6 +260,18 @@ func BenchmarkMatcherAblationLinear(b *testing.B) {
 }
 func BenchmarkMatcherAblationSorted(b *testing.B) {
 	benchMatcher(b, NewSortedMatcher(benchList(b, 9000)))
+}
+func BenchmarkMatcherAblationPacked(b *testing.B) {
+	benchMatcher(b, NewPackedMatcher(benchList(b, 9000)))
+}
+
+func BenchmarkPackedCompile9k(b *testing.B) {
+	l := benchList(b, 9000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewPackedMatcher(l)
+	}
 }
 
 func BenchmarkSite(b *testing.B) {

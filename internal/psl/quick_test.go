@@ -100,13 +100,14 @@ func TestQuickJaccardBounds(t *testing.T) {
 	}
 }
 
-// TestQuickMatchersAgreeGenerated: the three matchers agree on
+// TestQuickMatchersAgreeGenerated: all five matchers agree on
 // quick-generated rule sets and names (complementing the fixed-seed
 // random test in match_test.go).
 func TestQuickMatchersAgreeGenerated(t *testing.T) {
 	f := func(grs []genRule, hostRaw []uint8) bool {
 		l := NewList(convert(grs))
 		mm, tm, lm, sm := NewMapMatcher(l), NewTrieMatcher(l), NewLinearMatcher(l), NewSortedMatcher(l)
+		pm := NewPackedMatcher(l)
 		// Derive a host from the raw bytes over the same label alphabet.
 		labels := []string{"aa", "bb", "cc", "dd", "xn--p1ai", "a1", "b-2", "zz"}
 		depth := 1 + len(hostRaw)%5
@@ -120,9 +121,11 @@ func TestQuickMatchersAgreeGenerated(t *testing.T) {
 		}
 		host := strings.Join(parts, ".")
 		a, b, c, d := mm.Match(host), tm.Match(host), lm.Match(host), sm.Match(host)
+		e := pm.Match(host)
 		return a.SuffixLabels == b.SuffixLabels && b.SuffixLabels == c.SuffixLabels &&
-			c.SuffixLabels == d.SuffixLabels &&
-			a.Implicit == b.Implicit && b.Implicit == c.Implicit && c.Implicit == d.Implicit
+			c.SuffixLabels == d.SuffixLabels && d.SuffixLabels == e.SuffixLabels &&
+			a.Implicit == b.Implicit && b.Implicit == c.Implicit && c.Implicit == d.Implicit &&
+			d.Implicit == e.Implicit
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 1500}); err != nil {
 		t.Error(err)

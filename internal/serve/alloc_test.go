@@ -1,0 +1,46 @@
+package serve
+
+import (
+	"testing"
+
+	"repro/internal/psl"
+)
+
+// TestSnapshotDefaultsToPackedMatcher pins the serving default: unless
+// Options.NewMatcher overrides it, snapshots answer through the packed
+// compiled matcher.
+func TestSnapshotDefaultsToPackedMatcher(t *testing.T) {
+	snap := NewSnapshot(fixture(t), -1)
+	if _, ok := snap.Matcher.(*psl.PackedMatcher); !ok {
+		t.Fatalf("default snapshot matcher is %T, want *psl.PackedMatcher", snap.Matcher)
+	}
+	svc := New(fixture(t), -1, Options{
+		NewMatcher: func(l *psl.List) psl.Matcher { return psl.NewTrieMatcher(l) },
+	})
+	if _, ok := svc.Current().Matcher.(*psl.TrieMatcher); !ok {
+		t.Fatalf("override ignored: snapshot matcher is %T", svc.Current().Matcher)
+	}
+}
+
+// TestLookupCachedHitZeroAlloc is the serving-layer allocation guard: a
+// lookup that hits the sharded cache must not allocate — one atomic
+// state load, one map probe, one struct copy.
+func TestLookupCachedHitZeroAlloc(t *testing.T) {
+	svc := New(fixture(t), -1, Options{})
+	hosts := []string{"www.example.com", "b.c.kobe.jp", "a.example.co.uk"}
+	for _, h := range hosts {
+		if _, err := svc.Lookup(h); err != nil {
+			t.Fatalf("prime Lookup(%q): %v", h, err)
+		}
+	}
+	for _, h := range hosts {
+		h := h
+		if n := testing.AllocsPerRun(200, func() {
+			if _, err := svc.Lookup(h); err != nil {
+				t.Fatal(err)
+			}
+		}); n != 0 {
+			t.Errorf("cached Lookup(%q) allocates %.1f/op, want 0", h, n)
+		}
+	}
+}

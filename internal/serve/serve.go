@@ -30,6 +30,10 @@ type Options struct {
 	// VersionCacheSize bounds how many historical snapshots are kept
 	// materialised for ?version=N lookups. <= 0 selects 8.
 	VersionCacheSize int
+	// NewMatcher, when set, overrides how snapshot matchers are built
+	// (for ablation or debugging against the other implementations).
+	// nil selects the packed compiled matcher.
+	NewMatcher func(*psl.List) psl.Matcher
 }
 
 // DefaultMaxInFlight is the default admission bound.
@@ -105,10 +109,19 @@ func NewFromHistory(h *history.History, seq int, opts Options) *Service {
 // lookup cache is replaced wholesale with an empty cache bound to the
 // new snapshot. Returns the installed snapshot.
 func (s *Service) Swap(l *psl.List, seq int) *Snapshot {
-	snap := NewSnapshot(l, seq)
+	snap := s.buildSnapshot(l, seq)
 	snap.Gen = s.gen.Add(1)
 	s.st.Store(&state{snap: snap, cache: NewCache(s.opts.CacheSize)})
 	return snap
+}
+
+// buildSnapshot constructs a snapshot honouring the Options.NewMatcher
+// override; the default is the packed compiled matcher.
+func (s *Service) buildSnapshot(l *psl.List, seq int) *Snapshot {
+	if s.opts.NewMatcher != nil {
+		return NewSnapshotWith(l, seq, s.opts.NewMatcher(l))
+	}
+	return NewSnapshot(l, seq)
 }
 
 // SetVersion materialises and installs history version seq. It errors
@@ -183,7 +196,7 @@ func (s *Service) versionSnapshot(seq int) *Snapshot {
 	if max <= 0 {
 		max = 8
 	}
-	snap := NewSnapshot(s.opts.History.ListAt(seq), seq)
+	snap := s.buildSnapshot(s.opts.History.ListAt(seq), seq)
 	for len(s.versionOrder) >= max {
 		old := s.versionOrder[0]
 		s.versionOrder = s.versionOrder[1:]

@@ -26,7 +26,9 @@ import (
 type Snapshot struct {
 	// List is the list version this snapshot answers for.
 	List *psl.List
-	// Matcher is the list's default (map) matcher, pre-built.
+	// Matcher answers lookups for this snapshot. By default it is the
+	// packed compiled matcher (zero-allocation flat-buffer trie);
+	// Options.NewMatcher can substitute any other implementation.
 	Matcher psl.Matcher
 	// Seq is the history sequence number of the version, or -1 when the
 	// snapshot was installed from a bare list outside any history.
@@ -36,10 +38,18 @@ type Snapshot struct {
 	Gen uint64
 }
 
-// NewSnapshot builds a snapshot over a list. seq may be -1 for lists
-// that do not come from a history.
+// NewSnapshot builds a snapshot over a list, compiling the list into the
+// packed flat-buffer matcher so the serving hot path is allocation-free.
+// seq may be -1 for lists that do not come from a history.
 func NewSnapshot(l *psl.List, seq int) *Snapshot {
-	return &Snapshot{List: l, Matcher: l.Matcher(), Seq: seq}
+	return NewSnapshotWith(l, seq, psl.NewPackedMatcher(l))
+}
+
+// NewSnapshotWith builds a snapshot answering through an explicit
+// matcher, for callers that want a different representation (or a
+// pre-compiled packed matcher from a cache).
+func NewSnapshotWith(l *psl.List, seq int, m psl.Matcher) *Snapshot {
+	return &Snapshot{List: l, Matcher: m, Seq: seq}
 }
 
 // Answer is the JSON body of a successful lookup. Fields mirror the

@@ -1,0 +1,21 @@
+package staleness
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestCompareParallelEqualsCompare: per-policy rng seeding makes the
+// parallel fan-out bit-identical to the serial loop for any worker
+// count.
+func TestCompareParallelEqualsCompare(t *testing.T) {
+	cfg := Config{Seed: 7, HorizonDays: 200, Trials: 10}
+	harm := func(ageDays int) int { return ageDays / 3 }
+	want := Compare(cfg, DefaultPolicies(), harm)
+	for _, workers := range []int{0, 1, 2, 16} {
+		got := CompareParallel(cfg, DefaultPolicies(), harm, workers)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: parallel results diverge\n got: %+v\nwant: %+v", workers, got, want)
+		}
+	}
+}

@@ -15,7 +15,9 @@ package staleness
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
 )
 
 // Kind is the update strategy being simulated.
@@ -172,5 +174,38 @@ func Compare(cfg Config, policies []Policy, harm func(ageDays int) int) []Result
 	for _, p := range policies {
 		out = append(out, Simulate(cfg, p, harm))
 	}
+	return out
+}
+
+// CompareParallel is Compare fanned across min(workers, len(policies))
+// goroutines. Each policy seeds its own rng from (Seed, Kind,
+// IntervalDays) only, so results are bit-identical to Compare whatever
+// the scheduling; harm must be safe for concurrent calls (the pipeline's
+// harm curve is an immutable table lookup). workers <= 0 selects
+// GOMAXPROCS.
+func CompareParallel(cfg Config, policies []Policy, harm func(ageDays int) int, workers int) []Result {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(policies) {
+		workers = len(policies)
+	}
+	out := make([]Result, len(policies))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				out[i] = Simulate(cfg, policies[i], harm)
+			}
+		}()
+	}
+	for i := range policies {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
 	return out
 }
