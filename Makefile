@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench bench-json bench-sanity
+.PHONY: all build test race bench bench-json bench-sanity metrics-lint
 
 all: build test
 
@@ -11,7 +11,7 @@ test:
 	go test ./...
 
 race:
-	go test -race ./internal/psl/ ./internal/serve/ ./internal/experiments/
+	go test -race ./internal/psl/ ./internal/serve/ ./internal/obs/ ./internal/experiments/
 
 bench:
 	go test -run '^$$' -bench . -benchmem ./internal/psl/ .
@@ -25,4 +25,8 @@ bench-json:
 bench-sanity:
 	go test -run '^$$' -bench 'BenchmarkMatcherAblation|BenchmarkPackedCompile9k' -benchtime=1x ./internal/psl/
 	go test -run '^$$' -bench 'BenchmarkServeLookup|BenchmarkSweep' -benchtime=1x .
-	go test -run 'ZeroAlloc' -count=1 ./internal/psl/ ./internal/serve/
+	go test -run 'ZeroAlloc' -count=1 ./internal/psl/ ./internal/serve/ ./internal/obs/
+
+# Scrape a locally running pslserver and lint the exposition.
+metrics-lint:
+	curl -sf http://127.0.0.1:8353/metrics | go run ./cmd/promlint -min-families 12

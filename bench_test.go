@@ -15,6 +15,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/history"
 	"repro/internal/iana"
+	"repro/internal/obs"
 	"repro/internal/repos"
 	"repro/internal/serve"
 	"repro/internal/serve/loadgen"
@@ -257,6 +258,40 @@ func BenchmarkServeLookup(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkServeLookupInstrumented quantifies the observability tax on
+// the cached hot path: the same cached-hit loop with the metrics layer
+// on (the default: counters on every lookup, latency timing sampled
+// 1/256) versus Options.DisableMetrics. The acceptance bar is <=5%
+// overhead; compare the two sub-benchmarks' ns/op.
+func BenchmarkServeLookupInstrumented(b *testing.B) {
+	_, hosts := serveEnv(b)
+	h := history.Generate(history.Config{Seed: history.DefaultSeed, Versions: 60})
+	const working = 1024
+	for name, opts := range map[string]serve.Options{
+		"instrumented":   {},
+		"uninstrumented": {DisableMetrics: true},
+	} {
+		b.Run(name, func(b *testing.B) {
+			svc := serve.NewFromHistory(h, h.Len()-1, opts)
+			if name == "instrumented" {
+				svc.RegisterMetrics(obs.NewRegistry())
+			}
+			for _, h := range hosts[:working] {
+				if _, err := svc.Lookup(h); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := svc.Lookup(hosts[i%working]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkServeLookupParallel drives the lock-free read path from all

@@ -1,0 +1,97 @@
+// Command promlint validates a Prometheus text-exposition document — a
+// /metrics scrape saved to a file, or piped on stdin — against the
+// format rules internal/obs emits and CI enforces: HELP/TYPE ordering,
+// sample syntax, label quoting, and histogram bucket consistency
+// (cumulative buckets, +Inf equal to _count).
+//
+//	pslserver &
+//	curl -s http://127.0.0.1:8353/metrics | promlint -require psl_serve_lookups_total
+//
+// Flags:
+//
+//	-require NAMES  comma-separated metric families that must be
+//	                present; missing families fail the lint
+//	-min-families N fail unless at least N families are exposed
+//	-q              suppress the family listing on success
+//
+// Exit status 0 when the document is valid (and every requirement is
+// met), 1 otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// lint validates one document and applies the -require / -min-families
+// checks, writing diagnostics to w. It returns the family names and the
+// first error.
+func lint(r io.Reader, require []string, minFamilies int, w io.Writer) ([]string, error) {
+	families, err := obs.ValidateExposition(r)
+	if err != nil {
+		return nil, err
+	}
+	have := make(map[string]bool, len(families))
+	for _, f := range families {
+		have[f] = true
+	}
+	var missing []string
+	for _, name := range require {
+		if name = strings.TrimSpace(name); name != "" && !have[name] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		return families, fmt.Errorf("missing required families: %s", strings.Join(missing, ", "))
+	}
+	if len(families) < minFamilies {
+		return families, fmt.Errorf("%d families exposed, need at least %d", len(families), minFamilies)
+	}
+	fmt.Fprintf(w, "valid exposition: %d families\n", len(families))
+	return families, nil
+}
+
+func main() {
+	var (
+		require     = flag.String("require", "", "comma-separated families that must be present")
+		minFamilies = flag.Int("min-families", 0, "minimum number of metric families")
+		quiet       = flag.Bool("q", false, "suppress the family listing on success")
+	)
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	name := "<stdin>"
+	if flag.NArg() > 1 {
+		fmt.Fprintln(os.Stderr, "promlint: at most one input file")
+		os.Exit(1)
+	}
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "promlint: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in, name = f, flag.Arg(0)
+	}
+
+	var reqs []string
+	if *require != "" {
+		reqs = strings.Split(*require, ",")
+	}
+	families, err := lint(in, reqs, *minFamilies, os.Stdout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "promlint: %s: %v\n", name, err)
+		os.Exit(1)
+	}
+	if !*quiet {
+		for _, f := range families {
+			fmt.Println(f)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+const validDoc = `# HELP psl_demo_total A demo counter.
+# TYPE psl_demo_total counter
+psl_demo_total 3
+# HELP psl_demo_duration_seconds A demo histogram.
+# TYPE psl_demo_duration_seconds histogram
+psl_demo_duration_seconds_bucket{le="0.1"} 2
+psl_demo_duration_seconds_bucket{le="+Inf"} 3
+psl_demo_duration_seconds_sum 0.5
+psl_demo_duration_seconds_count 3
+`
+
+func TestLintValid(t *testing.T) {
+	families, err := lint(strings.NewReader(validDoc), nil, 2, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(families) != 2 {
+		t.Fatalf("families = %v, want 2", families)
+	}
+}
+
+func TestLintRequireMissing(t *testing.T) {
+	_, err := lint(strings.NewReader(validDoc), []string{"psl_demo_total", "psl_absent_total"}, 0, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "psl_absent_total") {
+		t.Fatalf("err = %v, want missing psl_absent_total", err)
+	}
+}
+
+func TestLintMinFamilies(t *testing.T) {
+	if _, err := lint(strings.NewReader(validDoc), nil, 3, io.Discard); err == nil {
+		t.Fatal("accepted document below -min-families")
+	}
+}
+
+func TestLintRejectsBrokenHistogram(t *testing.T) {
+	broken := strings.Replace(validDoc, `le="+Inf"} 3`, `le="+Inf"} 2`, 1)
+	if _, err := lint(strings.NewReader(broken), nil, 0, io.Discard); err == nil {
+		t.Fatal("accepted histogram whose +Inf bucket disagrees with _count")
+	}
+}

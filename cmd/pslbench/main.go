@@ -69,6 +69,7 @@ type sweepResult struct {
 type output struct {
 	GoVersion         string                   `json:"go_version"`
 	GOMAXPROCS        int                      `json:"gomaxprocs"`
+	NumCPU            int                      `json:"num_cpu"`
 	Rules             int                      `json:"rules"`
 	Matchers          map[string]matcherResult `json:"matchers"`
 	TrieOverPackedNs  float64                  `json:"trie_over_packed_ns_ratio"`
@@ -143,6 +144,7 @@ func collect(rules int, scale float64, versions int, withSweep bool) output {
 	out := output{
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 		Rules:      l.Len(),
 		Matchers:   make(map[string]matcherResult, 5),
 	}
@@ -169,6 +171,10 @@ func collect(rules int, scale float64, versions int, withSweep bool) output {
 		if out.GOMAXPROCS < 4 {
 			out.Notes = append(out.Notes,
 				fmt.Sprintf("parallel-sweep speedup measured at GOMAXPROCS=%d; the >=2x acceptance bar applies at GOMAXPROCS>=4", out.GOMAXPROCS))
+		}
+		if out.GOMAXPROCS > out.NumCPU {
+			out.Notes = append(out.Notes,
+				fmt.Sprintf("GOMAXPROCS=%d oversubscribes the host's %d CPU(s); parallel speedup ~1x is expected", out.GOMAXPROCS, out.NumCPU))
 		}
 	}
 	return out

@@ -1,0 +1,123 @@
+// Command pslload drives a running pslserver's /v1/lookup endpoint with
+// the shared loadgen harness and prints a machine-readable JSON summary
+// — counts, throughput, and client-side latency percentiles (p50, p90,
+// p99, max) measured with the same histogram type the server exports on
+// /metrics, so client- and server-side views are directly comparable.
+//
+// The host pool is synthesised from the server's own current list:
+// pslload downloads /list/public_suffix_list.dat, parses it, and
+// derives a mix of bare suffixes and one- and two-label registrable
+// names under them.
+//
+//	pslserver &
+//	pslload -base http://127.0.0.1:8353 -clients 8 -requests 2000
+//
+// Flags:
+//
+//	-base URL     base URL of the running server (required)
+//	-clients N    concurrent clients (default 8)
+//	-requests N   lookups per client (default 1000)
+//	-hosts N      size of the synthesised host pool (default 512)
+//	-seed N       host-mix seed; equal seeds replay identical mixes
+//	-timeout D    per-request HTTP timeout (default 10s)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/fetch"
+	"repro/internal/psl"
+	"repro/internal/serve/loadgen"
+)
+
+// config is the validated flag set.
+type config struct {
+	base     string
+	clients  int
+	requests int
+	hosts    int
+	seed     int64
+	timeout  time.Duration
+}
+
+// parseFlags parses and validates the command line without touching the
+// network.
+func parseFlags(args []string) (config, error) {
+	var cfg config
+	fs := flag.NewFlagSet("pslload", flag.ContinueOnError)
+	fs.StringVar(&cfg.base, "base", "", "base URL of the running server (e.g. http://127.0.0.1:8353)")
+	fs.IntVar(&cfg.clients, "clients", 8, "concurrent clients")
+	fs.IntVar(&cfg.requests, "requests", 1000, "lookups per client")
+	fs.IntVar(&cfg.hosts, "hosts", 512, "synthesised host pool size")
+	fs.Int64Var(&cfg.seed, "seed", 1, "host-mix seed")
+	fs.DurationVar(&cfg.timeout, "timeout", 10*time.Second, "per-request HTTP timeout")
+	if err := fs.Parse(args); err != nil {
+		return config{}, err
+	}
+	if fs.NArg() > 0 {
+		return config{}, fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	}
+	if cfg.base == "" {
+		return config{}, fmt.Errorf("-base is required")
+	}
+	if cfg.clients < 1 || cfg.requests < 1 || cfg.hosts < 1 {
+		return config{}, fmt.Errorf("-clients, -requests and -hosts must be positive")
+	}
+	return cfg, nil
+}
+
+// fetchHosts downloads and parses the server's current list and derives
+// the query pool from its rules.
+func fetchHosts(cfg config, client *http.Client) ([]string, error) {
+	resp, err := client.Get(cfg.base + fetch.ListPath)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s", fetch.ListPath, resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	l, err := psl.ParseString(string(body))
+	if err != nil {
+		return nil, fmt.Errorf("server list does not parse: %w", err)
+	}
+	return loadgen.Hostnames(l, cfg.hosts, cfg.seed), nil
+}
+
+// run executes one load run and writes the JSON summary to stdout.
+func run(cfg config, stdout io.Writer) error {
+	client := &http.Client{Timeout: cfg.timeout}
+	hosts, err := fetchHosts(cfg, client)
+	if err != nil {
+		return err
+	}
+	res := loadgen.Run(loadgen.Config{
+		Clients:           cfg.clients,
+		RequestsPerClient: cfg.requests,
+		Seed:              cfg.seed,
+		Hosts:             hosts,
+		Lookup:            loadgen.HTTPLookup(cfg.base, client),
+	})
+	return res.WriteJSON(stdout)
+}
+
+func main() {
+	cfg, err := parseFlags(os.Args[1:])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pslload: %v\n", err)
+		os.Exit(2)
+	}
+	if err := run(cfg, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "pslload: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/fetch"
+	"repro/internal/history"
+	"repro/internal/serve"
+)
+
+func TestParseFlagsValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{}, // -base missing
+		{"-base", "http://x", "-clients", "0"},
+		{"-base", "http://x", "-requests", "-1"},
+		{"-base", "http://x", "stray"},
+	} {
+		if _, err := parseFlags(args); err == nil {
+			t.Errorf("parseFlags(%q) accepted invalid flags", args)
+		}
+	}
+	cfg, err := parseFlags([]string{"-base", "http://127.0.0.1:1", "-clients", "2", "-requests", "5", "-hosts", "16"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.clients != 2 || cfg.requests != 5 || cfg.hosts != 16 {
+		t.Errorf("parsed config %+v", cfg)
+	}
+}
+
+// TestRunAgainstServer drives run() end to end against an in-process
+// server and checks the stdout contract: one indented JSON document
+// whose counts add up.
+func TestRunAgainstServer(t *testing.T) {
+	h := history.Generate(history.Config{Seed: history.DefaultSeed, Versions: 20})
+	seq := h.Len() - 1
+	fs := fetch.NewServer(h)
+	fs.SetCurrent(seq)
+	svc := serve.NewFromHistory(h, seq, serve.Options{})
+	mux := http.NewServeMux()
+	mux.Handle(serve.LookupPath, svc)
+	mux.Handle("/", fs)
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	cfg, err := parseFlags([]string{"-base", ts.URL, "-clients", "2", "-requests", "40", "-hosts", "32"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run(cfg, &out); err != nil {
+		t.Fatal(err)
+	}
+
+	var sum struct {
+		Lookups int64 `json:"lookups"`
+		Errors  int64 `json:"errors"`
+		Latency struct {
+			P50 float64 `json:"p50_seconds"`
+			P99 float64 `json:"p99_seconds"`
+			Max float64 `json:"max_seconds"`
+		} `json:"latency"`
+		LookupsPerSec float64 `json:"lookups_per_sec"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &sum); err != nil {
+		t.Fatalf("stdout is not JSON: %v\n%s", err, out.String())
+	}
+	if sum.Lookups < 80 {
+		t.Errorf("lookups = %d, want >= 80", sum.Lookups)
+	}
+	if sum.Errors != 0 {
+		t.Errorf("errors = %d, want 0", sum.Errors)
+	}
+	if sum.Latency.P50 <= 0 || sum.Latency.P50 > sum.Latency.Max || sum.LookupsPerSec <= 0 {
+		t.Errorf("implausible summary: %+v", sum)
+	}
+}

@@ -8,6 +8,7 @@
 //	GET /v1/lookup?host=H[&version=N]  eTLD / eTLD+1 JSON answer
 //	GET /v1/version                    current list version metadata
 //	GET /healthz                       liveness, cache and admission stats
+//	GET /metrics                       Prometheus text exposition
 //
 // Flags:
 //
@@ -20,21 +21,35 @@
 //	-max-in-flight N  admission bound for /v1/lookup (503 above it)
 //	-matcher NAME     matcher implementation for lookups:
 //	                  packed (default), map, trie, sorted or linear
+//	-debug-addr ADDR  also serve net/http/pprof and /metrics on this
+//	                  address (default off); keep it loopback-only
+//	-quiet            suppress JSON access logs on stderr
+//
+// Requests are logged as one JSON line each on stderr, carrying the
+// request ID the server minted (or honoured, if the client sent
+// X-Request-Id) and per-stage timings.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"log/slog"
+	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
+	"repro/internal/experiments"
 	"repro/internal/fetch"
 	"repro/internal/history"
+	"repro/internal/obs"
 	"repro/internal/psl"
 	"repro/internal/serve"
 )
@@ -49,57 +64,176 @@ var matcherConstructors = map[string]func(*psl.List) psl.Matcher{
 	"linear": func(l *psl.List) psl.Matcher { return psl.NewLinearMatcher(l) },
 }
 
+// config is the fully validated flag set; parseFlags fails before any
+// listener is bound or history generated, so a bad invocation exits
+// without side effects.
+type config struct {
+	addr        string
+	debugAddr   string
+	age         int
+	failRate    float64
+	seed        int64
+	maxInFlight int
+	matcher     string
+	quiet       bool
+
+	newMatcher func(*psl.List) psl.Matcher
+}
+
+// parseFlags parses and validates the command line. All validation
+// errors surface here, never as a crash after the socket is open.
+func parseFlags(args []string) (config, error) {
+	var cfg config
+	fs := flag.NewFlagSet("pslserver", flag.ContinueOnError)
+	fs.StringVar(&cfg.addr, "addr", "127.0.0.1:8353", "listen address")
+	fs.StringVar(&cfg.debugAddr, "debug-addr", "", "serve pprof and /metrics on this extra address (off when empty)")
+	fs.IntVar(&cfg.age, "age", 0, "publish the version this many days before 2022-12-08")
+	fs.Float64Var(&cfg.failRate, "failrate", 0, "fraction of raw-list requests to fail with 503")
+	fs.Int64Var(&cfg.seed, "seed", history.DefaultSeed, "history generator seed")
+	fs.IntVar(&cfg.maxInFlight, "max-in-flight", serve.DefaultMaxInFlight, "admission bound for /v1/lookup")
+	fs.StringVar(&cfg.matcher, "matcher", "packed", "matcher implementation: packed, map, trie, sorted or linear")
+	fs.BoolVar(&cfg.quiet, "quiet", false, "suppress JSON access logs")
+	if err := fs.Parse(args); err != nil {
+		return config{}, err
+	}
+	if fs.NArg() > 0 {
+		return config{}, fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	}
+	nm, ok := matcherConstructors[cfg.matcher]
+	if !ok {
+		return config{}, fmt.Errorf("unknown -matcher %q (want packed, map, trie, sorted or linear)", cfg.matcher)
+	}
+	cfg.newMatcher = nm
+	if cfg.failRate < 0 || cfg.failRate > 1 {
+		return config{}, fmt.Errorf("-failrate %v out of range [0, 1]", cfg.failRate)
+	}
+	if cfg.age < 0 {
+		return config{}, fmt.Errorf("-age %d is negative", cfg.age)
+	}
+	if cfg.maxInFlight < 1 {
+		return config{}, fmt.Errorf("-max-in-flight %d must be at least 1", cfg.maxInFlight)
+	}
+	if cfg.addr == "" {
+		return config{}, fmt.Errorf("-addr must not be empty")
+	}
+	return cfg, nil
+}
+
 // newHandler assembles the combined handler: the query API owns its
-// three routes, the raw-list server owns everything else. The returned
-// service and list server are exposed for tests and for runtime
-// reconfiguration.
-func newHandler(h *history.History, seq int, failRate float64, maxInFlight int, newMatcher func(*psl.List) psl.Matcher) (http.Handler, *serve.Service, *fetch.Server) {
+// three routes, /metrics exposes the shared registry, and the raw-list
+// server owns everything else. The returned service, list server and
+// registry are exposed for tests and runtime reconfiguration.
+func newHandler(h *history.History, seq int, cfg config) (http.Handler, *serve.Service, *fetch.Server, *obs.Registry) {
 	fs := fetch.NewServer(h)
 	fs.SetCurrent(seq)
-	fs.SetFailureRate(failRate)
+	fs.SetFailureRate(cfg.failRate)
 
-	svc := serve.NewFromHistory(h, seq, serve.Options{MaxInFlight: maxInFlight, NewMatcher: newMatcher})
+	svc := serve.NewFromHistory(h, seq, serve.Options{
+		MaxInFlight: cfg.maxInFlight,
+		NewMatcher:  cfg.newMatcher,
+		MatcherName: cfg.matcher,
+	})
+
+	reg := obs.NewRegistry()
+	svc.RegisterMetrics(reg)
+	fs.RegisterMetrics(reg)
+	experiments.RegisterSweepMetrics(reg)
+	start := time.Now()
+	reg.MustRegister("psl_process_uptime_seconds", "Seconds since the server process assembled its handler.", nil,
+		obs.GaugeFunc(func() float64 { return time.Since(start).Seconds() }))
+	reg.MustRegister("psl_process_goroutines", "Live goroutines in the server process.", nil,
+		obs.GaugeFunc(func() float64 { return float64(runtime.NumGoroutine()) }))
 
 	mux := http.NewServeMux()
 	mux.Handle(serve.LookupPath, svc)
 	mux.Handle(serve.VersionPath, svc)
 	mux.Handle(serve.HealthPath, svc)
+	mux.Handle(serve.MetricsPath, reg.Handler())
 	mux.Handle("/", fs)
-	return mux, svc, fs
+	return mux, svc, fs, reg
+}
+
+// debugHandler builds the opt-in diagnostics mux: the full pprof suite
+// plus a second /metrics mount, kept off the public listener.
+func debugHandler(reg *obs.Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle(serve.MetricsPath, reg.Handler())
+	return mux
+}
+
+// run binds the listeners and serves until ctx is cancelled. The
+// announce line on stdout carries the bound addresses (meaningful when
+// -addr ends in :0), which is what the tests and the CI scrape step
+// parse.
+func run(ctx context.Context, cfg config, stdout io.Writer) error {
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	var debugLn net.Listener
+	if cfg.debugAddr != "" {
+		debugLn, err = net.Listen("tcp", cfg.debugAddr)
+		if err != nil {
+			return err
+		}
+		defer debugLn.Close()
+	}
+
+	h := history.Generate(history.Config{Seed: cfg.seed})
+	seq := h.IndexForAge(cfg.age)
+	handler, _, _, reg := newHandler(h, seq, cfg)
+
+	var logger *slog.Logger
+	if !cfg.quiet {
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+	handler = obs.AccessLog(logger, handler)
+
+	meta := h.Meta(seq)
+	fmt.Fprintf(stdout, "pslserver: serving v%04d (%s, %d rules) on http://%s%s (failrate %.2f), query API at %s, metrics at %s\n",
+		meta.Seq, meta.Date.Format("2006-01-02"), meta.Rules, ln.Addr(), fetch.ListPath, cfg.failRate, serve.LookupPath, serve.MetricsPath)
+
+	errc := make(chan error, 2)
+	srv := &http.Server{Handler: handler, ReadHeaderTimeout: 10 * time.Second}
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	go func() { errc <- serve.ServeListener(sctx, srv, ln, 10*time.Second) }()
+
+	if debugLn != nil {
+		fmt.Fprintf(stdout, "pslserver: debug endpoints (pprof, metrics) on http://%s/debug/pprof/\n", debugLn.Addr())
+		dsrv := &http.Server{Handler: debugHandler(reg), ReadHeaderTimeout: 10 * time.Second}
+		go func() { errc <- serve.ServeListener(sctx, dsrv, debugLn, 10*time.Second) }()
+	}
+
+	// First exit wins: a debug-listener failure tears down the main
+	// server and vice versa, so the process never half-runs.
+	err = <-errc
+	cancel()
+	if debugLn != nil {
+		if err2 := <-errc; err == nil {
+			err = err2
+		}
+	}
+	return err
 }
 
 func main() {
-	var (
-		addr        = flag.String("addr", "127.0.0.1:8353", "listen address")
-		age         = flag.Int("age", 0, "publish the version this many days before 2022-12-08")
-		failRate    = flag.Float64("failrate", 0, "fraction of raw-list requests to fail with 503")
-		seed        = flag.Int64("seed", history.DefaultSeed, "history generator seed")
-		maxInFlight = flag.Int("max-in-flight", serve.DefaultMaxInFlight, "admission bound for /v1/lookup")
-		matcher     = flag.String("matcher", "packed", "matcher implementation: packed, map, trie, sorted or linear")
-	)
-	flag.Parse()
-
-	newMatcher, ok := matcherConstructors[*matcher]
-	if !ok {
-		log.Fatalf("unknown -matcher %q (want packed, map, trie, sorted or linear)", *matcher)
-	}
-
-	h := history.Generate(history.Config{Seed: *seed})
-	seq := h.IndexForAge(*age)
-	handler, _, _ := newHandler(h, seq, *failRate, *maxInFlight, newMatcher)
-
-	meta := h.Meta(seq)
-	fmt.Printf("pslserver: serving v%04d (%s, %d rules) on http://%s%s (failrate %.2f), query API at %s\n",
-		meta.Seq, meta.Date.Format("2006-01-02"), meta.Rules, *addr, fetch.ListPath, *failRate, serve.LookupPath)
-
-	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           handler,
-		ReadHeaderTimeout: 10 * time.Second,
+	cfg, err := parseFlags(os.Args[1:])
+	if err != nil {
+		if err == flag.ErrHelp {
+			os.Exit(2)
+		}
+		log.Fatalf("pslserver: %v", err)
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := serve.ListenAndServe(ctx, srv, 10*time.Second); err != nil {
+	if err := run(ctx, cfg, os.Stdout); err != nil {
 		log.Fatal(err)
 	}
 }

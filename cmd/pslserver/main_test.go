@@ -1,17 +1,21 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/fetch"
 	"repro/internal/history"
+	"repro/internal/obs"
 	"repro/internal/psl"
 	"repro/internal/serve"
 )
@@ -25,7 +29,11 @@ var testHistory = history.Generate(history.Config{Seed: history.DefaultSeed, Ver
 func bootServer(t *testing.T, failRate float64) (string, *serve.Service, *fetch.Server) {
 	t.Helper()
 	seq := testHistory.Len() - 1
-	handler, svc, fs := newHandler(testHistory, seq, failRate, serve.DefaultMaxInFlight, nil)
+	cfg, err := parseFlags([]string{"-failrate", fmt.Sprint(failRate)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	handler, svc, fs, _ := newHandler(testHistory, seq, cfg)
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -214,5 +222,211 @@ func TestVersionedLookupAgainstRawList(t *testing.T) {
 	resp.Body.Close()
 	if a.Seq != seq || a.ETLD != wantSuffix {
 		t.Errorf("versioned lookup %+v, raw-list oracle suffix %q", a, wantSuffix)
+	}
+}
+
+// TestParseFlagsErrors pins the contract that every invalid invocation
+// fails in parseFlags — before any listener binds or history generates.
+func TestParseFlagsErrors(t *testing.T) {
+	bad := [][]string{
+		{"-matcher", "quantum"},
+		{"-failrate", "1.5"},
+		{"-failrate", "-0.1"},
+		{"-age", "-3"},
+		{"-max-in-flight", "0"},
+		{"-addr", ""},
+		{"-no-such-flag"},
+		{"stray-positional"},
+	}
+	for _, args := range bad {
+		if _, err := parseFlags(args); err == nil {
+			t.Errorf("parseFlags(%q) accepted invalid flags", args)
+		}
+	}
+
+	cfg, err := parseFlags([]string{"-matcher", "trie", "-failrate", "0.25", "-age", "30", "-debug-addr", "127.0.0.1:0"})
+	if err != nil {
+		t.Fatalf("valid flags rejected: %v", err)
+	}
+	if cfg.matcher != "trie" || cfg.newMatcher == nil || cfg.failRate != 0.25 || cfg.age != 30 || cfg.debugAddr == "" {
+		t.Errorf("parsed config %+v", cfg)
+	}
+}
+
+// requiredFamilies is the minimum metric surface the acceptance bar
+// demands on /metrics: families spanning serve, history-compile, fetch
+// and experiments, plus process-level gauges.
+var requiredFamilies = []string{
+	"psl_serve_lookups_total",
+	"psl_serve_lookup_duration_seconds",
+	"psl_serve_swaps_total",
+	"psl_serve_snapshot_age_seconds",
+	"psl_serve_snapshot_rules",
+	"psl_serve_cache_entries",
+	"psl_serve_cache_bytes",
+	"psl_serve_inflight_requests",
+	"psl_serve_admitted_total",
+	"psl_serve_rejected_total",
+	"psl_compile_total",
+	"psl_compile_duration_seconds",
+	"psl_compile_cache_entries",
+	"psl_fetch_requests_total",
+	"psl_fetch_failures_injected_total",
+	"psl_fetch_renders_total",
+	"psl_fetch_render_cache_hits_total",
+	"psl_fetch_not_modified_total",
+	"psl_sweep_runs_total",
+	"psl_sweep_versions_total",
+	"psl_sweep_version_duration_seconds",
+	"psl_sweep_active_workers",
+	"psl_sweep_worker_busy_seconds_total",
+	"psl_sweep_utilization_ratio",
+	"psl_process_uptime_seconds",
+	"psl_process_goroutines",
+}
+
+// TestMetricsExposition scrapes the mounted /metrics endpoint after a
+// little traffic and checks it is a valid Prometheus text document
+// exposing every required family.
+func TestMetricsExposition(t *testing.T) {
+	base, _, _ := bootServer(t, 0)
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	for _, path := range []string{
+		serve.LookupPath + "?host=www.example.com",
+		serve.LookupPath + "?host=www.example.com",
+		serve.LookupPath + "?host=a.example.co.uk&version=3",
+		fetch.ListPath,
+	} {
+		resp, err := client.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	resp, err := client.Get(base + serve.MetricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	families, err := obs.ValidateExposition(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, body)
+	}
+	have := make(map[string]bool, len(families))
+	for _, f := range families {
+		have[f] = true
+	}
+	for _, want := range requiredFamilies {
+		if !have[want] {
+			t.Errorf("/metrics missing family %s", want)
+		}
+	}
+	if len(families) < 12 {
+		t.Errorf("/metrics exposes %d families, acceptance floor is 12", len(families))
+	}
+	if !bytes.Contains(body, []byte(`psl_serve_lookups_total{matcher="packed",result="hit"} 1`)) {
+		t.Errorf("hit counter did not move:\n%s", body)
+	}
+}
+
+// syncBuffer lets the run() goroutine write stdout while the test polls
+// it without racing.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestRunServesBothListeners boots run() end to end on ephemeral ports
+// with the debug listener enabled, scrapes both servers, and checks a
+// clean shutdown on context cancellation.
+func TestRunServesBothListeners(t *testing.T) {
+	cfg, err := parseFlags([]string{"-addr", "127.0.0.1:0", "-debug-addr", "127.0.0.1:0", "-quiet"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, cfg, &out) }()
+
+	// The announce lines carry the bound addresses.
+	extract := func(s, prefix string) string {
+		i := strings.Index(s, prefix)
+		if i < 0 {
+			return ""
+		}
+		rest := s[i+len(prefix):]
+		if j := strings.IndexAny(rest, "/ \n"); j >= 0 {
+			rest = rest[:j]
+		}
+		return rest
+	}
+	var base, debug string
+	deadline := time.Now().Add(30 * time.Second)
+	for base == "" || debug == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("run did not announce listeners; output so far:\n%s", out.String())
+		}
+		s := out.String()
+		base = extract(s, "serving ")
+		if base != "" {
+			base = extract(s[strings.Index(s, "on http://"):], "on http://")
+		}
+		debug = extract(s, "debug endpoints (pprof, metrics) on http://")
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	for _, url := range []string{
+		"http://" + base + serve.HealthPath,
+		"http://" + base + serve.MetricsPath,
+		"http://" + debug + serve.MetricsPath,
+		"http://" + debug + "/debug/pprof/",
+	} {
+		resp, err := client.Get(url)
+		if err != nil {
+			t.Fatalf("GET %s: %v", url, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: %s", url, resp.Status)
+		}
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("run returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("run did not exit after cancel")
 	}
 }

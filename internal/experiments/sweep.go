@@ -3,11 +3,62 @@ package experiments
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/domain"
 	"repro/internal/history"
+	"repro/internal/obs"
 	"repro/internal/psl"
 )
+
+// sweepTelemetry is the package-level telemetry of Sweep. Package-level
+// (rather than per-Env) because a process runs sweeps over one shared
+// worker budget, and because the long-running binaries want to expose
+// the families even before the first sweep runs. All fields are cheap
+// atomics; Sweep updates them unconditionally.
+type sweepTelemetry struct {
+	// runs counts Sweep invocations; versions counts versions sampled.
+	runs     obs.Counter
+	versions obs.Counter
+	// versionDuration times one version's full recompute (the unit of
+	// parallelism).
+	versionDuration *obs.Histogram
+	// activeWorkers is the number of workers currently matching.
+	activeWorkers obs.Gauge
+	// busyNanos accumulates worker busy time; utilization is the busy
+	// fraction of the last run's worker-seconds.
+	busyNanos   obs.Counter
+	utilization obs.FloatGauge
+}
+
+var (
+	sweepOnce sync.Once
+	sweepM    *sweepTelemetry
+)
+
+// sweepMetrics returns the lazily initialised package metric set.
+func sweepMetrics() *sweepTelemetry {
+	sweepOnce.Do(func() {
+		sweepM = &sweepTelemetry{versionDuration: obs.NewHistogram(nil)}
+	})
+	return sweepM
+}
+
+// RegisterSweepMetrics attaches the sweep's metric families to a
+// registry: run/version progress counters, per-version recompute
+// latency, live worker count, cumulative worker busy time and the last
+// run's worker utilization.
+func RegisterSweepMetrics(r *obs.Registry) {
+	m := sweepMetrics()
+	r.MustRegister("psl_sweep_runs_total", "Full-recompute sweep invocations.", nil, &m.runs)
+	r.MustRegister("psl_sweep_versions_total", "List versions sampled across all sweeps.", nil, &m.versions)
+	r.MustRegister("psl_sweep_version_duration_seconds", "Wall time to recompute one version's Figure 5/6/7 sample.", nil, m.versionDuration)
+	r.MustRegister("psl_sweep_active_workers", "Sweep workers currently matching.", nil, &m.activeWorkers)
+	r.MustRegister("psl_sweep_worker_busy_seconds_total", "Cumulative worker busy time across sweeps.", nil,
+		obs.CounterFunc(func() float64 { return time.Duration(m.busyNanos.Load()).Seconds() }))
+	r.MustRegister("psl_sweep_utilization_ratio", "Busy fraction of worker-seconds in the most recent sweep.", nil, &m.utilization)
+}
 
 // VersionSample is one list version's fully recomputed statistics: the
 // Figure 5 site count, the Figure 6 third-party request count and the
@@ -81,6 +132,11 @@ func (e *Env) Sweep(seqs []int, workers int) []VersionSample {
 		latest[i] = siteUnder(latestM, h)
 	}
 
+	m := sweepMetrics()
+	m.runs.Add(1)
+	runStart := time.Now()
+	var busy atomic.Int64
+
 	out := make([]VersionSample, len(seqs))
 	jobs := make(chan int)
 	var wg sync.WaitGroup
@@ -92,9 +148,18 @@ func (e *Env) Sweep(seqs []int, workers int) []VersionSample {
 			// site table and the site multiset.
 			sites := make([]string, len(hosts))
 			counts := make(map[string]int, 1<<12)
+			var workerBusy time.Duration
 			for idx := range jobs {
+				m.activeWorkers.Add(1)
+				t0 := time.Now()
 				out[idx] = e.sampleVersion(cc, seqs[idx], sites, counts, latest)
+				d := time.Since(t0)
+				m.activeWorkers.Add(-1)
+				m.versions.Add(1)
+				m.versionDuration.Observe(d)
+				workerBusy += d
 			}
+			busy.Add(int64(workerBusy))
 		}()
 	}
 	for i := range seqs {
@@ -102,6 +167,10 @@ func (e *Env) Sweep(seqs []int, workers int) []VersionSample {
 	}
 	close(jobs)
 	wg.Wait()
+	m.busyNanos.Add(uint64(busy.Load()))
+	if wall := time.Since(runStart); wall > 0 && workers > 0 {
+		m.utilization.Set(float64(busy.Load()) / (float64(wall) * float64(workers)))
+	}
 	return out
 }
 

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// sampleValue extracts one un-labelled sample's value from an
+// exposition document.
+func sampleValue(t *testing.T, doc, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(doc, "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			v, err := strconv.ParseFloat(rest, 64)
+			if err != nil {
+				t.Fatalf("parse %s sample %q: %v", name, rest, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("no sample for %s in:\n%s", name, doc)
+	return 0
+}
+
+// TestSweepMetrics runs a sweep and checks the package-level telemetry
+// moved coherently. The counters are shared across the test binary, so
+// assertions are on deltas between two renders of the same registry.
+func TestSweepMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	RegisterSweepMetrics(reg)
+	before := reg.Render()
+	if _, err := obs.ValidateExposition(strings.NewReader(before)); err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, before)
+	}
+
+	seqs := []int{0, 1, 2, 3}
+	testEnv.Sweep(seqs, 2)
+
+	after := reg.Render()
+	if _, err := obs.ValidateExposition(strings.NewReader(after)); err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, after)
+	}
+
+	if d := sampleValue(t, after, "psl_sweep_runs_total") - sampleValue(t, before, "psl_sweep_runs_total"); d != 1 {
+		t.Errorf("runs delta = %v, want 1", d)
+	}
+	if d := sampleValue(t, after, "psl_sweep_versions_total") - sampleValue(t, before, "psl_sweep_versions_total"); d != float64(len(seqs)) {
+		t.Errorf("versions delta = %v, want %d", d, len(seqs))
+	}
+	if d := sampleValue(t, after, "psl_sweep_version_duration_seconds_count") - sampleValue(t, before, "psl_sweep_version_duration_seconds_count"); d != float64(len(seqs)) {
+		t.Errorf("duration observations delta = %v, want %d", d, len(seqs))
+	}
+	if d := sampleValue(t, after, "psl_sweep_worker_busy_seconds_total") - sampleValue(t, before, "psl_sweep_worker_busy_seconds_total"); d <= 0 {
+		t.Errorf("busy-seconds delta = %v, want > 0", d)
+	}
+	if v := sampleValue(t, after, "psl_sweep_active_workers"); v != 0 {
+		t.Errorf("active workers after sweep = %v, want 0", v)
+	}
+	if u := sampleValue(t, after, "psl_sweep_utilization_ratio"); u <= 0 || u > 1 {
+		t.Errorf("utilization = %v, want in (0, 1]", u)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/history"
+	"repro/internal/obs"
 )
 
 // ListPath is the canonical request path for the current list, matching
@@ -58,8 +59,15 @@ type Server struct {
 	failRate  atomic.Uint64 // math.Float64bits of the failure fraction
 	failCount atomic.Int64  // deterministic fail-next budget
 	failCode  int           // immutable after construction
-	requests  atomic.Int64
-	failures  atomic.Int64
+	requests  obs.Counter
+	failures  obs.Counter
+
+	// render-cache telemetry: renders counts versions serialized (cache
+	// fills), renderHits requests answered from an already-rendered
+	// version, notModified conditional requests short-circuited to 304.
+	renders     obs.Counter
+	renderHits  obs.Counter
+	notModified obs.Counter
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
@@ -115,6 +123,17 @@ func (s *Server) Stats() (requests, failures int) {
 	return int(s.requests.Load()), int(s.failures.Load())
 }
 
+// RegisterMetrics attaches the raw-list server's metric families to a
+// registry: request and injected-failure counters, per-version render
+// cache hit/fill counters, and conditional-request short circuits.
+func (s *Server) RegisterMetrics(r *obs.Registry) {
+	r.MustRegister("psl_fetch_requests_total", "Raw-list requests received (including injected failures).", nil, &s.requests)
+	r.MustRegister("psl_fetch_failures_injected_total", "Requests failed on purpose (failrate / FailNext).", nil, &s.failures)
+	r.MustRegister("psl_fetch_renders_total", "List versions serialized into the render cache.", nil, &s.renders)
+	r.MustRegister("psl_fetch_render_cache_hits_total", "Requests served from an already-rendered version.", nil, &s.renderHits)
+	r.MustRegister("psl_fetch_not_modified_total", "Conditional requests answered 304 Not Modified.", nil, &s.notModified)
+}
+
 // shouldFail decides failure injection for one request: first the
 // deterministic FailNext budget, then the random failure rate.
 func (s *Server) shouldFail() bool {
@@ -142,12 +161,19 @@ func (s *Server) shouldFail() bool {
 func (s *Server) render(seq int) *renderedVersion {
 	v, _ := s.rendered.LoadOrStore(seq, &renderedVersion{})
 	rv := v.(*renderedVersion)
+	filled := false
 	rv.once.Do(func() {
 		l := s.h.ListAt(seq)
 		rv.body = []byte(l.Serialize())
 		rv.etag = `"` + l.Fingerprint() + `"`
 		rv.modified = s.h.Meta(seq).Date.UTC()
+		filled = true
 	})
+	if filled {
+		s.renders.Add(1)
+	} else {
+		s.renderHits.Add(1)
+	}
 	return rv
 }
 
@@ -179,11 +205,13 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	rv := s.render(seq)
 
 	if match := r.Header.Get("If-None-Match"); match != "" && match == rv.etag {
+		s.notModified.Add(1)
 		w.WriteHeader(http.StatusNotModified)
 		return
 	}
 	if since := r.Header.Get("If-Modified-Since"); since != "" {
 		if t, err := http.ParseTime(since); err == nil && !rv.modified.After(t) {
+			s.notModified.Add(1)
 			w.WriteHeader(http.StatusNotModified)
 			return
 		}

@@ -2,8 +2,9 @@ package history
 
 import (
 	"sync"
-	"sync/atomic"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/psl"
 )
 
@@ -25,7 +26,8 @@ type CompileCache struct {
 	entries map[int]*compileEntry
 	order   []int
 
-	compiles atomic.Uint64
+	compiles        obs.Counter
+	compileDuration *obs.Histogram
 }
 
 type compileEntry struct {
@@ -39,7 +41,21 @@ type compileEntry struct {
 // for the full history is on the order of the history's own footprint
 // and is the right choice for sweeps that visit each version.
 func NewCompileCache(h *History, max int) *CompileCache {
-	return &CompileCache{h: h, max: max, entries: make(map[int]*compileEntry)}
+	return &CompileCache{
+		h:               h,
+		max:             max,
+		entries:         make(map[int]*compileEntry),
+		compileDuration: obs.NewHistogram(nil),
+	}
+}
+
+// RegisterMetrics attaches the cache's metric families to a registry:
+// versions compiled, per-compile duration, and current occupancy.
+func (c *CompileCache) RegisterMetrics(r *obs.Registry) {
+	r.MustRegister("psl_compile_total", "List versions compiled into packed matchers.", nil, &c.compiles)
+	r.MustRegister("psl_compile_duration_seconds", "Wall time to materialise and compile one list version.", nil, c.compileDuration)
+	r.MustRegister("psl_compile_cache_entries", "Compiled versions currently retained.", nil,
+		obs.GaugeFunc(func() float64 { return float64(c.Len()) }))
 }
 
 // Get returns version seq's materialised list and compiled packed
@@ -62,9 +78,11 @@ func (c *CompileCache) Get(seq int) (*psl.List, *psl.PackedMatcher) {
 	c.mu.Unlock()
 
 	e.once.Do(func() {
+		t0 := time.Now()
 		e.list = c.h.ListAt(seq)
 		e.m = psl.NewPackedMatcher(e.list)
 		c.compiles.Add(1)
+		c.compileDuration.Observe(time.Since(t0))
 	})
 	return e.list, e.m
 }

@@ -1,0 +1,40 @@
+package history
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestCompileCacheMetrics checks the cache's registered families track
+// real compiles: count matches distinct sequences, the duration
+// histogram saw one observation per compile, and occupancy follows
+// FIFO eviction.
+func TestCompileCacheMetrics(t *testing.T) {
+	h := Generate(Config{Seed: DefaultSeed, Versions: 10})
+	cc := NewCompileCache(h, 3)
+	reg := obs.NewRegistry()
+	cc.RegisterMetrics(reg)
+
+	for _, seq := range []int{0, 1, 2, 1, 0, 3, 4} { // 5 distinct, cap 3
+		cc.Get(seq)
+	}
+
+	doc := reg.Render()
+	if _, err := obs.ValidateExposition(strings.NewReader(doc)); err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, doc)
+	}
+	for _, want := range []string{
+		"psl_compile_total 5",
+		"psl_compile_duration_seconds_count 5",
+		"psl_compile_cache_entries 3",
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("exposition missing %q\n%s", want, doc)
+		}
+	}
+	if cc.Compiles() != 5 {
+		t.Errorf("Compiles = %d, want 5", cc.Compiles())
+	}
+}

@@ -1,0 +1,35 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestInstrumentsZeroAlloc is the package's own allocation guard: every
+// instrument operation that sits on a serving hot path — counter add,
+// gauge set, histogram observe, and their nil-receiver no-op forms —
+// must not allocate. The serve-layer guard builds on this one.
+func TestInstrumentsZeroAlloc(t *testing.T) {
+	var c Counter
+	var g Gauge
+	var fg FloatGauge
+	h := NewHistogram(nil)
+	var nilC *Counter
+	var nilH *Histogram
+
+	cases := map[string]func(){
+		"Counter.Add":       func() { c.Add(1) },
+		"Gauge.Set":         func() { g.Set(7) },
+		"Gauge.Add":         func() { g.Add(-1) },
+		"FloatGauge.Set":    func() { fg.Set(0.5) },
+		"Histogram.Observe": func() { h.Observe(123 * time.Microsecond) },
+		"nil Counter.Add":   func() { nilC.Add(1) },
+		"nil Histogram":     func() { nilH.Observe(time.Second) },
+		"Trace nil Stage":   func() { (*Trace)(nil).Stage("x").End() },
+	}
+	for name, f := range cases {
+		if n := testing.AllocsPerRun(200, f); n != 0 {
+			t.Errorf("%s allocates %.1f/op, want 0", name, n)
+		}
+	}
+}

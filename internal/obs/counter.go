@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+	"unsafe"
+)
+
+// counterStripes is the number of independently updated cells of one
+// Counter. 8 is enough to spread the handful of hot counters of a
+// serving process across cache lines at the core counts we target; a
+// Counter costs counterStripes cache lines of memory, so this is a
+// deliberate trade against footprint.
+const counterStripes = 8
+
+// stripe is one padded counter cell: the value plus enough padding to
+// push the next cell onto its own cache line, so concurrent writers to
+// different stripes never false-share.
+type stripe struct {
+	n atomic.Uint64
+	_ [56]byte
+}
+
+// Counter is a monotonically increasing, lock-free striped counter.
+// The zero value is ready to use, so counters embed directly in the
+// structs they instrument.
+//
+// Add spreads writers across stripes keyed by a goroutine-correlated
+// hint (see stripeHint), so heavily contended counters — every lookup
+// of every connection bumps one — do not serialise all cores on one
+// cache line the way a single atomic would. Load sums the stripes; it
+// is O(counterStripes) and meant for scrapes and tests, not hot paths.
+type Counter struct {
+	stripes [counterStripes]stripe
+}
+
+// stripeHint derives a cheap goroutine-correlated stripe index: the
+// page number of the caller's stack. Goroutine stacks live in distinct
+// allocations, so concurrent goroutines land on distinct pages with
+// high probability, while one goroutine maps to a stable stripe across
+// calls (its frames move within far less than a page between samples).
+// The pointer is never dereferenced or retained — it is only hashed —
+// so this stays within the unsafe rules. A collision merely costs a
+// shared cache line, never correctness.
+func stripeHint() uintptr {
+	var p byte
+	return (uintptr(unsafe.Pointer(&p)) >> 12) % counterStripes
+}
+
+// Add increments the counter by n. Nil-safe: a nil *Counter is a no-op,
+// so instrumentation can be compiled out by leaving a pointer unset.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.stripes[stripeHint()].n.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// AddSampled increments the counter by n and reports whether the
+// updated stripe crossed a multiple of every — a 1-in-every sampling
+// signal that costs nothing beyond the Add the caller was already
+// paying, which is what lets hot paths sample latency without a second
+// contended atomic. every must be a power of two. Nil-safe (reports
+// false).
+func (c *Counter) AddSampled(n, every uint64) bool {
+	if c == nil {
+		return false
+	}
+	return c.stripes[stripeHint()].n.Add(n)&(every-1) == 0
+}
+
+// Load returns the current total. Concurrent Adds may or may not be
+// included; the value is monotone across calls observed by one reader
+// only in the absence of concurrent stripe wrap-around, which at uint64
+// width never happens in practice.
+func (c *Counter) Load() uint64 {
+	if c == nil {
+		return 0
+	}
+	var sum uint64
+	for i := range c.stripes {
+		sum += c.stripes[i].n.Load()
+	}
+	return sum
+}
+
+// Gauge is an integer gauge: a value that goes up and down. Single
+// atomic cell — gauges are Set/Add far less often than counters, and
+// Set semantics cannot be striped. The zero value is ready to use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value. Nil-safe.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add moves the gauge by delta (negative to decrease). Nil-safe.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// FloatGauge is a float64 gauge (atomic bit-cast), for ratios and
+// seconds values computed by the instrumented code itself. The zero
+// value is ready to use and reads as 0.
+type FloatGauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value. Nil-safe.
+func (g *FloatGauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Load returns the current value.
+func (g *FloatGauge) Load() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}

@@ -1,0 +1,272 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ValidateExposition parses a Prometheus text-format document and
+// checks it is well formed: every line is a valid comment or sample,
+// every sample's family has a preceding # TYPE, histogram families have
+// consistent _bucket/_sum/_count series with a +Inf bucket whose value
+// equals _count, and no family appears twice. It returns the sorted
+// family names, so callers can additionally assert coverage.
+//
+// This is the machine check behind the CI "scrape /metrics" step and
+// the exposition tests — written against the format spec, not against
+// this package's writer, so it would catch a writer bug rather than
+// mirror it.
+func ValidateExposition(r io.Reader) ([]string, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+
+	type famState struct {
+		typ        string
+		sawSamples bool
+		// histogram bookkeeping, per label-set key
+		bucketInf map[string]float64
+		count     map[string]float64
+	}
+	fams := make(map[string]*famState)
+	order := []string{}
+	line := 0
+
+	family := func(name string) *famState {
+		// Histogram sample names map back to their family.
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suf)
+			if base != name {
+				if f, ok := fams[base]; ok && f.typ == "histogram" {
+					return f
+				}
+			}
+		}
+		return fams[name]
+	}
+
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if strings.TrimSpace(text) == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			fields := strings.SplitN(text, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				continue // free-form comment, allowed
+			}
+			name := fields[2]
+			if !validMetricName(name) {
+				return nil, fmt.Errorf("line %d: invalid metric name %q in %s", line, name, fields[1])
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return nil, fmt.Errorf("line %d: # TYPE wants a type", line)
+				}
+				typ := fields[3]
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("line %d: unknown type %q", line, typ)
+				}
+				if f, ok := fams[name]; ok {
+					if f.typ != "" {
+						return nil, fmt.Errorf("line %d: duplicate # TYPE for %s", line, name)
+					}
+					if f.sawSamples {
+						return nil, fmt.Errorf("line %d: # TYPE %s after its samples", line, name)
+					}
+					f.typ = typ
+				} else {
+					fams[name] = &famState{typ: typ, bucketInf: map[string]float64{}, count: map[string]float64{}}
+					order = append(order, name)
+				}
+			} else if _, ok := fams[name]; !ok {
+				fams[name] = &famState{bucketInf: map[string]float64{}, count: map[string]float64{}}
+				order = append(order, name)
+			}
+			continue
+		}
+
+		name, labels, value, err := parseSample(text)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", line, err)
+		}
+		f := family(name)
+		if f == nil || f.typ == "" {
+			return nil, fmt.Errorf("line %d: sample %s without a preceding # TYPE", line, name)
+		}
+		f.sawSamples = true
+		if f.typ == "histogram" {
+			key, le := splitLE(labels)
+			switch {
+			case strings.HasSuffix(name, "_bucket"):
+				if le == "" {
+					return nil, fmt.Errorf("line %d: %s without le label", line, name)
+				}
+				if le == "+Inf" {
+					f.bucketInf[key] = value
+				}
+			case strings.HasSuffix(name, "_count"):
+				f.count[key] = value
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	for name, f := range fams {
+		if f.typ == "histogram" {
+			for key, cnt := range f.count {
+				inf, ok := f.bucketInf[key]
+				if !ok {
+					return nil, fmt.Errorf("histogram %s{%s} has no +Inf bucket", name, key)
+				}
+				if inf != cnt {
+					return nil, fmt.Errorf("histogram %s{%s}: +Inf bucket %g != count %g", name, key, inf, cnt)
+				}
+			}
+		}
+	}
+
+	sort.Strings(order)
+	return order, nil
+}
+
+// parseSample parses `name{labels} value [timestamp]`, returning the
+// metric name, the raw label block (without braces) and the value.
+func parseSample(s string) (name, labels string, value float64, err error) {
+	i := 0
+	for i < len(s) && s[i] != '{' && s[i] != ' ' {
+		i++
+	}
+	name = s[:i]
+	if !validMetricName(name) {
+		return "", "", 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	rest := s[i:]
+	if strings.HasPrefix(rest, "{") {
+		end := findLabelEnd(rest)
+		if end < 0 {
+			return "", "", 0, fmt.Errorf("unterminated label block in %q", s)
+		}
+		labels = rest[1:end]
+		if err := checkLabels(labels); err != nil {
+			return "", "", 0, err
+		}
+		rest = rest[end+1:]
+	}
+	rest = strings.TrimSpace(rest)
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", "", 0, fmt.Errorf("want `value [timestamp]`, got %q", rest)
+	}
+	value, perr := strconv.ParseFloat(fields[0], 64)
+	if perr != nil {
+		return "", "", 0, fmt.Errorf("bad sample value %q", fields[0])
+	}
+	if len(fields) == 2 {
+		if _, terr := strconv.ParseInt(fields[1], 10, 64); terr != nil {
+			return "", "", 0, fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	return name, labels, value, nil
+}
+
+// findLabelEnd locates the closing brace of a label block, honouring
+// quoted, escaped label values. s starts with '{'.
+func findLabelEnd(s string) int {
+	inQuote := false
+	for i := 1; i < len(s); i++ {
+		switch {
+		case inQuote && s[i] == '\\':
+			i++ // skip escaped char
+		case s[i] == '"':
+			inQuote = !inQuote
+		case !inQuote && s[i] == '}':
+			return i
+		}
+	}
+	return -1
+}
+
+// checkLabels validates a raw label block: comma-separated
+// name="value" pairs with valid names and closed quotes.
+func checkLabels(block string) error {
+	rest := block
+	for rest != "" {
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			return fmt.Errorf("label pair without '=' in %q", block)
+		}
+		lname := strings.TrimSpace(rest[:eq])
+		if !validLabelName(lname) {
+			return fmt.Errorf("invalid label name %q", lname)
+		}
+		rest = rest[eq+1:]
+		if !strings.HasPrefix(rest, `"`) {
+			return fmt.Errorf("unquoted value for label %q", lname)
+		}
+		i := 1
+		for i < len(rest) {
+			if rest[i] == '\\' {
+				i += 2
+				continue
+			}
+			if rest[i] == '"' {
+				break
+			}
+			i++
+		}
+		if i >= len(rest) {
+			return fmt.Errorf("unterminated value for label %q", lname)
+		}
+		rest = rest[i+1:]
+		rest = strings.TrimPrefix(rest, ",")
+	}
+	return nil
+}
+
+// splitLE strips the le="..." pair out of a raw label block, returning
+// the remaining key and the le value.
+func splitLE(block string) (key, le string) {
+	parts := []string{}
+	rest := block
+	for rest != "" {
+		// Labels rendered by this repo and by Prometheus clients never
+		// contain commas inside values for the le label, and key
+		// identity only needs to be stable, so a simple split suffices
+		// for bookkeeping.
+		j := splitPair(rest)
+		pair := rest[:j]
+		rest = strings.TrimPrefix(rest[j:], ",")
+		if v, ok := strings.CutPrefix(pair, `le="`); ok {
+			le = strings.TrimSuffix(v, `"`)
+			continue
+		}
+		parts = append(parts, pair)
+	}
+	return strings.Join(parts, ","), le
+}
+
+// splitPair returns the end index of the first name="value" pair of a
+// raw label block, respecting escapes.
+func splitPair(s string) int {
+	inQuote := false
+	for i := 0; i < len(s); i++ {
+		switch {
+		case inQuote && s[i] == '\\':
+			i++
+		case s[i] == '"':
+			inQuote = !inQuote
+		case !inQuote && s[i] == ',':
+			return i
+		}
+	}
+	return len(s)
+}

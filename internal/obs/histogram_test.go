@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramBuckets checks observations land in the right buckets
+// under the `le` (inclusive upper bound) convention.
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{0.001, 0.01, 0.1})
+	obs := []time.Duration{
+		500 * time.Microsecond, // <= 0.001
+		time.Millisecond,       // == 0.001 → first bucket (le is inclusive)
+		2 * time.Millisecond,   // <= 0.01
+		50 * time.Millisecond,  // <= 0.1
+		time.Second,            // +Inf
+		-time.Second,           // clamped to 0 → first bucket
+	}
+	for _, d := range obs {
+		h.Observe(d)
+	}
+	want := []uint64{3, 1, 1, 1}
+	for i := range want {
+		if got := h.counts[i].Load(); got != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, got, want[i])
+		}
+	}
+	if h.Count() != 6 {
+		t.Errorf("Count = %d, want 6", h.Count())
+	}
+	if h.Max() != time.Second {
+		t.Errorf("Max = %v, want 1s", h.Max())
+	}
+	wantSum := 500*time.Microsecond + time.Millisecond + 2*time.Millisecond + 50*time.Millisecond + time.Second
+	if h.Sum() != wantSum {
+		t.Errorf("Sum = %v, want %v", h.Sum(), wantSum)
+	}
+}
+
+// TestHistogramQuantile checks the interpolation estimate against a
+// uniform fill where the true quantiles are known.
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{0.010, 0.020, 0.030, 0.040})
+	// 1000 observations uniform in (0, 40ms]: true pXX ≈ XX% of 40ms.
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * 40 * time.Microsecond)
+	}
+	for _, tc := range []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.5, 20 * time.Millisecond},
+		{0.9, 36 * time.Millisecond},
+		{0.99, 39600 * time.Microsecond},
+	} {
+		got := h.Quantile(tc.q)
+		if diff := math.Abs(float64(got - tc.want)); diff > float64(time.Millisecond) {
+			t.Errorf("Quantile(%g) = %v, want ≈%v", tc.q, got, tc.want)
+		}
+	}
+	if got := h.Quantile(1); got != h.Max() {
+		t.Errorf("Quantile(1) = %v, want Max %v", got, h.Max())
+	}
+	if got := h.Quantile(-1); got > 10*time.Millisecond {
+		t.Errorf("Quantile(-1) = %v, want within first bucket", got)
+	}
+
+	empty := NewHistogram(nil)
+	if empty.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile != 0")
+	}
+}
+
+// TestHistogramConcurrent checks count/sum stay exact under concurrent
+// observers (the atomic-per-bucket design has no torn updates).
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(nil)
+	const (
+		goroutines = 16
+		perG       = 5_000
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(time.Duration(g+1) * time.Microsecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := h.Count(); got != goroutines*perG {
+		t.Errorf("Count = %d, want %d", got, goroutines*perG)
+	}
+	var wantSum time.Duration
+	for g := 1; g <= goroutines; g++ {
+		wantSum += time.Duration(g) * time.Microsecond * perG
+	}
+	if h.Sum() != wantSum {
+		t.Errorf("Sum = %v, want %v", h.Sum(), wantSum)
+	}
+	if h.Max() != time.Duration(goroutines)*time.Microsecond {
+		t.Errorf("Max = %v", h.Max())
+	}
+}
+
+// TestHistogramBadBounds pins the panic on unsorted bounds.
+func TestHistogramBadBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on unsorted bounds")
+		}
+	}()
+	NewHistogram([]float64{2, 1})
+}

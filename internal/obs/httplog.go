@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"log/slog"
+	"net/http"
+	"time"
+)
+
+// RequestIDHeader is the header the access-log middleware reads an
+// incoming request ID from and echoes the effective ID on.
+const RequestIDHeader = "X-Request-Id"
+
+// statusRecorder captures the status code and body size written by the
+// wrapped handler. Unwrap lets http.ResponseController reach the
+// underlying writer's Flusher/Hijacker.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += int64(n)
+	return n, err
+}
+
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
+
+// AccessLog wraps a handler with structured JSON access logging and
+// request tracing: every request gets a Trace (reusing an incoming
+// X-Request-Id if present) in its context, the effective ID is echoed
+// on the response, and on completion one slog record is emitted with
+// method, path, status, response bytes, duration and any stage timings
+// recorded down the stack. A nil logger disables logging but still
+// installs the trace, so stage timings and request IDs keep working.
+func AccessLog(logger *slog.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t := NewTrace(r.Header.Get(RequestIDHeader))
+		w.Header().Set(RequestIDHeader, t.ID)
+		rec := &statusRecorder{ResponseWriter: w}
+		next.ServeHTTP(rec, r.WithContext(WithTrace(r.Context(), t)))
+		if logger == nil {
+			return
+		}
+		if rec.status == 0 {
+			rec.status = http.StatusOK
+		}
+		attrs := []slog.Attr{
+			slog.String("req_id", t.ID),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", rec.status),
+			slog.Int64("bytes", rec.bytes),
+			slog.Duration("dur", time.Since(t.Start)),
+		}
+		if r.URL.RawQuery != "" {
+			attrs = append(attrs, slog.String("query", r.URL.RawQuery))
+		}
+		if st := t.stagesString(); st != "" {
+			attrs = append(attrs, slog.String("stages", st))
+		}
+		logger.LogAttrs(r.Context(), slog.LevelInfo, "request", attrs...)
+	})
+}

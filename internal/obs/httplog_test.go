@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestAccessLog exercises the middleware end to end: request ID
+// minting and echo, stage propagation, and one parseable JSON record
+// per request with the documented fields.
+func TestAccessLog(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&buf, nil))
+
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tr := TraceFrom(r.Context())
+		if tr == nil {
+			t.Error("no trace in handler context")
+		}
+		sp := tr.Stage("work")
+		sp.End()
+		w.WriteHeader(http.StatusTeapot)
+		w.Write([]byte("short and stout"))
+	})
+	h := AccessLog(logger, inner)
+
+	req := httptest.NewRequest("GET", "/v1/lookup?host=example.com", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+
+	reqID := rec.Header().Get(RequestIDHeader)
+	if reqID == "" {
+		t.Fatal("no X-Request-Id on response")
+	}
+
+	var entry map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &entry); err != nil {
+		t.Fatalf("log line is not JSON: %v\n%s", err, buf.String())
+	}
+	checks := map[string]any{
+		"req_id": reqID,
+		"method": "GET",
+		"path":   "/v1/lookup",
+		"query":  "host=example.com",
+		"status": float64(http.StatusTeapot),
+		"bytes":  float64(len("short and stout")),
+		"msg":    "request",
+	}
+	for k, want := range checks {
+		if entry[k] != want {
+			t.Errorf("log[%q] = %v, want %v", k, entry[k], want)
+		}
+	}
+	if _, ok := entry["stages"]; !ok {
+		t.Errorf("log entry missing stages: %v", entry)
+	}
+}
+
+// TestAccessLogReusesIncomingID checks a caller-supplied request ID is
+// honoured end to end.
+func TestAccessLogReusesIncomingID(t *testing.T) {
+	h := AccessLog(nil, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if id := TraceFrom(r.Context()).ID; id != "caller-chosen" {
+			t.Errorf("trace ID = %q", id)
+		}
+	}))
+	req := httptest.NewRequest("GET", "/", nil)
+	req.Header.Set(RequestIDHeader, "caller-chosen")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if got := rec.Header().Get(RequestIDHeader); got != "caller-chosen" {
+		t.Errorf("echoed ID = %q", got)
+	}
+	if rec.Code != http.StatusOK {
+		t.Errorf("status = %d", rec.Code)
+	}
+}

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRegistryExposition renders a registry with every instrument kind
+// and checks the document against our independent format validator plus
+// a handful of exact-line expectations.
+func TestRegistryExposition(t *testing.T) {
+	r := NewRegistry()
+	var c Counter
+	c.Add(41)
+	c.Inc()
+	r.MustRegister("psl_test_lookups_total", "lookups by result", Labels{{"result", "hit"}}, &c)
+	var c2 Counter
+	c2.Add(7)
+	r.MustRegister("psl_test_lookups_total", "lookups by result", Labels{{"result", "miss"}}, &c2)
+
+	var g Gauge
+	g.Set(-3)
+	r.MustRegister("psl_test_inflight", "in-flight requests", nil, &g)
+
+	var fg FloatGauge
+	fg.Set(0.25)
+	r.MustRegister("psl_test_utilization_ratio", "worker utilization", nil, &fg)
+
+	r.MustRegister("psl_test_uptime_seconds", "uptime", nil, GaugeFunc(func() float64 { return 12.5 }))
+	r.MustRegister("psl_test_swaps_total", "swaps", nil, CounterFunc(func() float64 { return 3 }))
+
+	h := NewHistogram([]float64{0.001, 0.01, 0.1})
+	h.Observe(500 * time.Microsecond)
+	h.Observe(5 * time.Millisecond)
+	h.Observe(2 * time.Second)
+	r.MustRegister("psl_test_duration_seconds", "latency", Labels{{"op", "x"}}, h)
+
+	doc := r.Render()
+	fams, err := ValidateExposition(strings.NewReader(doc))
+	if err != nil {
+		t.Fatalf("exposition does not validate: %v\n%s", err, doc)
+	}
+	wantFams := []string{
+		"psl_test_duration_seconds", "psl_test_inflight", "psl_test_lookups_total",
+		"psl_test_swaps_total", "psl_test_uptime_seconds", "psl_test_utilization_ratio",
+	}
+	if strings.Join(fams, " ") != strings.Join(wantFams, " ") {
+		t.Errorf("families = %v, want %v", fams, wantFams)
+	}
+
+	for _, line := range []string{
+		`psl_test_lookups_total{result="hit"} 42`,
+		`psl_test_lookups_total{result="miss"} 7`,
+		`psl_test_inflight -3`,
+		`psl_test_utilization_ratio 0.25`,
+		`psl_test_uptime_seconds 12.5`,
+		`psl_test_swaps_total 3`,
+		`psl_test_duration_seconds_bucket{op="x",le="0.001"} 1`,
+		`psl_test_duration_seconds_bucket{op="x",le="0.01"} 2`,
+		`psl_test_duration_seconds_bucket{op="x",le="0.1"} 2`,
+		`psl_test_duration_seconds_bucket{op="x",le="+Inf"} 3`,
+		`psl_test_duration_seconds_count{op="x"} 3`,
+		"# TYPE psl_test_lookups_total counter",
+		"# TYPE psl_test_duration_seconds histogram",
+		"# TYPE psl_test_inflight gauge",
+	} {
+		if !strings.Contains(doc, line+"\n") {
+			t.Errorf("exposition missing line %q:\n%s", line, doc)
+		}
+	}
+
+	// The two lookups series must share a single HELP/TYPE header.
+	if n := strings.Count(doc, "# TYPE psl_test_lookups_total"); n != 1 {
+		t.Errorf("family header repeated %d times", n)
+	}
+}
+
+// TestRegistryHandler checks the /metrics handler wiring and content
+// type.
+func TestRegistryHandler(t *testing.T) {
+	r := NewRegistry()
+	var c Counter
+	c.Add(9)
+	r.MustRegister("psl_test_total", "t", nil, &c)
+
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != ContentType {
+		t.Errorf("Content-Type = %q, want %q", ct, ContentType)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "psl_test_total 9") {
+		t.Errorf("body = %s", body)
+	}
+}
+
+// TestRegistryRegistrationErrors pins the panic contract for programmer
+// errors.
+func TestRegistryRegistrationErrors(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	r := NewRegistry()
+	var c Counter
+	var g Gauge
+	r.MustRegister("ok_total", "h", Labels{{"a", "1"}}, &c)
+
+	mustPanic("bad metric name", func() { r.MustRegister("0bad", "h", nil, &c) })
+	mustPanic("bad label name", func() { r.MustRegister("ok2_total", "h", Labels{{"0bad", "x"}}, &c) })
+	mustPanic("duplicate label", func() { r.MustRegister("ok3_total", "h", Labels{{"a", "1"}, {"a", "2"}}, &c) })
+	mustPanic("type mismatch", func() { r.MustRegister("ok_total", "h", Labels{{"a", "2"}}, &g) })
+	mustPanic("duplicate series", func() { r.MustRegister("ok_total", "h", Labels{{"a", "1"}}, &c) })
+	mustPanic("unsupported instrument", func() { r.MustRegister("ok4_total", "h", nil, 42) })
+}
+
+// TestLabelEscaping checks exposition escaping of tricky label values.
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	var c Counter
+	r.MustRegister("esc_total", "h", Labels{{"v", "a\"b\\c\nd"}}, &c)
+	doc := r.Render()
+	want := `esc_total{v="a\"b\\c\nd"} 0`
+	if !strings.Contains(doc, want+"\n") {
+		t.Errorf("escaped line missing; doc:\n%s", doc)
+	}
+	if _, err := ValidateExposition(strings.NewReader(doc)); err != nil {
+		t.Errorf("escaped doc does not validate: %v", err)
+	}
+}
+
+// TestValidateExpositionRejects feeds the validator malformed documents
+// it must reject.
+func TestValidateExpositionRejects(t *testing.T) {
+	cases := map[string]string{
+		"sample without TYPE":   "foo_total 1\n",
+		"bad value":             "# TYPE foo_total counter\nfoo_total abc\n",
+		"bad name":              "# TYPE 1foo counter\n1foo 1\n",
+		"unterminated labels":   "# TYPE foo counter\nfoo{a=\"b 1\n",
+		"unquoted label":        "# TYPE foo counter\nfoo{a=b} 1\n",
+		"TYPE after samples":    "# TYPE foo counter\nfoo 1\n# TYPE foo counter\n",
+		"unknown type":          "# TYPE foo widget\nfoo 1\n",
+		"histogram no inf":      "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_count 1\nh_sum 1\n",
+		"histogram inf < count": "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_count 2\nh_sum 1\n",
+	}
+	for name, doc := range cases {
+		if _, err := ValidateExposition(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: validated but should not:\n%s", name, doc)
+		}
+	}
+}

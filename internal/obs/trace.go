@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// reqPrefix is a per-process random prefix so request IDs from
+// different processes never collide; reqSeq makes IDs unique and
+// cheaply orderable within a process.
+var (
+	reqPrefix = func() string {
+		var b [4]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			return "00000000"
+		}
+		return hex.EncodeToString(b[:])
+	}()
+	reqSeq atomic.Uint64
+)
+
+// NewRequestID returns a process-unique request identifier of the form
+// "d1f3a2b4-000042": a random per-process prefix plus a sequence
+// number. One atomic increment and one small allocation per call —
+// request IDs are minted on the HTTP layer, not the lookup hot path.
+func NewRequestID() string {
+	return fmt.Sprintf("%s-%06x", reqPrefix, reqSeq.Add(1))
+}
+
+// StageTiming is one named, timed stage of a request.
+type StageTiming struct {
+	Name     string        `json:"name"`
+	Duration time.Duration `json:"dur"`
+}
+
+// Trace carries a request ID and per-stage timings through a request's
+// context. Handlers down the stack record stages via Stage/End; the
+// access logger reads them back when the request completes. A Trace is
+// created once per request by the logging middleware (or by hand in
+// tests); all methods are nil-safe so instrumented code never has to
+// check whether tracing is on.
+type Trace struct {
+	// ID is the request identifier, also echoed as X-Request-Id.
+	ID string
+	// Start is when the request entered the stack.
+	Start time.Time
+
+	mu     sync.Mutex
+	stages []StageTiming
+}
+
+// NewTrace creates a trace with the given ID (empty mints a fresh one).
+func NewTrace(id string) *Trace {
+	if id == "" {
+		id = NewRequestID()
+	}
+	return &Trace{ID: id, Start: time.Now()}
+}
+
+// Span is an in-progress stage measurement, returned by Trace.Stage and
+// closed by End. It is a small value (no heap allocation beyond what
+// the caller's frame holds) so stage timing stays cheap.
+type Span struct {
+	t    *Trace
+	name string
+	t0   time.Time
+}
+
+// Stage starts timing a named stage. Nil-safe: on a nil Trace the
+// returned Span's End is a no-op.
+func (t *Trace) Stage(name string) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, name: name, t0: time.Now()}
+}
+
+// End records the stage's duration on its trace.
+func (s Span) End() {
+	if s.t == nil {
+		return
+	}
+	d := time.Since(s.t0)
+	s.t.mu.Lock()
+	s.t.stages = append(s.t.stages, StageTiming{Name: s.name, Duration: d})
+	s.t.mu.Unlock()
+}
+
+// Stages returns a copy of the recorded stage timings, in completion
+// order.
+func (t *Trace) Stages() []StageTiming {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]StageTiming(nil), t.stages...)
+}
+
+// stagesString renders "lookup=1.2ms encode=30µs" for the access log.
+func (t *Trace) stagesString() string {
+	st := t.Stages()
+	if len(st) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, s := range st {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(s.Name)
+		b.WriteByte('=')
+		b.WriteString(s.Duration.String())
+	}
+	return b.String()
+}
+
+// traceKey is the context key for the request Trace.
+type traceKey struct{}
+
+// WithTrace returns a context carrying the trace.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// TraceFrom returns the context's trace, or nil when the request is not
+// traced — safe to use directly with Stage.
+func TraceFrom(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}

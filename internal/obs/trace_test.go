@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRequestIDsUnique checks IDs are unique and well formed.
+func TestRequestIDsUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		id := NewRequestID()
+		if seen[id] {
+			t.Fatalf("duplicate request ID %q", id)
+		}
+		seen[id] = true
+		if len(id) < 10 || !strings.Contains(id, "-") {
+			t.Fatalf("malformed request ID %q", id)
+		}
+	}
+}
+
+// TestTraceStages records stages and checks order, durations and the
+// context round trip.
+func TestTraceStages(t *testing.T) {
+	tr := NewTrace("")
+	if tr.ID == "" {
+		t.Error("empty ID not minted")
+	}
+	ctx := WithTrace(context.Background(), tr)
+	got := TraceFrom(ctx)
+	if got != tr {
+		t.Fatal("TraceFrom did not round-trip")
+	}
+
+	s := got.Stage("lookup")
+	time.Sleep(2 * time.Millisecond)
+	s.End()
+	got.Stage("encode").End()
+
+	st := tr.Stages()
+	if len(st) != 2 || st[0].Name != "lookup" || st[1].Name != "encode" {
+		t.Fatalf("stages = %+v", st)
+	}
+	if st[0].Duration < time.Millisecond {
+		t.Errorf("lookup stage %v, want >= 1ms", st[0].Duration)
+	}
+	if !strings.Contains(tr.stagesString(), "lookup=") {
+		t.Errorf("stagesString = %q", tr.stagesString())
+	}
+}
+
+// TestTraceNilSafe pins that untraced requests cost nothing and crash
+// nothing.
+func TestTraceNilSafe(t *testing.T) {
+	var tr *Trace
+	tr.Stage("x").End()
+	if tr.Stages() != nil {
+		t.Error("nil trace has stages")
+	}
+	if TraceFrom(context.Background()) != nil {
+		t.Error("TraceFrom on bare context != nil")
+	}
+}

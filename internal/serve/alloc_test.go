@@ -3,6 +3,7 @@ package serve
 import (
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/psl"
 )
 
@@ -24,23 +25,36 @@ func TestSnapshotDefaultsToPackedMatcher(t *testing.T) {
 
 // TestLookupCachedHitZeroAlloc is the serving-layer allocation guard: a
 // lookup that hits the sharded cache must not allocate — one atomic
-// state load, one map probe, one struct copy.
+// state load, one map probe, one struct copy — and that must hold with
+// the metrics layer on (the default) exactly as it does with it off.
+// The run count comfortably exceeds hitSampleEvery, so the sampled
+// latency-timing path is exercised too.
 func TestLookupCachedHitZeroAlloc(t *testing.T) {
-	svc := New(fixture(t), -1, Options{})
-	hosts := []string{"www.example.com", "b.c.kobe.jp", "a.example.co.uk"}
-	for _, h := range hosts {
-		if _, err := svc.Lookup(h); err != nil {
-			t.Fatalf("prime Lookup(%q): %v", h, err)
+	for name, opts := range map[string]Options{
+		"instrumented": {},
+		"metricsOff":   {DisableMetrics: true},
+		"withRegistry": {MatcherName: "packed"},
+	} {
+		svc := New(fixture(t), -1, opts)
+		if name == "withRegistry" {
+			// A live registry changes nothing on the hot path, but pin it.
+			svc.RegisterMetrics(obs.NewRegistry())
 		}
-	}
-	for _, h := range hosts {
-		h := h
-		if n := testing.AllocsPerRun(200, func() {
+		hosts := []string{"www.example.com", "b.c.kobe.jp", "a.example.co.uk"}
+		for _, h := range hosts {
 			if _, err := svc.Lookup(h); err != nil {
-				t.Fatal(err)
+				t.Fatalf("prime Lookup(%q): %v", h, err)
 			}
-		}); n != 0 {
-			t.Errorf("cached Lookup(%q) allocates %.1f/op, want 0", h, n)
+		}
+		for _, h := range hosts {
+			h := h
+			if n := testing.AllocsPerRun(hitSampleEvery*2, func() {
+				if _, err := svc.Lookup(h); err != nil {
+					t.Fatal(err)
+				}
+			}); n != 0 {
+				t.Errorf("%s: cached Lookup(%q) allocates %.1f/op, want 0", name, h, n)
+			}
 		}
 	}
 }

@@ -24,6 +24,7 @@ type Cache struct {
 	shards   [cacheShards]cacheShard
 	maxShard int
 	size     atomic.Int64
+	bytes    atomic.Int64
 }
 
 type cacheShard struct {
@@ -68,21 +69,43 @@ func (c *Cache) Get(key string) (Answer, bool) {
 	return a, ok
 }
 
+// entryOverheadBytes approximates the per-entry cost beyond the string
+// payloads: the Answer struct itself, the map bucket slot and the key
+// header. The figure is a deliberate model, not a heap measurement —
+// what matters is that accounting is applied symmetrically on insert,
+// overwrite and evict, so the byte gauge converges to the model's total
+// (the cache test recomputes it offline and demands equality).
+const entryOverheadBytes = 160
+
+// entryCost is the modelled resident size of one cache entry.
+func entryCost(key string, a Answer) int64 {
+	return int64(entryOverheadBytes + len(key) +
+		len(a.Query) + len(a.Host) + len(a.ETLD) + len(a.Site) +
+		len(a.Rule) + len(a.Section) + len(a.Version))
+}
+
 // Put stores an answer. A full shard evicts one arbitrary entry (map
 // iteration order), which is good enough for a cache whose lifetime is
 // one snapshot: the hot Zipf head re-establishes itself immediately.
+// Size and byte accounting happen under the shard lock, so the global
+// counters only ever lag by in-flight deltas and can never go negative.
 func (c *Cache) Put(key string, a Answer) {
 	s := c.shard(key)
+	cost := entryCost(key, a)
 	s.mu.Lock()
-	if _, exists := s.m[key]; !exists {
+	if old, exists := s.m[key]; exists {
+		c.bytes.Add(cost - entryCost(key, old))
+	} else {
 		if len(s.m) >= c.maxShard {
-			for k := range s.m {
+			for k, victim := range s.m {
 				delete(s.m, k)
 				c.size.Add(-1)
+				c.bytes.Add(-entryCost(k, victim))
 				break
 			}
 		}
 		c.size.Add(1)
+		c.bytes.Add(cost)
 	}
 	s.m[key] = a
 	s.mu.Unlock()
@@ -91,4 +114,10 @@ func (c *Cache) Put(key string, a Answer) {
 // Len reports the current number of cached entries.
 func (c *Cache) Len() int {
 	return int(c.size.Load())
+}
+
+// Bytes reports the modelled resident size of the cache in bytes (see
+// entryCost).
+func (c *Cache) Bytes() int64 {
+	return c.bytes.Load()
 }

@@ -21,6 +21,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/psl"
 	"repro/internal/serve"
 )
@@ -78,6 +79,68 @@ type Result struct {
 	FirstMismatch error
 	// Elapsed is the wall-clock duration of the run.
 	Elapsed time.Duration
+	// Latency is the client-side per-lookup latency distribution,
+	// recorded into the shared obs histogram type (every lookup timed,
+	// successful or not).
+	Latency *obs.Histogram
+}
+
+// LatencySummary is the quantile view of a run's latency histogram.
+type LatencySummary struct {
+	P50Seconds  float64 `json:"p50_seconds"`
+	P90Seconds  float64 `json:"p90_seconds"`
+	P99Seconds  float64 `json:"p99_seconds"`
+	MaxSeconds  float64 `json:"max_seconds"`
+	MeanSeconds float64 `json:"mean_seconds"`
+}
+
+// Summary is the machine-readable digest of a run, shaped for CI and
+// for BENCH_*.json artefacts: counts, throughput and client-side
+// latency percentiles from the shared histogram type.
+type Summary struct {
+	Lookups        int64          `json:"lookups"`
+	Errors         int64          `json:"errors"`
+	Mismatches     int64          `json:"mismatches"`
+	Cached         int64          `json:"cached"`
+	Swaps          int64          `json:"swaps"`
+	ElapsedSeconds float64        `json:"elapsed_seconds"`
+	LookupsPerSec  float64        `json:"lookups_per_sec"`
+	Latency        LatencySummary `json:"latency"`
+}
+
+// Summary condenses the run for machine consumption.
+func (r *Result) Summary() Summary {
+	s := Summary{
+		Lookups:        r.Lookups,
+		Errors:         r.Errors,
+		Mismatches:     r.Mismatches,
+		Cached:         r.Cached,
+		Swaps:          r.Swaps,
+		ElapsedSeconds: r.Elapsed.Seconds(),
+		Latency: LatencySummary{
+			P50Seconds:  r.Latency.Quantile(0.50).Seconds(),
+			P90Seconds:  r.Latency.Quantile(0.90).Seconds(),
+			P99Seconds:  r.Latency.Quantile(0.99).Seconds(),
+			MaxSeconds:  r.Latency.Max().Seconds(),
+			MeanSeconds: r.Latency.Mean().Seconds(),
+		},
+	}
+	if r.Elapsed > 0 {
+		s.LookupsPerSec = float64(r.Lookups) / r.Elapsed.Seconds()
+	}
+	return s
+}
+
+// WriteJSON writes the run summary as indented JSON — the loadgen
+// command's stdout contract.
+func (r *Result) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(r.Summary(), "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
 }
 
 // Run executes the configured load. It returns once every client has
@@ -99,7 +162,7 @@ func Run(cfg Config) Result {
 		panic("loadgen: Hosts and Lookup are required")
 	}
 
-	var res Result
+	res := Result{Latency: obs.NewHistogram(nil)}
 	var mismatchOnce sync.Once
 	start := time.Now()
 
@@ -138,7 +201,9 @@ func Run(cfg Config) Result {
 			zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(len(cfg.Hosts)-1))
 			for i := 0; i < cfg.RequestsPerClient || swapping(); i++ {
 				host := cfg.Hosts[zipf.Uint64()]
+				t0 := time.Now()
 				a, err := cfg.Lookup(host)
+				res.Latency.Observe(time.Since(t0))
 				atomic.AddInt64(&res.Lookups, 1)
 				if err != nil {
 					atomic.AddInt64(&res.Errors, 1)

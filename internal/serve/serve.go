@@ -5,13 +5,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"net"
 	"net/http"
+	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/history"
+	"repro/internal/obs"
 	"repro/internal/psl"
 )
 
@@ -34,10 +37,40 @@ type Options struct {
 	// (for ablation or debugging against the other implementations).
 	// nil selects the packed compiled matcher.
 	NewMatcher func(*psl.List) psl.Matcher
+	// MatcherName names the matcher implementation in metric labels and
+	// /healthz. Empty selects "packed" when NewMatcher is nil and
+	// "custom" otherwise.
+	MatcherName string
+	// DisableMetrics turns off latency instrumentation (the lookup
+	// counters stay on — they predate the metrics layer and are part of
+	// CacheStats). Exists so BenchmarkServeLookupInstrumented can
+	// measure the instrumentation overhead against a bare service;
+	// production callers leave it false.
+	DisableMetrics bool
 }
 
 // DefaultMaxInFlight is the default admission bound.
 const DefaultMaxInFlight = 256
+
+// hitSampleEvery is the cache-hit latency sampling period: one in every
+// hitSampleEvery hits arms end-to-end timing for the following lookup.
+// Cached hits run in ~100ns, so timing each one (two time.Now calls)
+// would be a >30% tax; sampling rides the hit counter's existing atomic
+// add (Counter.AddSampled), so it requires a power of two. Misses are
+// always timed — the matcher walk dwarfs the clock reads.
+const hitSampleEvery = 256
+
+// timing is the latency instrumentation of the lookup path, nil when
+// Options.DisableMetrics is set. Hits are sampled: every
+// hitSampleEvery-th hit (per counter stripe) arms the flag, and the
+// next lookup times itself end to end. The armed flag is read-mostly —
+// its cache line stays shared between arming events — so the per-hit
+// tax is one predictable branch, not a second contended atomic add.
+type timing struct {
+	armed atomic.Bool
+	hit   *obs.Histogram
+	miss  *obs.Histogram
+}
 
 // state is the unit of atomic swap: a snapshot and the cache built for
 // it. Replacing both together means a cached answer can never outlive
@@ -57,14 +90,24 @@ type Service struct {
 	opts Options
 
 	// swap and lookup telemetry; survive snapshot swaps.
-	gen      atomic.Uint64
-	hits     atomic.Uint64
-	misses   atomic.Uint64
-	admitted atomic.Uint64
-	rejected atomic.Uint64
+	gen       atomic.Uint64
+	swapNanos atomic.Int64 // UnixNano of the last swap, for the age gauge
+	hits      obs.Counter
+	misses    obs.Counter
+	errs      obs.Counter
+	admitted  obs.Counter
+	rejected  obs.Counter
+	m         *timing
+
+	matcherName string
 
 	// admission semaphore for /v1/lookup.
 	tokens chan struct{}
+
+	// compiled amortises matcher compilation for ?version=N lookups
+	// over the shared history compile cache (default matcher only;
+	// NewMatcher overrides fall back to per-version builds).
+	compiled *history.CompileCache
 
 	// bounded cache of materialised historical snapshots for
 	// ?version=N lookups.
@@ -82,11 +125,32 @@ func New(l *psl.List, seq int, opts Options) *Service {
 	if opts.MaxInFlight <= 0 {
 		opts.MaxInFlight = DefaultMaxInFlight
 	}
+	if opts.VersionCacheSize <= 0 {
+		opts.VersionCacheSize = 8
+	}
+	name := opts.MatcherName
+	if name == "" {
+		if opts.NewMatcher == nil {
+			name = "packed"
+		} else {
+			name = "custom"
+		}
+	}
 	s := &Service{
 		opts:         opts,
+		matcherName:  name,
 		tokens:       make(chan struct{}, opts.MaxInFlight),
 		versionSnaps: make(map[int]*Snapshot),
 		start:        time.Now(),
+	}
+	if !opts.DisableMetrics {
+		s.m = &timing{
+			hit:  obs.NewHistogram(nil),
+			miss: obs.NewHistogram(nil),
+		}
+	}
+	if opts.History != nil && opts.NewMatcher == nil {
+		s.compiled = history.NewCompileCache(opts.History, opts.VersionCacheSize)
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc(LookupPath, s.handleLookup)
@@ -104,15 +168,62 @@ func NewFromHistory(h *history.History, seq int, opts Options) *Service {
 	return New(h.ListAt(seq), seq, opts)
 }
 
+// RegisterMetrics attaches the service's metric families to a registry
+// (DESIGN.md §10 naming): lookup counters and latency histograms
+// labelled by matcher and result, swap/age/rules snapshot telemetry,
+// cache occupancy, and admission-control counters and gauges. When the
+// service runs versioned lookups over a compile cache, that cache's
+// families are registered too.
+func (s *Service) RegisterMetrics(r *obs.Registry) {
+	n := s.matcherName
+	r.MustRegister("psl_serve_lookups_total", "Lookups by result (hit/miss against the answer cache, error for invalid hosts).",
+		obs.Labels{{"matcher", n}, {"result", "hit"}}, &s.hits)
+	r.MustRegister("psl_serve_lookups_total", "Lookups by result (hit/miss against the answer cache, error for invalid hosts).",
+		obs.Labels{{"matcher", n}, {"result", "miss"}}, &s.misses)
+	r.MustRegister("psl_serve_lookups_total", "Lookups by result (hit/miss against the answer cache, error for invalid hosts).",
+		obs.Labels{{"matcher", n}, {"result", "error"}}, &s.errs)
+	if s.m != nil {
+		r.MustRegister("psl_serve_lookup_duration_seconds",
+			fmt.Sprintf("Lookup latency by result; hits are sampled 1/%d, misses always timed.", hitSampleEvery),
+			obs.Labels{{"matcher", n}, {"result", "hit"}}, s.m.hit)
+		r.MustRegister("psl_serve_lookup_duration_seconds",
+			fmt.Sprintf("Lookup latency by result; hits are sampled 1/%d, misses always timed.", hitSampleEvery),
+			obs.Labels{{"matcher", n}, {"result", "miss"}}, s.m.miss)
+	}
+	r.MustRegister("psl_serve_swaps_total", "Snapshot swaps installed, including the initial one.", nil,
+		obs.CounterFunc(func() float64 { return float64(s.gen.Load()) }))
+	r.MustRegister("psl_serve_snapshot_age_seconds", "Seconds since the current snapshot was installed.", nil,
+		obs.GaugeFunc(func() float64 { return time.Since(time.Unix(0, s.swapNanos.Load())).Seconds() }))
+	r.MustRegister("psl_serve_snapshot_rules", "Rules in the currently served list version.", nil,
+		obs.GaugeFunc(func() float64 { return float64(s.Current().List.Len()) }))
+	r.MustRegister("psl_serve_cache_entries", "Entries in the current lookup cache.", nil,
+		obs.GaugeFunc(func() float64 { return float64(s.st.Load().cache.Len()) }))
+	r.MustRegister("psl_serve_cache_bytes", "Approximate resident bytes of the current lookup cache.", nil,
+		obs.GaugeFunc(func() float64 { return float64(s.st.Load().cache.Bytes()) }))
+	r.MustRegister("psl_serve_inflight_requests", "Admitted /v1/lookup requests currently in flight.", nil,
+		obs.GaugeFunc(func() float64 { return float64(len(s.tokens)) }))
+	r.MustRegister("psl_serve_admitted_total", "Requests admitted past the in-flight bound.", nil, &s.admitted)
+	r.MustRegister("psl_serve_rejected_total", "Requests rejected with 503 by admission control.", nil, &s.rejected)
+	if s.compiled != nil {
+		s.compiled.RegisterMetrics(r)
+	}
+}
+
+// install makes snap the current snapshot under a fresh generation,
+// with a fresh cache.
+func (s *Service) install(snap *Snapshot) *Snapshot {
+	snap.Gen = s.gen.Add(1)
+	s.swapNanos.Store(time.Now().UnixNano())
+	s.st.Store(&state{snap: snap, cache: NewCache(s.opts.CacheSize)})
+	return snap
+}
+
 // Swap atomically installs a new list version. In-flight lookups keep
 // the snapshot they loaded; subsequent lookups see the new one. The
 // lookup cache is replaced wholesale with an empty cache bound to the
 // new snapshot. Returns the installed snapshot.
 func (s *Service) Swap(l *psl.List, seq int) *Snapshot {
-	snap := s.buildSnapshot(l, seq)
-	snap.Gen = s.gen.Add(1)
-	s.st.Store(&state{snap: snap, cache: NewCache(s.opts.CacheSize)})
-	return snap
+	return s.install(s.buildSnapshot(l, seq))
 }
 
 // buildSnapshot constructs a snapshot honouring the Options.NewMatcher
@@ -125,7 +236,9 @@ func (s *Service) buildSnapshot(l *psl.List, seq int) *Snapshot {
 }
 
 // SetVersion materialises and installs history version seq. It errors
-// without a configured history or for an out-of-range seq.
+// without a configured history or for an out-of-range seq. The matcher
+// comes from the versioned-lookup cache, so flipping between recently
+// served versions does not recompile.
 func (s *Service) SetVersion(seq int) error {
 	h := s.opts.History
 	if h == nil {
@@ -134,7 +247,10 @@ func (s *Service) SetVersion(seq int) error {
 	if seq < 0 || seq >= h.Len() {
 		return fmt.Errorf("serve: version %d out of range [0,%d)", seq, h.Len())
 	}
-	s.Swap(s.versionSnapshot(seq).List, seq)
+	// Install a copy: the cached snapshot stays Gen-less and shareable,
+	// the installed one carries its swap generation.
+	snap := *s.versionSnapshot(seq)
+	s.install(&snap)
 	return nil
 }
 
@@ -155,18 +271,38 @@ func (s *Service) CacheStats() (hits, misses uint64, size int) {
 // cache. The raw query string is the cache key, so repeated queries
 // skip normalization entirely on hits.
 func (s *Service) Lookup(host string) (Answer, error) {
+	m := s.m
+	var t0 time.Time
+	timed := false
+	if m != nil && m.armed.Load() && m.armed.CompareAndSwap(true, false) {
+		timed = true
+		t0 = time.Now()
+	}
 	st := s.st.Load()
 	if a, ok := st.cache.Get(host); ok {
-		s.hits.Add(1)
+		if s.hits.AddSampled(1, hitSampleEvery) && m != nil {
+			m.armed.Store(true)
+		}
+		if timed {
+			m.hit.Observe(time.Since(t0))
+		}
 		a.Cached = true
 		return a, nil
 	}
 	s.misses.Add(1)
+	if m != nil && !timed {
+		timed = true
+		t0 = time.Now()
+	}
 	a, err := st.snap.Resolve(host)
 	if err != nil {
+		s.errs.Add(1)
 		return Answer{}, err
 	}
 	st.cache.Put(host, a)
+	if timed {
+		m.miss.Observe(time.Since(t0))
+	}
 	return a, nil
 }
 
@@ -186,18 +322,23 @@ func (s *Service) LookupAt(host string, seq int) (Answer, error) {
 
 // versionSnapshot returns a materialised snapshot of history version
 // seq, keeping a small FIFO-bounded cache of recently used versions.
+// With the default matcher, compilation goes through the shared history
+// compile cache so SetVersion and LookupAt never compile one version
+// twice.
 func (s *Service) versionSnapshot(seq int) *Snapshot {
 	s.versionMu.Lock()
 	defer s.versionMu.Unlock()
 	if snap, ok := s.versionSnaps[seq]; ok {
 		return snap
 	}
-	max := s.opts.VersionCacheSize
-	if max <= 0 {
-		max = 8
+	var snap *Snapshot
+	if s.compiled != nil {
+		l, m := s.compiled.Get(seq)
+		snap = NewSnapshotWith(l, seq, m)
+	} else {
+		snap = s.buildSnapshot(s.opts.History.ListAt(seq), seq)
 	}
-	snap := s.buildSnapshot(s.opts.History.ListAt(seq), seq)
-	for len(s.versionOrder) >= max {
+	for len(s.versionOrder) >= s.opts.VersionCacheSize {
 		old := s.versionOrder[0]
 		s.versionOrder = s.versionOrder[1:]
 		delete(s.versionSnaps, old)
@@ -209,11 +350,13 @@ func (s *Service) versionSnapshot(seq int) *Snapshot {
 
 // --- HTTP layer ------------------------------------------------------
 
-// API paths mounted by Handler.
+// API paths mounted by Handler, plus the conventional metrics path the
+// server binaries mount an obs.Registry on.
 const (
 	LookupPath  = "/v1/lookup"
 	VersionPath = "/v1/version"
 	HealthPath  = "/healthz"
+	MetricsPath = "/metrics"
 )
 
 // errorBody is the JSON error envelope.
@@ -261,20 +404,24 @@ func (s *Service) handleLookup(w http.ResponseWriter, r *http.Request) {
 		a   Answer
 		err error
 	)
+	sp := obs.TraceFrom(r.Context()).Stage("lookup")
 	if v := r.URL.Query().Get("version"); v != "" {
 		seq, perr := strconv.Atoi(v)
 		if perr != nil {
+			sp.End()
 			writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad version parameter"})
 			return
 		}
 		a, err = s.LookupAt(host, seq)
 		if err != nil && !errors.Is(err, psl.ErrNotDomain) {
+			sp.End()
 			writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
 			return
 		}
 	} else {
 		a, err = s.Lookup(host)
 	}
+	sp.End()
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
 		return
@@ -304,36 +451,44 @@ func (s *Service) handleVersion(w http.ResponseWriter, r *http.Request) {
 
 // healthBody is the JSON body of /healthz.
 type healthBody struct {
-	Status        string `json:"status"`
-	Version       string `json:"version"`
-	Seq           int    `json:"seq"`
-	Swaps         uint64 `json:"swaps"`
-	CacheHits     uint64 `json:"cache_hits"`
-	CacheMisses   uint64 `json:"cache_misses"`
-	CacheSize     int    `json:"cache_size"`
-	InFlight      int    `json:"in_flight"`
-	MaxInFlight   int    `json:"max_in_flight"`
-	Admitted      uint64 `json:"admitted"`
-	Rejected      uint64 `json:"rejected"`
-	UptimeSeconds int64  `json:"uptime_seconds"`
+	Status             string  `json:"status"`
+	Version            string  `json:"version"`
+	Seq                int     `json:"seq"`
+	Matcher            string  `json:"matcher"`
+	GoVersion          string  `json:"go_version"`
+	Swaps              uint64  `json:"swaps"`
+	SnapshotAgeSeconds float64 `json:"snapshot_age_seconds"`
+	CacheHits          uint64  `json:"cache_hits"`
+	CacheMisses        uint64  `json:"cache_misses"`
+	CacheSize          int     `json:"cache_size"`
+	CacheBytes         int64   `json:"cache_bytes"`
+	InFlight           int     `json:"in_flight"`
+	MaxInFlight        int     `json:"max_in_flight"`
+	Admitted           uint64  `json:"admitted"`
+	Rejected           uint64  `json:"rejected"`
+	UptimeSeconds      int64   `json:"uptime_seconds"`
 }
 
 func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
 	hits, misses, size := s.CacheStats()
 	snap := s.Current()
 	writeJSON(w, http.StatusOK, healthBody{
-		Status:        "ok",
-		Version:       snap.List.Version,
-		Seq:           snap.Seq,
-		Swaps:         s.Swaps(),
-		CacheHits:     hits,
-		CacheMisses:   misses,
-		CacheSize:     size,
-		InFlight:      len(s.tokens),
-		MaxInFlight:   s.opts.MaxInFlight,
-		Admitted:      s.admitted.Load(),
-		Rejected:      s.rejected.Load(),
-		UptimeSeconds: int64(time.Since(s.start).Seconds()),
+		Status:             "ok",
+		Version:            snap.List.Version,
+		Seq:                snap.Seq,
+		Matcher:            s.matcherName,
+		GoVersion:          runtime.Version(),
+		Swaps:              s.Swaps(),
+		SnapshotAgeSeconds: time.Since(time.Unix(0, s.swapNanos.Load())).Seconds(),
+		CacheHits:          hits,
+		CacheMisses:        misses,
+		CacheSize:          size,
+		CacheBytes:         s.st.Load().cache.Bytes(),
+		InFlight:           len(s.tokens),
+		MaxInFlight:        s.opts.MaxInFlight,
+		Admitted:           s.admitted.Load(),
+		Rejected:           s.rejected.Load(),
+		UptimeSeconds:      int64(time.Since(s.start).Seconds()),
 	})
 }
 
@@ -343,6 +498,21 @@ func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
 func ListenAndServe(ctx context.Context, srv *http.Server, shutdownTimeout time.Duration) error {
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
+	return waitServe(ctx, srv, errc, shutdownTimeout)
+}
+
+// ServeListener is ListenAndServe over an already-bound listener, for
+// callers that want bind errors before the serving loop starts (and for
+// tests using ephemeral ports).
+func ServeListener(ctx context.Context, srv *http.Server, ln net.Listener, shutdownTimeout time.Duration) error {
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	return waitServe(ctx, srv, errc, shutdownTimeout)
+}
+
+// waitServe waits for the serve loop to end or the context to cancel,
+// then drains gracefully.
+func waitServe(ctx context.Context, srv *http.Server, errc chan error, shutdownTimeout time.Duration) error {
 	select {
 	case err := <-errc:
 		return err
