@@ -11,7 +11,7 @@ test:
 	go test ./...
 
 race:
-	go test -race ./internal/psl/ ./internal/serve/ ./internal/obs/ ./internal/experiments/
+	go test -race ./internal/psl/ ./internal/serve/ ./internal/obs/ ./internal/experiments/ ./internal/dist/
 
 bench:
 	go test -run '^$$' -bench . -benchmem ./internal/psl/ .
@@ -25,6 +25,7 @@ bench-json:
 bench-sanity:
 	go test -run '^$$' -bench 'BenchmarkMatcherAblation|BenchmarkPackedCompile9k' -benchtime=1x ./internal/psl/
 	go test -run '^$$' -bench 'BenchmarkServeLookup|BenchmarkSweep' -benchtime=1x .
+	go test -run '^$$' -bench 'BenchmarkPatchChain' -benchtime=1x ./internal/dist/
 	go test -run 'ZeroAlloc' -count=1 ./internal/psl/ ./internal/serve/ ./internal/obs/
 
 # Scrape a locally running pslserver and lint the exposition.

@@ -22,6 +22,7 @@ import (
 	"runtime"
 	"testing"
 
+	"repro/internal/dist"
 	"repro/internal/experiments"
 	"repro/internal/history"
 	"repro/internal/psl"
@@ -65,6 +66,14 @@ type sweepResult struct {
 	Speedup         float64 `json:"speedup"`
 }
 
+// distResult is the delta-distribution ablation: cumulative patch
+// bytes versus cumulative full-snapshot bytes over the whole history
+// (mirrors BenchmarkPatchChain in internal/dist).
+type distResult struct {
+	dist.ChainStats
+	FullOverPatchRatio float64 `json:"full_over_patch_ratio"`
+}
+
 // output is the whole BENCH_matchers.json document.
 type output struct {
 	GoVersion         string                   `json:"go_version"`
@@ -77,6 +86,7 @@ type output struct {
 	PackedBlobBytes   int                      `json:"packed_blob_bytes"`
 	PackedTableBytes  int                      `json:"packed_table_bytes"`
 	Sweep             *sweepResult             `json:"sweep,omitempty"`
+	Dist              *distResult              `json:"dist,omitempty"`
 	Notes             []string                 `json:"notes,omitempty"`
 }
 
@@ -165,6 +175,8 @@ func collect(rules int, scale float64, versions int, withSweep bool) output {
 	out.PackedCompileNsOp = float64(compile.T.Nanoseconds()) / float64(compile.N)
 	out.PackedBlobBytes = len(pm.Marshal())
 	out.PackedTableBytes = pm.SizeBytes()
+	ds := dist.ComputeChainStats(history.Generate(history.Config{Seed: history.DefaultSeed}))
+	out.Dist = &distResult{ChainStats: ds, FullOverPatchRatio: ds.Ratio()}
 	if withSweep {
 		s := measureSweep(scale, versions)
 		out.Sweep = &s

@@ -1,0 +1,273 @@
+// Command psldist works with the internal/dist snapshot-distribution
+// codec from the command line: cutting patch and full-snapshot blobs
+// out of the simulated history, applying a patch to a snapshot with
+// full fingerprint verification, and pricing the whole delta chain.
+//
+//	psldist patch -from 10 -to 42 -out 10-42.psld   encode one delta
+//	psldist full -seq 42 -out 42.pslf               encode one snapshot
+//	psldist apply -base 10.pslf -patch 10-42.psld -out 42.pslf
+//	psldist stat                                     chain economics (JSON)
+//	psldist stat 10-42.psld 42.pslf                  describe blobs
+//
+// All subcommands accept -seed and -versions to shape the generated
+// history (defaults match pslserver). apply is pure codec — it needs no
+// history, and it fails loudly when either fingerprint does not verify.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/history"
+)
+
+// histFlags are the history-shaping flags shared by patch/full/stat.
+type histFlags struct {
+	seed     int64
+	versions int
+}
+
+func (hf *histFlags) register(fs *flag.FlagSet) {
+	fs.Int64Var(&hf.seed, "seed", history.DefaultSeed, "history generator seed")
+	fs.IntVar(&hf.versions, "versions", 0, "history versions to generate (0 = full default history)")
+}
+
+func (hf *histFlags) generate() (*history.History, error) {
+	if hf.versions != 0 && hf.versions < 2 {
+		return nil, fmt.Errorf("-versions %d must be at least 2 (or 0 for the full history)", hf.versions)
+	}
+	return history.Generate(history.Config{Seed: hf.seed, Versions: hf.versions}), nil
+}
+
+// writeBlob writes data to path, or to stdout when path is "-".
+func writeBlob(stdout io.Writer, path string, data []byte) error {
+	if path == "-" {
+		_, err := stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+func runPatch(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("psldist patch", flag.ContinueOnError)
+	var hf histFlags
+	hf.register(fs)
+	from := fs.Int("from", -1, "source version seq")
+	to := fs.Int("to", -1, "target version seq")
+	out := fs.String("out", "-", "output path ('-' for stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	h, err := hf.generate()
+	if err != nil {
+		return err
+	}
+	if *from < 0 || *to >= h.Len() || *from >= *to {
+		return fmt.Errorf("need 0 <= -from < -to <= %d, got %d and %d", h.Len()-1, *from, *to)
+	}
+	p := dist.NewChain(h).Patch(*from, *to)
+	data := p.Encode()
+	if err := writeBlob(stdout, *out, data); err != nil {
+		return err
+	}
+	if *out != "-" {
+		fmt.Fprintf(stdout, "psldist: wrote %s (%d bytes, v%04d -> v%04d, +%d -%d ~%d rules)\n",
+			*out, len(data), p.FromSeq, p.ToSeq, len(p.Added), len(p.Removed), len(p.Moved))
+	}
+	return nil
+}
+
+func runFull(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("psldist full", flag.ContinueOnError)
+	var hf histFlags
+	hf.register(fs)
+	seq := fs.Int("seq", -1, "version seq to snapshot")
+	out := fs.String("out", "-", "output path ('-' for stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	h, err := hf.generate()
+	if err != nil {
+		return err
+	}
+	if *seq < 0 || *seq >= h.Len() {
+		return fmt.Errorf("-seq %d out of range [0, %d]", *seq, h.Len()-1)
+	}
+	data := dist.EncodeFull(h.ListAt(*seq), *seq)
+	if err := writeBlob(stdout, *out, data); err != nil {
+		return err
+	}
+	if *out != "-" {
+		fmt.Fprintf(stdout, "psldist: wrote %s (%d bytes, v%04d, %d rules)\n",
+			*out, len(data), *seq, h.Meta(*seq).Rules)
+	}
+	return nil
+}
+
+func runApply(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("psldist apply", flag.ContinueOnError)
+	base := fs.String("base", "", "full snapshot blob to apply the patch to")
+	patch := fs.String("patch", "", "patch blob")
+	out := fs.String("out", "-", "output path for the resulting full blob ('-' for stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *base == "" || *patch == "" {
+		return fmt.Errorf("apply needs -base and -patch")
+	}
+	baseData, err := os.ReadFile(*base)
+	if err != nil {
+		return err
+	}
+	patchData, err := os.ReadFile(*patch)
+	if err != nil {
+		return err
+	}
+	f, err := dist.DecodeFull(baseData)
+	if err != nil {
+		return fmt.Errorf("%s: %w", *base, err)
+	}
+	baseList, err := f.List()
+	if err != nil {
+		return fmt.Errorf("%s: %w", *base, err)
+	}
+	p, err := dist.DecodePatch(patchData)
+	if err != nil {
+		return fmt.Errorf("%s: %w", *patch, err)
+	}
+	if p.FromSeq != f.Seq {
+		return fmt.Errorf("patch takes v%04d, base blob is v%04d", p.FromSeq, f.Seq)
+	}
+	applied, err := p.Apply(baseList, f.FP)
+	if err != nil {
+		return err
+	}
+	if err := writeBlob(stdout, *out, dist.EncodeFull(applied, p.ToSeq)); err != nil {
+		return err
+	}
+	if *out != "-" {
+		fmt.Fprintf(stdout, "psldist: applied %s: v%04d -> v%04d (%d rules), fingerprints verified\n",
+			*patch, p.FromSeq, p.ToSeq, applied.Len())
+	}
+	return nil
+}
+
+// blobInfo is the JSON description of one blob printed by stat.
+type blobInfo struct {
+	Path    string `json:"path"`
+	Kind    string `json:"kind"`
+	Bytes   int    `json:"bytes"`
+	FromSeq int    `json:"from_seq,omitempty"`
+	ToSeq   int    `json:"to_seq"`
+	FromFP  string `json:"from_fingerprint,omitempty"`
+	ToFP    string `json:"to_fingerprint"`
+	Version string `json:"version"`
+	Rules   int    `json:"rules,omitempty"`
+	Added   int    `json:"added,omitempty"`
+	Removed int    `json:"removed,omitempty"`
+	Moved   int    `json:"moved,omitempty"`
+}
+
+func describeBlob(path string) (blobInfo, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return blobInfo{}, err
+	}
+	info := blobInfo{Path: path, Bytes: len(data)}
+	if p, err := dist.DecodePatch(data); err == nil {
+		info.Kind = "patch"
+		info.FromSeq, info.ToSeq = p.FromSeq, p.ToSeq
+		info.FromFP, info.ToFP = p.FromFP, p.ToFP
+		info.Version = p.ToVersion
+		info.Added, info.Removed, info.Moved = len(p.Added), len(p.Removed), len(p.Moved)
+		return info, nil
+	}
+	f, err := dist.DecodeFull(data)
+	if err != nil {
+		return blobInfo{}, fmt.Errorf("%s: neither a patch nor a full blob: %w", path, err)
+	}
+	info.Kind = "full"
+	info.ToSeq, info.ToFP = f.Seq, f.FP
+	info.Version = f.Version
+	info.Rules = len(f.Rules)
+	return info, nil
+}
+
+// statDoc is the JSON document stat prints without blob arguments.
+type statDoc struct {
+	dist.ChainStats
+	FullOverPatchRatio float64 `json:"full_over_patch_ratio"`
+	ComputeSeconds     float64 `json:"compute_seconds"`
+}
+
+func runStat(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("psldist stat", flag.ContinueOnError)
+	var hf histFlags
+	hf.register(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if fs.NArg() > 0 {
+		for _, path := range fs.Args() {
+			info, err := describeBlob(path)
+			if err != nil {
+				return err
+			}
+			if err := enc.Encode(info); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	h, err := hf.generate()
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	s := dist.ComputeChainStats(h)
+	return enc.Encode(statDoc{
+		ChainStats:         s,
+		FullOverPatchRatio: s.Ratio(),
+		ComputeSeconds:     time.Since(start).Seconds(),
+	})
+}
+
+const usage = `usage: psldist <patch|full|apply|stat> [flags]
+
+  patch -from F -to T [-out X]           encode the delta taking version F to T
+  full -seq S [-out X]                   encode the full snapshot of version S
+  apply -base B -patch P [-out X]        apply patch P to full blob B (verified)
+  stat [blob ...]                        chain economics, or describe blobs
+`
+
+func run(args []string, stdout io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("missing subcommand\n%s", usage)
+	}
+	switch args[0] {
+	case "patch":
+		return runPatch(args[1:], stdout)
+	case "full":
+		return runFull(args[1:], stdout)
+	case "apply":
+		return runApply(args[1:], stdout)
+	case "stat":
+		return runStat(args[1:], stdout)
+	default:
+		return fmt.Errorf("unknown subcommand %q\n%s", args[0], usage)
+	}
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "psldist:", err)
+		os.Exit(1)
+	}
+}

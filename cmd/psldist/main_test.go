@@ -1,0 +1,153 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/history"
+)
+
+// histArgs keeps every subcommand on the same small history.
+var histArgs = []string{"-versions", "30"}
+
+func runOK(t *testing.T, args ...string) string {
+	t.Helper()
+	var out bytes.Buffer
+	if err := run(args, &out); err != nil {
+		t.Fatalf("psldist %s: %v", strings.Join(args, " "), err)
+	}
+	return out.String()
+}
+
+// TestPatchFullApplyPipeline drives the three blob subcommands end to
+// end: cut a full snapshot and a patch out of the history, apply one to
+// the other, and check the result is byte-identical to the full blob
+// of the target version.
+func TestPatchFullApplyPipeline(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "5.pslf")
+	patch := filepath.Join(dir, "5-20.psld")
+	got := filepath.Join(dir, "20-applied.pslf")
+	want := filepath.Join(dir, "20.pslf")
+
+	runOK(t, append([]string{"full", "-seq", "5", "-out", base}, histArgs...)...)
+	runOK(t, append([]string{"patch", "-from", "5", "-to", "20", "-out", patch}, histArgs...)...)
+	runOK(t, append([]string{"full", "-seq", "20", "-out", want}, histArgs...)...)
+	out := runOK(t, "apply", "-base", base, "-patch", patch, "-out", got)
+	if !strings.Contains(out, "fingerprints verified") {
+		t.Errorf("apply output: %s", out)
+	}
+
+	gotData, err := os.ReadFile(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantData, err := os.ReadFile(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotData, wantData) {
+		t.Fatalf("applied blob differs from directly encoded v20 blob (%d vs %d bytes)", len(gotData), len(wantData))
+	}
+
+	// The decoded result matches the library list.
+	f, err := dist.DecodeFull(gotData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := f.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := history.Generate(history.Config{Seed: history.DefaultSeed, Versions: 30})
+	if l.Serialize() != h.ListAt(20).Serialize() {
+		t.Fatal("applied list differs from ListAt(20)")
+	}
+}
+
+// TestApplyRejectsMismatches pins the verification contract at the CLI
+// surface: wrong base version and corrupted blobs fail loudly.
+func TestApplyRejectsMismatches(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "7.pslf")
+	patch := filepath.Join(dir, "5-20.psld")
+	runOK(t, append([]string{"full", "-seq", "7", "-out", base}, histArgs...)...)
+	runOK(t, append([]string{"patch", "-from", "5", "-to", "20", "-out", patch}, histArgs...)...)
+
+	var out bytes.Buffer
+	err := run([]string{"apply", "-base", base, "-patch", patch, "-out", filepath.Join(dir, "x")}, &out)
+	if err == nil || !strings.Contains(err.Error(), "patch takes v0005") {
+		t.Errorf("seq-mismatched apply: %v", err)
+	}
+
+	// Flip one byte in the patch body: decode must fail on checksum.
+	data, _ := os.ReadFile(patch)
+	data[len(data)/2] ^= 0x40
+	bad := filepath.Join(dir, "bad.psld")
+	os.WriteFile(bad, data, 0o644)
+	err = run([]string{"apply", "-base", base, "-patch", bad, "-out", filepath.Join(dir, "y")}, &out)
+	if err == nil {
+		t.Error("corrupted patch applied cleanly")
+	}
+}
+
+// TestStatChainAndBlobs covers both stat modes.
+func TestStatChainAndBlobs(t *testing.T) {
+	out := runOK(t, append([]string{"stat"}, histArgs...)...)
+	var doc statDoc
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("stat output not JSON: %v\n%s", err, out)
+	}
+	if doc.Versions != 30 || doc.PatchBytesTotal <= 0 || doc.FullOverPatchRatio <= 1 {
+		t.Errorf("stat doc %+v", doc)
+	}
+
+	dir := t.TempDir()
+	patch := filepath.Join(dir, "p.psld")
+	full := filepath.Join(dir, "f.pslf")
+	runOK(t, append([]string{"patch", "-from", "2", "-to", "9", "-out", patch}, histArgs...)...)
+	runOK(t, append([]string{"full", "-seq", "9", "-out", full}, histArgs...)...)
+
+	out = runOK(t, "stat", patch, full)
+	dec := json.NewDecoder(strings.NewReader(out))
+	var pi, fi blobInfo
+	if err := dec.Decode(&pi); err != nil {
+		t.Fatal(err)
+	}
+	if err := dec.Decode(&fi); err != nil {
+		t.Fatal(err)
+	}
+	if pi.Kind != "patch" || pi.FromSeq != 2 || pi.ToSeq != 9 || len(pi.ToFP) != 64 {
+		t.Errorf("patch info %+v", pi)
+	}
+	if fi.Kind != "full" || fi.ToSeq != 9 || fi.Rules <= 0 || fi.ToFP != pi.ToFP {
+		t.Errorf("full info %+v (patch target fp %s)", fi, pi.ToFP)
+	}
+}
+
+// TestBadInvocations pins argument validation.
+func TestBadInvocations(t *testing.T) {
+	var out bytes.Buffer
+	for _, args := range [][]string{
+		{},
+		{"nope"},
+		{"patch", "-from", "5", "-to", "5"},
+		{"patch", "-from", "-1", "-to", "3"},
+		{"patch", "-from", "0", "-to", "99999", "-versions", "30"},
+		{"full", "-seq", "-1"},
+		{"full", "-seq", "99999", "-versions", "30"},
+		{"full", "-seq", "2", "-versions", "1"},
+		{"apply"},
+		{"apply", "-base", "/nonexistent", "-patch", "/nonexistent"},
+		{"stat", "/nonexistent-blob"},
+	} {
+		if err := run(args, &out); err == nil {
+			t.Errorf("psldist %s succeeded, want error", strings.Join(args, " "))
+		}
+	}
+}

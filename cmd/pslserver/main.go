@@ -1,7 +1,12 @@
 // Command pslserver publishes the simulated public-suffix-list history
 // over HTTP, standing in for publicsuffix.org in the examples and in
 // update-strategy experiments, and mounts the production query API of
-// internal/serve next to the raw-list endpoints.
+// internal/serve next to the raw-list endpoints. It also speaks the
+// internal/dist snapshot-distribution protocol on both sides: every
+// server is an origin (the /dist/ endpoints are always mounted), and
+// with -follow it runs as a replica instead, bootstrapping its list
+// from another pslserver and hot-swapping each verified delta into the
+// query API with zero downtime.
 //
 //	GET /list/public_suffix_list.dat   the configured current version
 //	GET /v/<seq>                       a specific historical version
@@ -9,6 +14,9 @@
 //	GET /v1/version                    current list version metadata
 //	GET /healthz                       liveness, cache and admission stats
 //	GET /metrics                       Prometheus text exposition
+//	GET /dist/manifest                 origin head descriptor (JSON)
+//	GET /dist/full/S                   full snapshot blob of version S
+//	GET /dist/patch/F/T                binary delta taking F to T
 //
 // Flags:
 //
@@ -18,12 +26,22 @@
 //	-failrate F       fail this fraction of raw-list requests with 503,
 //	                  to exercise client fallback paths
 //	-seed N           history generator seed
+//	-versions N       number of history versions to generate (default
+//	                  1142, the full simulated history)
 //	-max-in-flight N  admission bound for /v1/lookup (503 above it)
 //	-matcher NAME     matcher implementation for lookups:
 //	                  packed (default), map, trie, sorted or linear
+//	-follow URL       run as a replica of the origin pslserver at URL:
+//	                  no local history; the list arrives via /dist/
+//	-follow-from N    first version to bootstrap from (-1 = origin head)
+//	-follow-poll D    replica poll interval (default 1s)
 //	-debug-addr ADDR  also serve net/http/pprof and /metrics on this
 //	                  address (default off); keep it loopback-only
 //	-quiet            suppress JSON access logs on stderr
+//
+// In follower mode /healthz and /v1/version report "source":"follower"
+// plus the live lag_seqs behind the origin; a caught-up follower shows
+// lag_seqs 0.
 //
 // Requests are logged as one JSON line each on stderr, carrying the
 // request ID the server minted (or honoured, if the client sent
@@ -43,9 +61,11 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"sync"
 	"syscall"
 	"time"
 
+	"repro/internal/dist"
 	"repro/internal/experiments"
 	"repro/internal/fetch"
 	"repro/internal/history"
@@ -73,9 +93,14 @@ type config struct {
 	age         int
 	failRate    float64
 	seed        int64
+	versions    int
 	maxInFlight int
 	matcher     string
 	quiet       bool
+
+	follow     string
+	followFrom int
+	followPoll time.Duration
 
 	newMatcher func(*psl.List) psl.Matcher
 }
@@ -90,8 +115,12 @@ func parseFlags(args []string) (config, error) {
 	fs.IntVar(&cfg.age, "age", 0, "publish the version this many days before 2022-12-08")
 	fs.Float64Var(&cfg.failRate, "failrate", 0, "fraction of raw-list requests to fail with 503")
 	fs.Int64Var(&cfg.seed, "seed", history.DefaultSeed, "history generator seed")
+	fs.IntVar(&cfg.versions, "versions", 0, "history versions to generate (0 = full default history)")
 	fs.IntVar(&cfg.maxInFlight, "max-in-flight", serve.DefaultMaxInFlight, "admission bound for /v1/lookup")
 	fs.StringVar(&cfg.matcher, "matcher", "packed", "matcher implementation: packed, map, trie, sorted or linear")
+	fs.StringVar(&cfg.follow, "follow", "", "run as a replica of the origin pslserver at this base URL")
+	fs.IntVar(&cfg.followFrom, "follow-from", -1, "first version to bootstrap from (-1 = origin head)")
+	fs.DurationVar(&cfg.followPoll, "follow-poll", time.Second, "replica poll interval")
 	fs.BoolVar(&cfg.quiet, "quiet", false, "suppress JSON access logs")
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
@@ -116,14 +145,37 @@ func parseFlags(args []string) (config, error) {
 	if cfg.addr == "" {
 		return config{}, fmt.Errorf("-addr must not be empty")
 	}
+	if cfg.versions != 0 && cfg.versions < 2 {
+		return config{}, fmt.Errorf("-versions %d must be at least 2 (or 0 for the full history)", cfg.versions)
+	}
+	if cfg.followPoll <= 0 {
+		return config{}, fmt.Errorf("-follow-poll %v must be positive", cfg.followPoll)
+	}
+	if cfg.followFrom < -1 {
+		return config{}, fmt.Errorf("-follow-from %d must be -1 (head) or a version seq", cfg.followFrom)
+	}
+	if cfg.follow == "" && cfg.followFrom != -1 {
+		return config{}, fmt.Errorf("-follow-from requires -follow")
+	}
 	return cfg, nil
 }
 
-// newHandler assembles the combined handler: the query API owns its
-// three routes, /metrics exposes the shared registry, and the raw-list
-// server owns everything else. The returned service, list server and
-// registry are exposed for tests and runtime reconfiguration.
-func newHandler(h *history.History, seq int, cfg config) (http.Handler, *serve.Service, *fetch.Server, *obs.Registry) {
+// registerProcessMetrics adds the process-level gauges shared by both
+// serving modes.
+func registerProcessMetrics(reg *obs.Registry) {
+	start := time.Now()
+	reg.MustRegister("psl_process_uptime_seconds", "Seconds since the server process assembled its handler.", nil,
+		obs.GaugeFunc(func() float64 { return time.Since(start).Seconds() }))
+	reg.MustRegister("psl_process_goroutines", "Live goroutines in the server process.", nil,
+		obs.GaugeFunc(func() float64 { return float64(runtime.NumGoroutine()) }))
+}
+
+// newHandler assembles the combined origin handler: the query API owns
+// its three routes, /dist/ serves the distribution protocol, /metrics
+// exposes the shared registry, and the raw-list server owns everything
+// else. The returned service, list server, origin and registry are
+// exposed for tests and runtime reconfiguration.
+func newHandler(h *history.History, seq int, cfg config) (http.Handler, *serve.Service, *fetch.Server, *dist.Origin, *obs.Registry) {
 	fs := fetch.NewServer(h)
 	fs.SetCurrent(seq)
 	fs.SetFailureRate(cfg.failRate)
@@ -134,23 +186,49 @@ func newHandler(h *history.History, seq int, cfg config) (http.Handler, *serve.S
 		MatcherName: cfg.matcher,
 	})
 
+	origin := dist.NewOrigin(h)
+	origin.SetHead(seq)
+
 	reg := obs.NewRegistry()
 	svc.RegisterMetrics(reg)
 	fs.RegisterMetrics(reg)
+	origin.RegisterMetrics(reg)
 	experiments.RegisterSweepMetrics(reg)
-	start := time.Now()
-	reg.MustRegister("psl_process_uptime_seconds", "Seconds since the server process assembled its handler.", nil,
-		obs.GaugeFunc(func() float64 { return time.Since(start).Seconds() }))
-	reg.MustRegister("psl_process_goroutines", "Live goroutines in the server process.", nil,
-		obs.GaugeFunc(func() float64 { return float64(runtime.NumGoroutine()) }))
+	registerProcessMetrics(reg)
 
 	mux := http.NewServeMux()
 	mux.Handle(serve.LookupPath, svc)
 	mux.Handle(serve.VersionPath, svc)
 	mux.Handle(serve.HealthPath, svc)
 	mux.Handle(serve.MetricsPath, reg.Handler())
+	mux.Handle(dist.Prefix, origin)
 	mux.Handle("/", fs)
-	return mux, svc, fs, reg
+	return mux, svc, fs, origin, reg
+}
+
+// newFollowerHandler assembles the replica-mode handler: the query API
+// serves the bootstrapped list (no local history, so no raw-list or
+// /dist/ endpoints and no versioned lookups), tagged as a follower with
+// a live lag probe, and /metrics carries the replica's families.
+func newFollowerHandler(l *psl.List, seq int, rep *dist.Replica, cfg config) (http.Handler, *serve.Service, *obs.Registry) {
+	svc := serve.New(l, seq, serve.Options{
+		MaxInFlight: cfg.maxInFlight,
+		NewMatcher:  cfg.newMatcher,
+		MatcherName: cfg.matcher,
+	})
+	svc.SetSource("follower", rep.Lag)
+
+	reg := obs.NewRegistry()
+	svc.RegisterMetrics(reg)
+	rep.RegisterMetrics(reg)
+	registerProcessMetrics(reg)
+
+	mux := http.NewServeMux()
+	mux.Handle(serve.LookupPath, svc)
+	mux.Handle(serve.VersionPath, svc)
+	mux.Handle(serve.HealthPath, svc)
+	mux.Handle(serve.MetricsPath, reg.Handler())
+	return mux, svc, reg
 }
 
 // debugHandler builds the opt-in diagnostics mux: the full pprof suite
@@ -164,6 +242,29 @@ func debugHandler(reg *obs.Registry) http.Handler {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle(serve.MetricsPath, reg.Handler())
 	return mux
+}
+
+// bootstrapFollower fetches the initial snapshot from the origin,
+// retrying until it succeeds or ctx is cancelled; a replica is allowed
+// to start before (or outlive a restart of) its origin.
+func bootstrapFollower(ctx context.Context, rep *dist.Replica, cfg config, stdout io.Writer) (*psl.List, int, error) {
+	for attempt := 1; ; attempt++ {
+		l, seq, err := rep.Bootstrap(ctx, cfg.followFrom)
+		if err == nil {
+			return l, seq, nil
+		}
+		if ctx.Err() != nil {
+			return nil, 0, ctx.Err()
+		}
+		if attempt == 1 || attempt%10 == 0 {
+			fmt.Fprintf(stdout, "pslserver: bootstrap from %s failed (attempt %d): %v\n", cfg.follow, attempt, err)
+		}
+		select {
+		case <-ctx.Done():
+			return nil, 0, ctx.Err()
+		case <-time.After(cfg.followPoll):
+		}
+	}
 }
 
 // run binds the listeners and serves until ctx is cancelled. The
@@ -185,19 +286,50 @@ func run(ctx context.Context, cfg config, stdout io.Writer) error {
 		defer debugLn.Close()
 	}
 
-	h := history.Generate(history.Config{Seed: cfg.seed})
-	seq := h.IndexForAge(cfg.age)
-	handler, _, _, reg := newHandler(h, seq, cfg)
+	var handler http.Handler
+	var reg *obs.Registry
+	if cfg.follow != "" {
+		rep := dist.NewReplica(cfg.follow, dist.ReplicaOptions{PollInterval: cfg.followPoll})
+		l, seq, err := bootstrapFollower(ctx, rep, cfg, stdout)
+		if err != nil {
+			return err
+		}
+		var svc *serve.Service
+		handler, svc, reg = newFollowerHandler(l, seq, rep, cfg)
+		rep.OnSwap = func(l *psl.List, seq int) { svc.Swap(l, seq) }
+
+		// The poll loop gets its own context so shutdown can drain it
+		// deterministically: cancel, then wait for Run to return before
+		// run() itself returns — no goroutine outlives the command.
+		fctx, fcancel := context.WithCancel(ctx)
+		var followerWG sync.WaitGroup
+		followerWG.Add(1)
+		go func() {
+			defer followerWG.Done()
+			rep.Run(fctx)
+		}()
+		defer func() {
+			fcancel()
+			followerWG.Wait()
+		}()
+
+		fmt.Fprintf(stdout, "pslserver: following %s from v%04d (%d rules) on http://%s, query API at %s, metrics at %s\n",
+			cfg.follow, seq, l.Len(), ln.Addr(), serve.LookupPath, serve.MetricsPath)
+	} else {
+		h := history.Generate(history.Config{Seed: cfg.seed, Versions: cfg.versions})
+		seq := h.IndexForAge(cfg.age)
+		handler, _, _, _, reg = newHandler(h, seq, cfg)
+
+		meta := h.Meta(seq)
+		fmt.Fprintf(stdout, "pslserver: serving v%04d (%s, %d rules) on http://%s%s (failrate %.2f), query API at %s, metrics at %s\n",
+			meta.Seq, meta.Date.Format("2006-01-02"), meta.Rules, ln.Addr(), fetch.ListPath, cfg.failRate, serve.LookupPath, serve.MetricsPath)
+	}
 
 	var logger *slog.Logger
 	if !cfg.quiet {
 		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	}
 	handler = obs.AccessLog(logger, handler)
-
-	meta := h.Meta(seq)
-	fmt.Fprintf(stdout, "pslserver: serving v%04d (%s, %d rules) on http://%s%s (failrate %.2f), query API at %s, metrics at %s\n",
-		meta.Seq, meta.Date.Format("2006-01-02"), meta.Rules, ln.Addr(), fetch.ListPath, cfg.failRate, serve.LookupPath, serve.MetricsPath)
 
 	errc := make(chan error, 2)
 	srv := &http.Server{Handler: handler, ReadHeaderTimeout: 10 * time.Second}

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -33,7 +34,7 @@ func bootServer(t *testing.T, failRate float64) (string, *serve.Service, *fetch.
 	if err != nil {
 		t.Fatal(err)
 	}
-	handler, svc, fs, _ := newHandler(testHistory, seq, cfg)
+	handler, svc, fs, _, _ := newHandler(testHistory, seq, cfg)
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -428,5 +429,212 @@ func TestRunServesBothListeners(t *testing.T) {
 		}
 	case <-time.After(15 * time.Second):
 		t.Fatal("run did not exit after cancel")
+	}
+}
+
+// waitForAnnounce polls the run() stdout buffer until the announce line
+// appears and returns the bound address it carries.
+func waitForAnnounce(t *testing.T, out *syncBuffer, marker string) string {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		s := out.String()
+		if i := strings.Index(s, marker); i >= 0 {
+			rest := s[i+len(marker):]
+			if j := strings.IndexAny(rest, ", \n"); j >= 0 {
+				rest = rest[:j]
+			}
+			return rest
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no %q announce; output:\n%s", marker, out.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestFollowerMode boots an origin pslserver and a follower tracking it
+// end to end through run(): the follower must bootstrap over /dist/,
+// report source=follower with lag_seqs 0 once caught up, answer
+// lookups for the origin's head version, and shut down cleanly.
+func TestFollowerMode(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	ocfg, err := parseFlags([]string{"-addr", "127.0.0.1:0", "-versions", "40", "-quiet"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var oout syncBuffer
+	odone := make(chan error, 1)
+	go func() { odone <- run(ctx, ocfg, &oout) }()
+	obase := waitForAnnounce(t, &oout, " on http://")
+	obase = strings.TrimSuffix(obase, fetch.ListPath)
+
+	fcfg, err := parseFlags([]string{
+		"-addr", "127.0.0.1:0", "-quiet",
+		"-follow", "http://" + obase,
+		"-follow-from", "1",
+		"-follow-poll", "20ms",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fout syncBuffer
+	fdone := make(chan error, 1)
+	go func() { fdone <- run(ctx, fcfg, &fout) }()
+	fbase := waitForAnnounce(t, &fout, " on http://")
+
+	if !strings.Contains(fout.String(), "following http://"+obase+" from v0001") {
+		t.Errorf("follower did not announce bootstrap from v0001:\n%s", fout.String())
+	}
+
+	// The follower catches up to the origin head and says so.
+	client := &http.Client{Timeout: 5 * time.Second}
+	var health string
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := client.Get("http://" + fbase + serve.HealthPath)
+		if err == nil {
+			b, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			health = string(b)
+			if strings.Contains(health, `"lag_seqs":0`) {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never caught up; last healthz: %s", health)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !strings.Contains(health, `"source":"follower"`) || !strings.Contains(health, `"seq":39`) {
+		t.Errorf("healthz: %s", health)
+	}
+
+	// A lookup answers with the origin's head version.
+	resp, err := client.Get("http://" + fbase + serve.LookupPath + "?host=www.example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a serve.Answer
+	if err := json.NewDecoder(resp.Body).Decode(&a); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if a.Seq != 39 || a.Site != "example.com" {
+		t.Errorf("follower lookup answer %+v", a)
+	}
+
+	// Follower metrics expose the replica families.
+	resp, err = client.Get("http://" + fbase + serve.MetricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, fam := range []string{"psl_dist_replica_lag_seqs", "psl_dist_replica_patches_applied_total", "psl_serve_lookups_total"} {
+		if !strings.Contains(string(mb), fam) {
+			t.Errorf("follower /metrics missing %s", fam)
+		}
+	}
+	if _, err := obs.ValidateExposition(bytes.NewReader(mb)); err != nil {
+		t.Errorf("follower exposition invalid: %v", err)
+	}
+
+	cancel()
+	for name, done := range map[string]chan error{"origin": odone, "follower": fdone} {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("%s run returned %v", name, err)
+			}
+		case <-time.After(15 * time.Second):
+			t.Fatalf("%s did not exit after cancel", name)
+		}
+	}
+}
+
+// TestGracefulShutdownNoGoroutineLeak pins the drain contract: run()
+// with the debug listener and a live follower poll loop must, on
+// cancellation, stop every goroutine it started — the HTTP servers,
+// the pprof server and the replica poller.
+func TestGracefulShutdownNoGoroutineLeak(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	ocfg, err := parseFlags([]string{"-addr", "127.0.0.1:0", "-versions", "10", "-quiet"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var oout syncBuffer
+	odone := make(chan error, 1)
+	go func() { odone <- run(ctx, ocfg, &oout) }()
+	obase := waitForAnnounce(t, &oout, " on http://")
+	obase = strings.TrimSuffix(obase, fetch.ListPath)
+
+	// Confirm the origin's serve goroutines are all up (the announce
+	// line prints before they start), then drop the probe's keep-alive
+	// connection so the baseline counts a quiesced process.
+	probeTr := &http.Transport{}
+	probe := &http.Client{Transport: probeTr, Timeout: 5 * time.Second}
+	resp, err := probe.Get("http://" + obase + serve.HealthPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	probeTr.CloseIdleConnections()
+	time.Sleep(100 * time.Millisecond)
+	baseline := runtime.NumGoroutine()
+
+	fctx, fcancel := context.WithCancel(ctx)
+	defer fcancel()
+	fcfg, err := parseFlags([]string{
+		"-addr", "127.0.0.1:0", "-debug-addr", "127.0.0.1:0", "-quiet",
+		"-follow", "http://" + obase, "-follow-poll", "10ms",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fout syncBuffer
+	fdone := make(chan error, 1)
+	go func() { fdone <- run(fctx, fcfg, &fout) }()
+	fbase := waitForAnnounce(t, &fout, "following ")
+	_ = fbase
+	waitForAnnounce(t, &fout, "debug endpoints (pprof, metrics) on http://")
+
+	// Let the poll loop take a few laps so its goroutines are real.
+	time.Sleep(50 * time.Millisecond)
+	if runtime.NumGoroutine() <= baseline {
+		t.Fatalf("follower added no goroutines; the leak check would be vacuous")
+	}
+
+	fcancel()
+	select {
+	case err := <-fdone:
+		if err != nil {
+			t.Errorf("follower run returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("follower did not exit after cancel")
+	}
+
+	// Everything the follower started must be gone. Allow the runtime a
+	// moment to sweep parked goroutines.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline {
+			break
+		} else if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines leaked: %d > baseline %d\n%s", n, baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	cancel()
+	if err := <-odone; err != nil {
+		t.Errorf("origin run returned %v", err)
 	}
 }

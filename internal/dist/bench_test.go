@@ -1,0 +1,25 @@
+package dist
+
+import (
+	"testing"
+
+	"repro/internal/history"
+)
+
+// BenchmarkPatchChain prices the delta-distribution ablation: following
+// the full default history hop by hop via patches versus re-fetching a
+// full snapshot blob per version. The reported custom metrics feed the
+// EXPERIMENTS.md ablation row and BENCH_matchers.json; the benchmark is
+// meaningful at -benchtime=1x (one iteration prices the whole chain).
+func BenchmarkPatchChain(b *testing.B) {
+	h := history.Generate(history.Config{Seed: history.DefaultSeed})
+	b.ResetTimer()
+	var s ChainStats
+	for i := 0; i < b.N; i++ {
+		s = ComputeChainStats(h)
+	}
+	b.ReportMetric(float64(s.PatchBytesTotal), "patch_bytes")
+	b.ReportMetric(float64(s.FullBytesTotal), "full_bytes")
+	b.ReportMetric(s.Ratio(), "full/patch_ratio")
+	b.ReportMetric(float64(s.MaxPatchBytes), "max_patch_bytes")
+}

@@ -1,0 +1,165 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/psl"
+)
+
+// fuzzBase is the fixed source list every fuzzed patch is applied to.
+func fuzzBase() *psl.List {
+	return psl.MustParse(`
+// ===BEGIN ICANN DOMAINS===
+com
+net
+org
+co.uk
+ac.uk
+*.ck
+!www.ck
+jp
+tokyo.jp
+// ===END ICANN DOMAINS===
+// ===BEGIN PRIVATE DOMAINS===
+github.io
+blogspot.com
+s3.amazonaws.com
+// ===END PRIVATE DOMAINS===
+`)
+}
+
+// mutateList derives a deterministic variant of base from raw fuzz
+// bytes: each byte drives one edit (remove an existing rule, add a
+// synthetic one, or move a rule's section).
+func mutateList(base *psl.List, data []byte) *psl.List {
+	rules := append([]psl.Rule(nil), base.Rules()...)
+	for i, b := range data {
+		if len(data) > 64 {
+			break
+		}
+		switch b % 3 {
+		case 0: // remove
+			if len(rules) > 1 {
+				rules = append(rules[:int(b)%len(rules)], rules[int(b)%len(rules)+1:]...)
+			}
+		case 1: // add
+			r, err := psl.ParseRule(fmt.Sprintf("fuzz%d-%d.example", i, b), psl.SectionPrivate)
+			if err == nil {
+				rules = append(rules, r)
+			}
+		case 2: // move section
+			j := int(b) % len(rules)
+			if rules[j].Section == psl.SectionICANN {
+				rules[j].Section = psl.SectionPrivate
+			} else {
+				rules[j].Section = psl.SectionICANN
+			}
+		}
+	}
+	return psl.NewList(rules)
+}
+
+// FuzzPatchRoundTrip drives the codec's core safety contract from two
+// directions. (1) Constructive: derive a mutated target list from the
+// fuzz input, build the patch, and require a byte-exact round trip
+// through encode→decode→apply. (2) Adversarial: treat the raw input as
+// a wire blob; if it decodes at all, applying it must either error or
+// hit the promised target fingerprint exactly — mirroring the
+// PackedMatcher corrupt-blob discipline, a decoded patch never silently
+// produces a divergent list.
+func FuzzPatchRoundTrip(f *testing.F) {
+	base := fuzzBase()
+	// Seed with valid blobs (so mutation explores near-valid space) and
+	// structured edit scripts.
+	target := mutateList(base, []byte{0, 1, 2, 3, 4, 5})
+	f.Add(BuildPatch(base, target, 0, 1).Encode())
+	f.Add(BuildPatch(base, base.Clone(), 3, 9).Encode())
+	f.Add(EncodeFull(base, 0))
+	f.Add([]byte{0x50, 0x53, 0x4c, 0x44, 1})
+	f.Add([]byte("not a blob at all"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Constructive direction.
+		target := mutateList(base, data)
+		p := BuildPatch(base, target, 1, 2)
+		dec, err := DecodePatch(p.Encode())
+		if err != nil {
+			t.Fatalf("decode of freshly encoded patch failed: %v", err)
+		}
+		applied, err := dec.Apply(base, "")
+		if err != nil {
+			t.Fatalf("apply of valid patch failed: %v", err)
+		}
+		if applied.Serialize() != target.Serialize() {
+			t.Fatalf("round trip diverged:\n%s\nvs\n%s", applied.Serialize(), target.Serialize())
+		}
+		if applied.Fingerprint() != dec.ToFP {
+			t.Fatalf("applied fingerprint %s != promised %s", applied.Fingerprint(), dec.ToFP)
+		}
+
+		// Adversarial direction: the input as a hostile blob.
+		hp, err := DecodePatch(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("decode error does not wrap ErrCorrupt: %v", err)
+			}
+			return
+		}
+		// It decoded (checksum valid — in practice only real blobs).
+		res, err := hp.Apply(base, "")
+		if err != nil {
+			if !errors.Is(err, ErrFingerprint) {
+				t.Fatalf("apply error is neither success nor ErrFingerprint: %v", err)
+			}
+			return
+		}
+		if got := res.Fingerprint(); got != hp.ToFP {
+			t.Fatalf("decoded patch applied to %s, promised %s — silent divergence", got, hp.ToFP)
+		}
+	})
+}
+
+// FuzzFullRoundTrip is the same contract for full snapshot blobs.
+func FuzzFullRoundTrip(f *testing.F) {
+	base := fuzzBase()
+	f.Add(EncodeFull(base, 5))
+	f.Add(BuildPatch(base, mutateList(base, []byte{9, 8, 7}), 0, 1).Encode())
+	f.Add([]byte{0x50, 0x53, 0x4c, 0x46, 1, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		target := mutateList(base, data)
+		target.Version = "vfuzz"
+		blob := EncodeFull(target, 3)
+		fl, err := DecodeFull(blob)
+		if err != nil {
+			t.Fatalf("decode of freshly encoded full failed: %v", err)
+		}
+		l, err := fl.List()
+		if err != nil {
+			t.Fatalf("materialise of valid full failed: %v", err)
+		}
+		if l.Serialize() != target.Serialize() {
+			t.Fatalf("full round trip diverged")
+		}
+
+		hf, err := DecodeFull(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("decode error does not wrap ErrCorrupt: %v", err)
+			}
+			return
+		}
+		l, err = hf.List()
+		if err != nil {
+			if !errors.Is(err, ErrFingerprint) {
+				t.Fatalf("List error is neither success nor ErrFingerprint: %v", err)
+			}
+			return
+		}
+		if got := l.Fingerprint(); got != hf.FP {
+			t.Fatalf("decoded full materialised %s, promised %s", got, hf.FP)
+		}
+	})
+}

@@ -1,0 +1,214 @@
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/history"
+	"repro/internal/obs"
+)
+
+// HTTP paths the origin serves under Prefix.
+const (
+	// Prefix is the mount point for the distribution API.
+	Prefix = "/dist/"
+	// ManifestPath describes the head version.
+	ManifestPath = Prefix + "manifest"
+	// fullPrefix + "{seq}" serves a full snapshot blob.
+	fullPrefix = Prefix + "full/"
+	// patchPrefix + "{from}/{to}" serves a delta blob.
+	patchPrefix = Prefix + "patch/"
+)
+
+// Manifest is the origin's head advertisement: which version replicas
+// should converge to, and how far back patches reach.
+type Manifest struct {
+	Seq         int       `json:"seq"`
+	Fingerprint string    `json:"fingerprint"`
+	Version     string    `json:"version"`
+	Date        time.Time `json:"date"`
+	Rules       int       `json:"rules"`
+	// MinSeq is the oldest version patches can start from (always 0
+	// here; a production origin would garbage-collect old versions).
+	MinSeq int `json:"min_seq"`
+}
+
+// Origin publishes a history's versions for replication:
+//
+//	GET /dist/manifest           -> JSON Manifest of the head version
+//	GET /dist/full/{seq}         -> full snapshot blob ("PSLF")
+//	GET /dist/patch/{from}/{to}  -> delta blob ("PSLD"), from < to <= head
+//
+// Manifest and full responses carry strong ETags (the rule-set
+// fingerprint) and honour If-None-Match. The head is mutable via
+// SetHead so tests and operators can roll the published version
+// forward; blobs for every version stay available, which is what lets
+// a replica catch up through versions the origin has already passed.
+//
+// Rendering a blob replays event history, so each one is rendered once
+// and cached (the same discipline as fetch.Server's render cache).
+type Origin struct {
+	h     *history.History
+	chain *Chain
+	head  atomic.Int64
+
+	patches sync.Map // uint64(from)<<32|to -> *renderedBlob
+	fulls   sync.Map // int -> *renderedBlob
+
+	manifestReqs, fullReqs, patchReqs obs.Counter
+	patchBytes, fullBytes             obs.Counter
+	patchRenders, fullRenders         obs.Counter
+	notModified                       obs.Counter
+}
+
+type renderedBlob struct {
+	once sync.Once
+	data []byte
+	etag string
+}
+
+// NewOrigin builds an origin over h, initially publishing the newest
+// version. Building the fingerprint chain walks the whole event history
+// once (~1s for the full corpus).
+func NewOrigin(h *history.History) *Origin {
+	o := &Origin{h: h, chain: NewChain(h)}
+	o.head.Store(int64(h.Len() - 1))
+	return o
+}
+
+// Chain exposes the precomputed fingerprint table.
+func (o *Origin) Chain() *Chain { return o.chain }
+
+// Head reports the currently published version.
+func (o *Origin) Head() int { return int(o.head.Load()) }
+
+// SetHead changes the published head version, simulating the origin
+// receiving an upstream update. Safe to call while requests are in
+// flight.
+func (o *Origin) SetHead(seq int) {
+	if seq < 0 || seq >= o.h.Len() {
+		panic(fmt.Sprintf("dist: head %d out of range [0,%d)", seq, o.h.Len()))
+	}
+	o.head.Store(int64(seq))
+}
+
+// Manifest describes the current head.
+func (o *Origin) Manifest() Manifest {
+	head := o.Head()
+	meta := o.h.Meta(head)
+	return Manifest{
+		Seq:         head,
+		Fingerprint: o.chain.Fingerprint(head),
+		Version:     meta.Label(),
+		Date:        meta.Date.UTC(),
+		Rules:       meta.Rules,
+		MinSeq:      0,
+	}
+}
+
+// RegisterMetrics attaches the origin's metric families to a registry.
+func (o *Origin) RegisterMetrics(r *obs.Registry) {
+	r.MustRegister("psl_dist_origin_requests_total", "Distribution requests received, by endpoint.",
+		obs.Labels{{"endpoint", "manifest"}}, &o.manifestReqs)
+	r.MustRegister("psl_dist_origin_requests_total", "Distribution requests received, by endpoint.",
+		obs.Labels{{"endpoint", "full"}}, &o.fullReqs)
+	r.MustRegister("psl_dist_origin_requests_total", "Distribution requests received, by endpoint.",
+		obs.Labels{{"endpoint", "patch"}}, &o.patchReqs)
+	r.MustRegister("psl_dist_origin_bytes_total", "Blob bytes served, by transfer kind.",
+		obs.Labels{{"kind", "patch"}}, &o.patchBytes)
+	r.MustRegister("psl_dist_origin_bytes_total", "Blob bytes served, by transfer kind.",
+		obs.Labels{{"kind", "full"}}, &o.fullBytes)
+	r.MustRegister("psl_dist_origin_renders_total", "Blobs rendered into the cache, by kind.",
+		obs.Labels{{"kind", "patch"}}, &o.patchRenders)
+	r.MustRegister("psl_dist_origin_renders_total", "Blobs rendered into the cache, by kind.",
+		obs.Labels{{"kind", "full"}}, &o.fullRenders)
+	r.MustRegister("psl_dist_origin_not_modified_total", "Conditional requests answered 304 Not Modified.",
+		nil, &o.notModified)
+	r.MustRegister("psl_dist_origin_head_seq", "Version sequence currently published as head.",
+		nil, obs.GaugeFunc(func() float64 { return float64(o.Head()) }))
+}
+
+// ServeHTTP implements http.Handler for paths under Prefix.
+func (o *Origin) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	path := r.URL.Path
+	switch {
+	case path == ManifestPath:
+		o.serveManifest(w, r)
+	case strings.HasPrefix(path, fullPrefix):
+		o.serveFull(w, r, strings.TrimPrefix(path, fullPrefix))
+	case strings.HasPrefix(path, patchPrefix):
+		o.servePatch(w, r, strings.TrimPrefix(path, patchPrefix))
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func (o *Origin) serveManifest(w http.ResponseWriter, r *http.Request) {
+	o.manifestReqs.Add(1)
+	m := o.Manifest()
+	etag := `"` + m.Fingerprint + `"`
+	if r.Header.Get("If-None-Match") == etag {
+		o.notModified.Add(1)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("ETag", etag)
+	_ = json.NewEncoder(w).Encode(m)
+}
+
+func (o *Origin) serveFull(w http.ResponseWriter, r *http.Request, rest string) {
+	o.fullReqs.Add(1)
+	seq, err := strconv.Atoi(rest)
+	if err != nil || seq < 0 || seq > o.Head() {
+		http.NotFound(w, r)
+		return
+	}
+	v, _ := o.fulls.LoadOrStore(seq, &renderedBlob{})
+	rb := v.(*renderedBlob)
+	rb.once.Do(func() {
+		rb.data = EncodeFull(o.h.ListAt(seq), seq)
+		rb.etag = `"` + o.chain.Fingerprint(seq) + `"`
+		o.fullRenders.Add(1)
+	})
+	if r.Header.Get("If-None-Match") == rb.etag {
+		o.notModified.Add(1)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("ETag", rb.etag)
+	n, _ := w.Write(rb.data)
+	o.fullBytes.Add(uint64(n))
+}
+
+func (o *Origin) servePatch(w http.ResponseWriter, r *http.Request, rest string) {
+	o.patchReqs.Add(1)
+	fromS, toS, ok := strings.Cut(rest, "/")
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	from, err1 := strconv.Atoi(fromS)
+	to, err2 := strconv.Atoi(toS)
+	if err1 != nil || err2 != nil || from < 0 || from >= to || to > o.Head() {
+		http.NotFound(w, r)
+		return
+	}
+	key := uint64(from)<<32 | uint64(to)
+	v, _ := o.patches.LoadOrStore(key, &renderedBlob{})
+	rb := v.(*renderedBlob)
+	rb.once.Do(func() {
+		rb.data = o.chain.Patch(from, to).Encode()
+		o.patchRenders.Add(1)
+	})
+	w.Header().Set("Content-Type", "application/octet-stream")
+	n, _ := w.Write(rb.data)
+	o.patchBytes.Add(uint64(n))
+}

@@ -1,0 +1,435 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/psl"
+)
+
+// maxBlobBytes bounds any single response body the replica will read;
+// the full 9.4k-rule list encodes to ~170KB, so 16MB is generous.
+const maxBlobBytes = 16 << 20
+
+// ReplicaOptions tunes a Replica. Zero values get defaults.
+type ReplicaOptions struct {
+	// Client performs the HTTP requests. Default: a client with a
+	// 30-second timeout (never the zero-timeout http.DefaultClient — a
+	// stalled origin must not hang the poll loop forever).
+	Client *http.Client
+	// PollInterval is the steady-state manifest poll cadence, jittered
+	// ±20% per cycle. Default 1s.
+	PollInterval time.Duration
+	// BackoffBase and BackoffMax bound the jittered exponential backoff
+	// between retries of a failed transfer. Defaults 100ms and 5s.
+	BackoffBase, BackoffMax time.Duration
+	// MaxHop caps how many versions one patch spans; catching up from
+	// far behind takes several hops. Default 64.
+	MaxHop int
+	// MaxAttempts is how many consecutive failed hop attempts trigger
+	// the full-blob fallback. Default 4.
+	MaxAttempts int
+	// Seed drives poll and backoff jitter. Default 1.
+	Seed int64
+}
+
+func (o ReplicaOptions) withDefaults() ReplicaOptions {
+	if o.Client == nil {
+		o.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if o.PollInterval <= 0 {
+		o.PollInterval = time.Second
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 100 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 5 * time.Second
+	}
+	if o.MaxHop <= 0 {
+		o.MaxHop = 64
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 4
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// replicaState is the replica's current verified snapshot.
+type replicaState struct {
+	list *psl.List
+	seq  int
+	fp   string
+}
+
+// Replica follows an origin: it polls the manifest (with ETag
+// short-circuiting), pulls patch chains toward the advertised head,
+// verifies the fingerprint at every hop, and falls back to a full-blob
+// sync after repeated failures (broken chain, verification mismatch, or
+// transport errors alike). Every list handed to OnSwap has had its
+// fingerprint verified against the blob that produced it — a replica
+// never swaps in a list the origin didn't cryptographically promise.
+//
+// Poll, Bootstrap, and Run must be used from one goroutine; Lag,
+// CurrentSeq, and the counters are safe to read from any goroutine.
+type Replica struct {
+	origin string
+	opts   ReplicaOptions
+
+	// OnSwap, if set, is invoked after each verified snapshot install
+	// (not for Bootstrap, whose result the caller installs). Set before
+	// calling Run.
+	OnSwap func(l *psl.List, seq int)
+
+	state        replicaState
+	curSeq       atomic.Int64
+	headSeq      atomic.Int64
+	manifestETag string
+	headFP       string
+
+	rng *rand.Rand
+
+	polls, pollErrors obs.Counter
+	applied           obs.Counter
+	patchBytes        obs.Counter
+	fullBytes         obs.Counter
+	verifyFailures    obs.Counter
+	fallbacks         obs.Counter
+	retries           obs.Counter
+	applyDur          *obs.Histogram
+}
+
+// NewReplica builds a replica for the origin at base URL (e.g.
+// "http://127.0.0.1:8353"; the /dist/ prefix is appended internally).
+// It starts empty: seed it with Bootstrap or SetState before Run.
+func NewReplica(origin string, opts ReplicaOptions) *Replica {
+	opts = opts.withDefaults()
+	r := &Replica{
+		origin:   origin,
+		opts:     opts,
+		rng:      rand.New(rand.NewSource(opts.Seed)),
+		applyDur: obs.NewHistogram(nil),
+	}
+	r.curSeq.Store(-1)
+	r.headSeq.Store(-1)
+	return r
+}
+
+// SetState installs a known snapshot (e.g. a locally embedded list) as
+// the replica's starting point.
+func (r *Replica) SetState(l *psl.List, seq int) {
+	r.state = replicaState{list: l, seq: seq, fp: l.Fingerprint()}
+	r.curSeq.Store(int64(seq))
+}
+
+// CurrentSeq reports the last installed version, or -1 before any.
+func (r *Replica) CurrentSeq() int64 { return r.curSeq.Load() }
+
+// Lag reports how many versions the replica trails the origin's last
+// advertised head — the replication-lag gauge. Zero when caught up or
+// when no manifest has been seen yet.
+func (r *Replica) Lag() int64 {
+	head, cur := r.headSeq.Load(), r.curSeq.Load()
+	if head < 0 || cur >= head {
+		return 0
+	}
+	return head - cur
+}
+
+// Counter accessors for tests and health reporting.
+
+// Applied reports patches successfully applied and installed.
+func (r *Replica) Applied() uint64 { return r.applied.Load() }
+
+// Fallbacks reports full-blob syncs taken after patching failed.
+func (r *Replica) Fallbacks() uint64 { return r.fallbacks.Load() }
+
+// VerifyFailures reports blobs rejected by checksum, decode, or
+// fingerprint verification.
+func (r *Replica) VerifyFailures() uint64 { return r.verifyFailures.Load() }
+
+// Retries reports failed transfer attempts that were retried.
+func (r *Replica) Retries() uint64 { return r.retries.Load() }
+
+// RegisterMetrics attaches the replica's metric families to a registry.
+func (r *Replica) RegisterMetrics(reg *obs.Registry) {
+	reg.MustRegister("psl_dist_replica_lag_seqs", "Versions the replica trails the origin head.",
+		nil, obs.GaugeFunc(func() float64 { return float64(r.Lag()) }))
+	reg.MustRegister("psl_dist_replica_polls_total", "Manifest polls attempted.", nil, &r.polls)
+	reg.MustRegister("psl_dist_replica_poll_errors_total", "Polls that ended in a transport or protocol error.", nil, &r.pollErrors)
+	reg.MustRegister("psl_dist_replica_patches_applied_total", "Patches verified and installed.", nil, &r.applied)
+	reg.MustRegister("psl_dist_replica_bytes_total", "Blob bytes fetched, by transfer kind.",
+		obs.Labels{{"kind", "patch"}}, &r.patchBytes)
+	reg.MustRegister("psl_dist_replica_bytes_total", "Blob bytes fetched, by transfer kind.",
+		obs.Labels{{"kind", "full"}}, &r.fullBytes)
+	reg.MustRegister("psl_dist_replica_verify_failures_total", "Blobs rejected by checksum or fingerprint verification.", nil, &r.verifyFailures)
+	reg.MustRegister("psl_dist_replica_fallback_syncs_total", "Full-blob syncs taken after patch chains failed.", nil, &r.fallbacks)
+	reg.MustRegister("psl_dist_replica_retries_total", "Failed transfer attempts that were retried.", nil, &r.retries)
+	reg.MustRegister("psl_dist_replica_apply_duration_seconds", "Time to decode, verify, and apply one blob.", nil, r.applyDur)
+}
+
+// get fetches one dist path, enforcing the body size cap. A non-2xx
+// status, oversized body, or transport error (including mid-body
+// truncation) is returned as an error.
+func (r *Replica) get(ctx context.Context, path, etag string) (body []byte, gotETag string, status int, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.origin+path, nil)
+	if err != nil {
+		return nil, "", 0, err
+	}
+	if etag != "" {
+		req.Header.Set("If-None-Match", etag)
+	}
+	resp, err := r.opts.Client.Do(req)
+	if err != nil {
+		return nil, "", 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotModified {
+		return nil, etag, resp.StatusCode, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		// Drain a little so the connection can be reused, then fail.
+		_, _ = io.CopyN(io.Discard, resp.Body, 4096)
+		return nil, "", resp.StatusCode, fmt.Errorf("dist: GET %s: status %d", path, resp.StatusCode)
+	}
+	body, err = io.ReadAll(io.LimitReader(resp.Body, maxBlobBytes+1))
+	if err != nil {
+		return nil, "", resp.StatusCode, fmt.Errorf("dist: GET %s: %w", path, err)
+	}
+	if len(body) > maxBlobBytes {
+		return nil, "", resp.StatusCode, fmt.Errorf("dist: GET %s: body exceeds %d bytes", path, maxBlobBytes)
+	}
+	return body, resp.Header.Get("ETag"), resp.StatusCode, nil
+}
+
+// Poll performs one replication cycle: refresh the manifest, then chase
+// the head if behind. Transfer errors inside the cycle are retried with
+// jittered exponential backoff and, after MaxAttempts consecutive
+// failures of a hop, a full-blob fallback; Poll only returns an error
+// once the cycle cannot make progress (or ctx ends).
+func (r *Replica) Poll(ctx context.Context) error {
+	r.polls.Add(1)
+	body, etag, status, err := r.get(ctx, ManifestPath, r.manifestETag)
+	if err != nil {
+		r.pollErrors.Add(1)
+		return err
+	}
+	if status != http.StatusNotModified {
+		var m Manifest
+		if err := json.Unmarshal(body, &m); err != nil {
+			r.pollErrors.Add(1)
+			return fmt.Errorf("dist: manifest: %w", err)
+		}
+		if m.Seq < 0 || len(m.Fingerprint) != 64 {
+			r.pollErrors.Add(1)
+			return fmt.Errorf("dist: manifest advertises invalid head (seq %d)", m.Seq)
+		}
+		r.manifestETag = etag
+		r.headFP = m.Fingerprint
+		r.headSeq.Store(int64(m.Seq))
+	}
+	if err := r.syncToHead(ctx); err != nil {
+		r.pollErrors.Add(1)
+		return err
+	}
+	return nil
+}
+
+// syncToHead walks the replica from its current version to the
+// advertised head, one bounded patch hop at a time.
+func (r *Replica) syncToHead(ctx context.Context) error {
+	for {
+		head := int(r.headSeq.Load())
+		if r.state.list != nil && r.state.seq >= head {
+			return nil
+		}
+		attempts := 0
+		for {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			var err error
+			if r.state.list == nil || attempts >= r.opts.MaxAttempts {
+				if attempts >= r.opts.MaxAttempts {
+					r.fallbacks.Add(1)
+				}
+				err = r.fullSync(ctx, head)
+			} else {
+				to := min(r.state.seq+r.opts.MaxHop, head)
+				err = r.applyHop(ctx, r.state.seq, to)
+			}
+			if err == nil {
+				break
+			}
+			attempts++
+			r.retries.Add(1)
+			if attempts > 2*r.opts.MaxAttempts {
+				return fmt.Errorf("dist: giving up after %d attempts: %w", attempts, err)
+			}
+			if !r.sleepBackoff(ctx, attempts) {
+				return ctx.Err()
+			}
+		}
+	}
+}
+
+// applyHop fetches and applies the patch cur→to. The patch must decode
+// (checksum, canonical rules), match the hop endpoints, and apply
+// cleanly from the current fingerprint to its promised target, or the
+// hop fails without touching the installed state.
+func (r *Replica) applyHop(ctx context.Context, cur, to int) error {
+	path := fmt.Sprintf("%s%d/%d", patchPrefix, cur, to)
+	body, _, _, err := r.get(ctx, path, "")
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	p, err := DecodePatch(body)
+	if err != nil {
+		r.verifyFailures.Add(1)
+		return err
+	}
+	if p.FromSeq != cur || p.ToSeq != to {
+		r.verifyFailures.Add(1)
+		return fmt.Errorf("%w: patch covers %d→%d, requested %d→%d", ErrCorrupt, p.FromSeq, p.ToSeq, cur, to)
+	}
+	l, err := p.Apply(r.state.list, r.state.fp)
+	if err != nil {
+		r.verifyFailures.Add(1)
+		return err
+	}
+	r.applyDur.Observe(time.Since(start))
+	r.patchBytes.Add(uint64(len(body)))
+	r.applied.Add(1)
+	r.install(l, p.ToSeq, p.ToFP)
+	return nil
+}
+
+// fullSync replaces the replica's state with the origin's full blob of
+// version seq, the recovery path when patching cannot proceed.
+func (r *Replica) fullSync(ctx context.Context, seq int) error {
+	body, _, _, err := r.get(ctx, fmt.Sprintf("%s%d", fullPrefix, seq), "")
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	f, err := DecodeFull(body)
+	if err != nil {
+		r.verifyFailures.Add(1)
+		return err
+	}
+	if f.Seq != seq {
+		r.verifyFailures.Add(1)
+		return fmt.Errorf("%w: full blob is version %d, requested %d", ErrCorrupt, f.Seq, seq)
+	}
+	l, err := f.List()
+	if err != nil {
+		r.verifyFailures.Add(1)
+		return err
+	}
+	r.applyDur.Observe(time.Since(start))
+	r.fullBytes.Add(uint64(len(body)))
+	r.install(l, f.Seq, f.FP)
+	return nil
+}
+
+// install publishes a verified snapshot: callback first, then the
+// atomics that feed Lag.
+func (r *Replica) install(l *psl.List, seq int, fp string) {
+	r.state = replicaState{list: l, seq: seq, fp: fp}
+	if r.OnSwap != nil {
+		r.OnSwap(l, seq)
+	}
+	r.curSeq.Store(int64(seq))
+}
+
+// Bootstrap fetches the manifest and performs an initial full-blob sync
+// of fromSeq (or the advertised head when fromSeq < 0), returning the
+// verified list without invoking OnSwap: the caller typically builds
+// its serving state from the return value. One attempt; callers retry.
+func (r *Replica) Bootstrap(ctx context.Context, fromSeq int) (*psl.List, int, error) {
+	r.polls.Add(1)
+	body, etag, _, err := r.get(ctx, ManifestPath, "")
+	if err != nil {
+		r.pollErrors.Add(1)
+		return nil, 0, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(body, &m); err != nil {
+		r.pollErrors.Add(1)
+		return nil, 0, fmt.Errorf("dist: manifest: %w", err)
+	}
+	seq := fromSeq
+	if seq < 0 || seq > m.Seq {
+		seq = m.Seq
+	}
+	if seq < m.MinSeq {
+		seq = m.MinSeq
+	}
+	onSwap := r.OnSwap
+	r.OnSwap = nil
+	err = r.fullSync(ctx, seq)
+	r.OnSwap = onSwap
+	if err != nil {
+		r.pollErrors.Add(1)
+		return nil, 0, err
+	}
+	r.manifestETag = etag
+	r.headFP = m.Fingerprint
+	r.headSeq.Store(int64(m.Seq))
+	return r.state.list, r.state.seq, nil
+}
+
+// Run polls until ctx ends, sleeping a jittered PollInterval between
+// cycles. Cycle errors are counted (poll_errors_total) and retried next
+// cycle; only ctx cancellation stops the loop. On exit the client's
+// idle keep-alive connections to the origin are closed, so a drained
+// replica leaves no goroutines behind on either end of the wire.
+func (r *Replica) Run(ctx context.Context) error {
+	if t, ok := r.opts.Client.Transport.(interface{ CloseIdleConnections() }); ok {
+		defer t.CloseIdleConnections()
+	} else if r.opts.Client.Transport == nil {
+		defer http.DefaultTransport.(*http.Transport).CloseIdleConnections()
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		_ = r.Poll(ctx)
+		// ±20% jitter so a fleet of replicas doesn't thundering-herd.
+		d := r.opts.PollInterval
+		d = d - d/5 + time.Duration(r.rng.Int63n(int64(2*d/5+1)))
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(d):
+		}
+	}
+}
+
+// sleepBackoff waits the jittered exponential backoff for the given
+// attempt number; false means ctx ended first.
+func (r *Replica) sleepBackoff(ctx context.Context, attempt int) bool {
+	d := r.opts.BackoffBase << (attempt - 1)
+	if d > r.opts.BackoffMax || d <= 0 {
+		d = r.opts.BackoffMax
+	}
+	// Full jitter in [d/2, d].
+	d = d/2 + time.Duration(r.rng.Int63n(int64(d/2+1)))
+	select {
+	case <-ctx.Done():
+		return false
+	case <-time.After(d):
+		return true
+	}
+}

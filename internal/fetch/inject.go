@@ -1,0 +1,218 @@
+package fetch
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// FailureMode selects how an injected failure manifests on the wire.
+// Together the modes cover the transport-level failure surface a list
+// consumer faces: server errors, connections cut mid-body, silently
+// corrupted payloads, and hung responses.
+type FailureMode uint8
+
+const (
+	// Fail5xx answers with a 5xx status and no useful body.
+	Fail5xx FailureMode = iota
+	// FailTruncate advertises the full Content-Length, writes roughly
+	// half the body, then aborts the connection, so clients observe an
+	// unexpected EOF mid-download.
+	FailTruncate
+	// FailCorrupt serves a 200 whose body has a few bytes flipped.
+	// Status and length look healthy; only end-to-end checksums or
+	// fingerprint verification can catch it.
+	FailCorrupt
+	// FailStall writes nothing for a configurable duration and then
+	// aborts, exercising client timeouts.
+	FailStall
+)
+
+// String names the mode for logs and test output.
+func (m FailureMode) String() string {
+	switch m {
+	case Fail5xx:
+		return "5xx"
+	case FailTruncate:
+		return "truncate"
+	case FailCorrupt:
+		return "corrupt"
+	case FailStall:
+		return "stall"
+	default:
+		return "mode(" + strconv.Itoa(int(m)) + ")"
+	}
+}
+
+// Injector decides, per request, whether and how to fail it. It is the
+// shared failure-injection engine behind fetch.Server and the dist
+// origin tests: a deterministic FailNext budget consumed first, then a
+// random failure rate, with the failure rendered in one of the
+// configured modes.
+//
+// The rate and budget knobs are safe to flip while requests are in
+// flight. The mode set, status code, and stall duration are fixed at
+// construction / before serving starts.
+type Injector struct {
+	rate     atomic.Uint64 // math.Float64bits of the failure fraction
+	budget   atomic.Int64  // deterministic fail-next count
+	injected obs.Counter
+
+	code  int
+	stall time.Duration
+	modes []FailureMode
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+}
+
+// NewInjector builds an injector that picks uniformly among modes for
+// each injected failure (default: Fail5xx only). Equal seeds give
+// identical injection decisions for identical request sequences.
+func NewInjector(seed int64, modes ...FailureMode) *Injector {
+	if len(modes) == 0 {
+		modes = []FailureMode{Fail5xx}
+	}
+	return &Injector{
+		code:  http.StatusServiceUnavailable,
+		stall: 250 * time.Millisecond,
+		modes: append([]FailureMode(nil), modes...),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// SetStatusCode changes the status used by Fail5xx. Call before serving.
+func (in *Injector) SetStatusCode(code int) { in.code = code }
+
+// SetStall changes how long FailStall hangs before aborting. Call
+// before serving.
+func (in *Injector) SetStall(d time.Duration) { in.stall = d }
+
+// SetFailureRate makes the injector fail the given fraction of requests
+// (1.0 = all). Safe to call concurrently with in-flight requests.
+func (in *Injector) SetFailureRate(p float64) {
+	in.rate.Store(math.Float64bits(p))
+}
+
+// FailNext makes the injector fail exactly the next n requests, for
+// deterministic retry tests. The budget takes precedence over the rate.
+func (in *Injector) FailNext(n int) { in.budget.Store(int64(n)) }
+
+// Injected reports how many failures have been injected so far.
+func (in *Injector) Injected() uint64 { return in.injected.Load() }
+
+// InjectedCounter exposes the underlying counter for metric
+// registration.
+func (in *Injector) InjectedCounter() *obs.Counter { return &in.injected }
+
+// Decide resolves injection for one request: whether to fail it, and in
+// which mode.
+func (in *Injector) Decide() (FailureMode, bool) {
+	fail := false
+	for {
+		n := in.budget.Load()
+		if n <= 0 {
+			break
+		}
+		if in.budget.CompareAndSwap(n, n-1) {
+			fail = true
+			break
+		}
+	}
+	in.rngMu.Lock()
+	defer in.rngMu.Unlock()
+	if !fail {
+		p := math.Float64frombits(in.rate.Load())
+		fail = p > 0 && in.rng.Float64() < p
+	}
+	if !fail {
+		return 0, false
+	}
+	mode := in.modes[0]
+	if len(in.modes) > 1 {
+		mode = in.modes[in.rng.Intn(len(in.modes))]
+	}
+	return mode, true
+}
+
+// Wrap returns a handler that injects failures in front of h. Requests
+// that pass go straight through; failed ones are rendered per the
+// decided mode. Truncate and corrupt run h into a buffer first so the
+// damaged response still reflects real headers and body shape.
+func (in *Injector) Wrap(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mode, fail := in.Decide()
+		if !fail {
+			h.ServeHTTP(w, r)
+			return
+		}
+		in.injected.Add(1)
+		in.fail(mode, w, r, h)
+	})
+}
+
+func (in *Injector) fail(mode FailureMode, w http.ResponseWriter, r *http.Request, h http.Handler) {
+	switch mode {
+	case FailStall:
+		select {
+		case <-r.Context().Done():
+		case <-time.After(in.stall):
+		}
+		panic(http.ErrAbortHandler)
+	case FailTruncate, FailCorrupt:
+		buf := &bufferedResponse{header: make(http.Header), code: http.StatusOK}
+		h.ServeHTTP(buf, r)
+		body := buf.body.Bytes()
+		hdr := w.Header()
+		for k, vs := range buf.header {
+			hdr[k] = vs
+		}
+		if mode == FailCorrupt {
+			// Flip a handful of bytes; XOR with a non-zero constant
+			// guarantees every touched byte actually changes.
+			in.rngMu.Lock()
+			for i := 0; i < 1+len(body)/256; i++ {
+				if len(body) == 0 {
+					break
+				}
+				body[in.rng.Intn(len(body))] ^= 0x5a
+			}
+			in.rngMu.Unlock()
+			hdr.Set("Content-Length", strconv.Itoa(len(body)))
+			w.WriteHeader(buf.code)
+			_, _ = w.Write(body)
+			return
+		}
+		// Truncate: promise the whole body, deliver half, cut the line.
+		hdr.Set("Content-Length", strconv.Itoa(len(body)))
+		w.WriteHeader(buf.code)
+		_, _ = w.Write(body[:len(body)/2])
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		panic(http.ErrAbortHandler)
+	default: // Fail5xx
+		http.Error(w, "injected failure", in.code)
+	}
+}
+
+// bufferedResponse captures a handler's response so the injector can
+// damage it before anything reaches the wire.
+type bufferedResponse struct {
+	header http.Header
+	code   int
+	body   bytes.Buffer
+}
+
+func (b *bufferedResponse) Header() http.Header { return b.header }
+
+func (b *bufferedResponse) WriteHeader(code int) { b.code = code }
+
+func (b *bufferedResponse) Write(p []byte) (int, error) { return b.body.Write(p) }

@@ -1,0 +1,172 @@
+package fetch
+
+import (
+	"crypto/sha256"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// payload is a fixed 4KB body whose checksum corruption tests compare
+// against.
+func payloadHandler() (http.Handler, [32]byte) {
+	body := make([]byte, 4096)
+	for i := range body {
+		body[i] = byte(i * 31)
+	}
+	sum := sha256.Sum256(body)
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/octet-stream")
+		_, _ = w.Write(body)
+	})
+	return h, sum
+}
+
+func TestInjectorPassThrough(t *testing.T) {
+	h, sum := payloadHandler()
+	in := NewInjector(1, Fail5xx, FailTruncate, FailCorrupt, FailStall)
+	ts := httptest.NewServer(in.Wrap(h))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("read: status %d err %v", resp.StatusCode, err)
+	}
+	if sha256.Sum256(body) != sum {
+		t.Fatalf("pass-through body altered")
+	}
+	if in.Injected() != 0 {
+		t.Fatalf("Injected = %d, want 0", in.Injected())
+	}
+}
+
+func TestInjector5xx(t *testing.T) {
+	h, _ := payloadHandler()
+	in := NewInjector(1, Fail5xx)
+	in.FailNext(1)
+	ts := httptest.NewServer(in.Wrap(h))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	if in.Injected() != 1 {
+		t.Fatalf("Injected = %d, want 1", in.Injected())
+	}
+	// Budget consumed: next request passes.
+	resp, err = http.Get(ts.URL)
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status after budget = %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestInjectorTruncate(t *testing.T) {
+	h, _ := payloadHandler()
+	in := NewInjector(1, FailTruncate)
+	in.FailNext(1)
+	ts := httptest.NewServer(in.Wrap(h))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.ContentLength != 4096 {
+		t.Fatalf("Content-Length = %d, want full 4096", resp.ContentLength)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err == nil {
+		t.Fatalf("truncated read succeeded with %d bytes, want error", len(body))
+	}
+	if len(body) >= 4096 {
+		t.Fatalf("got %d bytes, want a short body", len(body))
+	}
+}
+
+func TestInjectorCorrupt(t *testing.T) {
+	h, sum := payloadHandler()
+	in := NewInjector(1, FailCorrupt)
+	in.FailNext(1)
+	ts := httptest.NewServer(in.Wrap(h))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	// The poison pill: everything about the response looks healthy.
+	if resp.StatusCode != http.StatusOK || len(body) != 4096 {
+		t.Fatalf("status %d len %d, want healthy-looking 200 with full length", resp.StatusCode, len(body))
+	}
+	if sha256.Sum256(body) == sum {
+		t.Fatalf("corrupt body checksum unchanged")
+	}
+}
+
+func TestInjectorStall(t *testing.T) {
+	h, _ := payloadHandler()
+	in := NewInjector(1, FailStall)
+	in.SetStall(5 * time.Second)
+	in.FailNext(1)
+	ts := httptest.NewServer(in.Wrap(h))
+	defer ts.Close()
+
+	client := &http.Client{Timeout: 100 * time.Millisecond}
+	start := time.Now()
+	resp, err := client.Get(ts.URL)
+	if err == nil {
+		resp.Body.Close()
+		t.Fatalf("stalled request succeeded, want timeout")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("client blocked %v; timeout did not fire", elapsed)
+	}
+}
+
+func TestInjectorRateAndString(t *testing.T) {
+	in := NewInjector(7, Fail5xx, FailCorrupt)
+	in.SetFailureRate(1.0)
+	fails := 0
+	for i := 0; i < 50; i++ {
+		if _, fail := in.Decide(); fail {
+			fails++
+		}
+	}
+	if fails != 50 {
+		t.Fatalf("rate 1.0: %d/50 failed", fails)
+	}
+	in.SetFailureRate(0)
+	if _, fail := in.Decide(); fail {
+		t.Fatalf("rate 0 still failing")
+	}
+	for _, tc := range []struct {
+		m    FailureMode
+		want string
+	}{{Fail5xx, "5xx"}, {FailTruncate, "truncate"}, {FailCorrupt, "corrupt"}, {FailStall, "stall"}} {
+		if got := tc.m.String(); got != tc.want {
+			t.Errorf("String(%d) = %q, want %q", tc.m, got, tc.want)
+		}
+	}
+}

@@ -12,8 +12,6 @@ package fetch
 
 import (
 	"fmt"
-	"math"
-	"math/rand"
 	"net/http"
 	"strconv"
 	"strings"
@@ -55,12 +53,10 @@ type renderedVersion struct {
 type Server struct {
 	h *history.History
 
-	current   atomic.Int64  // version served at ListPath
-	failRate  atomic.Uint64 // math.Float64bits of the failure fraction
-	failCount atomic.Int64  // deterministic fail-next budget
-	failCode  int           // immutable after construction
-	requests  obs.Counter
-	failures  obs.Counter
+	current  atomic.Int64 // version served at ListPath
+	inject   *Injector    // failure injection (503s by default)
+	inner    http.Handler // serve path behind the injector
+	requests obs.Counter
 
 	// render-cache telemetry: renders counts versions serialized (cache
 	// fills), renderHits requests answered from an already-rendered
@@ -68,9 +64,6 @@ type Server struct {
 	renders     obs.Counter
 	renderHits  obs.Counter
 	notModified obs.Counter
-
-	rngMu sync.Mutex
-	rng   *rand.Rand
 
 	// rendered caches each version's serialized body and validators;
 	// materialising a version replays the whole event history, so
@@ -82,10 +75,10 @@ type Server struct {
 // NewServer creates a server initially publishing the newest version.
 func NewServer(h *history.History) *Server {
 	s := &Server{
-		h:        h,
-		failCode: http.StatusServiceUnavailable,
-		rng:      rand.New(rand.NewSource(1)),
+		h:      h,
+		inject: NewInjector(1, Fail5xx),
 	}
+	s.inner = s.inject.Wrap(http.HandlerFunc(s.serve))
 	s.current.Store(int64(h.Len() - 1))
 	return s
 }
@@ -109,18 +102,18 @@ func (s *Server) Current() int {
 // (1.0 = all) with 503, exercising client fallback paths. Safe to call
 // concurrently with in-flight requests.
 func (s *Server) SetFailureRate(p float64) {
-	s.failRate.Store(math.Float64bits(p))
+	s.inject.SetFailureRate(p)
 }
 
 // FailNext makes the server fail exactly the next n requests with 503,
 // for deterministic retry tests.
 func (s *Server) FailNext(n int) {
-	s.failCount.Store(int64(n))
+	s.inject.FailNext(n)
 }
 
 // Stats reports requests served and failures injected.
 func (s *Server) Stats() (requests, failures int) {
-	return int(s.requests.Load()), int(s.failures.Load())
+	return int(s.requests.Load()), int(s.inject.Injected())
 }
 
 // RegisterMetrics attaches the raw-list server's metric families to a
@@ -128,32 +121,10 @@ func (s *Server) Stats() (requests, failures int) {
 // cache hit/fill counters, and conditional-request short circuits.
 func (s *Server) RegisterMetrics(r *obs.Registry) {
 	r.MustRegister("psl_fetch_requests_total", "Raw-list requests received (including injected failures).", nil, &s.requests)
-	r.MustRegister("psl_fetch_failures_injected_total", "Requests failed on purpose (failrate / FailNext).", nil, &s.failures)
+	r.MustRegister("psl_fetch_failures_injected_total", "Requests failed on purpose (failrate / FailNext).", nil, s.inject.InjectedCounter())
 	r.MustRegister("psl_fetch_renders_total", "List versions serialized into the render cache.", nil, &s.renders)
 	r.MustRegister("psl_fetch_render_cache_hits_total", "Requests served from an already-rendered version.", nil, &s.renderHits)
 	r.MustRegister("psl_fetch_not_modified_total", "Conditional requests answered 304 Not Modified.", nil, &s.notModified)
-}
-
-// shouldFail decides failure injection for one request: first the
-// deterministic FailNext budget, then the random failure rate.
-func (s *Server) shouldFail() bool {
-	for {
-		n := s.failCount.Load()
-		if n <= 0 {
-			break
-		}
-		if s.failCount.CompareAndSwap(n, n-1) {
-			return true
-		}
-	}
-	p := math.Float64frombits(s.failRate.Load())
-	if p <= 0 {
-		return false
-	}
-	s.rngMu.Lock()
-	v := s.rng.Float64()
-	s.rngMu.Unlock()
-	return v < p
 }
 
 // render returns the cached serialization of version seq, building it
@@ -177,15 +148,14 @@ func (s *Server) render(seq int) *renderedVersion {
 	return rv
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler: every request is counted, then
+// routed through the failure injector before the real serve path.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
-	if s.shouldFail() {
-		s.failures.Add(1)
-		http.Error(w, "injected failure", s.failCode)
-		return
-	}
+	s.inner.ServeHTTP(w, r)
+}
 
+func (s *Server) serve(w http.ResponseWriter, r *http.Request) {
 	seq := s.Current()
 	switch {
 	case r.URL.Path == ListPath:

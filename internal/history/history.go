@@ -68,6 +68,14 @@ type VersionMeta struct {
 	Commit string
 }
 
+// Label renders the canonical human-readable version identifier, the
+// same string (*History).ListAt stamps into List.Version. The dist
+// subsystem serializes it into snapshot blobs so a replica-materialised
+// list is byte-identical to a locally materialised one.
+func (m VersionMeta) Label() string {
+	return fmt.Sprintf("v%04d-%s", m.Seq, m.Commit)
+}
+
 // Event is the rule delta that produced one version. The first event
 // (Seq 0) adds the initial rule set.
 type Event struct {
@@ -391,7 +399,7 @@ func (h *History) ListAt(i int) *psl.List {
 	l := psl.NewList(live)
 	meta := h.metas[i]
 	l.Date = meta.Date
-	l.Version = fmt.Sprintf("v%04d-%s", meta.Seq, meta.Commit)
+	l.Version = meta.Label()
 	return l
 }
 

@@ -1,0 +1,91 @@
+package psl
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestDiffListsMoved(t *testing.T) {
+	old := MustParse(`
+// ===BEGIN ICANN DOMAINS===
+com
+co.uk
+// ===END ICANN DOMAINS===
+// ===BEGIN PRIVATE DOMAINS===
+github.io
+blogspot.com
+// ===END PRIVATE DOMAINS===
+`)
+	new := MustParse(`
+// ===BEGIN ICANN DOMAINS===
+com
+github.io
+// ===END ICANN DOMAINS===
+// ===BEGIN PRIVATE DOMAINS===
+blogspot.com
+fastly.net
+// ===END PRIVATE DOMAINS===
+`)
+	d := DiffLists(old, new)
+	if got, want := len(d.Added), 1; got != want {
+		t.Fatalf("Added = %v, want 1 entry", d.Added)
+	}
+	if d.Added[0].Suffix != "fastly.net" {
+		t.Errorf("Added[0] = %v, want fastly.net", d.Added[0])
+	}
+	if got, want := len(d.Removed), 1; got != want {
+		t.Fatalf("Removed = %v, want 1 entry", d.Removed)
+	}
+	if d.Removed[0].Suffix != "co.uk" {
+		t.Errorf("Removed[0] = %v, want co.uk", d.Removed[0])
+	}
+	if got, want := len(d.Moved), 1; got != want {
+		t.Fatalf("Moved = %v, want 1 entry", d.Moved)
+	}
+	if d.Moved[0].Suffix != "github.io" || d.Moved[0].Section != SectionICANN {
+		t.Errorf("Moved[0] = %+v, want github.io in icann section", d.Moved[0])
+	}
+}
+
+func TestDiffListsNoMoveWhenSectionsEqual(t *testing.T) {
+	l := MustParse("// ===BEGIN ICANN DOMAINS===\ncom\nnet\n// ===END ICANN DOMAINS===\n")
+	d := DiffLists(l, l.Clone())
+	if len(d.Added)+len(d.Removed)+len(d.Moved) != 0 {
+		t.Fatalf("diff of identical lists = %+v, want empty", d)
+	}
+}
+
+func TestFingerprintOfSortedMatchesListFingerprint(t *testing.T) {
+	l := MustParse(`
+// ===BEGIN ICANN DOMAINS===
+com
+co.uk
+*.ck
+!www.ck
+// ===END ICANN DOMAINS===
+// ===BEGIN PRIVATE DOMAINS===
+github.io
+// ===END PRIVATE DOMAINS===
+`)
+	rules := make([]Rule, len(l.Rules()))
+	copy(rules, l.Rules())
+	sort.Slice(rules, func(i, j int) bool { return CompareRules(rules[i], rules[j]) < 0 })
+	if got, want := FingerprintOfSorted(rules), l.Fingerprint(); got != want {
+		t.Fatalf("FingerprintOfSorted = %s, want %s", got, want)
+	}
+	if got, want := FingerprintOfSorted(nil), NewList(nil).Fingerprint(); got != want {
+		t.Fatalf("FingerprintOfSorted(nil) = %s, want empty-list fingerprint %s", got, want)
+	}
+}
+
+func TestCompareRulesZeroMeansSameKey(t *testing.T) {
+	a := Rule{Suffix: "ck", Wildcard: true, Section: SectionICANN}
+	b := Rule{Suffix: "ck", Wildcard: true, Section: SectionPrivate}
+	if CompareRules(a, b) != 0 {
+		t.Errorf("CompareRules ignores Section: want 0, got %d", CompareRules(a, b))
+	}
+	c := Rule{Suffix: "www.ck", Exception: true}
+	if CompareRules(a, c) == 0 {
+		t.Errorf("distinct keys must not compare equal")
+	}
+}

@@ -228,6 +228,14 @@ func (l *List) Fingerprint() string {
 	rules := make([]Rule, len(l.rules))
 	copy(rules, l.rules)
 	sort.Slice(rules, func(i, j int) bool { return compareRules(rules[i], rules[j]) < 0 })
+	return FingerprintOfSorted(rules)
+}
+
+// FingerprintOfSorted computes the same fingerprint as (*List).Fingerprint
+// for a rule slice that is already in CompareRules order, without copying
+// or re-sorting. Callers that maintain a canonically sorted set (the dist
+// version chain) use it to fingerprint every history version in one pass.
+func FingerprintOfSorted(rules []Rule) string {
 	h := sha256.New()
 	for _, r := range rules {
 		io.WriteString(h, r.String())
@@ -293,15 +301,25 @@ func (l *List) WithoutRules(remove ...Rule) *List {
 type Diff struct {
 	Added   []Rule
 	Removed []Rule
+	// Moved holds rules present in both versions whose Section changed
+	// (e.g. a private-section suffix promoted to ICANN). Each entry
+	// carries the new Section. Rule identity ignores Section, so these
+	// are invisible to Added/Removed but still change lookup answers
+	// (the ICANN flag comes from the prevailing rule's section).
+	Moved []Rule
 }
 
-// DiffLists computes the rules added and removed going from old to new,
-// in canonical order.
+// DiffLists computes the rules added, removed, and section-moved going
+// from old to new, in canonical order.
 func DiffLists(old, new *List) Diff {
 	var d Diff
 	for _, r := range new.rules {
-		if !old.Contains(r) {
+		i, ok := old.byKey[r.String()]
+		switch {
+		case !ok:
 			d.Added = append(d.Added, r)
+		case old.rules[i].Section != r.Section:
+			d.Moved = append(d.Moved, r)
 		}
 	}
 	for _, r := range old.rules {
@@ -311,6 +329,7 @@ func DiffLists(old, new *List) Diff {
 	}
 	sort.Slice(d.Added, func(i, j int) bool { return compareRules(d.Added[i], d.Added[j]) < 0 })
 	sort.Slice(d.Removed, func(i, j int) bool { return compareRules(d.Removed[i], d.Removed[j]) < 0 })
+	sort.Slice(d.Moved, func(i, j int) bool { return compareRules(d.Moved[i], d.Moved[j]) < 0 })
 	return d
 }
 

@@ -173,6 +173,14 @@ func (r Rule) Match(name string) bool {
 	return len(name) > len(r.Suffix)
 }
 
+// CompareRules orders rules canonically: by reversed suffix
+// (hierarchical order), with plain rules before wildcards before
+// exceptions at the same suffix. A result of 0 means the two rules have
+// the same canonical key (Section is deliberately not compared, matching
+// List's identity semantics). Exported for consumers that maintain
+// canonically sorted rule sets, such as the dist patch codec.
+func CompareRules(a, b Rule) int { return compareRules(a, b) }
+
 // compareRules orders rules canonically: by reversed suffix (hierarchical
 // order), with plain rules before wildcards before exceptions at the same
 // suffix. Used for deterministic serialization and diffing.

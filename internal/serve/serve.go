@@ -101,6 +101,10 @@ type Service struct {
 
 	matcherName string
 
+	// src describes where snapshots come from; nil means the default
+	// local source (the service owns its list or history directly).
+	src atomic.Pointer[srcInfo]
+
 	// admission semaphore for /v1/lookup.
 	tokens chan struct{}
 
@@ -159,6 +163,36 @@ func New(l *psl.List, seq int, opts Options) *Service {
 	s.mux = mux
 	s.Swap(l, seq)
 	return s
+}
+
+// srcInfo names a snapshot source and how far it trails upstream.
+type srcInfo struct {
+	name string
+	lag  func() int64
+}
+
+// SetSource declares where this service's snapshots come from —
+// "local" (the default when never called) for a service that owns its
+// list, "follower" for one fed by a dist replica — together with an
+// optional lag probe reporting how many list versions the source
+// currently trails its upstream. Both surface on /healthz and
+// /v1/version so operators (and the CI smoke test) can tell a caught-up
+// follower from a stale one.
+func (s *Service) SetSource(name string, lag func() int64) {
+	s.src.Store(&srcInfo{name: name, lag: lag})
+}
+
+// sourceInfo resolves the current source name and lag.
+func (s *Service) sourceInfo() (string, int64) {
+	si := s.src.Load()
+	if si == nil {
+		return "local", 0
+	}
+	lag := int64(0)
+	if si.lag != nil {
+		lag = si.lag()
+	}
+	return si.name, lag
 }
 
 // NewFromHistory creates a service following the given history, serving
@@ -436,16 +470,21 @@ type versionBody struct {
 	Rules   int       `json:"rules"`
 	Date    time.Time `json:"date"`
 	Swaps   uint64    `json:"swaps"`
+	Source  string    `json:"source"`
+	LagSeqs int64     `json:"lag_seqs"`
 }
 
 func (s *Service) handleVersion(w http.ResponseWriter, r *http.Request) {
 	snap := s.Current()
+	source, lag := s.sourceInfo()
 	writeJSON(w, http.StatusOK, versionBody{
 		Version: snap.List.Version,
 		Seq:     snap.Seq,
 		Rules:   snap.List.Len(),
 		Date:    snap.List.Date,
 		Swaps:   s.Swaps(),
+		Source:  source,
+		LagSeqs: lag,
 	})
 }
 
@@ -467,13 +506,18 @@ type healthBody struct {
 	Admitted           uint64  `json:"admitted"`
 	Rejected           uint64  `json:"rejected"`
 	UptimeSeconds      int64   `json:"uptime_seconds"`
+	Source             string  `json:"source"`
+	LagSeqs            int64   `json:"lag_seqs"`
 }
 
 func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
 	hits, misses, size := s.CacheStats()
 	snap := s.Current()
+	source, lag := s.sourceInfo()
 	writeJSON(w, http.StatusOK, healthBody{
 		Status:             "ok",
+		Source:             source,
+		LagSeqs:            lag,
 		Version:            snap.List.Version,
 		Seq:                snap.Seq,
 		Matcher:            s.matcherName,

@@ -10,6 +10,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -299,6 +300,9 @@ func TestHTTPVersionAndHealth(t *testing.T) {
 	if v.Seq != h.Len()-1 || v.Rules != h.Meta(v.Seq).Rules || v.Swaps != 1 {
 		t.Errorf("version body %+v", v)
 	}
+	if v.Source != "local" || v.LagSeqs != 0 {
+		t.Errorf("source/lag = %q/%d, want local/0 when SetSource never called", v.Source, v.LagSeqs)
+	}
 
 	// Drive two identical lookups so the counters move.
 	for i := 0; i < 2; i++ {
@@ -318,6 +322,39 @@ func TestHTTPVersionAndHealth(t *testing.T) {
 	}
 	if hb.MaxInFlight != DefaultMaxInFlight {
 		t.Errorf("max_in_flight = %d", hb.MaxInFlight)
+	}
+	if hb.Source != "local" || hb.LagSeqs != 0 {
+		t.Errorf("health source/lag = %q/%d, want local/0", hb.Source, hb.LagSeqs)
+	}
+}
+
+// TestSetSource checks the follower identity surfaces on both
+// endpoints, with the lag probe consulted per request.
+func TestSetSource(t *testing.T) {
+	s := New(fixture(t), 7, Options{})
+	var lag atomic.Int64
+	lag.Store(3)
+	s.SetSource("follower", lag.Load)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + HealthPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb := decode[healthBody](t, resp)
+	if hb.Source != "follower" || hb.LagSeqs != 3 {
+		t.Errorf("health source/lag = %q/%d, want follower/3", hb.Source, hb.LagSeqs)
+	}
+
+	lag.Store(0)
+	resp, err = http.Get(ts.URL + VersionPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := decode[versionBody](t, resp)
+	if v.Source != "follower" || v.LagSeqs != 0 {
+		t.Errorf("version source/lag = %q/%d, want follower/0", v.Source, v.LagSeqs)
 	}
 }
 
