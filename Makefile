@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench bench-json bench-sanity metrics-lint
+.PHONY: all build test race chaos bench bench-json bench-sanity metrics-lint
 
 all: build test
 
@@ -11,7 +11,12 @@ test:
 	go test ./...
 
 race:
-	go test -race ./internal/psl/ ./internal/serve/ ./internal/obs/ ./internal/experiments/ ./internal/dist/
+	go test -race ./internal/psl/ ./internal/serve/ ./internal/obs/ ./internal/experiments/ ./internal/dist/ ./internal/resilience/ ./internal/chaos/
+
+# The full chaos replay: origin -> faulting proxy -> replica, six fault
+# classes, crash-restart, goroutine-leak assertion. Runs under -race.
+chaos:
+	go test -race -count=1 -v -run 'TestChaosE2EReplication' ./internal/chaos/
 
 bench:
 	go test -run '^$$' -bench . -benchmem ./internal/psl/ .
@@ -26,7 +31,7 @@ bench-sanity:
 	go test -run '^$$' -bench 'BenchmarkMatcherAblation|BenchmarkPackedCompile9k' -benchtime=1x ./internal/psl/
 	go test -run '^$$' -bench 'BenchmarkServeLookup|BenchmarkSweep' -benchtime=1x .
 	go test -run '^$$' -bench 'BenchmarkPatchChain' -benchtime=1x ./internal/dist/
-	go test -run 'ZeroAlloc' -count=1 ./internal/psl/ ./internal/serve/ ./internal/obs/
+	go test -run 'ZeroAlloc' -count=1 ./internal/psl/ ./internal/serve/ ./internal/obs/ ./internal/resilience/
 
 # Scrape a locally running pslserver and lint the exposition.
 metrics-lint:

@@ -93,7 +93,11 @@ func fetchHosts(cfg config, client *http.Client) ([]string, error) {
 	return loadgen.Hostnames(l, cfg.hosts, cfg.seed), nil
 }
 
-// run executes one load run and writes the JSON summary to stdout.
+// run executes one load run and writes the JSON summary to stdout. A
+// run in which every single lookup failed exits nonzero with the first
+// error instead: its latency summary would describe nothing but the
+// failure path, and a scripted benchmark must not mistake a dead server
+// for a fast one.
 func run(cfg config, stdout io.Writer) error {
 	client := &http.Client{Timeout: cfg.timeout}
 	hosts, err := fetchHosts(cfg, client)
@@ -107,6 +111,9 @@ func run(cfg config, stdout io.Writer) error {
 		Hosts:             hosts,
 		Lookup:            loadgen.HTTPLookup(cfg.base, client),
 	})
+	if res.Lookups > 0 && res.Errors == res.Lookups {
+		return fmt.Errorf("all %d lookups failed; first error: %v", res.Lookups, res.FirstError)
+	}
 	return res.WriteJSON(stdout)
 }
 

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"repro/internal/fetch"
@@ -77,5 +78,37 @@ func TestRunAgainstServer(t *testing.T) {
 	}
 	if sum.Latency.P50 <= 0 || sum.Latency.P50 > sum.Latency.Max || sum.LookupsPerSec <= 0 {
 		t.Errorf("implausible summary: %+v", sum)
+	}
+}
+
+// TestRunFailsWhenAllLookupsFail pins the exit contract for a dead
+// lookup endpoint: the raw list downloads fine (so the host pool
+// builds), every /v1/lookup then 404s, and run() must return an error
+// naming the first failure instead of printing a vacuous summary.
+func TestRunFailsWhenAllLookupsFail(t *testing.T) {
+	h := history.Generate(history.Config{Seed: history.DefaultSeed, Versions: 20})
+	fs := fetch.NewServer(h)
+	fs.SetCurrent(h.Len() - 1)
+	// No lookup route mounted: the query API is "down".
+	ts := httptest.NewServer(fs)
+	defer ts.Close()
+
+	cfg, err := parseFlags([]string{"-base", ts.URL, "-clients", "2", "-requests", "5", "-hosts", "16"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err = run(cfg, &out)
+	if err == nil {
+		t.Fatalf("run succeeded against a server with no lookup endpoint; stdout:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "all ") || !strings.Contains(err.Error(), "first error") {
+		t.Errorf("error %q does not summarise the failure", err)
+	}
+	if !strings.Contains(err.Error(), "404") {
+		t.Errorf("error %q does not carry the first lookup failure detail", err)
+	}
+	if out.Len() != 0 {
+		t.Errorf("failed run still wrote a summary:\n%s", out.String())
 	}
 }

@@ -35,13 +35,33 @@
 //	                  no local history; the list arrives via /dist/
 //	-follow-from N    first version to bootstrap from (-1 = origin head)
 //	-follow-poll D    replica poll interval (default 1s)
+//	-state-dir DIR    (follower) persist each verified snapshot to DIR
+//	                  and resume from it on restart, skipping the
+//	                  full-blob bootstrap
+//	-max-lag N        /healthz answers 503 while replication lag
+//	                  exceeds N versions (0 = disabled)
+//	-max-snapshot-age D  /healthz answers 503 while the served snapshot
+//	                  is older than D (0 = disabled)
+//	-request-timeout D   server-side bound on any request's context;
+//	                  callers can only shrink it via the propagated
+//	                  X-Request-Deadline-Ms header (default 30s,
+//	                  0 = header-only)
 //	-debug-addr ADDR  also serve net/http/pprof and /metrics on this
 //	                  address (default off); keep it loopback-only
 //	-quiet            suppress JSON access logs on stderr
 //
 // In follower mode /healthz and /v1/version report "source":"follower"
 // plus the live lag_seqs behind the origin; a caught-up follower shows
-// lag_seqs 0.
+// lag_seqs 0. With -max-lag / -max-snapshot-age armed, /healthz turns
+// into a real readiness probe: it answers 503 with the violated limits
+// in the body while the instance would serve stale data.
+//
+// Every route runs behind the resilience middleware: handler panics
+// become 500s (counted in psl_http_panics_total) instead of dead
+// connections, and each request's context carries a deadline — the
+// smaller of -request-timeout and the client's propagated budget. Both
+// listeners get full slow-client protection (read/write/idle timeouts
+// and a header-size cap).
 //
 // Requests are logged as one JSON line each on stderr, carrying the
 // request ID the server minted (or honoured, if the client sent
@@ -71,6 +91,7 @@ import (
 	"repro/internal/history"
 	"repro/internal/obs"
 	"repro/internal/psl"
+	"repro/internal/resilience"
 	"repro/internal/serve"
 )
 
@@ -101,6 +122,11 @@ type config struct {
 	follow     string
 	followFrom int
 	followPoll time.Duration
+	stateDir   string
+
+	maxLag         int64
+	maxSnapshotAge time.Duration
+	requestTimeout time.Duration
 
 	newMatcher func(*psl.List) psl.Matcher
 }
@@ -121,6 +147,10 @@ func parseFlags(args []string) (config, error) {
 	fs.StringVar(&cfg.follow, "follow", "", "run as a replica of the origin pslserver at this base URL")
 	fs.IntVar(&cfg.followFrom, "follow-from", -1, "first version to bootstrap from (-1 = origin head)")
 	fs.DurationVar(&cfg.followPoll, "follow-poll", time.Second, "replica poll interval")
+	fs.StringVar(&cfg.stateDir, "state-dir", "", "persist verified follower snapshots here and resume from them on restart")
+	fs.Int64Var(&cfg.maxLag, "max-lag", 0, "healthz answers 503 above this replication lag in versions (0 = disabled)")
+	fs.DurationVar(&cfg.maxSnapshotAge, "max-snapshot-age", 0, "healthz answers 503 above this snapshot age (0 = disabled)")
+	fs.DurationVar(&cfg.requestTimeout, "request-timeout", 30*time.Second, "server-side request deadline (0 = propagated header only)")
 	fs.BoolVar(&cfg.quiet, "quiet", false, "suppress JSON access logs")
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
@@ -157,6 +187,21 @@ func parseFlags(args []string) (config, error) {
 	if cfg.follow == "" && cfg.followFrom != -1 {
 		return config{}, fmt.Errorf("-follow-from requires -follow")
 	}
+	if cfg.follow == "" && cfg.stateDir != "" {
+		return config{}, fmt.Errorf("-state-dir requires -follow (origins own their history)")
+	}
+	if cfg.follow == "" && cfg.maxLag != 0 {
+		return config{}, fmt.Errorf("-max-lag requires -follow (an origin never lags itself)")
+	}
+	if cfg.maxLag < 0 {
+		return config{}, fmt.Errorf("-max-lag %d is negative", cfg.maxLag)
+	}
+	if cfg.maxSnapshotAge < 0 {
+		return config{}, fmt.Errorf("-max-snapshot-age %v is negative", cfg.maxSnapshotAge)
+	}
+	if cfg.requestTimeout < 0 {
+		return config{}, fmt.Errorf("-request-timeout %v is negative", cfg.requestTimeout)
+	}
 	return cfg, nil
 }
 
@@ -170,11 +215,23 @@ func registerProcessMetrics(reg *obs.Registry) {
 		obs.GaugeFunc(func() float64 { return float64(runtime.NumGoroutine()) }))
 }
 
+// resilient wraps a mux in the shared HTTP middleware — panic recovery
+// outermost, then per-request deadlines — and registers the middleware
+// counters, so every route of every listener reports through the same
+// two families.
+func resilient(mux http.Handler, cfg config, reg *obs.Registry) http.Handler {
+	hm := &resilience.HTTPMetrics{}
+	hm.Register(reg)
+	return resilience.Recover(&hm.Panics,
+		resilience.Deadline(cfg.requestTimeout, &hm.DeadlineExceeded, mux))
+}
+
 // newHandler assembles the combined origin handler: the query API owns
 // its three routes, /dist/ serves the distribution protocol, /metrics
 // exposes the shared registry, and the raw-list server owns everything
-// else. The returned service, list server, origin and registry are
-// exposed for tests and runtime reconfiguration.
+// else — all behind the resilience middleware. The returned service,
+// list server, origin and registry are exposed for tests and runtime
+// reconfiguration.
 func newHandler(h *history.History, seq int, cfg config) (http.Handler, *serve.Service, *fetch.Server, *dist.Origin, *obs.Registry) {
 	fs := fetch.NewServer(h)
 	fs.SetCurrent(seq)
@@ -185,6 +242,7 @@ func newHandler(h *history.History, seq int, cfg config) (http.Handler, *serve.S
 		NewMatcher:  cfg.newMatcher,
 		MatcherName: cfg.matcher,
 	})
+	svc.SetHealthLimits(cfg.maxLag, cfg.maxSnapshotAge)
 
 	origin := dist.NewOrigin(h)
 	origin.SetHead(seq)
@@ -203,7 +261,7 @@ func newHandler(h *history.History, seq int, cfg config) (http.Handler, *serve.S
 	mux.Handle(serve.MetricsPath, reg.Handler())
 	mux.Handle(dist.Prefix, origin)
 	mux.Handle("/", fs)
-	return mux, svc, fs, origin, reg
+	return resilient(mux, cfg, reg), svc, fs, origin, reg
 }
 
 // newFollowerHandler assembles the replica-mode handler: the query API
@@ -217,6 +275,7 @@ func newFollowerHandler(l *psl.List, seq int, rep *dist.Replica, cfg config) (ht
 		MatcherName: cfg.matcher,
 	})
 	svc.SetSource("follower", rep.Lag)
+	svc.SetHealthLimits(cfg.maxLag, cfg.maxSnapshotAge)
 
 	reg := obs.NewRegistry()
 	svc.RegisterMetrics(reg)
@@ -228,7 +287,7 @@ func newFollowerHandler(l *psl.List, seq int, rep *dist.Replica, cfg config) (ht
 	mux.Handle(serve.VersionPath, svc)
 	mux.Handle(serve.HealthPath, svc)
 	mux.Handle(serve.MetricsPath, reg.Handler())
-	return mux, svc, reg
+	return resilient(mux, cfg, reg), svc, reg
 }
 
 // debugHandler builds the opt-in diagnostics mux: the full pprof suite
@@ -289,10 +348,31 @@ func run(ctx context.Context, cfg config, stdout io.Writer) error {
 	var handler http.Handler
 	var reg *obs.Registry
 	if cfg.follow != "" {
-		rep := dist.NewReplica(cfg.follow, dist.ReplicaOptions{PollInterval: cfg.followPoll})
-		l, seq, err := bootstrapFollower(ctx, rep, cfg, stdout)
-		if err != nil {
-			return err
+		rep := dist.NewReplica(cfg.follow, dist.ReplicaOptions{
+			PollInterval:   cfg.followPoll,
+			RequestTimeout: cfg.requestTimeout,
+			StateDir:       cfg.stateDir,
+		})
+		// A persisted snapshot beats a full-blob bootstrap: the restored
+		// state is checksum- and fingerprint-verified, and the poll loop
+		// patches forward from it. Any restore failure (first boot,
+		// corrupt file) falls back to bootstrapping from the origin.
+		var l *psl.List
+		var seq int
+		restored := false
+		if cfg.stateDir != "" {
+			if rl, rseq, rerr := rep.RestoreState(); rerr == nil {
+				l, seq, restored = rl, rseq, true
+				fmt.Fprintf(stdout, "pslserver: restored v%04d from %s\n", rseq, cfg.stateDir)
+			} else if !os.IsNotExist(rerr) {
+				fmt.Fprintf(stdout, "pslserver: state restore failed (%v), bootstrapping from origin\n", rerr)
+			}
+		}
+		if !restored {
+			l, seq, err = bootstrapFollower(ctx, rep, cfg, stdout)
+			if err != nil {
+				return err
+			}
 		}
 		var svc *serve.Service
 		handler, svc, reg = newFollowerHandler(l, seq, rep, cfg)
@@ -332,14 +412,14 @@ func run(ctx context.Context, cfg config, stdout io.Writer) error {
 	handler = obs.AccessLog(logger, handler)
 
 	errc := make(chan error, 2)
-	srv := &http.Server{Handler: handler, ReadHeaderTimeout: 10 * time.Second}
+	srv := resilience.HardenServer(&http.Server{Handler: handler, ReadHeaderTimeout: 10 * time.Second})
 	sctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	go func() { errc <- serve.ServeListener(sctx, srv, ln, 10*time.Second) }()
 
 	if debugLn != nil {
 		fmt.Fprintf(stdout, "pslserver: debug endpoints (pprof, metrics) on http://%s/debug/pprof/\n", debugLn.Addr())
-		dsrv := &http.Server{Handler: debugHandler(reg), ReadHeaderTimeout: 10 * time.Second}
+		dsrv := resilience.HardenServer(&http.Server{Handler: debugHandler(reg), ReadHeaderTimeout: 10 * time.Second})
 		go func() { errc <- serve.ServeListener(sctx, dsrv, debugLn, 10*time.Second) }()
 	}
 

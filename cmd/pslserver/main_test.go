@@ -8,6 +8,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/httptest"
 	"runtime"
 	"strings"
 	"sync"
@@ -238,6 +239,11 @@ func TestParseFlagsErrors(t *testing.T) {
 		{"-addr", ""},
 		{"-no-such-flag"},
 		{"stray-positional"},
+		{"-state-dir", "/tmp/x"},                  // requires -follow
+		{"-max-lag", "5"},                         // requires -follow
+		{"-follow", "http://x", "-max-lag", "-1"}, // negative
+		{"-max-snapshot-age", "-1s"},              // negative
+		{"-request-timeout", "-1s"},               // negative
 	}
 	for _, args := range bad {
 		if _, err := parseFlags(args); err == nil {
@@ -284,6 +290,8 @@ var requiredFamilies = []string{
 	"psl_sweep_utilization_ratio",
 	"psl_process_uptime_seconds",
 	"psl_process_goroutines",
+	"psl_http_panics_total",
+	"psl_resilience_deadline_exceeded_total",
 }
 
 // TestMetricsExposition scrapes the mounted /metrics endpoint after a
@@ -552,6 +560,136 @@ func TestFollowerMode(t *testing.T) {
 		case <-time.After(15 * time.Second):
 			t.Fatalf("%s did not exit after cancel", name)
 		}
+	}
+}
+
+// TestHealthzDegradesOnSnapshotAge boots the combined handler with a
+// tiny -max-snapshot-age and checks /healthz flips to 503 with the
+// violated limit in the body while lookups keep being served — health
+// is a readiness signal, not a kill switch.
+func TestHealthzDegradesOnSnapshotAge(t *testing.T) {
+	cfg, err := parseFlags([]string{"-max-snapshot-age", "1ms"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	handler, _, _, _, _ := newHandler(testHistory, testHistory.Len()-1, cfg)
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+
+	time.Sleep(10 * time.Millisecond) // let the snapshot age past the limit
+	resp, err := http.Get(ts.URL + serve.HealthPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz status %s, want 503: %s", resp.Status, body)
+	}
+	if !strings.Contains(string(body), `"status":"degraded"`) || !strings.Contains(string(body), "snapshot age") {
+		t.Errorf("healthz body does not explain the degradation: %s", body)
+	}
+
+	resp, err = http.Get(ts.URL + serve.LookupPath + "?host=www.example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("lookup while degraded: %s, want 200", resp.Status)
+	}
+}
+
+// TestFollowerStateRestore runs a follower with -state-dir, kills it
+// after it catches up, and restarts it against the same dir: the second
+// run must announce a restored snapshot (no bootstrap) and serve the
+// persisted version immediately.
+func TestFollowerStateRestore(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	ocfg, err := parseFlags([]string{"-addr", "127.0.0.1:0", "-versions", "20", "-quiet"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var oout syncBuffer
+	odone := make(chan error, 1)
+	go func() { odone <- run(ctx, ocfg, &oout) }()
+	obase := waitForAnnounce(t, &oout, " on http://")
+	obase = strings.TrimSuffix(obase, fetch.ListPath)
+
+	stateDir := t.TempDir()
+	followerArgs := []string{
+		"-addr", "127.0.0.1:0", "-quiet",
+		"-follow", "http://" + obase,
+		"-follow-poll", "10ms",
+		"-state-dir", stateDir,
+		"-max-lag", "5",
+	}
+	fcfg, err := parseFlags(followerArgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1ctx, f1cancel := context.WithCancel(ctx)
+	var f1out syncBuffer
+	f1done := make(chan error, 1)
+	go func() { f1done <- run(f1ctx, fcfg, &f1out) }()
+	f1base := waitForAnnounce(t, &f1out, " on http://")
+
+	// Wait until the follower is caught up (healthz 200 under -max-lag).
+	client := &http.Client{Timeout: 5 * time.Second}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := client.Get("http://" + f1base + serve.HealthPath)
+		if err == nil {
+			b, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK && strings.Contains(string(b), `"seq":19`) {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never caught up; output:\n%s", f1out.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	f1cancel()
+	if err := <-f1done; err != nil {
+		t.Fatalf("first follower run returned %v", err)
+	}
+
+	// Restart against the same state dir: restored, not bootstrapped.
+	f2ctx, f2cancel := context.WithCancel(ctx)
+	defer f2cancel()
+	var f2out syncBuffer
+	f2done := make(chan error, 1)
+	go func() { f2done <- run(f2ctx, fcfg, &f2out) }()
+	f2base := waitForAnnounce(t, &f2out, " on http://")
+
+	if !strings.Contains(f2out.String(), "restored v0019 from "+stateDir) {
+		t.Errorf("second follower did not announce a state restore:\n%s", f2out.String())
+	}
+	resp, err := client.Get("http://" + f2base + serve.LookupPath + "?host=www.example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a serve.Answer
+	if err := json.NewDecoder(resp.Body).Decode(&a); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if a.Seq != 19 || a.Site != "example.com" {
+		t.Errorf("restored follower lookup answer %+v, want seq 19", a)
+	}
+
+	f2cancel()
+	if err := <-f2done; err != nil {
+		t.Errorf("second follower run returned %v", err)
+	}
+	cancel()
+	if err := <-odone; err != nil {
+		t.Errorf("origin run returned %v", err)
 	}
 }
 

@@ -1,0 +1,341 @@
+// Package chaos provides an in-process faulting reverse proxy for
+// end-to-end resilience testing: it sits between a client and a real
+// HTTP upstream and injects the transport pathologies a production
+// deployment meets — added latency, connection resets, truncated
+// bodies, bit-flipped payloads, 5xx bursts, and stalls — driven by a
+// seeded RNG so a failing run replays exactly.
+//
+// The proxy differs from fetch.Injector deliberately: the injector
+// wraps a handler in the same process and damages its responses, while
+// the proxy fronts an upstream over a real connection, so client-side
+// timeouts, keep-alive reuse, and mid-body aborts behave exactly as
+// they would against a remote origin. Faults apply to whatever flows
+// through — the dist protocol, list downloads, anything HTTP.
+package chaos
+
+import (
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Fault is one injected failure class.
+type Fault uint8
+
+const (
+	// FaultLatency delays the response by the configured Latency, then
+	// serves it intact — slow but correct.
+	FaultLatency Fault = iota
+	// FaultReset aborts the connection before writing anything, so the
+	// client sees a reset/EOF with no response at all.
+	FaultReset
+	// FaultTruncate advertises the full Content-Length, writes half the
+	// body, and cuts the line — an unexpected EOF mid-download.
+	FaultTruncate
+	// FaultBitFlip serves a 200 whose body has bytes flipped; only
+	// end-to-end checksums can tell.
+	FaultBitFlip
+	// Fault5xx answers 503 and keeps answering 503 for the next Burst-1
+	// requests, modelling a correlated outage rather than one blip.
+	Fault5xx
+	// FaultStall writes nothing for the configured Stall duration, then
+	// aborts — the class that exercises client timeouts.
+	FaultStall
+
+	numFaults = 6
+)
+
+// AllFaults lists every class, in a stable order tests can iterate.
+var AllFaults = []Fault{FaultLatency, FaultReset, FaultTruncate, FaultBitFlip, Fault5xx, FaultStall}
+
+// String names the class for logs and metric labels.
+func (f Fault) String() string {
+	switch f {
+	case FaultLatency:
+		return "latency"
+	case FaultReset:
+		return "reset"
+	case FaultTruncate:
+		return "truncate"
+	case FaultBitFlip:
+		return "bitflip"
+	case Fault5xx:
+		return "5xx"
+	case FaultStall:
+		return "stall"
+	default:
+		return "fault(" + strconv.Itoa(int(f)) + ")"
+	}
+}
+
+// Options tunes a Proxy. Zero values get defaults.
+type Options struct {
+	// Seed drives every injection decision. Default 1.
+	Seed int64
+	// Latency is the delay FaultLatency adds. Default 50ms.
+	Latency time.Duration
+	// Stall is how long FaultStall hangs before aborting. Default 250ms.
+	Stall time.Duration
+	// Burst is how many consecutive responses one Fault5xx poisons
+	// (the first plus Burst-1 followers). Default 3.
+	Burst int
+	// Client performs upstream requests. Default: a dedicated transport
+	// with a 30s timeout, so chaos connections never pollute the
+	// process-wide default transport's pool.
+	Client *http.Client
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Latency <= 0 {
+		o.Latency = 50 * time.Millisecond
+	}
+	if o.Stall <= 0 {
+		o.Stall = 250 * time.Millisecond
+	}
+	if o.Burst <= 0 {
+		o.Burst = 3
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{Timeout: 30 * time.Second, Transport: &http.Transport{}}
+	}
+	return o
+}
+
+// maxProxyBody bounds one upstream body the proxy will buffer.
+const maxProxyBody = 64 << 20
+
+// Proxy is the faulting reverse proxy. Rate and fault-set knobs are
+// safe to flip while requests are in flight, so a test can cycle
+// through fault classes against a live replication stream.
+type Proxy struct {
+	upstream string
+	opts     Options
+
+	rate      atomic.Uint64 // math.Float64bits of the injection fraction
+	faults    atomic.Pointer[[]Fault]
+	burstLeft atomic.Int64
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	forwarded     obs.Counter
+	upstreamFails obs.Counter
+	byClass       [numFaults]obs.Counter
+}
+
+// NewProxy builds a proxy fronting the upstream base URL (e.g. an
+// httptest.Server.URL). It starts transparent: no faults are injected
+// until SetFaults and SetRate arm it.
+func NewProxy(upstream string, opts Options) *Proxy {
+	opts = opts.withDefaults()
+	p := &Proxy{
+		upstream: upstream,
+		opts:     opts,
+		rng:      rand.New(rand.NewSource(opts.Seed)),
+	}
+	p.faults.Store(&[]Fault{})
+	return p
+}
+
+// SetRate sets the fraction of requests that take a fault (1.0 = all).
+func (p *Proxy) SetRate(r float64) { p.rate.Store(math.Float64bits(r)) }
+
+// SetFaults replaces the enabled fault classes. An empty set disarms
+// the proxy (an in-flight 5xx burst still drains).
+func (p *Proxy) SetFaults(fs ...Fault) {
+	cp := append([]Fault(nil), fs...)
+	p.faults.Store(&cp)
+}
+
+// Injected reports total faults injected across all classes.
+func (p *Proxy) Injected() uint64 {
+	var n uint64
+	for i := range p.byClass {
+		n += p.byClass[i].Load()
+	}
+	return n
+}
+
+// InjectedBy reports faults injected for one class.
+func (p *Proxy) InjectedBy(f Fault) uint64 {
+	if int(f) >= numFaults {
+		return 0
+	}
+	return p.byClass[f].Load()
+}
+
+// Forwarded reports requests passed through to the upstream intact.
+func (p *Proxy) Forwarded() uint64 { return p.forwarded.Load() }
+
+// Close releases idle upstream connections; call it before asserting
+// goroutine leaks.
+func (p *Proxy) Close() {
+	p.opts.Client.CloseIdleConnections()
+}
+
+// RegisterMetrics attaches the proxy's families to a registry.
+func (p *Proxy) RegisterMetrics(reg *obs.Registry) {
+	for _, f := range AllFaults {
+		reg.MustRegister("psl_chaos_faults_total", "Faults injected, by class.",
+			obs.Labels{{"class", f.String()}}, &p.byClass[f])
+	}
+	reg.MustRegister("psl_chaos_forwarded_total", "Requests proxied to the upstream intact.", nil, &p.forwarded)
+	reg.MustRegister("psl_chaos_upstream_errors_total", "Upstream exchanges that failed (rendered as 502).", nil, &p.upstreamFails)
+}
+
+// decide resolves injection for one request. An armed 5xx burst is
+// consumed before any new random decision, so the burst models a
+// correlated outage regardless of the configured rate.
+func (p *Proxy) decide() (Fault, bool) {
+	for {
+		n := p.burstLeft.Load()
+		if n <= 0 {
+			break
+		}
+		if p.burstLeft.CompareAndSwap(n, n-1) {
+			return Fault5xx, true
+		}
+	}
+	fs := *p.faults.Load()
+	if len(fs) == 0 {
+		return 0, false
+	}
+	rate := math.Float64frombits(p.rate.Load())
+	if rate <= 0 {
+		return 0, false
+	}
+	p.rngMu.Lock()
+	defer p.rngMu.Unlock()
+	if p.rng.Float64() >= rate {
+		return 0, false
+	}
+	f := fs[p.rng.Intn(len(fs))]
+	if f == Fault5xx {
+		// Arm the rest of the burst; the drain path above serves it
+		// without re-arming, so one decision poisons exactly Burst
+		// responses.
+		p.burstLeft.Store(int64(p.opts.Burst - 1))
+	}
+	return f, true
+}
+
+// ServeHTTP proxies one request, possibly through a fault.
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	fault, inject := p.decide()
+	if !inject {
+		p.forward(w, r, 0)
+		return
+	}
+	p.byClass[fault].Add(1)
+	switch fault {
+	case FaultLatency:
+		p.forward(w, r, p.opts.Latency)
+	case FaultReset:
+		panic(http.ErrAbortHandler)
+	case Fault5xx:
+		http.Error(w, "chaos: injected outage", http.StatusServiceUnavailable)
+	case FaultStall:
+		select {
+		case <-r.Context().Done():
+		case <-time.After(p.opts.Stall):
+		}
+		panic(http.ErrAbortHandler)
+	case FaultTruncate, FaultBitFlip:
+		resp, body, err := p.roundTrip(r)
+		if err != nil {
+			p.upstreamFails.Add(1)
+			http.Error(w, "chaos: upstream unreachable", http.StatusBadGateway)
+			return
+		}
+		copyHeaders(w.Header(), resp.Header)
+		w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+		if fault == FaultBitFlip {
+			p.flip(body)
+			w.WriteHeader(resp.StatusCode)
+			_, _ = w.Write(body)
+			return
+		}
+		// Truncate: promise everything, deliver half, cut the line.
+		w.WriteHeader(resp.StatusCode)
+		_, _ = w.Write(body[:len(body)/2])
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		panic(http.ErrAbortHandler)
+	}
+}
+
+// forward proxies the request unchanged, after an optional delay.
+func (p *Proxy) forward(w http.ResponseWriter, r *http.Request, delay time.Duration) {
+	if delay > 0 {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-time.After(delay):
+		}
+	}
+	resp, body, err := p.roundTrip(r)
+	if err != nil {
+		p.upstreamFails.Add(1)
+		http.Error(w, "chaos: upstream unreachable", http.StatusBadGateway)
+		return
+	}
+	p.forwarded.Add(1)
+	copyHeaders(w.Header(), resp.Header)
+	w.WriteHeader(resp.StatusCode)
+	_, _ = w.Write(body)
+}
+
+// roundTrip performs the upstream exchange and buffers the body (the
+// damaging fault classes need the whole payload in hand).
+func (p *Proxy) roundTrip(r *http.Request) (*http.Response, []byte, error) {
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, p.upstream+r.URL.RequestURI(), nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	copyHeaders(req.Header, r.Header)
+	resp, err := p.opts.Client.Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxProxyBody))
+	if err != nil {
+		return nil, nil, err
+	}
+	return resp, body, nil
+}
+
+// flip damages a handful of bytes; XOR with a non-zero constant
+// guarantees every touched byte actually changes.
+func (p *Proxy) flip(body []byte) {
+	if len(body) == 0 {
+		return
+	}
+	p.rngMu.Lock()
+	defer p.rngMu.Unlock()
+	for i := 0; i < 1+len(body)/256; i++ {
+		body[p.rng.Intn(len(body))] ^= 0x5a
+	}
+}
+
+// copyHeaders copies all header fields except hop-by-hop ones.
+func copyHeaders(dst, src http.Header) {
+	for k, vs := range src {
+		switch k {
+		case "Connection", "Keep-Alive", "Transfer-Encoding", "Upgrade", "Content-Length":
+			continue
+		}
+		dst[k] = append([]string(nil), vs...)
+	}
+}

@@ -1,0 +1,268 @@
+package chaos
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+const testBody = "0123456789abcdefghijklmnopqrstuvwxyz-PAYLOAD-0123456789"
+
+// testUpstream serves a fixed body with an ETag and honors
+// If-None-Match, mimicking the dist origin's conditional handling.
+func testUpstream(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/missing" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("ETag", `"v1"`)
+		w.Header().Set("Content-Type", "application/octet-stream")
+		if r.Header.Get("If-None-Match") == `"v1"` {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		io.WriteString(w, testBody)
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func get(t *testing.T, client *http.Client, url string, hdr map[string]string) (*http.Response, []byte, error) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	return resp, body, err
+}
+
+func newProxyServer(t *testing.T, opts Options) (*Proxy, *httptest.Server) {
+	t.Helper()
+	up := testUpstream(t)
+	p := NewProxy(up.URL, opts)
+	t.Cleanup(p.Close)
+	ts := httptest.NewServer(p)
+	t.Cleanup(ts.Close)
+	return p, ts
+}
+
+func TestProxyTransparentByDefault(t *testing.T) {
+	p, ts := newProxyServer(t, Options{})
+	resp, body, err := get(t, http.DefaultClient, ts.URL+"/dist/manifest", nil)
+	if err != nil {
+		t.Fatalf("GET through disarmed proxy: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK || string(body) != testBody {
+		t.Fatalf("got %d %q, want 200 with the upstream body", resp.StatusCode, body)
+	}
+	if resp.Header.Get("ETag") != `"v1"` {
+		t.Fatalf("ETag %q not passed through", resp.Header.Get("ETag"))
+	}
+	// Conditional requests flow through in both directions.
+	resp, _, err = get(t, http.DefaultClient, ts.URL+"/x", map[string]string{"If-None-Match": `"v1"`})
+	if err != nil || resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("conditional GET = %v status %d, want 304", err, resp.StatusCode)
+	}
+	// Upstream error statuses pass through too.
+	resp, _, err = get(t, http.DefaultClient, ts.URL+"/missing", nil)
+	if err != nil || resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /missing = %v status %d, want 404", err, resp.StatusCode)
+	}
+	if p.Injected() != 0 || p.Forwarded() == 0 {
+		t.Fatalf("disarmed proxy injected %d, forwarded %d", p.Injected(), p.Forwarded())
+	}
+}
+
+func TestProxyLatencyDelaysIntactResponse(t *testing.T) {
+	p, ts := newProxyServer(t, Options{Latency: 60 * time.Millisecond})
+	p.SetFaults(FaultLatency)
+	p.SetRate(1)
+	start := time.Now()
+	resp, body, err := get(t, http.DefaultClient, ts.URL+"/a", nil)
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 60*time.Millisecond {
+		t.Fatalf("response arrived in %v, want >= 60ms of injected latency", elapsed)
+	}
+	if resp.StatusCode != http.StatusOK || string(body) != testBody {
+		t.Fatalf("latency fault damaged the response: %d %q", resp.StatusCode, body)
+	}
+	if p.InjectedBy(FaultLatency) == 0 {
+		t.Fatal("latency fault not counted")
+	}
+}
+
+func TestProxyResetAbortsConnection(t *testing.T) {
+	p, ts := newProxyServer(t, Options{})
+	p.SetFaults(FaultReset)
+	p.SetRate(1)
+	if _, _, err := get(t, http.DefaultClient, ts.URL+"/a", nil); err == nil {
+		t.Fatal("reset fault produced a whole response")
+	}
+	if p.InjectedBy(FaultReset) == 0 {
+		t.Fatal("reset fault not counted")
+	}
+}
+
+func TestProxyTruncateCutsMidBody(t *testing.T) {
+	p, ts := newProxyServer(t, Options{})
+	p.SetFaults(FaultTruncate)
+	p.SetRate(1)
+	resp, body, err := get(t, http.DefaultClient, ts.URL+"/a", nil)
+	if resp == nil {
+		t.Fatalf("no response at all: %v", err)
+	}
+	// The status and Content-Length promise the whole body; the read
+	// must fail (or deliver fewer bytes than promised).
+	if err == nil && len(body) >= len(testBody) {
+		t.Fatalf("truncate fault delivered the full body (%d bytes)", len(body))
+	}
+	if p.InjectedBy(FaultTruncate) == 0 {
+		t.Fatal("truncate fault not counted")
+	}
+}
+
+func TestProxyBitFlipCorruptsSilently(t *testing.T) {
+	p, ts := newProxyServer(t, Options{})
+	p.SetFaults(FaultBitFlip)
+	p.SetRate(1)
+	resp, body, err := get(t, http.DefaultClient, ts.URL+"/a", nil)
+	if err != nil {
+		t.Fatalf("GET: %v (bitflip must look healthy on the wire)", err)
+	}
+	if resp.StatusCode != http.StatusOK || len(body) != len(testBody) {
+		t.Fatalf("got %d with %d bytes, want a healthy-looking 200 of %d bytes",
+			resp.StatusCode, len(body), len(testBody))
+	}
+	if string(body) == testBody {
+		t.Fatal("bitflip fault left the body intact")
+	}
+}
+
+func TestProxy5xxBurst(t *testing.T) {
+	p, ts := newProxyServer(t, Options{Burst: 3})
+	p.SetFaults(Fault5xx)
+	p.SetRate(1)
+	resp, _, err := get(t, http.DefaultClient, ts.URL+"/a", nil)
+	if err != nil || resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("first request: %v status %d, want 503", err, resp.StatusCode)
+	}
+	// Disarm: the burst must keep poisoning the next Burst-1 requests.
+	p.SetRate(0)
+	for i := 0; i < 2; i++ {
+		resp, _, err = get(t, http.DefaultClient, ts.URL+"/a", nil)
+		if err != nil || resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("burst request %d: %v status %d, want 503", i+1, err, resp.StatusCode)
+		}
+	}
+	resp, body, err := get(t, http.DefaultClient, ts.URL+"/a", nil)
+	if err != nil || resp.StatusCode != http.StatusOK || string(body) != testBody {
+		t.Fatalf("post-burst request: %v status %d, want clean 200", err, resp.StatusCode)
+	}
+	if got := p.InjectedBy(Fault5xx); got != 3 {
+		t.Fatalf("5xx faults counted = %d, want 3 (1 + burst of 2)", got)
+	}
+}
+
+func TestProxyStallExercisesClientTimeout(t *testing.T) {
+	p, ts := newProxyServer(t, Options{Stall: 2 * time.Second})
+	p.SetFaults(FaultStall)
+	p.SetRate(1)
+	client := &http.Client{Timeout: 50 * time.Millisecond}
+	start := time.Now()
+	_, _, err := get(t, client, ts.URL+"/a", nil)
+	if err == nil {
+		t.Fatal("stalled request returned a response")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("client blocked %v; its timeout did not cut the stall", elapsed)
+	}
+}
+
+func TestProxySeededDeterminism(t *testing.T) {
+	decisions := func(seed int64) []bool {
+		up := testUpstream(t)
+		p := NewProxy(up.URL, Options{Seed: seed})
+		p.SetFaults(Fault5xx)
+		p.SetRate(0.5)
+		ts := httptest.NewServer(p)
+		defer ts.Close()
+		defer p.Close()
+		var out []bool
+		for i := 0; i < 40; i++ {
+			before := p.Injected()
+			if _, _, err := get(t, http.DefaultClient, ts.URL+"/a", nil); err != nil {
+				t.Fatalf("GET %d: %v", i, err)
+			}
+			out = append(out, p.Injected() > before)
+		}
+		return out
+	}
+	a, b := decisions(99), decisions(99)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at request %d", i)
+		}
+	}
+}
+
+func TestProxyMetricsExposition(t *testing.T) {
+	p, ts := newProxyServer(t, Options{})
+	reg := obs.NewRegistry()
+	p.RegisterMetrics(reg)
+	p.SetFaults(FaultBitFlip)
+	p.SetRate(1)
+	if _, _, err := get(t, http.DefaultClient, ts.URL+"/a", nil); err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	exp := reg.Render()
+	for _, want := range []string{
+		`psl_chaos_faults_total{class="latency"} 0`,
+		`psl_chaos_faults_total{class="reset"} 0`,
+		`psl_chaos_faults_total{class="truncate"} 0`,
+		`psl_chaos_faults_total{class="bitflip"} 1`,
+		`psl_chaos_faults_total{class="5xx"} 0`,
+		`psl_chaos_faults_total{class="stall"} 0`,
+		"psl_chaos_forwarded_total",
+		"psl_chaos_upstream_errors_total",
+	} {
+		if !strings.Contains(exp, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	if _, err := obs.ValidateExposition(strings.NewReader(exp)); err != nil {
+		t.Errorf("exposition invalid: %v", err)
+	}
+}
+
+func TestFaultStrings(t *testing.T) {
+	want := map[Fault]string{
+		FaultLatency: "latency", FaultReset: "reset", FaultTruncate: "truncate",
+		FaultBitFlip: "bitflip", Fault5xx: "5xx", FaultStall: "stall",
+	}
+	if len(AllFaults) != numFaults {
+		t.Fatalf("AllFaults lists %d classes, want %d", len(AllFaults), numFaults)
+	}
+	for f, s := range want {
+		if f.String() != s {
+			t.Errorf("Fault %d String() = %q, want %q", f, f.String(), s)
+		}
+	}
+}

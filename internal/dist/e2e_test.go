@@ -186,6 +186,10 @@ func TestE2EReplicationWithFailureInjection(t *testing.T) {
 	opts := fastOpts()
 	opts.BackoffMax = 10 * time.Millisecond
 	opts.MaxHop = 64
+	// At 35% injection, runs of 5 transport failures will trip the
+	// breaker now and then; keep its open window short so the sweep
+	// spends its time replicating, not fast-failing.
+	opts.BreakerOpenFor = 10 * time.Millisecond
 	rep := NewReplica(ts.URL, opts)
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()

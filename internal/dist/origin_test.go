@@ -2,6 +2,7 @@ package dist
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -164,6 +165,26 @@ func TestOriginRejectsBadPaths(t *testing.T) {
 		status, _, _ := getBody(t, ts.URL+path)
 		if status != http.StatusNotFound {
 			t.Errorf("GET %s = %d, want 404", path, status)
+		}
+	}
+}
+
+// TestOriginRejectsEqualPatchEndpoints pins the empty-range rule on its
+// own: a from == to patch request is meaningless (the codec refuses to
+// decode such a patch, see TestDecodePatch rejections) and the origin
+// must 404 it at every seq rather than render a zero-op blob.
+func TestOriginRejectsEqualPatchEndpoints(t *testing.T) {
+	h := testHist(t, 50)
+	o := NewOrigin(h)
+	o.SetHead(30)
+	ts := httptest.NewServer(o)
+	defer ts.Close()
+
+	for _, seq := range []int{0, 1, 15, 30} {
+		path := fmt.Sprintf("%s%d/%d", patchPrefix, seq, seq)
+		status, _, _ := getBody(t, ts.URL+path)
+		if status != http.StatusNotFound {
+			t.Errorf("GET %s = %d, want 404 for an empty range", path, status)
 		}
 	}
 }

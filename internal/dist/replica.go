@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/psl"
+	"repro/internal/resilience"
 )
 
 // maxBlobBytes bounds any single response body the replica will read;
@@ -27,6 +28,11 @@ type ReplicaOptions struct {
 	// PollInterval is the steady-state manifest poll cadence, jittered
 	// ±20% per cycle. Default 1s.
 	PollInterval time.Duration
+	// RequestTimeout bounds one transfer end to end via the request
+	// context, and is propagated to the origin through the resilience
+	// deadline header so a loaded origin can shed work the replica has
+	// already abandoned. Default 10s.
+	RequestTimeout time.Duration
 	// BackoffBase and BackoffMax bound the jittered exponential backoff
 	// between retries of a failed transfer. Defaults 100ms and 5s.
 	BackoffBase, BackoffMax time.Duration
@@ -36,6 +42,28 @@ type ReplicaOptions struct {
 	// MaxAttempts is how many consecutive failed hop attempts trigger
 	// the full-blob fallback. Default 4.
 	MaxAttempts int
+	// BreakerThreshold and BreakerOpenFor tune the circuit breaker in
+	// front of the origin: after BreakerThreshold consecutive
+	// transport-level failures the replica fails fast for BreakerOpenFor
+	// before probing again. Only transport failures count — a corrupt
+	// blob delivered with a 200 is the origin lying, not the wire being
+	// down, and must not block the full-sync recovery path. Defaults 5
+	// and 1s.
+	BreakerThreshold int
+	BreakerOpenFor   time.Duration
+	// RetryBudget and RetryDeposit tune the token-bucket retry budget:
+	// every retry spends one token, every successful transfer earns
+	// RetryDeposit (capped at RetryBudget). An exhausted budget ends the
+	// cycle instead of hammering a struggling origin; the next poll
+	// starts fresh. Defaults 16 and 0.5.
+	RetryBudget  float64
+	RetryDeposit float64
+	// StateDir, when non-empty, durably persists every verified snapshot
+	// (write-temp → fsync → atomic-rename, see SaveState) so a restarted
+	// replica can resume from its last verified seq via RestoreState
+	// instead of a full bootstrap. Persistence failures are counted,
+	// never block a swap.
+	StateDir string
 	// Seed drives poll and backoff jitter. Default 1.
 	Seed int64
 }
@@ -46,6 +74,9 @@ func (o ReplicaOptions) withDefaults() ReplicaOptions {
 	}
 	if o.PollInterval <= 0 {
 		o.PollInterval = time.Second
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 10 * time.Second
 	}
 	if o.BackoffBase <= 0 {
 		o.BackoffBase = 100 * time.Millisecond
@@ -58,6 +89,18 @@ func (o ReplicaOptions) withDefaults() ReplicaOptions {
 	}
 	if o.MaxAttempts <= 0 {
 		o.MaxAttempts = 4
+	}
+	if o.BreakerThreshold <= 0 {
+		o.BreakerThreshold = 5
+	}
+	if o.BreakerOpenFor <= 0 {
+		o.BreakerOpenFor = time.Second
+	}
+	if o.RetryBudget <= 0 {
+		o.RetryBudget = 16
+	}
+	if o.RetryDeposit <= 0 {
+		o.RetryDeposit = 0.5
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
@@ -80,6 +123,12 @@ type replicaState struct {
 // fingerprint verified against the blob that produced it — a replica
 // never swaps in a list the origin didn't cryptographically promise.
 //
+// Failure handling is built from the shared resilience primitives: a
+// circuit breaker on transport errors, a token-bucket retry budget, and
+// capped jittered backoff that resets after a successful poll. With a
+// StateDir configured, every verified install is also persisted
+// crash-safely so a restart resumes from the last verified seq.
+//
 // Poll, Bootstrap, and Run must be used from one goroutine; Lag,
 // CurrentSeq, and the counters are safe to read from any goroutine.
 type Replica struct {
@@ -97,7 +146,10 @@ type Replica struct {
 	manifestETag string
 	headFP       string
 
-	rng *rand.Rand
+	rng     *rand.Rand
+	backoff *resilience.Backoff
+	breaker *resilience.Breaker
+	budget  *resilience.Budget
 
 	polls, pollErrors obs.Counter
 	applied           obs.Counter
@@ -105,19 +157,26 @@ type Replica struct {
 	fullBytes         obs.Counter
 	verifyFailures    obs.Counter
 	fallbacks         obs.Counter
+	fullSyncs         obs.Counter
 	retries           obs.Counter
+	persisted         obs.Counter
+	persistErrors     obs.Counter
 	applyDur          *obs.Histogram
 }
 
 // NewReplica builds a replica for the origin at base URL (e.g.
 // "http://127.0.0.1:8353"; the /dist/ prefix is appended internally).
-// It starts empty: seed it with Bootstrap or SetState before Run.
+// It starts empty: seed it with Bootstrap, RestoreState, or SetState
+// before Run.
 func NewReplica(origin string, opts ReplicaOptions) *Replica {
 	opts = opts.withDefaults()
 	r := &Replica{
 		origin:   origin,
 		opts:     opts,
 		rng:      rand.New(rand.NewSource(opts.Seed)),
+		backoff:  resilience.NewBackoff(opts.BackoffBase, opts.BackoffMax, opts.Seed),
+		breaker:  resilience.NewBreaker(resilience.BreakerOptions{FailureThreshold: opts.BreakerThreshold, OpenFor: opts.BreakerOpenFor}),
+		budget:   resilience.NewBudget(opts.RetryBudget, opts.RetryDeposit),
 		applyDur: obs.NewHistogram(nil),
 	}
 	r.curSeq.Store(-1)
@@ -130,6 +189,22 @@ func NewReplica(origin string, opts ReplicaOptions) *Replica {
 func (r *Replica) SetState(l *psl.List, seq int) {
 	r.state = replicaState{list: l, seq: seq, fp: l.Fingerprint()}
 	r.curSeq.Store(int64(seq))
+}
+
+// RestoreState loads the snapshot persisted in StateDir (checksum and
+// fingerprint verified) and installs it as the replica's starting
+// point, without invoking OnSwap. A missing state file surfaces as
+// fs.ErrNotExist so callers can fall back to Bootstrap.
+func (r *Replica) RestoreState() (*psl.List, int, error) {
+	if r.opts.StateDir == "" {
+		return nil, 0, fmt.Errorf("dist: RestoreState without a StateDir")
+	}
+	l, seq, err := LoadState(r.opts.StateDir)
+	if err != nil {
+		return nil, 0, err
+	}
+	r.SetState(l, seq)
+	return l, seq, nil
 }
 
 // CurrentSeq reports the last installed version, or -1 before any.
@@ -154,12 +229,30 @@ func (r *Replica) Applied() uint64 { return r.applied.Load() }
 // Fallbacks reports full-blob syncs taken after patching failed.
 func (r *Replica) Fallbacks() uint64 { return r.fallbacks.Load() }
 
+// FullSyncs reports all full-blob syncs performed (bootstrap, empty
+// start, and fallback alike) — the expensive transfers a persisted
+// state dir exists to avoid.
+func (r *Replica) FullSyncs() uint64 { return r.fullSyncs.Load() }
+
 // VerifyFailures reports blobs rejected by checksum, decode, or
 // fingerprint verification.
 func (r *Replica) VerifyFailures() uint64 { return r.verifyFailures.Load() }
 
 // Retries reports failed transfer attempts that were retried.
 func (r *Replica) Retries() uint64 { return r.retries.Load() }
+
+// Persisted reports verified snapshots durably written to StateDir.
+func (r *Replica) Persisted() uint64 { return r.persisted.Load() }
+
+// PersistErrors reports snapshot persistence failures (the swap still
+// proceeded; only durability was lost).
+func (r *Replica) PersistErrors() uint64 { return r.persistErrors.Load() }
+
+// Breaker exposes the origin circuit breaker for health reporting.
+func (r *Replica) Breaker() *resilience.Breaker { return r.breaker }
+
+// RetryBudget exposes the retry budget for health reporting.
+func (r *Replica) RetryBudget() *resilience.Budget { return r.budget }
 
 // RegisterMetrics attaches the replica's metric families to a registry.
 func (r *Replica) RegisterMetrics(reg *obs.Registry) {
@@ -174,49 +267,78 @@ func (r *Replica) RegisterMetrics(reg *obs.Registry) {
 		obs.Labels{{"kind", "full"}}, &r.fullBytes)
 	reg.MustRegister("psl_dist_replica_verify_failures_total", "Blobs rejected by checksum or fingerprint verification.", nil, &r.verifyFailures)
 	reg.MustRegister("psl_dist_replica_fallback_syncs_total", "Full-blob syncs taken after patch chains failed.", nil, &r.fallbacks)
+	reg.MustRegister("psl_dist_replica_full_syncs_total", "All full-blob syncs performed (bootstrap, empty start, fallback).", nil, &r.fullSyncs)
 	reg.MustRegister("psl_dist_replica_retries_total", "Failed transfer attempts that were retried.", nil, &r.retries)
+	reg.MustRegister("psl_dist_replica_state_persisted_total", "Verified snapshots durably persisted to the state dir.", nil, &r.persisted)
+	reg.MustRegister("psl_dist_replica_state_persist_errors_total", "Snapshot persistence failures (swap proceeded, durability lost).", nil, &r.persistErrors)
 	reg.MustRegister("psl_dist_replica_apply_duration_seconds", "Time to decode, verify, and apply one blob.", nil, r.applyDur)
+	r.breaker.RegisterMetrics(reg, "dist_origin")
+	r.budget.RegisterMetrics(reg, "dist_replica")
 }
 
 // get fetches one dist path, enforcing the body size cap. A non-2xx
 // status, oversized body, or transport error (including mid-body
-// truncation) is returned as an error.
+// truncation) is returned as an error. Every exchange runs under the
+// origin circuit breaker — an open circuit fails fast with ErrOpen —
+// and under RequestTimeout, propagated to the origin via the deadline
+// header. Transport-level outcomes feed the breaker; successful
+// transfers (including 304s) also replenish the retry budget.
 func (r *Replica) get(ctx context.Context, path, etag string) (body []byte, gotETag string, status int, err error) {
+	gen, ok := r.breaker.Allow()
+	if !ok {
+		return nil, "", 0, fmt.Errorf("dist: GET %s: %w", path, resilience.ErrOpen)
+	}
+	ctx, cancel := context.WithTimeout(ctx, r.opts.RequestTimeout)
+	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.origin+path, nil)
 	if err != nil {
+		r.breaker.Record(gen, err)
 		return nil, "", 0, err
 	}
 	if etag != "" {
 		req.Header.Set("If-None-Match", etag)
 	}
+	resilience.PropagateDeadline(req)
 	resp, err := r.opts.Client.Do(req)
 	if err != nil {
+		r.breaker.Record(gen, err)
 		return nil, "", 0, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode == http.StatusNotModified {
+		r.breaker.Record(gen, nil)
+		r.budget.OnSuccess()
 		return nil, etag, resp.StatusCode, nil
 	}
 	if resp.StatusCode != http.StatusOK {
 		// Drain a little so the connection can be reused, then fail.
 		_, _ = io.CopyN(io.Discard, resp.Body, 4096)
-		return nil, "", resp.StatusCode, fmt.Errorf("dist: GET %s: status %d", path, resp.StatusCode)
+		err = fmt.Errorf("dist: GET %s: status %d", path, resp.StatusCode)
+		r.breaker.Record(gen, err)
+		return nil, "", resp.StatusCode, err
 	}
 	body, err = io.ReadAll(io.LimitReader(resp.Body, maxBlobBytes+1))
 	if err != nil {
-		return nil, "", resp.StatusCode, fmt.Errorf("dist: GET %s: %w", path, err)
+		err = fmt.Errorf("dist: GET %s: %w", path, err)
+		r.breaker.Record(gen, err)
+		return nil, "", resp.StatusCode, err
 	}
 	if len(body) > maxBlobBytes {
-		return nil, "", resp.StatusCode, fmt.Errorf("dist: GET %s: body exceeds %d bytes", path, maxBlobBytes)
+		err = fmt.Errorf("dist: GET %s: body exceeds %d bytes", path, maxBlobBytes)
+		r.breaker.Record(gen, err)
+		return nil, "", resp.StatusCode, err
 	}
+	r.breaker.Record(gen, nil)
+	r.budget.OnSuccess()
 	return body, resp.Header.Get("ETag"), resp.StatusCode, nil
 }
 
 // Poll performs one replication cycle: refresh the manifest, then chase
-// the head if behind. Transfer errors inside the cycle are retried with
-// jittered exponential backoff and, after MaxAttempts consecutive
-// failures of a hop, a full-blob fallback; Poll only returns an error
-// once the cycle cannot make progress (or ctx ends).
+// the head if behind. Transfer errors inside the cycle are retried —
+// budget permitting — with the shared jittered backoff and, after
+// MaxAttempts consecutive failures of a hop, a full-blob fallback; Poll
+// only returns an error once the cycle cannot make progress (or ctx
+// ends). A cycle that ends cleanly resets the backoff schedule.
 func (r *Replica) Poll(ctx context.Context) error {
 	r.polls.Add(1)
 	body, etag, status, err := r.get(ctx, ManifestPath, r.manifestETag)
@@ -242,6 +364,7 @@ func (r *Replica) Poll(ctx context.Context) error {
 		r.pollErrors.Add(1)
 		return err
 	}
+	r.backoff.Reset()
 	return nil
 }
 
@@ -269,14 +392,18 @@ func (r *Replica) syncToHead(ctx context.Context) error {
 				err = r.applyHop(ctx, r.state.seq, to)
 			}
 			if err == nil {
+				r.backoff.Reset()
 				break
 			}
 			attempts++
-			r.retries.Add(1)
 			if attempts > 2*r.opts.MaxAttempts {
 				return fmt.Errorf("dist: giving up after %d attempts: %w", attempts, err)
 			}
-			if !r.sleepBackoff(ctx, attempts) {
+			if !r.budget.Withdraw() {
+				return fmt.Errorf("dist: retry budget exhausted after %d attempts: %w", attempts, err)
+			}
+			r.retries.Add(1)
+			if !r.backoff.Sleep(ctx) {
 				return ctx.Err()
 			}
 		}
@@ -339,14 +466,24 @@ func (r *Replica) fullSync(ctx context.Context, seq int) error {
 	}
 	r.applyDur.Observe(time.Since(start))
 	r.fullBytes.Add(uint64(len(body)))
+	r.fullSyncs.Add(1)
 	r.install(l, f.Seq, f.FP)
 	return nil
 }
 
-// install publishes a verified snapshot: callback first, then the
-// atomics that feed Lag.
+// install publishes a verified snapshot: persist (when configured),
+// then callback, then the atomics that feed Lag. A persistence failure
+// is counted but never blocks the swap — serving fresh data beats
+// durability.
 func (r *Replica) install(l *psl.List, seq int, fp string) {
 	r.state = replicaState{list: l, seq: seq, fp: fp}
+	if r.opts.StateDir != "" {
+		if err := SaveState(r.opts.StateDir, l, seq); err != nil {
+			r.persistErrors.Add(1)
+		} else {
+			r.persisted.Add(1)
+		}
+	}
 	if r.OnSwap != nil {
 		r.OnSwap(l, seq)
 	}
@@ -414,22 +551,5 @@ func (r *Replica) Run(ctx context.Context) error {
 			return ctx.Err()
 		case <-time.After(d):
 		}
-	}
-}
-
-// sleepBackoff waits the jittered exponential backoff for the given
-// attempt number; false means ctx ended first.
-func (r *Replica) sleepBackoff(ctx context.Context, attempt int) bool {
-	d := r.opts.BackoffBase << (attempt - 1)
-	if d > r.opts.BackoffMax || d <= 0 {
-		d = r.opts.BackoffMax
-	}
-	// Full jitter in [d/2, d].
-	d = d/2 + time.Duration(r.rng.Int63n(int64(d/2+1)))
-	select {
-	case <-ctx.Done():
-		return false
-	case <-time.After(d):
-		return true
 	}
 }

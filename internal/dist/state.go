@@ -1,0 +1,80 @@
+package dist
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/psl"
+)
+
+// StateFileName is the snapshot file inside a replica state directory.
+// The payload is a standard "PSLF" full blob (codec.go), so the on-disk
+// format inherits the codec's SHA-256 trailer and fingerprint promise —
+// there is no second, weaker serialization to audit.
+const StateFileName = "snapshot.pslf"
+
+// SaveState durably persists a verified snapshot into dir, creating the
+// directory if needed. The write is crash-safe: the blob goes to a
+// temporary file, is fsynced, and is renamed over StateFileName (then
+// the directory is fsynced so the rename itself survives a crash). A
+// reader therefore sees either the previous complete snapshot or the
+// new one, never a torn write — and a torn write that slips through an
+// unclean shutdown is caught by the checksum on load.
+func SaveState(dir string, l *psl.List, seq int) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("dist: state dir: %w", err)
+	}
+	blob := EncodeFull(l, seq)
+	tmp, err := os.CreateTemp(dir, ".snapshot-*.tmp")
+	if err != nil {
+		return fmt.Errorf("dist: state temp: %w", err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func() { _ = os.Remove(tmpName) }
+	if _, err := tmp.Write(blob); err != nil {
+		tmp.Close()
+		cleanup()
+		return fmt.Errorf("dist: state write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		cleanup()
+		return fmt.Errorf("dist: state fsync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		cleanup()
+		return fmt.Errorf("dist: state close: %w", err)
+	}
+	if err := os.Rename(tmpName, filepath.Join(dir, StateFileName)); err != nil {
+		cleanup()
+		return fmt.Errorf("dist: state rename: %w", err)
+	}
+	// Fsync the directory so the rename is on disk, not just in the
+	// directory cache. Best effort on filesystems that refuse it.
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
+}
+
+// LoadState reads the persisted snapshot back, verifying the blob
+// checksum and the decoded list's fingerprint (both via the codec). A
+// missing file surfaces as fs.ErrNotExist for callers to distinguish
+// "never persisted" from "corrupt".
+func LoadState(dir string) (*psl.List, int, error) {
+	data, err := os.ReadFile(filepath.Join(dir, StateFileName))
+	if err != nil {
+		return nil, 0, err
+	}
+	f, err := DecodeFull(data)
+	if err != nil {
+		return nil, 0, fmt.Errorf("dist: state decode: %w", err)
+	}
+	l, err := f.List()
+	if err != nil {
+		return nil, 0, fmt.Errorf("dist: state verify: %w", err)
+	}
+	return l, f.Seq, nil
+}

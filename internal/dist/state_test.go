@@ -1,0 +1,95 @@
+package dist
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadStateRoundTrip(t *testing.T) {
+	h := testHist(t, 20)
+	want := h.ListAt(7)
+	dir := filepath.Join(t.TempDir(), "nested", "state") // SaveState must mkdir
+	if err := SaveState(dir, want, 7); err != nil {
+		t.Fatalf("SaveState: %v", err)
+	}
+	l, seq, err := LoadState(dir)
+	if err != nil {
+		t.Fatalf("LoadState: %v", err)
+	}
+	if seq != 7 || l.Fingerprint() != want.Fingerprint() {
+		t.Fatalf("round trip: seq %d fp %s, want 7 %s", seq, l.Fingerprint(), want.Fingerprint())
+	}
+	// No temp debris may survive a clean save.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Fatalf("temp file %s left behind", e.Name())
+		}
+	}
+}
+
+// TestSaveStateOverwritesAtomically: a second save replaces the first
+// and a reader never sees a mix of the two.
+func TestSaveStateOverwritesAtomically(t *testing.T) {
+	h := testHist(t, 20)
+	dir := t.TempDir()
+	if err := SaveState(dir, h.ListAt(3), 3); err != nil {
+		t.Fatalf("SaveState(3): %v", err)
+	}
+	if err := SaveState(dir, h.ListAt(15), 15); err != nil {
+		t.Fatalf("SaveState(15): %v", err)
+	}
+	l, seq, err := LoadState(dir)
+	if err != nil {
+		t.Fatalf("LoadState: %v", err)
+	}
+	if seq != 15 || l.Fingerprint() != h.ListAt(15).Fingerprint() {
+		t.Fatalf("loaded seq %d, want the second save (15)", seq)
+	}
+}
+
+func TestLoadStateMissing(t *testing.T) {
+	_, _, err := LoadState(t.TempDir())
+	if !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("LoadState on empty dir = %v, want fs.ErrNotExist", err)
+	}
+}
+
+// TestLoadStateRejectsCorruption simulates a torn or tampered state
+// file: any byte flip must fail the codec checksum, never load.
+func TestLoadStateRejectsCorruption(t *testing.T) {
+	h := testHist(t, 20)
+	dir := t.TempDir()
+	if err := SaveState(dir, h.ListAt(5), 5); err != nil {
+		t.Fatalf("SaveState: %v", err)
+	}
+	path := filepath.Join(dir, StateFileName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, off := range []int{0, len(data) / 2, len(data) - 1} {
+		mut := append([]byte(nil), data...)
+		mut[off] ^= 0x40
+		if err := os.WriteFile(path, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := LoadState(dir); err == nil {
+			t.Fatalf("corrupt state (byte %d flipped) loaded successfully", off)
+		}
+	}
+	// A truncated file (torn write without the rename barrier) fails too.
+	if err := os.WriteFile(path, data[:len(data)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadState(dir); err == nil {
+		t.Fatal("truncated state file loaded successfully")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/psl"
+	"repro/internal/resilience"
 )
 
 // ErrNotModified is returned by Client.Fetch when the server reports
@@ -23,6 +24,18 @@ type Client struct {
 	URL string
 	// HTTPClient defaults to a client with a 30s timeout.
 	HTTPClient *http.Client
+	// Breaker, when set, guards the transport: Fetch fast-fails with
+	// resilience.ErrOpen while it is open, without touching the
+	// network. Only transport-level outcomes feed it — connection
+	// errors and non-2xx statuses count as failures, while a 200 whose
+	// body fails to parse counts as a success (the wire worked; the
+	// payload is a different problem and must not suppress probes).
+	Breaker *resilience.Breaker
+	// RequestTimeout, when positive, bounds each individual Fetch
+	// attempt and is advertised downstream via the
+	// X-Request-Deadline-Ms header so the server can shed the work
+	// once the client has given up.
+	RequestTimeout time.Duration
 
 	mu           sync.Mutex
 	etag         string
@@ -38,10 +51,22 @@ func NewClient(url string) *Client {
 }
 
 // Fetch downloads and parses the list. It returns ErrNotModified when
-// the server's copy matches the last successful fetch.
+// the server's copy matches the last successful fetch, and
+// resilience.ErrOpen without a network round trip while a configured
+// Breaker is open.
 func (c *Client) Fetch(ctx context.Context) (*psl.List, error) {
+	gen, ok := c.Breaker.Allow()
+	if !ok {
+		return nil, resilience.ErrOpen
+	}
+	if c.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.RequestTimeout)
+		defer cancel()
+	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.URL, nil)
 	if err != nil {
+		c.Breaker.Record(gen, err)
 		return nil, err
 	}
 	c.mu.Lock()
@@ -52,9 +77,11 @@ func (c *Client) Fetch(ctx context.Context) (*psl.List, error) {
 		req.Header.Set("If-Modified-Since", c.lastModified)
 	}
 	c.mu.Unlock()
+	resilience.PropagateDeadline(req)
 
 	resp, err := c.HTTPClient.Do(req)
 	if err != nil {
+		c.Breaker.Record(gen, err)
 		return nil, err
 	}
 	defer resp.Body.Close()
@@ -62,12 +89,18 @@ func (c *Client) Fetch(ctx context.Context) (*psl.List, error) {
 	switch resp.StatusCode {
 	case http.StatusOK:
 	case http.StatusNotModified:
+		c.Breaker.Record(gen, nil)
 		return nil, ErrNotModified
 	default:
 		// Drain so the connection can be reused.
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
-		return nil, fmt.Errorf("fetch: server returned %s", resp.Status)
+		err := fmt.Errorf("fetch: server returned %s", resp.Status)
+		c.Breaker.Record(gen, err)
+		return nil, err
 	}
+	// The exchange itself succeeded; whatever happens to the payload
+	// below, the transport is healthy.
+	c.Breaker.Record(gen, nil)
 
 	l, err := psl.Parse(resp.Body)
 	if err != nil {
@@ -220,21 +253,18 @@ func (u *Updater) Refresh(ctx context.Context) error {
 	return nil
 }
 
-// RefreshWithRetry attempts Refresh up to attempts times, sleeping with
-// exponential backoff (base, 2*base, 4*base, …) between failures. It
-// stops early on success or context cancellation; the embedded copy
-// stays in effect throughout, per the fallback semantics.
+// RefreshWithRetry attempts Refresh up to attempts times, sleeping
+// with capped, jittered exponential backoff between failures (base,
+// ~2*base, … ceiling 32*base, shared with the replication layer via
+// resilience.Backoff). It stops early on success or context
+// cancellation; the embedded copy stays in effect throughout, per the
+// fallback semantics.
 func (u *Updater) RefreshWithRetry(ctx context.Context, attempts int, base time.Duration) error {
+	bo := resilience.NewBackoff(base, 32*base, 0)
 	var err error
-	delay := base
 	for i := 0; i < attempts; i++ {
-		if i > 0 {
-			select {
-			case <-ctx.Done():
-				return ctx.Err()
-			case <-time.After(delay):
-			}
-			delay *= 2
+		if i > 0 && !bo.Sleep(ctx) {
+			return ctx.Err()
 		}
 		if err = u.Refresh(ctx); err == nil {
 			return nil

@@ -6,11 +6,13 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/history"
 	"repro/internal/psl"
+	"repro/internal/resilience"
 )
 
 var testHistory = history.Generate(history.Config{Seed: history.DefaultSeed})
@@ -238,6 +240,94 @@ func TestRefreshWithRetryContextCancel(t *testing.T) {
 	err := u.RefreshWithRetry(ctx, 5, time.Hour)
 	if !errors.Is(err, context.Canceled) {
 		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestClientBreakerFastFails pins the breaker wiring: once the
+// configured threshold of transport failures is reached, further
+// Fetch calls return resilience.ErrOpen without touching the network.
+func TestClientBreakerFastFails(t *testing.T) {
+	s, ts := newTestServer(t)
+	s.SetFailureRate(1)
+	c := NewClient(ts.URL + ListPath)
+	c.Breaker = resilience.NewBreaker(resilience.BreakerOptions{
+		FailureThreshold: 3,
+		OpenFor:          time.Hour,
+	})
+	for i := 0; i < 3; i++ {
+		if _, err := c.Fetch(context.Background()); err == nil {
+			t.Fatalf("fetch %d succeeded under 100%% failure injection", i)
+		}
+	}
+	_, failuresBefore := s.Stats()
+	for i := 0; i < 5; i++ {
+		_, err := c.Fetch(context.Background())
+		if !errors.Is(err, resilience.ErrOpen) {
+			t.Fatalf("fetch after threshold: err = %v, want ErrOpen", err)
+		}
+	}
+	if _, failuresAfter := s.Stats(); failuresAfter != failuresBefore {
+		t.Errorf("open breaker still reached the server: failures %d -> %d",
+			failuresBefore, failuresAfter)
+	}
+	if c.Breaker.FastFails() != 5 {
+		t.Errorf("fast fails = %d, want 5", c.Breaker.FastFails())
+	}
+}
+
+// TestClientBreakerRecovers heals the server, waits out the open
+// window, and checks a half-open probe closes the circuit again.
+func TestClientBreakerRecovers(t *testing.T) {
+	s, ts := newTestServer(t)
+	s.SetFailureRate(1)
+	c := NewClient(ts.URL + ListPath)
+	c.Breaker = resilience.NewBreaker(resilience.BreakerOptions{
+		FailureThreshold: 2,
+		OpenFor:          5 * time.Millisecond,
+		HalfOpenProbes:   1,
+	})
+	for i := 0; i < 2; i++ {
+		if _, err := c.Fetch(context.Background()); err == nil {
+			t.Fatal("fetch succeeded under failure injection")
+		}
+	}
+	if c.Breaker.State() != resilience.BreakerOpen {
+		t.Fatalf("breaker state = %v, want open", c.Breaker.State())
+	}
+	s.SetFailureRate(0)
+	time.Sleep(10 * time.Millisecond)
+	if _, err := c.Fetch(context.Background()); err != nil {
+		t.Fatalf("probe fetch after heal: %v", err)
+	}
+	if c.Breaker.State() != resilience.BreakerClosed {
+		t.Errorf("breaker state = %v, want closed after successful probe", c.Breaker.State())
+	}
+}
+
+// TestClientRequestTimeout bounds a hung origin with the per-attempt
+// timeout and checks the deadline is advertised downstream.
+func TestClientRequestTimeout(t *testing.T) {
+	var sawDeadline atomic.Bool
+	hung := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get(resilience.DeadlineHeader) != "" {
+			sawDeadline.Store(true)
+		}
+		<-r.Context().Done()
+	}))
+	defer hung.Close()
+
+	c := NewClient(hung.URL)
+	c.RequestTimeout = 20 * time.Millisecond
+	start := time.Now()
+	_, err := c.Fetch(context.Background())
+	if err == nil {
+		t.Fatal("fetch against a hung server succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("fetch took %v, want the 20ms request timeout to cut it short", elapsed)
+	}
+	if !sawDeadline.Load() {
+		t.Errorf("request did not carry the %s header", resilience.DeadlineHeader)
 	}
 }
 

@@ -1,0 +1,35 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+)
+
+// TestResilienceZeroAlloc pins the steady-state primitives as
+// allocation-free: these sit on the replica's per-request path and on
+// every retry decision, so they must not add GC pressure.
+func TestResilienceZeroAlloc(t *testing.T) {
+	br := NewBreaker(BreakerOptions{FailureThreshold: 1 << 30})
+	bu := NewBudget(1<<20, 1)
+	bo := NewBackoff(time.Millisecond, time.Second, 1)
+
+	cases := map[string]func(){
+		"Breaker.Allow+Record": func() {
+			gen, _ := br.Allow()
+			br.Record(gen, nil)
+		},
+		"Budget.Withdraw+OnSuccess": func() {
+			bu.Withdraw()
+			bu.OnSuccess()
+		},
+		"Backoff.Next+Reset": func() {
+			bo.Next()
+			bo.Reset()
+		},
+	}
+	for name, f := range cases {
+		if avg := testing.AllocsPerRun(200, f); avg != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", name, avg)
+		}
+	}
+}

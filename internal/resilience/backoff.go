@@ -1,0 +1,94 @@
+// Package resilience provides the stdlib-only failure-handling
+// primitives shared by every serving layer in this repository: a capped
+// jittered exponential backoff with reset-on-success, a
+// generation-aware circuit breaker with half-open probes, a
+// token-bucket retry budget, and HTTP middleware for panic recovery and
+// deadline propagation (plus http.Server hardening defaults).
+//
+// The package deliberately owns no policy: callers decide what counts
+// as a failure (the dist replica, for example, feeds the breaker only
+// transport-level errors — a corrupt-but-delivered blob is the origin
+// lying, not the wire being down, and opening the circuit for it would
+// block the full-sync recovery path). Everything here is deterministic
+// given its seed and inputs, so chaos tests can replay exact schedules.
+package resilience
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Backoff computes capped exponential retry delays with full jitter and
+// an attempt counter that resets on success. The delay for attempt n
+// (1-based) is d = Base<<(n-1), capped at Max (and on overflow), then
+// jittered uniformly into [d/2, d]. Safe for concurrent use, though
+// retry loops are typically single-goroutine.
+type Backoff struct {
+	base, max time.Duration
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	attempt int
+}
+
+// NewBackoff builds a backoff with the given base and ceiling; zero or
+// negative values default to 100ms and 5s. Seed drives the jitter
+// (0 defaults to 1), making delay sequences reproducible.
+func NewBackoff(base, max time.Duration, seed int64) *Backoff {
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	if base > max {
+		base = max
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	return &Backoff{base: base, max: max, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next advances the attempt counter and returns the jittered delay to
+// wait before that attempt is retried.
+func (b *Backoff) Next() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.attempt++
+	d := b.base << (b.attempt - 1)
+	if d > b.max || d <= 0 { // <= 0 catches shift overflow
+		d = b.max
+	}
+	return d/2 + time.Duration(b.rng.Int63n(int64(d/2+1)))
+}
+
+// Reset clears the attempt counter after a success, so the next failure
+// starts the schedule from Base again.
+func (b *Backoff) Reset() {
+	b.mu.Lock()
+	b.attempt = 0
+	b.mu.Unlock()
+}
+
+// Attempt reports how many delays have been handed out since the last
+// Reset.
+func (b *Backoff) Attempt() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.attempt
+}
+
+// Sleep waits Next() or until ctx ends; false means ctx ended first.
+func (b *Backoff) Sleep(ctx context.Context) bool {
+	t := time.NewTimer(b.Next())
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

@@ -1,0 +1,96 @@
+package resilience
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestBackoffCeilingRespected drives the schedule far past the point
+// where the exponential would overflow and asserts every delay stays
+// under the ceiling.
+func TestBackoffCeilingRespected(t *testing.T) {
+	b := NewBackoff(100*time.Millisecond, 5*time.Second, 7)
+	for i := 1; i <= 80; i++ {
+		d := b.Next()
+		if d > 5*time.Second {
+			t.Fatalf("attempt %d: delay %v exceeds ceiling 5s", i, d)
+		}
+		if d <= 0 {
+			t.Fatalf("attempt %d: non-positive delay %v", i, d)
+		}
+	}
+}
+
+// TestBackoffJitterWithinBounds asserts every delay lands in the full
+// jitter window [d/2, d] for the un-capped exponential d, and that the
+// jitter actually varies across seeds.
+func TestBackoffJitterWithinBounds(t *testing.T) {
+	base, max := 100*time.Millisecond, 5*time.Second
+	seen := make(map[time.Duration]bool)
+	for seed := int64(1); seed <= 5; seed++ {
+		b := NewBackoff(base, max, seed)
+		for attempt := 1; attempt <= 10; attempt++ {
+			want := base << (attempt - 1)
+			if want > max || want <= 0 {
+				want = max
+			}
+			d := b.Next()
+			if d < want/2 || d > want {
+				t.Fatalf("seed %d attempt %d: delay %v outside [%v, %v]", seed, attempt, d, want/2, want)
+			}
+			if attempt == 4 {
+				seen[d] = true
+			}
+		}
+	}
+	if len(seen) < 2 {
+		t.Fatalf("attempt-4 delay identical across 5 seeds: jitter not applied")
+	}
+}
+
+// TestBackoffResetOnSuccess asserts Reset returns the schedule to the
+// base delay: after several escalating delays, a reset produces a delay
+// back inside the first window.
+func TestBackoffResetOnSuccess(t *testing.T) {
+	base := 100 * time.Millisecond
+	b := NewBackoff(base, 5*time.Second, 3)
+	for i := 0; i < 6; i++ {
+		b.Next()
+	}
+	if got := b.Attempt(); got != 6 {
+		t.Fatalf("Attempt() = %d before reset, want 6", got)
+	}
+	b.Reset()
+	if got := b.Attempt(); got != 0 {
+		t.Fatalf("Attempt() = %d after reset, want 0", got)
+	}
+	if d := b.Next(); d < base/2 || d > base {
+		t.Fatalf("post-reset delay %v outside first window [%v, %v]", d, base/2, base)
+	}
+}
+
+func TestBackoffDefaults(t *testing.T) {
+	b := NewBackoff(0, 0, 0)
+	if b.base != 100*time.Millisecond || b.max != 5*time.Second {
+		t.Fatalf("defaults = base %v max %v, want 100ms / 5s", b.base, b.max)
+	}
+	// A base above the ceiling is clamped, not allowed to exceed it.
+	b = NewBackoff(time.Minute, time.Second, 1)
+	if d := b.Next(); d > time.Second {
+		t.Fatalf("first delay %v exceeds ceiling with base > max", d)
+	}
+}
+
+func TestBackoffSleepHonorsContext(t *testing.T) {
+	b := NewBackoff(time.Hour, time.Hour, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if b.Sleep(ctx) {
+		t.Fatal("Sleep returned true under a cancelled context")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("Sleep blocked %v under a cancelled context", elapsed)
+	}
+}

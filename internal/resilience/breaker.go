@@ -1,0 +1,226 @@
+package resilience
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// ErrOpen is returned (or should be returned by callers) when the
+// breaker refuses a request without attempting it.
+var ErrOpen = errors.New("resilience: circuit open")
+
+// BreakerState is the circuit's coarse position. The numeric values are
+// stable — they are exported as the psl_resilience_breaker_state gauge.
+type BreakerState int32
+
+const (
+	BreakerClosed   BreakerState = 0 // requests flow, failures counted
+	BreakerHalfOpen BreakerState = 1 // one probe in flight decides
+	BreakerOpen     BreakerState = 2 // requests fail fast until OpenFor elapses
+)
+
+// String names the state for logs and errors.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerHalfOpen:
+		return "half-open"
+	case BreakerOpen:
+		return "open"
+	default:
+		return "invalid"
+	}
+}
+
+// BreakerOptions tunes a Breaker. Zero values get defaults.
+type BreakerOptions struct {
+	// FailureThreshold is how many consecutive failures in the closed
+	// state open the circuit. Default 5.
+	FailureThreshold int
+	// OpenFor is how long an open circuit fails fast before admitting a
+	// half-open probe. Default 1s.
+	OpenFor time.Duration
+	// HalfOpenProbes is how many consecutive probe successes close the
+	// circuit again. Probes are admitted one at a time. Default 1.
+	HalfOpenProbes int
+}
+
+func (o BreakerOptions) withDefaults() BreakerOptions {
+	if o.FailureThreshold <= 0 {
+		o.FailureThreshold = 5
+	}
+	if o.OpenFor <= 0 {
+		o.OpenFor = time.Second
+	}
+	if o.HalfOpenProbes <= 0 {
+		o.HalfOpenProbes = 1
+	}
+	return o
+}
+
+// Breaker is a generation-aware circuit breaker. Allow hands out a
+// generation token alongside the admission decision; Record pairs an
+// outcome with the generation it was observed under and silently drops
+// outcomes from earlier generations. That makes slow in-flight requests
+// harmless: a request admitted before the circuit opened cannot, when
+// it finally fails, re-open a circuit that a fresh probe has since
+// closed (and a stale success cannot close a circuit that re-opened).
+//
+// A nil *Breaker admits everything and records nothing, so callers can
+// leave circuit breaking unconfigured.
+type Breaker struct {
+	opts BreakerOptions
+	now  func() time.Time // monotonic via time.Time; swappable in tests
+
+	mu       sync.Mutex
+	state    BreakerState
+	gen      uint64    // bumped on every state transition
+	fails    int       // consecutive failures while closed
+	okProbes int       // consecutive probe successes while half-open
+	probing  bool      // a half-open probe is in flight
+	until    time.Time // when an open circuit admits the next probe
+
+	opens     obs.Counter
+	fastFails obs.Counter
+}
+
+// NewBreaker builds a closed breaker.
+func NewBreaker(opts BreakerOptions) *Breaker {
+	return &Breaker{opts: opts.withDefaults(), now: time.Now}
+}
+
+// Allow reports whether a request may proceed. When it may, the caller
+// must pass the returned generation to Record with the outcome; when it
+// may not (fast failure), nothing should be recorded.
+func (b *Breaker) Allow() (gen uint64, ok bool) {
+	if b == nil {
+		return 0, true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return b.gen, true
+	case BreakerOpen:
+		if !b.now().Before(b.until) {
+			b.transition(BreakerHalfOpen)
+			b.probing = true
+			return b.gen, true
+		}
+		b.fastFails.Add(1)
+		return 0, false
+	default: // half-open: one probe at a time
+		if b.probing {
+			b.fastFails.Add(1)
+			return 0, false
+		}
+		b.probing = true
+		return b.gen, true
+	}
+}
+
+// Record reports the outcome of a request admitted under gen. A nil err
+// is a success. Outcomes from stale generations are ignored.
+func (b *Breaker) Record(gen uint64, err error) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if gen != b.gen {
+		return
+	}
+	switch b.state {
+	case BreakerClosed:
+		if err == nil {
+			b.fails = 0
+			return
+		}
+		b.fails++
+		if b.fails >= b.opts.FailureThreshold {
+			b.open()
+		}
+	case BreakerHalfOpen:
+		b.probing = false
+		if err != nil {
+			b.open()
+			return
+		}
+		b.okProbes++
+		if b.okProbes >= b.opts.HalfOpenProbes {
+			b.transition(BreakerClosed)
+		}
+	}
+}
+
+// open moves to the open state and starts the fail-fast window.
+func (b *Breaker) open() {
+	b.transition(BreakerOpen)
+	b.until = b.now().Add(b.opts.OpenFor)
+	b.opens.Add(1)
+}
+
+// transition switches state, bumping the generation so outcomes from
+// the previous regime are ignored, and clearing per-state counters.
+func (b *Breaker) transition(s BreakerState) {
+	b.state = s
+	b.gen++
+	b.fails = 0
+	b.okProbes = 0
+	b.probing = false
+}
+
+// Do runs f under the breaker: ErrOpen without calling f when the
+// circuit refuses, otherwise f's error, recorded.
+func (b *Breaker) Do(f func() error) error {
+	gen, ok := b.Allow()
+	if !ok {
+		return ErrOpen
+	}
+	err := f()
+	b.Record(gen, err)
+	return err
+}
+
+// State reports the current position. A nil breaker is always closed.
+func (b *Breaker) State() BreakerState {
+	if b == nil {
+		return BreakerClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Opens reports how many times the circuit has opened.
+func (b *Breaker) Opens() uint64 {
+	if b == nil {
+		return 0
+	}
+	return b.opens.Load()
+}
+
+// FastFails reports requests refused without being attempted.
+func (b *Breaker) FastFails() uint64 {
+	if b == nil {
+		return 0
+	}
+	return b.fastFails.Load()
+}
+
+// RegisterMetrics attaches the breaker's families to a registry under
+// the given breaker label (one label set per protected dependency).
+func (b *Breaker) RegisterMetrics(reg *obs.Registry, name string) {
+	labels := obs.Labels{{"breaker", name}}
+	reg.MustRegister("psl_resilience_breaker_state",
+		"Circuit position: 0 closed, 1 half-open, 2 open.",
+		labels, obs.GaugeFunc(func() float64 { return float64(b.State()) }))
+	reg.MustRegister("psl_resilience_breaker_opens_total",
+		"Times the circuit opened.", labels, &b.opens)
+	reg.MustRegister("psl_resilience_breaker_fast_failures_total",
+		"Requests refused without being attempted.", labels, &b.fastFails)
+}

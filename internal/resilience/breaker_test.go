@@ -1,0 +1,178 @@
+package resilience
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+var errBoom = errors.New("boom")
+
+// testBreaker returns a breaker whose clock the test controls.
+func testBreaker(opts BreakerOptions) (*Breaker, *time.Time) {
+	b := NewBreaker(opts)
+	now := time.Unix(1700000000, 0)
+	b.now = func() time.Time { return now }
+	return b, &now
+}
+
+func mustAllow(t *testing.T, b *Breaker) uint64 {
+	t.Helper()
+	gen, ok := b.Allow()
+	if !ok {
+		t.Fatalf("Allow refused in state %v", b.State())
+	}
+	return gen
+}
+
+func TestBreakerOpensAfterThreshold(t *testing.T) {
+	b, _ := testBreaker(BreakerOptions{FailureThreshold: 3, OpenFor: time.Second})
+	for i := 0; i < 2; i++ {
+		b.Record(mustAllow(t, b), errBoom)
+		if got := b.State(); got != BreakerClosed {
+			t.Fatalf("state %v after %d failures, want closed", got, i+1)
+		}
+	}
+	b.Record(mustAllow(t, b), errBoom)
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state %v after threshold failures, want open", got)
+	}
+	if b.Opens() != 1 {
+		t.Fatalf("Opens() = %d, want 1", b.Opens())
+	}
+	if _, ok := b.Allow(); ok {
+		t.Fatal("open breaker admitted a request inside OpenFor")
+	}
+	if b.FastFails() == 0 {
+		t.Fatal("fast failure not counted")
+	}
+}
+
+// TestBreakerSuccessResetsFailureStreak: failures must be consecutive
+// to open the circuit.
+func TestBreakerSuccessResetsFailureStreak(t *testing.T) {
+	b, _ := testBreaker(BreakerOptions{FailureThreshold: 3})
+	for i := 0; i < 10; i++ {
+		b.Record(mustAllow(t, b), errBoom)
+		b.Record(mustAllow(t, b), errBoom)
+		b.Record(mustAllow(t, b), nil)
+	}
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state %v, want closed: interleaved successes must reset the streak", got)
+	}
+}
+
+func TestBreakerHalfOpenProbeCloses(t *testing.T) {
+	b, now := testBreaker(BreakerOptions{FailureThreshold: 1, OpenFor: time.Second, HalfOpenProbes: 2})
+	b.Record(mustAllow(t, b), errBoom)
+	if b.State() != BreakerOpen {
+		t.Fatal("breaker did not open")
+	}
+	*now = now.Add(time.Second)
+	gen := mustAllow(t, b) // first probe admitted
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state %v after OpenFor elapsed, want half-open", b.State())
+	}
+	if _, ok := b.Allow(); ok {
+		t.Fatal("second request admitted while a probe is in flight")
+	}
+	b.Record(gen, nil)
+	if b.State() != BreakerHalfOpen {
+		t.Fatal("breaker closed after 1 probe success, want 2")
+	}
+	b.Record(mustAllow(t, b), nil)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %v after %d probe successes, want closed", b.State(), 2)
+	}
+}
+
+func TestBreakerHalfOpenProbeFailureReopens(t *testing.T) {
+	b, now := testBreaker(BreakerOptions{FailureThreshold: 1, OpenFor: time.Second})
+	b.Record(mustAllow(t, b), errBoom)
+	*now = now.Add(time.Second)
+	b.Record(mustAllow(t, b), errBoom)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %v after failed probe, want open", b.State())
+	}
+	if b.Opens() != 2 {
+		t.Fatalf("Opens() = %d, want 2", b.Opens())
+	}
+	if _, ok := b.Allow(); ok {
+		t.Fatal("re-opened breaker admitted a request before OpenFor")
+	}
+}
+
+// TestBreakerStaleGenerationIgnored is the generation-awareness
+// contract: an outcome observed under an old regime must not move the
+// state machine.
+func TestBreakerStaleGenerationIgnored(t *testing.T) {
+	b, now := testBreaker(BreakerOptions{FailureThreshold: 1, OpenFor: time.Second})
+	slowGen := mustAllow(t, b) // a slow request departs while closed
+	b.Record(mustAllow(t, b), errBoom)
+	if b.State() != BreakerOpen {
+		t.Fatal("breaker did not open")
+	}
+	// The circuit recovers via a probe...
+	*now = now.Add(time.Second)
+	b.Record(mustAllow(t, b), nil)
+	if b.State() != BreakerClosed {
+		t.Fatal("probe success did not close the breaker")
+	}
+	// ...and only now does the slow request come back, as a failure.
+	b.Record(slowGen, errBoom)
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state %v after stale failure, want closed: stale outcomes must be dropped", got)
+	}
+	// Symmetrically: a stale success must not close a re-opened circuit.
+	staleOK := mustAllow(t, b)
+	b.Record(mustAllow(t, b), errBoom)
+	if b.State() != BreakerOpen {
+		t.Fatal("breaker did not re-open")
+	}
+	b.Record(staleOK, nil)
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state %v after stale success, want open", got)
+	}
+}
+
+func TestBreakerDo(t *testing.T) {
+	b, now := testBreaker(BreakerOptions{FailureThreshold: 1, OpenFor: time.Second})
+	if err := b.Do(func() error { return errBoom }); err != errBoom {
+		t.Fatalf("Do = %v, want errBoom", err)
+	}
+	if err := b.Do(func() error { t.Fatal("f called through an open circuit"); return nil }); !errors.Is(err, ErrOpen) {
+		t.Fatalf("Do = %v, want ErrOpen", err)
+	}
+	*now = now.Add(time.Second)
+	if err := b.Do(func() error { return nil }); err != nil {
+		t.Fatalf("probe Do = %v, want nil", err)
+	}
+	if b.State() != BreakerClosed {
+		t.Fatal("Do probe success did not close the breaker")
+	}
+}
+
+// TestBreakerNilSafe: a nil breaker is an always-closed no-op so
+// callers can leave the knob unset.
+func TestBreakerNilSafe(t *testing.T) {
+	var b *Breaker
+	gen, ok := b.Allow()
+	if !ok {
+		t.Fatal("nil breaker refused a request")
+	}
+	b.Record(gen, errBoom)
+	if b.State() != BreakerClosed || b.Opens() != 0 || b.FastFails() != 0 {
+		t.Fatal("nil breaker reported non-zero state")
+	}
+}
+
+func TestBreakerStateString(t *testing.T) {
+	for s, want := range map[BreakerState]string{
+		BreakerClosed: "closed", BreakerHalfOpen: "half-open",
+		BreakerOpen: "open", BreakerState(9): "invalid",
+	} {
+		if got := s.String(); got != want {
+			t.Fatalf("BreakerState(%d).String() = %q, want %q", s, got, want)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package resilience
+
+import (
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// Budget is a token-bucket retry budget: every retry withdraws one
+// token, every success deposits DepositPerSuccess (capped at Max). When
+// the bucket is empty, retries are denied and the caller should give
+// the cycle up rather than pile retry load onto a struggling
+// dependency. With deposit ratio r, a workload earning s successes per
+// unit time sustains at most r*s retries per unit time — retry
+// amplification is bounded by r regardless of failure rate, while short
+// failure bursts spend the accumulated Max tokens without denial.
+//
+// The budget is deliberately clock-free: state changes only on
+// Withdraw/OnSuccess, so tests and chaos replays are deterministic.
+// A nil *Budget grants every withdrawal.
+type Budget struct {
+	mu      sync.Mutex
+	tokens  float64
+	max     float64
+	deposit float64
+
+	denied obs.Counter
+}
+
+// NewBudget builds a full bucket. max is the token cap (default 16);
+// deposit is the per-success refill (default 0.5 — one retry earned per
+// two successes).
+func NewBudget(max, deposit float64) *Budget {
+	if max <= 0 {
+		max = 16
+	}
+	if deposit <= 0 {
+		deposit = 0.5
+	}
+	return &Budget{tokens: max, max: max, deposit: deposit}
+}
+
+// OnSuccess deposits the per-success refill.
+func (b *Budget) OnSuccess() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.tokens = min(b.max, b.tokens+b.deposit)
+	b.mu.Unlock()
+}
+
+// Withdraw takes one token; false means the budget is exhausted and the
+// retry should not happen.
+func (b *Budget) Withdraw() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < 1 {
+		b.denied.Add(1)
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// Tokens reports the current balance.
+func (b *Budget) Tokens() float64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.tokens
+}
+
+// Denied reports withdrawals refused for lack of tokens.
+func (b *Budget) Denied() uint64 {
+	if b == nil {
+		return 0
+	}
+	return b.denied.Load()
+}
+
+// RegisterMetrics attaches the budget's families to a registry under
+// the given budget label.
+func (b *Budget) RegisterMetrics(reg *obs.Registry, name string) {
+	labels := obs.Labels{{"budget", name}}
+	reg.MustRegister("psl_resilience_retry_budget_tokens",
+		"Retry tokens currently available.", labels,
+		obs.GaugeFunc(func() float64 { return b.Tokens() }))
+	reg.MustRegister("psl_resilience_retry_denied_total",
+		"Retries refused because the budget was exhausted.", labels, &b.denied)
+}

@@ -1,0 +1,81 @@
+package resilience
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestBudgetStartsFullAndDrains(t *testing.T) {
+	b := NewBudget(3, 0.5)
+	for i := 0; i < 3; i++ {
+		if !b.Withdraw() {
+			t.Fatalf("withdrawal %d denied with tokens remaining", i+1)
+		}
+	}
+	if b.Withdraw() {
+		t.Fatal("withdrawal granted from an empty bucket")
+	}
+	if b.Denied() != 1 {
+		t.Fatalf("Denied() = %d, want 1", b.Denied())
+	}
+}
+
+// TestBudgetDepositRatio pins the retry-amplification bound: with
+// deposit 0.5, two successes buy exactly one retry.
+func TestBudgetDepositRatio(t *testing.T) {
+	b := NewBudget(4, 0.5)
+	for b.Withdraw() {
+	}
+	b.OnSuccess()
+	if b.Withdraw() {
+		t.Fatal("one success (0.5 tokens) bought a whole retry")
+	}
+	b.OnSuccess()
+	if !b.Withdraw() {
+		t.Fatal("two successes (1.0 tokens) denied a retry")
+	}
+}
+
+func TestBudgetCapsAtMax(t *testing.T) {
+	b := NewBudget(2, 1)
+	for i := 0; i < 100; i++ {
+		b.OnSuccess()
+	}
+	if got := b.Tokens(); got != 2 {
+		t.Fatalf("Tokens() = %v after heavy deposits, want cap 2", got)
+	}
+}
+
+func TestBudgetNilSafe(t *testing.T) {
+	var b *Budget
+	b.OnSuccess()
+	if !b.Withdraw() {
+		t.Fatal("nil budget denied a withdrawal")
+	}
+	if b.Tokens() != 0 || b.Denied() != 0 {
+		t.Fatal("nil budget reported non-zero state")
+	}
+}
+
+func TestBudgetMetricsRegistration(t *testing.T) {
+	reg := obs.NewRegistry()
+	b := NewBudget(8, 0.5)
+	b.RegisterMetrics(reg, "test")
+	br := NewBreaker(BreakerOptions{})
+	br.RegisterMetrics(reg, "test")
+	b.Withdraw()
+	out := reg.Render()
+	for _, want := range []string{
+		`psl_resilience_retry_budget_tokens{budget="test"} 7`,
+		`psl_resilience_retry_denied_total{budget="test"} 0`,
+		`psl_resilience_breaker_state{breaker="test"} 0`,
+		`psl_resilience_breaker_opens_total{breaker="test"} 0`,
+		`psl_resilience_breaker_fast_failures_total{breaker="test"} 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

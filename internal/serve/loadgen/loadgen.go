@@ -77,6 +77,9 @@ type Result struct {
 	Swaps int64
 	// FirstMismatch records the first oracle rejection, if any.
 	FirstMismatch error
+	// FirstError records the first lookup error, if any — the detail a
+	// fully-failed run reports instead of a vacuous latency summary.
+	FirstError error
 	// Elapsed is the wall-clock duration of the run.
 	Elapsed time.Duration
 	// Latency is the client-side per-lookup latency distribution,
@@ -163,7 +166,7 @@ func Run(cfg Config) Result {
 	}
 
 	res := Result{Latency: obs.NewHistogram(nil)}
-	var mismatchOnce sync.Once
+	var mismatchOnce, errOnce sync.Once
 	start := time.Now()
 
 	// The swapper signals completion; clients keep the service under
@@ -207,6 +210,7 @@ func Run(cfg Config) Result {
 				atomic.AddInt64(&res.Lookups, 1)
 				if err != nil {
 					atomic.AddInt64(&res.Errors, 1)
+					errOnce.Do(func() { res.FirstError = err })
 					continue
 				}
 				if a.Cached {

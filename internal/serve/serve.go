@@ -105,6 +105,10 @@ type Service struct {
 	// local source (the service owns its list or history directly).
 	src atomic.Pointer[srcInfo]
 
+	// limits holds the operator health thresholds; nil means always
+	// healthy (the default).
+	limits atomic.Pointer[healthLimits]
+
 	// admission semaphore for /v1/lookup.
 	tokens chan struct{}
 
@@ -180,6 +184,43 @@ type srcInfo struct {
 // follower from a stale one.
 func (s *Service) SetSource(name string, lag func() int64) {
 	s.src.Store(&srcInfo{name: name, lag: lag})
+}
+
+// healthLimits are the operator thresholds behind /healthz readiness.
+type healthLimits struct {
+	maxLag int64
+	maxAge time.Duration
+}
+
+// SetHealthLimits arms /healthz readiness checking: when the source lag
+// exceeds maxLag versions, or the current snapshot is older than
+// maxAge, the endpoint answers 503 with the violated limits spelled out
+// in the body's reasons — so a load balancer stops routing to a stale
+// follower instead of serving old answers silently. A zero (or
+// negative) value disables that check; both zero restores the
+// always-healthy default. Safe to call concurrently with traffic.
+func (s *Service) SetHealthLimits(maxLag int64, maxAge time.Duration) {
+	if maxLag <= 0 && maxAge <= 0 {
+		s.limits.Store(nil)
+		return
+	}
+	s.limits.Store(&healthLimits{maxLag: maxLag, maxAge: maxAge})
+}
+
+// healthReasons evaluates the armed limits, returning nil when healthy.
+func (s *Service) healthReasons(lag int64, age time.Duration) []string {
+	lim := s.limits.Load()
+	if lim == nil {
+		return nil
+	}
+	var reasons []string
+	if lim.maxLag > 0 && lag > lim.maxLag {
+		reasons = append(reasons, fmt.Sprintf("replication lag %d versions exceeds limit %d", lag, lim.maxLag))
+	}
+	if lim.maxAge > 0 && age > lim.maxAge {
+		reasons = append(reasons, fmt.Sprintf("snapshot age %s exceeds limit %s", age.Round(time.Second), lim.maxAge))
+	}
+	return reasons
 }
 
 // sourceInfo resolves the current source name and lag.
@@ -490,32 +531,40 @@ func (s *Service) handleVersion(w http.ResponseWriter, r *http.Request) {
 
 // healthBody is the JSON body of /healthz.
 type healthBody struct {
-	Status             string  `json:"status"`
-	Version            string  `json:"version"`
-	Seq                int     `json:"seq"`
-	Matcher            string  `json:"matcher"`
-	GoVersion          string  `json:"go_version"`
-	Swaps              uint64  `json:"swaps"`
-	SnapshotAgeSeconds float64 `json:"snapshot_age_seconds"`
-	CacheHits          uint64  `json:"cache_hits"`
-	CacheMisses        uint64  `json:"cache_misses"`
-	CacheSize          int     `json:"cache_size"`
-	CacheBytes         int64   `json:"cache_bytes"`
-	InFlight           int     `json:"in_flight"`
-	MaxInFlight        int     `json:"max_in_flight"`
-	Admitted           uint64  `json:"admitted"`
-	Rejected           uint64  `json:"rejected"`
-	UptimeSeconds      int64   `json:"uptime_seconds"`
-	Source             string  `json:"source"`
-	LagSeqs            int64   `json:"lag_seqs"`
+	Status             string   `json:"status"`
+	Version            string   `json:"version"`
+	Seq                int      `json:"seq"`
+	Matcher            string   `json:"matcher"`
+	GoVersion          string   `json:"go_version"`
+	Swaps              uint64   `json:"swaps"`
+	SnapshotAgeSeconds float64  `json:"snapshot_age_seconds"`
+	CacheHits          uint64   `json:"cache_hits"`
+	CacheMisses        uint64   `json:"cache_misses"`
+	CacheSize          int      `json:"cache_size"`
+	CacheBytes         int64    `json:"cache_bytes"`
+	InFlight           int      `json:"in_flight"`
+	MaxInFlight        int      `json:"max_in_flight"`
+	Admitted           uint64   `json:"admitted"`
+	Rejected           uint64   `json:"rejected"`
+	UptimeSeconds      int64    `json:"uptime_seconds"`
+	Source             string   `json:"source"`
+	LagSeqs            int64    `json:"lag_seqs"`
+	Reasons            []string `json:"reasons,omitempty"`
 }
 
 func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
 	hits, misses, size := s.CacheStats()
 	snap := s.Current()
 	source, lag := s.sourceInfo()
-	writeJSON(w, http.StatusOK, healthBody{
-		Status:             "ok",
+	age := time.Since(time.Unix(0, s.swapNanos.Load()))
+	status, code := "ok", http.StatusOK
+	reasons := s.healthReasons(lag, age)
+	if len(reasons) > 0 {
+		status, code = "degraded", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, healthBody{
+		Status:             status,
+		Reasons:            reasons,
 		Source:             source,
 		LagSeqs:            lag,
 		Version:            snap.List.Version,
@@ -523,7 +572,7 @@ func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Matcher:            s.matcherName,
 		GoVersion:          runtime.Version(),
 		Swaps:              s.Swaps(),
-		SnapshotAgeSeconds: time.Since(time.Unix(0, s.swapNanos.Load())).Seconds(),
+		SnapshotAgeSeconds: age.Seconds(),
 		CacheHits:          hits,
 		CacheMisses:        misses,
 		CacheSize:          size,

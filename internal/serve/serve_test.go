@@ -358,6 +358,75 @@ func TestSetSource(t *testing.T) {
 	}
 }
 
+// TestSetHealthLimits turns /healthz into a readiness probe: beyond the
+// armed lag or snapshot-age limit it answers 503 with the violated
+// limits spelled out, and recovers to 200 the moment the condition
+// clears — load balancers route on exactly this flip.
+func TestSetHealthLimits(t *testing.T) {
+	s := New(fixture(t), 7, Options{})
+	var lag atomic.Int64
+	s.SetSource("follower", lag.Load)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	health := func() (int, healthBody) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + HealthPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, decode[healthBody](t, resp)
+	}
+
+	// Unarmed: any lag is healthy.
+	lag.Store(100)
+	if code, hb := health(); code != http.StatusOK || hb.Status != "ok" || len(hb.Reasons) != 0 {
+		t.Fatalf("unarmed healthz = %d %+v, want plain 200 ok", code, hb)
+	}
+
+	// Armed and violated: 503 with the lag spelled out.
+	s.SetHealthLimits(10, 0)
+	code, hb := health()
+	if code != http.StatusServiceUnavailable || hb.Status != "degraded" {
+		t.Fatalf("lagging healthz = %d status %q, want 503 degraded", code, hb.Status)
+	}
+	if len(hb.Reasons) != 1 || !strings.Contains(hb.Reasons[0], "lag 100") {
+		t.Errorf("reasons %q do not name the lag", hb.Reasons)
+	}
+
+	// Lag within bounds again: healthy without re-arming.
+	lag.Store(10)
+	if code, hb := health(); code != http.StatusOK || hb.Status != "ok" {
+		t.Fatalf("recovered healthz = %d %+v, want 200 ok", code, hb)
+	}
+
+	// Snapshot age: an armed tiny limit degrades, and both violations
+	// surface together.
+	lag.Store(999)
+	s.SetHealthLimits(10, time.Nanosecond)
+	time.Sleep(time.Millisecond)
+	code, hb = health()
+	if code != http.StatusServiceUnavailable || len(hb.Reasons) != 2 {
+		t.Fatalf("doubly degraded healthz = %d %+v, want 503 with 2 reasons", code, hb)
+	}
+	if !strings.Contains(hb.Reasons[1], "snapshot age") {
+		t.Errorf("reasons %q do not name the snapshot age", hb.Reasons)
+	}
+
+	// A fresh swap resets the age; disarming resets everything.
+	lag.Store(0)
+	s.Swap(fixture(t), 8)
+	s.SetHealthLimits(0, time.Hour)
+	if code, hb := health(); code != http.StatusOK || len(hb.Reasons) != 0 {
+		t.Fatalf("healthz after swap = %d %+v, want 200", code, hb)
+	}
+	s.SetHealthLimits(0, 0)
+	lag.Store(1 << 40)
+	if code, _ := health(); code != http.StatusOK {
+		t.Fatalf("disarmed healthz = %d, want 200", code)
+	}
+}
+
 // TestAdmissionControl fills the admission semaphore (as in-flight
 // requests would) and checks the next lookup is rejected with 503 +
 // Retry-After, then admitted again once capacity frees up.
