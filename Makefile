@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race chaos bench bench-json bench-sanity metrics-lint
+.PHONY: all build test race chaos fleet fleet-heavy bench bench-json bench-sanity metrics-lint
 
 all: build test
 
@@ -11,12 +11,24 @@ test:
 	go test ./...
 
 race:
-	go test -race ./internal/psl/ ./internal/serve/ ./internal/obs/ ./internal/experiments/ ./internal/dist/ ./internal/resilience/ ./internal/chaos/
+	go test -race ./internal/psl/ ./internal/serve/ ./internal/obs/ ./internal/experiments/ ./internal/dist/ ./internal/resilience/ ./internal/chaos/ ./internal/fleet/
 
 # The full chaos replay: origin -> faulting proxy -> replica, six fault
 # classes, crash-restart, goroutine-leak assertion. Runs under -race.
 chaos:
 	go test -race -count=1 -v -run 'TestChaosE2EReplication' ./internal/chaos/
+
+# The CI fleet smoke: a seeded 200-edge, 2-tier run vs its single-tier
+# baseline under -race; fails unless both converge with zero unverified
+# swaps and the relay tier strictly reduces origin egress.
+fleet:
+	go run -race ./cmd/pslfleet -seed 7 -edges 200 -relays 4 -retain 128 \
+		-versions 120 -duration 30s -base-poll 250ms -advance-every 3s \
+		-churn 0.05 -chaos-rate 0.05 -chaos-tiers origin,relay -compare -check
+
+# The thousand-edge acceptance run (several minutes under -race).
+fleet-heavy:
+	PSLFLEET_HEAVY=1 go test -race -count=1 -v -run 'TestFleetThousandEdges' ./internal/fleet/
 
 bench:
 	go test -run '^$$' -bench . -benchmem ./internal/psl/ .

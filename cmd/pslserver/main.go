@@ -38,6 +38,13 @@
 //	-state-dir DIR    (follower) persist each verified snapshot to DIR
 //	                  and resume from it on restart, skipping the
 //	                  full-blob bootstrap
+//	-relay            (follower) re-serve the /dist/ protocol downstream
+//	                  from the verified snapshots this replica installs,
+//	                  making the instance a mid-tier fan-out point;
+//	                  multi-step patch requests are answered with one
+//	                  compacted delta
+//	-retain N         (relay) verified snapshots kept in the downstream
+//	                  serving window (default 64)
 //	-max-lag N        /healthz answers 503 while replication lag
 //	                  exceeds N versions (0 = disabled)
 //	-max-snapshot-age D  /healthz answers 503 while the served snapshot
@@ -123,6 +130,8 @@ type config struct {
 	followFrom int
 	followPoll time.Duration
 	stateDir   string
+	relay      bool
+	retain     int
 
 	maxLag         int64
 	maxSnapshotAge time.Duration
@@ -148,6 +157,8 @@ func parseFlags(args []string) (config, error) {
 	fs.IntVar(&cfg.followFrom, "follow-from", -1, "first version to bootstrap from (-1 = origin head)")
 	fs.DurationVar(&cfg.followPoll, "follow-poll", time.Second, "replica poll interval")
 	fs.StringVar(&cfg.stateDir, "state-dir", "", "persist verified follower snapshots here and resume from them on restart")
+	fs.BoolVar(&cfg.relay, "relay", false, "re-serve the /dist/ protocol downstream of the followed origin (requires -follow)")
+	fs.IntVar(&cfg.retain, "retain", 0, "verified snapshots a relay keeps for downstream serving (0 = default 64; requires -relay)")
 	fs.Int64Var(&cfg.maxLag, "max-lag", 0, "healthz answers 503 above this replication lag in versions (0 = disabled)")
 	fs.DurationVar(&cfg.maxSnapshotAge, "max-snapshot-age", 0, "healthz answers 503 above this snapshot age (0 = disabled)")
 	fs.DurationVar(&cfg.requestTimeout, "request-timeout", 30*time.Second, "server-side request deadline (0 = propagated header only)")
@@ -189,6 +200,15 @@ func parseFlags(args []string) (config, error) {
 	}
 	if cfg.follow == "" && cfg.stateDir != "" {
 		return config{}, fmt.Errorf("-state-dir requires -follow (origins own their history)")
+	}
+	if cfg.relay && cfg.follow == "" {
+		return config{}, fmt.Errorf("-relay requires -follow (an origin already serves /dist/)")
+	}
+	if cfg.retain != 0 && !cfg.relay {
+		return config{}, fmt.Errorf("-retain requires -relay")
+	}
+	if cfg.retain < 0 {
+		return config{}, fmt.Errorf("-retain %d is negative", cfg.retain)
 	}
 	if cfg.follow == "" && cfg.maxLag != 0 {
 		return config{}, fmt.Errorf("-max-lag requires -follow (an origin never lags itself)")
@@ -265,21 +285,31 @@ func newHandler(h *history.History, seq int, cfg config) (http.Handler, *serve.S
 }
 
 // newFollowerHandler assembles the replica-mode handler: the query API
-// serves the bootstrapped list (no local history, so no raw-list or
-// /dist/ endpoints and no versioned lookups), tagged as a follower with
-// a live lag probe, and /metrics carries the replica's families.
-func newFollowerHandler(l *psl.List, seq int, rep *dist.Replica, cfg config) (http.Handler, *serve.Service, *obs.Registry) {
+// serves the bootstrapped list (no local history, so no raw-list
+// endpoints and no versioned lookups), tagged as a follower with a live
+// lag probe, and /metrics carries the replica's families. With a
+// non-nil relay the /dist/ endpoints come back — served from the
+// relay's verified snapshot window rather than a local history — and
+// the instance reports as source "relay".
+func newFollowerHandler(l *psl.List, seq int, rep *dist.Replica, rl *dist.Relay, cfg config) (http.Handler, *serve.Service, *obs.Registry) {
 	svc := serve.New(l, seq, serve.Options{
 		MaxInFlight: cfg.maxInFlight,
 		NewMatcher:  cfg.newMatcher,
 		MatcherName: cfg.matcher,
 	})
-	svc.SetSource("follower", rep.Lag)
+	source := "follower"
+	if rl != nil {
+		source = "relay"
+	}
+	svc.SetSource(source, rep.Lag)
 	svc.SetHealthLimits(cfg.maxLag, cfg.maxSnapshotAge)
 
 	reg := obs.NewRegistry()
 	svc.RegisterMetrics(reg)
 	rep.RegisterMetrics(reg)
+	if rl != nil {
+		rl.RegisterMetrics(reg)
+	}
 	registerProcessMetrics(reg)
 
 	mux := http.NewServeMux()
@@ -287,6 +317,9 @@ func newFollowerHandler(l *psl.List, seq int, rep *dist.Replica, cfg config) (ht
 	mux.Handle(serve.VersionPath, svc)
 	mux.Handle(serve.HealthPath, svc)
 	mux.Handle(serve.MetricsPath, reg.Handler())
+	if rl != nil {
+		mux.Handle(dist.Prefix, rl)
+	}
 	return resilient(mux, cfg, reg), svc, reg
 }
 
@@ -353,6 +386,13 @@ func run(ctx context.Context, cfg config, stdout io.Writer) error {
 			RequestTimeout: cfg.requestTimeout,
 			StateDir:       cfg.stateDir,
 		})
+		// The relay claims the replica's OnVerified hook, so it must be
+		// built before Bootstrap runs — the bootstrap snapshot is the
+		// relay's first servable window entry.
+		var rl *dist.Relay
+		if cfg.relay {
+			rl = dist.NewRelay(rep, dist.RelayOptions{Retain: cfg.retain})
+		}
 		// A persisted snapshot beats a full-blob bootstrap: the restored
 		// state is checksum- and fingerprint-verified, and the poll loop
 		// patches forward from it. Any restore failure (first boot,
@@ -361,8 +401,8 @@ func run(ctx context.Context, cfg config, stdout io.Writer) error {
 		var seq int
 		restored := false
 		if cfg.stateDir != "" {
-			if rl, rseq, rerr := rep.RestoreState(); rerr == nil {
-				l, seq, restored = rl, rseq, true
+			if sl, rseq, rerr := rep.RestoreState(); rerr == nil {
+				l, seq, restored = sl, rseq, true
 				fmt.Fprintf(stdout, "pslserver: restored v%04d from %s\n", rseq, cfg.stateDir)
 			} else if !os.IsNotExist(rerr) {
 				fmt.Fprintf(stdout, "pslserver: state restore failed (%v), bootstrapping from origin\n", rerr)
@@ -373,9 +413,14 @@ func run(ctx context.Context, cfg config, stdout io.Writer) error {
 			if err != nil {
 				return err
 			}
+		} else if rl != nil {
+			// RestoreState bypasses the verified-install path, so the
+			// relay window is seeded explicitly from the trusted local
+			// snapshot.
+			rl.Seed(l, seq)
 		}
 		var svc *serve.Service
-		handler, svc, reg = newFollowerHandler(l, seq, rep, cfg)
+		handler, svc, reg = newFollowerHandler(l, seq, rep, rl, cfg)
 		rep.OnSwap = func(l *psl.List, seq int) { svc.Swap(l, seq) }
 
 		// The poll loop gets its own context so shutdown can drain it
@@ -393,8 +438,12 @@ func run(ctx context.Context, cfg config, stdout io.Writer) error {
 			followerWG.Wait()
 		}()
 
-		fmt.Fprintf(stdout, "pslserver: following %s from v%04d (%d rules) on http://%s, query API at %s, metrics at %s\n",
-			cfg.follow, seq, l.Len(), ln.Addr(), serve.LookupPath, serve.MetricsPath)
+		mode := "following"
+		if cfg.relay {
+			mode = "relaying"
+		}
+		fmt.Fprintf(stdout, "pslserver: %s %s from v%04d (%d rules) on http://%s, query API at %s, metrics at %s\n",
+			mode, cfg.follow, seq, l.Len(), ln.Addr(), serve.LookupPath, serve.MetricsPath)
 	} else {
 		h := history.Generate(history.Config{Seed: cfg.seed, Versions: cfg.versions})
 		seq := h.IndexForAge(cfg.age)

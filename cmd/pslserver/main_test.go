@@ -15,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/dist"
 	"repro/internal/fetch"
 	"repro/internal/history"
 	"repro/internal/obs"
@@ -239,11 +240,15 @@ func TestParseFlagsErrors(t *testing.T) {
 		{"-addr", ""},
 		{"-no-such-flag"},
 		{"stray-positional"},
-		{"-state-dir", "/tmp/x"},                  // requires -follow
-		{"-max-lag", "5"},                         // requires -follow
-		{"-follow", "http://x", "-max-lag", "-1"}, // negative
-		{"-max-snapshot-age", "-1s"},              // negative
-		{"-request-timeout", "-1s"},               // negative
+		{"-state-dir", "/tmp/x"},                           // requires -follow
+		{"-max-lag", "5"},                                  // requires -follow
+		{"-follow", "http://x", "-max-lag", "-1"},          // negative
+		{"-max-snapshot-age", "-1s"},                       // negative
+		{"-request-timeout", "-1s"},                        // negative
+		{"-relay"},                                         // requires -follow
+		{"-retain", "32"},                                  // requires -relay
+		{"-follow", "http://x", "-retain", "32"},           // requires -relay
+		{"-follow", "http://x", "-relay", "-retain", "-1"}, // negative
 	}
 	for _, args := range bad {
 		if _, err := parseFlags(args); err == nil {
@@ -774,5 +779,159 @@ func TestGracefulShutdownNoGoroutineLeak(t *testing.T) {
 	cancel()
 	if err := <-odone; err != nil {
 		t.Errorf("origin run returned %v", err)
+	}
+}
+
+// TestRelayModeChain wires origin → relay → edge entirely through
+// run(): the relay re-serves /dist/ from its verified window, the edge
+// bootstraps and catches up THROUGH the relay (never touching the
+// origin), both tiers report the right source, and both /metrics
+// endpoints pass promlint.
+func TestRelayModeChain(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	ocfg, err := parseFlags([]string{"-addr", "127.0.0.1:0", "-versions", "30", "-quiet"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var oout syncBuffer
+	odone := make(chan error, 1)
+	go func() { odone <- run(ctx, ocfg, &oout) }()
+	obase := waitForAnnounce(t, &oout, " on http://")
+	obase = strings.TrimSuffix(obase, fetch.ListPath)
+
+	rcfg, err := parseFlags([]string{
+		"-addr", "127.0.0.1:0", "-quiet",
+		"-follow", "http://" + obase,
+		"-follow-poll", "20ms",
+		"-relay", "-retain", "32",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rout syncBuffer
+	rdone := make(chan error, 1)
+	go func() { rdone <- run(ctx, rcfg, &rout) }()
+	rbase := waitForAnnounce(t, &rout, " on http://")
+	if !strings.Contains(rout.String(), "relaying http://"+obase) {
+		t.Errorf("relay did not announce relay mode:\n%s", rout.String())
+	}
+
+	ecfg, err := parseFlags([]string{
+		"-addr", "127.0.0.1:0", "-quiet",
+		"-follow", "http://" + rbase,
+		"-follow-poll", "20ms",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var eout syncBuffer
+	edone := make(chan error, 1)
+	go func() { edone <- run(ctx, ecfg, &eout) }()
+	ebase := waitForAnnounce(t, &eout, " on http://")
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	caughtUp := func(base string) string {
+		t.Helper()
+		var health string
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			resp, err := client.Get("http://" + base + serve.HealthPath)
+			if err == nil {
+				b, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				health = string(b)
+				if strings.Contains(health, `"lag_seqs":0`) && strings.Contains(health, `"seq":29`) {
+					return health
+				}
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s never caught up to v29; last healthz: %s", base, health)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	rhealth := caughtUp(rbase)
+	if !strings.Contains(rhealth, `"source":"relay"`) {
+		t.Errorf("relay healthz source: %s", rhealth)
+	}
+	ehealth := caughtUp(ebase)
+	if !strings.Contains(ehealth, `"source":"follower"`) {
+		t.Errorf("edge healthz source: %s", ehealth)
+	}
+
+	// The relay's /dist/manifest is a decodable descriptor one hop
+	// deeper than the origin's.
+	resp, err := client.Get("http://" + rbase + dist.ManifestPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	m, err := dist.DecodeManifest(mb)
+	if err != nil {
+		t.Fatalf("relay manifest invalid: %v\n%s", err, mb)
+	}
+	if m.Seq != 29 || m.Depth != 1 {
+		t.Errorf("relay manifest seq %d depth %d, want 29 / 1", m.Seq, m.Depth)
+	}
+
+	// An edge lookup answers with the origin's head version, end of
+	// chain.
+	resp, err = client.Get("http://" + ebase + serve.LookupPath + "?host=www.example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a serve.Answer
+	if err := json.NewDecoder(resp.Body).Decode(&a); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if a.Seq != 29 || a.Site != "example.com" {
+		t.Errorf("edge lookup answer %+v", a)
+	}
+
+	// Both tiers' /metrics validate; the relay's carries the relay
+	// families and the edge's the replica families.
+	scrape := func(base string) string {
+		t.Helper()
+		resp, err := client.Get("http://" + base + serve.MetricsPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if _, err := obs.ValidateExposition(bytes.NewReader(b)); err != nil {
+			t.Errorf("%s exposition invalid: %v", base, err)
+		}
+		return string(b)
+	}
+	rm := scrape(rbase)
+	for _, fam := range []string{
+		"psl_dist_relay_requests_total",
+		"psl_dist_relay_retained_snapshots",
+		"psl_dist_relay_head_seq",
+		"psl_dist_replica_lag_seqs",
+	} {
+		if !strings.Contains(rm, fam) {
+			t.Errorf("relay /metrics missing %s", fam)
+		}
+	}
+	em := scrape(ebase)
+	if !strings.Contains(em, "psl_dist_replica_patches_applied_total") {
+		t.Errorf("edge /metrics missing replica families")
+	}
+
+	cancel()
+	for name, done := range map[string]chan error{"origin": odone, "relay": rdone, "edge": edone} {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("%s run returned %v", name, err)
+			}
+		case <-time.After(15 * time.Second):
+			t.Fatalf("%s did not exit after cancel", name)
+		}
 	}
 }

@@ -90,6 +90,10 @@ type Options struct {
 	// with a 30s timeout, so chaos connections never pollute the
 	// process-wide default transport's pool.
 	Client *http.Client
+	// Tier, when non-empty, is added as a {tier="..."} label on every
+	// metric family RegisterMetrics emits, so proxies fronting different
+	// tiers of a fan-out can share one registry.
+	Tier string
 }
 
 func (o Options) withDefaults() Options {
@@ -183,14 +187,21 @@ func (p *Proxy) Close() {
 	p.opts.Client.CloseIdleConnections()
 }
 
-// RegisterMetrics attaches the proxy's families to a registry.
+// RegisterMetrics attaches the proxy's families to a registry. With
+// Options.Tier set, every family carries a tier label.
 func (p *Proxy) RegisterMetrics(reg *obs.Registry) {
+	tier := func(labels obs.Labels) obs.Labels {
+		if p.opts.Tier == "" {
+			return labels
+		}
+		return append(obs.Labels{{"tier", p.opts.Tier}}, labels...)
+	}
 	for _, f := range AllFaults {
 		reg.MustRegister("psl_chaos_faults_total", "Faults injected, by class.",
-			obs.Labels{{"class", f.String()}}, &p.byClass[f])
+			tier(obs.Labels{{"class", f.String()}}), &p.byClass[f])
 	}
-	reg.MustRegister("psl_chaos_forwarded_total", "Requests proxied to the upstream intact.", nil, &p.forwarded)
-	reg.MustRegister("psl_chaos_upstream_errors_total", "Upstream exchanges that failed (rendered as 502).", nil, &p.upstreamFails)
+	reg.MustRegister("psl_chaos_forwarded_total", "Requests proxied to the upstream intact.", tier(nil), &p.forwarded)
+	reg.MustRegister("psl_chaos_upstream_errors_total", "Upstream exchanges that failed (rendered as 502).", tier(nil), &p.upstreamFails)
 }
 
 // decide resolves injection for one request. An armed 5xx burst is

@@ -223,6 +223,52 @@ func TestProxySeededDeterminism(t *testing.T) {
 	}
 }
 
+// TestProxyDecisionSequenceDeterministic is the deflake guard for the
+// chaos e2e: with every fault class armed, the same seed fed the same
+// sequential request sequence must yield an identical per-class counter
+// trajectory — not just the same inject/skip bits, but the same class
+// chosen at every step. If this breaks, seeded chaos runs stop being
+// replayable and every downstream "deterministic for a fixed seed"
+// assertion becomes a flake.
+func TestProxyDecisionSequenceDeterministic(t *testing.T) {
+	type counts [numFaults]uint64
+	trajectory := func(seed int64) []counts {
+		up := testUpstream(t)
+		p := NewProxy(up.URL, Options{Seed: seed, Latency: time.Millisecond, Stall: time.Millisecond})
+		p.SetFaults(AllFaults...)
+		p.SetRate(0.6)
+		ts := httptest.NewServer(p)
+		defer ts.Close()
+		defer p.Close()
+		var out []counts
+		for i := 0; i < 60; i++ {
+			// Faulted exchanges (reset, stall, truncate) surface as client
+			// errors; only the decision sequence matters here.
+			_, _, _ = get(t, http.DefaultClient, ts.URL+"/a", nil)
+			var c counts
+			for _, f := range AllFaults {
+				c[f] = p.InjectedBy(f)
+			}
+			out = append(out, c)
+		}
+		return out
+	}
+
+	a, b := trajectory(1234), trajectory(1234)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at request %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	if last := a[len(a)-1]; last == (counts{}) {
+		t.Fatal("no faults injected at rate 0.6 over 60 requests; trajectory compares nothing")
+	}
+	c := trajectory(4321)
+	if a[len(a)-1] == c[len(c)-1] {
+		t.Fatal("different seeds produced identical final per-class counters; seed is not reaching the decision stream")
+	}
+}
+
 func TestProxyMetricsExposition(t *testing.T) {
 	p, ts := newProxyServer(t, Options{})
 	reg := obs.NewRegistry()

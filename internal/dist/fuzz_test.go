@@ -3,7 +3,9 @@ package dist
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/psl"
 )
@@ -160,6 +162,84 @@ func FuzzFullRoundTrip(f *testing.F) {
 		}
 		if got := l.Fingerprint(); got != hf.FP {
 			t.Fatalf("decoded full materialised %s, promised %s", got, hf.FP)
+		}
+	})
+}
+
+// FuzzManifestRoundTrip is the manifest codec's contract, from both
+// directions. (1) Constructive: derive a valid manifest from the fuzz
+// bytes and require an exact encode→decode round trip. (2) Adversarial:
+// treat the raw input as a wire manifest; DecodeManifest must either
+// reject it with ErrCorrupt or hand back a manifest that re-validates —
+// a replica never acts on a head advertisement with an out-of-range
+// seq, a malformed fingerprint, or an incoherent retention window.
+func FuzzManifestRoundTrip(f *testing.F) {
+	base := fuzzBase()
+	valid := Manifest{
+		Seq:         41,
+		Fingerprint: base.Fingerprint(),
+		Version:     "v41",
+		Date:        time.Date(2023, 10, 1, 0, 0, 0, 0, time.UTC),
+		Rules:       base.Len(),
+		MinSeq:      7,
+		Depth:       2,
+	}
+	blob := EncodeManifest(valid)
+	f.Add(blob)
+	f.Add(blob[:len(blob)/2])   // truncated mid-object
+	f.Add([]byte(`{}`))         // all fields missing
+	f.Add([]byte(`{"seq":-1}`)) // negative head
+	f.Add([]byte(`{"seq":1,"fingerprint":"short"}`))
+	f.Add([]byte(`{"seq":1,"fingerprint":"` + strings.ToUpper(base.Fingerprint()) + `"}`)) // uppercase hex
+	f.Add([]byte(`{"seq":3,"min_seq":9,"fingerprint":"` + base.Fingerprint() + `"}`))      // window above head
+	f.Add([]byte(`{"seq":1,"depth":9999,"fingerprint":"` + base.Fingerprint() + `"}`))     // absurd depth
+	f.Add([]byte("not json"))
+	f.Add([]byte(nil))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Constructive: fuzz bytes drive the field values, clamped into
+		// validity; the round trip must be exact.
+		m := valid
+		for i, b := range data {
+			if i > 8 {
+				break
+			}
+			switch i % 4 {
+			case 0:
+				m.Seq = int(b) * 7
+			case 1:
+				m.MinSeq = int(b) % (m.Seq + 1)
+			case 2:
+				m.Depth = int(b) % (maxDepth + 1)
+			case 3:
+				m.Rules = int(b) * 11
+			}
+		}
+		if m.MinSeq > m.Seq {
+			m.MinSeq = m.Seq
+		}
+		got, err := DecodeManifest(EncodeManifest(m))
+		if err != nil {
+			t.Fatalf("decode of freshly encoded manifest failed: %v", err)
+		}
+		if !got.Date.Equal(m.Date) {
+			t.Fatalf("date diverged: %v vs %v", got.Date, m.Date)
+		}
+		got.Date, m.Date = time.Time{}, time.Time{} // Equal above; == below needs identical locations
+		if got != m {
+			t.Fatalf("round trip diverged:\n%+v\nvs\n%+v", got, m)
+		}
+
+		// Adversarial: the input as a hostile wire manifest.
+		hm, err := DecodeManifest(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("decode error does not wrap ErrCorrupt: %v", err)
+			}
+			return
+		}
+		if err := hm.Validate(); err != nil {
+			t.Fatalf("DecodeManifest returned an invalid manifest: %v", err)
 		}
 	})
 }

@@ -1,7 +1,6 @@
 package dist
 
 import (
-	"encoding/json"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -34,9 +33,16 @@ type Manifest struct {
 	Version     string    `json:"version"`
 	Date        time.Time `json:"date"`
 	Rules       int       `json:"rules"`
-	// MinSeq is the oldest version patches can start from (always 0
-	// here; a production origin would garbage-collect old versions).
+	// MinSeq is the oldest version patches can start from: 0 at an
+	// origin (every version stays available), the bottom of the
+	// retained snapshot window at a relay. A replica whose current seq
+	// is below MinSeq cannot patch forward from this upstream and must
+	// full-sync.
 	MinSeq int `json:"min_seq"`
+	// Depth is the server's distance from the authoritative origin: 0
+	// at the origin itself, 1 at a relay following it, and so on down
+	// an arbitrarily deep fan-out tree.
+	Depth int `json:"depth"`
 }
 
 // Origin publishes a history's versions for replication:
@@ -160,7 +166,7 @@ func (o *Origin) serveManifest(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("ETag", etag)
-	_ = json.NewEncoder(w).Encode(m)
+	_, _ = w.Write(EncodeManifest(m))
 }
 
 func (o *Origin) serveFull(w http.ResponseWriter, r *http.Request, rest string) {

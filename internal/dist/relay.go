@@ -1,0 +1,357 @@
+package dist
+
+import (
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/obs"
+	"repro/internal/psl"
+)
+
+// RelayOptions tunes a Relay. Zero values get defaults.
+type RelayOptions struct {
+	// Retain is how many verified snapshots the relay keeps for serving
+	// downstream. The window bounds both how far back full blobs reach
+	// and how stale an edge can be and still patch forward (advertised
+	// as the manifest's min_seq). Default 64.
+	Retain int
+}
+
+func (o RelayOptions) withDefaults() RelayOptions {
+	if o.Retain <= 0 {
+		o.Retain = 64
+	}
+	return o
+}
+
+// relaySnap is one retained verified snapshot. The fingerprint arrived
+// with the blob that produced the list and was verified on install, so
+// the relay never recomputes it.
+type relaySnap struct {
+	list *psl.List
+	seq  int
+	fp   string
+}
+
+// Relay re-serves the /dist/ protocol downstream of a Replica: it
+// follows an upstream origin (or another relay — depth is unbounded),
+// retains a sliding window of the verified snapshots the replica
+// installs, and answers manifest/full/patch requests from that window
+// so edges fan out without touching the origin.
+//
+// The relay is also where delta compaction lives. Its patch endpoint is
+// not limited to the hops the relay itself took upstream: any retained
+// (from, to) pair is served by diffing the two snapshots directly, so N
+// upstream patches coalesce into one downstream blob. The result is an
+// ordinary "PSLD" patch — wire-format identical to an origin's, pinned
+// by the same verified fingerprint chain — so edges need no new code
+// path to benefit. Compacted spans (to-from > 1) are counted
+// separately.
+//
+// Requests outside the window 404 (a pair the relay skipped past while
+// catching up, or an edge staler than min_seq); an empty window —
+// before the first verified install — answers 503 so a booting relay
+// reads as "not ready" rather than "empty history". Edges recover from
+// both through their normal fallback ladder.
+//
+// NewRelay claims the replica's OnVerified hook (chaining any existing
+// one). ServeHTTP is safe for concurrent use alongside the replica's
+// poll loop.
+type Relay struct {
+	rep  *Replica
+	opts RelayOptions
+
+	mu   sync.RWMutex
+	ring []relaySnap // ascending seq; at most opts.Retain entries
+
+	patches sync.Map // uint64(from)<<32|to -> *renderedBlob
+	fulls   sync.Map // int -> *renderedBlob
+
+	manifestReqs, fullReqs, patchReqs obs.Counter
+	patchBytes, fullBytes             obs.Counter
+	patchRenders, fullRenders         obs.Counter
+	compactions                       obs.Counter
+	misses                            obs.Counter
+	unavailable                       obs.Counter
+	notModified                       obs.Counter
+}
+
+// NewRelay builds a relay over rep, claiming rep.OnVerified to feed the
+// snapshot window (an already-set hook still runs, after the relay's).
+// Call before rep starts Bootstrap or Run.
+func NewRelay(rep *Replica, opts RelayOptions) *Relay {
+	rl := &Relay{rep: rep, opts: opts.withDefaults()}
+	prev := rep.OnVerified
+	rep.OnVerified = func(l *psl.List, seq int, fp string) {
+		rl.push(relaySnap{list: l, seq: seq, fp: fp})
+		if prev != nil {
+			prev(l, seq, fp)
+		}
+	}
+	return rl
+}
+
+// Replica exposes the upstream-facing replica (for Run, Bootstrap,
+// health, and metrics registration).
+func (rl *Relay) Replica() *Replica { return rl.rep }
+
+// Seed installs a trusted local snapshot (e.g. restored state) into the
+// serving window. RestoreState and SetState do not pass through the
+// verified-install path, so a relay resuming from disk calls this to
+// become servable before its first upstream sync.
+func (rl *Relay) Seed(l *psl.List, seq int) {
+	rl.push(relaySnap{list: l, seq: seq, fp: l.Fingerprint()})
+}
+
+// push appends a snapshot to the window, trims it to Retain, and evicts
+// render-cache entries that fell below the new floor.
+func (rl *Relay) push(s relaySnap) {
+	rl.mu.Lock()
+	// Keep the ring strictly ascending: a re-install of a seq already
+	// present (or a head rewind in tests) drops the suffix it replaces.
+	for len(rl.ring) > 0 && rl.ring[len(rl.ring)-1].seq >= s.seq {
+		rl.ring = rl.ring[:len(rl.ring)-1]
+	}
+	rl.ring = append(rl.ring, s)
+	if len(rl.ring) > rl.opts.Retain {
+		rl.ring = append([]relaySnap(nil), rl.ring[len(rl.ring)-rl.opts.Retain:]...)
+	}
+	floor := rl.ring[0].seq
+	rl.mu.Unlock()
+
+	// Blobs for a given (seq, fingerprint) are immutable, so eviction is
+	// purely about memory: anything referencing a seq below the floor
+	// can never be served again.
+	rl.fulls.Range(func(k, _ any) bool {
+		if k.(int) < floor {
+			rl.fulls.Delete(k)
+		}
+		return true
+	})
+	rl.patches.Range(func(k, _ any) bool {
+		if int(k.(uint64)>>32) < floor {
+			rl.patches.Delete(k)
+		}
+		return true
+	})
+}
+
+// snapAt finds the retained snapshot at exactly seq.
+func (rl *Relay) snapAt(seq int) (relaySnap, bool) {
+	rl.mu.RLock()
+	defer rl.mu.RUnlock()
+	for i := len(rl.ring) - 1; i >= 0; i-- {
+		if rl.ring[i].seq == seq {
+			return rl.ring[i], true
+		}
+		if rl.ring[i].seq < seq {
+			break
+		}
+	}
+	return relaySnap{}, false
+}
+
+// window reports the retained [min, head] seq range, ok=false when
+// nothing is retained yet.
+func (rl *Relay) window() (head relaySnap, minSeq int, ok bool) {
+	rl.mu.RLock()
+	defer rl.mu.RUnlock()
+	if len(rl.ring) == 0 {
+		return relaySnap{}, 0, false
+	}
+	return rl.ring[len(rl.ring)-1], rl.ring[0].seq, true
+}
+
+// Retained reports how many snapshots the window currently holds.
+func (rl *Relay) Retained() int {
+	rl.mu.RLock()
+	defer rl.mu.RUnlock()
+	return len(rl.ring)
+}
+
+// Compactions reports patches served that coalesced more than one
+// upstream version step into a single downstream blob.
+func (rl *Relay) Compactions() uint64 { return rl.compactions.Load() }
+
+// Misses reports requests for versions outside the retained window.
+func (rl *Relay) Misses() uint64 { return rl.misses.Load() }
+
+// Manifest describes the relay's serving head. ok is false while the
+// window is empty.
+func (rl *Relay) Manifest() (Manifest, bool) {
+	head, minSeq, ok := rl.window()
+	if !ok {
+		return Manifest{}, false
+	}
+	return Manifest{
+		Seq:         head.seq,
+		Fingerprint: head.fp,
+		Version:     head.list.Version,
+		Date:        head.list.Date.UTC(),
+		Rules:       head.list.Len(),
+		MinSeq:      minSeq,
+		Depth:       rl.rep.UpstreamDepth() + 1,
+	}, true
+}
+
+// RegisterMetrics attaches the relay's downstream-serving families to a
+// registry. The upstream-facing families are the wrapped replica's —
+// register those separately via Replica().RegisterMetrics.
+func (rl *Relay) RegisterMetrics(r *obs.Registry) {
+	r.MustRegister("psl_dist_relay_requests_total", "Downstream distribution requests received, by endpoint.",
+		obs.Labels{{"endpoint", "manifest"}}, &rl.manifestReqs)
+	r.MustRegister("psl_dist_relay_requests_total", "Downstream distribution requests received, by endpoint.",
+		obs.Labels{{"endpoint", "full"}}, &rl.fullReqs)
+	r.MustRegister("psl_dist_relay_requests_total", "Downstream distribution requests received, by endpoint.",
+		obs.Labels{{"endpoint", "patch"}}, &rl.patchReqs)
+	r.MustRegister("psl_dist_relay_bytes_total", "Blob bytes served downstream, by transfer kind.",
+		obs.Labels{{"kind", "patch"}}, &rl.patchBytes)
+	r.MustRegister("psl_dist_relay_bytes_total", "Blob bytes served downstream, by transfer kind.",
+		obs.Labels{{"kind", "full"}}, &rl.fullBytes)
+	r.MustRegister("psl_dist_relay_renders_total", "Blobs rendered into the cache, by kind.",
+		obs.Labels{{"kind", "patch"}}, &rl.patchRenders)
+	r.MustRegister("psl_dist_relay_renders_total", "Blobs rendered into the cache, by kind.",
+		obs.Labels{{"kind", "full"}}, &rl.fullRenders)
+	r.MustRegister("psl_dist_relay_compactions_total", "Patches served that coalesced more than one version step.",
+		nil, &rl.compactions)
+	r.MustRegister("psl_dist_relay_window_misses_total", "Requests for versions outside the retained window.",
+		nil, &rl.misses)
+	r.MustRegister("psl_dist_relay_unavailable_total", "Requests answered 503 before the first verified install.",
+		nil, &rl.unavailable)
+	r.MustRegister("psl_dist_relay_not_modified_total", "Conditional requests answered 304 Not Modified.",
+		nil, &rl.notModified)
+	r.MustRegister("psl_dist_relay_retained_snapshots", "Verified snapshots currently in the serving window.",
+		nil, obs.GaugeFunc(func() float64 { return float64(rl.Retained()) }))
+	r.MustRegister("psl_dist_relay_head_seq", "Version sequence currently served as head, -1 before the first install.",
+		nil, obs.GaugeFunc(func() float64 {
+			head, _, ok := rl.window()
+			if !ok {
+				return -1
+			}
+			return float64(head.seq)
+		}))
+}
+
+// ServeHTTP implements http.Handler for paths under Prefix, mirroring
+// the origin's surface.
+func (rl *Relay) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	path := r.URL.Path
+	switch {
+	case path == ManifestPath:
+		rl.serveManifest(w, r)
+	case strings.HasPrefix(path, fullPrefix):
+		rl.serveFull(w, r, strings.TrimPrefix(path, fullPrefix))
+	case strings.HasPrefix(path, patchPrefix):
+		rl.servePatch(w, r, strings.TrimPrefix(path, patchPrefix))
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func (rl *Relay) serveManifest(w http.ResponseWriter, r *http.Request) {
+	rl.manifestReqs.Add(1)
+	m, ok := rl.Manifest()
+	if !ok {
+		rl.unavailable.Add(1)
+		http.Error(w, "relay has no verified snapshot yet", http.StatusServiceUnavailable)
+		return
+	}
+	etag := `"` + m.Fingerprint + `"`
+	if r.Header.Get("If-None-Match") == etag {
+		rl.notModified.Add(1)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("ETag", etag)
+	_, _ = w.Write(EncodeManifest(m))
+}
+
+func (rl *Relay) serveFull(w http.ResponseWriter, r *http.Request, rest string) {
+	rl.fullReqs.Add(1)
+	seq, err := strconv.Atoi(rest)
+	if err != nil || seq < 0 {
+		http.NotFound(w, r)
+		return
+	}
+	s, ok := rl.snapAt(seq)
+	if !ok {
+		rl.misses.Add(1)
+		http.NotFound(w, r)
+		return
+	}
+	v, _ := rl.fulls.LoadOrStore(seq, &renderedBlob{})
+	rb := v.(*renderedBlob)
+	rb.once.Do(func() {
+		rb.data = EncodeFull(s.list, s.seq)
+		rb.etag = `"` + s.fp + `"`
+		rl.fullRenders.Add(1)
+	})
+	if r.Header.Get("If-None-Match") == rb.etag {
+		rl.notModified.Add(1)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("ETag", rb.etag)
+	n, _ := w.Write(rb.data)
+	rl.fullBytes.Add(uint64(n))
+}
+
+func (rl *Relay) servePatch(w http.ResponseWriter, r *http.Request, rest string) {
+	rl.patchReqs.Add(1)
+	fromS, toS, ok := strings.Cut(rest, "/")
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	from, err1 := strconv.Atoi(fromS)
+	to, err2 := strconv.Atoi(toS)
+	if err1 != nil || err2 != nil || from < 0 || from >= to {
+		http.NotFound(w, r)
+		return
+	}
+	fromSnap, okF := rl.snapAt(from)
+	toSnap, okT := rl.snapAt(to)
+	if !okF || !okT {
+		rl.misses.Add(1)
+		http.NotFound(w, r)
+		return
+	}
+	key := uint64(from)<<32 | uint64(to)
+	v, _ := rl.patches.LoadOrStore(key, &renderedBlob{})
+	rb := v.(*renderedBlob)
+	rb.once.Do(func() {
+		rb.data = rl.compact(fromSnap, toSnap).Encode()
+		rl.patchRenders.Add(1)
+	})
+	if to-from > 1 {
+		rl.compactions.Add(1)
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	n, _ := w.Write(rb.data)
+	rl.patchBytes.Add(uint64(n))
+}
+
+// compact builds the single patch taking the retained snapshot at from
+// to the one at to, however many upstream version steps that spans. The
+// endpoints' fingerprints were verified when the snapshots were
+// installed, so the result carries the same chain guarantees as an
+// origin patch over the same range — only the delta is recomputed, by
+// diffing the two rule sets directly.
+func (rl *Relay) compact(from, to relaySnap) *Patch {
+	d := psl.DiffLists(from.list, to.list)
+	return &Patch{
+		FromSeq:   from.seq,
+		ToSeq:     to.seq,
+		FromFP:    from.fp,
+		ToFP:      to.fp,
+		ToVersion: to.list.Version,
+		ToDate:    to.list.Date,
+		Removed:   d.Removed,
+		Added:     d.Added,
+		Moved:     d.Moved,
+	}
+}

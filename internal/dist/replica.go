@@ -2,7 +2,6 @@ package dist
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"io"
 	"math/rand"
@@ -140,11 +139,20 @@ type Replica struct {
 	// calling Run.
 	OnSwap func(l *psl.List, seq int)
 
+	// OnVerified, if set, is invoked for every verified install —
+	// including the one Bootstrap performs — with the fingerprint the
+	// blob was verified against. It runs before OnSwap; relays use it to
+	// extend their retained snapshot window without recomputing the
+	// fingerprint. Set before calling Bootstrap or Run.
+	OnVerified func(l *psl.List, seq int, fp string)
+
 	state        replicaState
 	curSeq       atomic.Int64
 	headSeq      atomic.Int64
 	manifestETag string
 	headFP       string
+	minSeq       int // oldest seq the upstream can serve patches from
+	depth        atomic.Int32
 
 	rng     *rand.Rand
 	backoff *resilience.Backoff
@@ -158,6 +166,8 @@ type Replica struct {
 	verifyFailures    obs.Counter
 	fallbacks         obs.Counter
 	fullSyncs         obs.Counter
+	compactProbes     obs.Counter
+	compactHits       obs.Counter
 	retries           obs.Counter
 	persisted         obs.Counter
 	persistErrors     obs.Counter
@@ -223,6 +233,13 @@ func (r *Replica) Lag() int64 {
 
 // Counter accessors for tests and health reporting.
 
+// Polls reports replication cycles attempted (Bootstrap included).
+func (r *Replica) Polls() uint64 { return r.polls.Load() }
+
+// PollErrors reports cycles that ended in a transport or protocol
+// error.
+func (r *Replica) PollErrors() uint64 { return r.pollErrors.Load() }
+
 // Applied reports patches successfully applied and installed.
 func (r *Replica) Applied() uint64 { return r.applied.Load() }
 
@@ -233,6 +250,20 @@ func (r *Replica) Fallbacks() uint64 { return r.fallbacks.Load() }
 // start, and fallback alike) — the expensive transfers a persisted
 // state dir exists to avoid.
 func (r *Replica) FullSyncs() uint64 { return r.fullSyncs.Load() }
+
+// CompactProbes reports single compacted catch-up patches attempted
+// after bounded hops failed, the last patch-shaped step before a
+// full-blob fallback.
+func (r *Replica) CompactProbes() uint64 { return r.compactProbes.Load() }
+
+// CompactHits reports compaction probes that succeeded, each one a full
+// blob the fleet never had to move.
+func (r *Replica) CompactHits() uint64 { return r.compactHits.Load() }
+
+// UpstreamDepth reports the upstream's advertised distance from the
+// authoritative origin (0 = following the origin directly), from the
+// last decoded manifest. A relay advertises this plus one downstream.
+func (r *Replica) UpstreamDepth() int { return int(r.depth.Load()) }
 
 // VerifyFailures reports blobs rejected by checksum, decode, or
 // fingerprint verification.
@@ -268,6 +299,8 @@ func (r *Replica) RegisterMetrics(reg *obs.Registry) {
 	reg.MustRegister("psl_dist_replica_verify_failures_total", "Blobs rejected by checksum or fingerprint verification.", nil, &r.verifyFailures)
 	reg.MustRegister("psl_dist_replica_fallback_syncs_total", "Full-blob syncs taken after patch chains failed.", nil, &r.fallbacks)
 	reg.MustRegister("psl_dist_replica_full_syncs_total", "All full-blob syncs performed (bootstrap, empty start, fallback).", nil, &r.fullSyncs)
+	reg.MustRegister("psl_dist_replica_compact_probes_total", "Single compacted catch-up patches attempted after bounded hops failed.", nil, &r.compactProbes)
+	reg.MustRegister("psl_dist_replica_compact_probe_hits_total", "Compaction probes that succeeded, avoiding a full-blob sync.", nil, &r.compactHits)
 	reg.MustRegister("psl_dist_replica_retries_total", "Failed transfer attempts that were retried.", nil, &r.retries)
 	reg.MustRegister("psl_dist_replica_state_persisted_total", "Verified snapshots durably persisted to the state dir.", nil, &r.persisted)
 	reg.MustRegister("psl_dist_replica_state_persist_errors_total", "Snapshot persistence failures (swap proceeded, durability lost).", nil, &r.persistErrors)
@@ -347,17 +380,15 @@ func (r *Replica) Poll(ctx context.Context) error {
 		return err
 	}
 	if status != http.StatusNotModified {
-		var m Manifest
-		if err := json.Unmarshal(body, &m); err != nil {
+		m, err := DecodeManifest(body)
+		if err != nil {
 			r.pollErrors.Add(1)
-			return fmt.Errorf("dist: manifest: %w", err)
-		}
-		if m.Seq < 0 || len(m.Fingerprint) != 64 {
-			r.pollErrors.Add(1)
-			return fmt.Errorf("dist: manifest advertises invalid head (seq %d)", m.Seq)
+			return err
 		}
 		r.manifestETag = etag
 		r.headFP = m.Fingerprint
+		r.minSeq = m.MinSeq
+		r.depth.Store(int32(m.Depth))
 		r.headSeq.Store(int64(m.Seq))
 	}
 	if err := r.syncToHead(ctx); err != nil {
@@ -369,7 +400,22 @@ func (r *Replica) Poll(ctx context.Context) error {
 }
 
 // syncToHead walks the replica from its current version to the
-// advertised head, one bounded patch hop at a time.
+// advertised head, one bounded patch hop at a time, escalating through
+// the fallback ladder when hops fail:
+//
+//  1. bounded hops: patch cur→min(cur+MaxHop, head), chained;
+//  2. compaction probe: after MaxAttempts failed hops, one request for
+//     the single compacted patch cur→head. A relay that evicted the
+//     intermediate versions a hop chain needs can still coalesce
+//     everything it retains into one delta, and even a patch spanning
+//     far more than MaxHop versions is almost always a fraction of the
+//     full blob — the probe is what keeps a laggy edge on the cheap
+//     path instead of silently paying for a full sync;
+//  3. full-blob sync, the recovery of last resort.
+//
+// An empty replica, or one whose seq has fallen below the upstream's
+// advertised min_seq retention window, skips straight to the full sync:
+// no patch can serve it.
 func (r *Replica) syncToHead(ctx context.Context) error {
 	for {
 		head := int(r.headSeq.Load())
@@ -377,26 +423,38 @@ func (r *Replica) syncToHead(ctx context.Context) error {
 			return nil
 		}
 		attempts := 0
+		probed := false
 		for {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
 			var err error
-			if r.state.list == nil || attempts >= r.opts.MaxAttempts {
-				if attempts >= r.opts.MaxAttempts {
-					r.fallbacks.Add(1)
-				}
+			switch {
+			case r.state.list == nil || r.state.seq < r.minSeq:
 				err = r.fullSync(ctx, head)
-			} else {
+			case attempts < r.opts.MaxAttempts:
 				to := min(r.state.seq+r.opts.MaxHop, head)
 				err = r.applyHop(ctx, r.state.seq, to)
+			case !probed && head > r.state.seq+r.opts.MaxHop:
+				// The bounded hop kept failing; before paying for a full
+				// blob, ask for one compacted patch covering the whole
+				// gap. (When the gap fits in MaxHop the hop above already
+				// requested exactly this span, so the probe is skipped.)
+				probed = true
+				r.compactProbes.Add(1)
+				if err = r.applyHop(ctx, r.state.seq, head); err == nil {
+					r.compactHits.Add(1)
+				}
+			default:
+				r.fallbacks.Add(1)
+				err = r.fullSync(ctx, head)
 			}
 			if err == nil {
 				r.backoff.Reset()
 				break
 			}
 			attempts++
-			if attempts > 2*r.opts.MaxAttempts {
+			if attempts > 2*r.opts.MaxAttempts+1 {
 				return fmt.Errorf("dist: giving up after %d attempts: %w", attempts, err)
 			}
 			if !r.budget.Withdraw() {
@@ -484,6 +542,9 @@ func (r *Replica) install(l *psl.List, seq int, fp string) {
 			r.persisted.Add(1)
 		}
 	}
+	if r.OnVerified != nil {
+		r.OnVerified(l, seq, fp)
+	}
 	if r.OnSwap != nil {
 		r.OnSwap(l, seq)
 	}
@@ -501,10 +562,10 @@ func (r *Replica) Bootstrap(ctx context.Context, fromSeq int) (*psl.List, int, e
 		r.pollErrors.Add(1)
 		return nil, 0, err
 	}
-	var m Manifest
-	if err := json.Unmarshal(body, &m); err != nil {
+	m, err := DecodeManifest(body)
+	if err != nil {
 		r.pollErrors.Add(1)
-		return nil, 0, fmt.Errorf("dist: manifest: %w", err)
+		return nil, 0, err
 	}
 	seq := fromSeq
 	if seq < 0 || seq > m.Seq {
@@ -523,6 +584,8 @@ func (r *Replica) Bootstrap(ctx context.Context, fromSeq int) (*psl.List, int, e
 	}
 	r.manifestETag = etag
 	r.headFP = m.Fingerprint
+	r.minSeq = m.MinSeq
+	r.depth.Store(int32(m.Depth))
 	r.headSeq.Store(int64(m.Seq))
 	return r.state.list, r.state.seq, nil
 }

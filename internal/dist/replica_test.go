@@ -265,7 +265,13 @@ func TestReplicaBackoffResetsAfterSuccessfulPoll(t *testing.T) {
 	o := NewOrigin(h)
 	o.SetHead(3)
 	inj := fetch.NewInjector(9, fetch.FailCorrupt)
-	ts := httptest.NewServer(inj.Wrap(o))
+	// Corrupt only the blob endpoints: a corrupt manifest fails the
+	// cycle outright (DecodeManifest rejects it), while this test is
+	// about the retry ladder under failing transfers.
+	mux := http.NewServeMux()
+	mux.Handle(ManifestPath, o)
+	mux.Handle(Prefix, inj.Wrap(o))
+	ts := httptest.NewServer(mux)
 	defer ts.Close()
 
 	rep := NewReplica(ts.URL, fastOpts())

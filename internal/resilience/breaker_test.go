@@ -2,6 +2,9 @@ package resilience
 
 import (
 	"errors"
+	"math"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -174,5 +177,184 @@ func TestBreakerStateString(t *testing.T) {
 		if got := s.String(); got != want {
 			t.Fatalf("BreakerState(%d).String() = %q, want %q", s, got, want)
 		}
+	}
+}
+
+// TestBreakerGenerationRollover drives the generation counter across
+// uint64 wraparound: transitions must keep dropping stale outcomes and
+// honouring fresh ones when gen wraps past zero, since nothing about
+// the stale-generation contract may depend on gen being monotonic in
+// the arithmetic sense.
+func TestBreakerGenerationRollover(t *testing.T) {
+	b, now := testBreaker(BreakerOptions{FailureThreshold: 1, OpenFor: time.Second})
+	b.mu.Lock()
+	b.gen = math.MaxUint64
+	b.mu.Unlock()
+
+	genMax := mustAllow(t, b)
+	if genMax != math.MaxUint64 {
+		t.Fatalf("closed-state gen = %d, want MaxUint64", genMax)
+	}
+	b.Record(genMax, errBoom) // opens; gen wraps to 0
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %v, want open", b.State())
+	}
+	b.mu.Lock()
+	if b.gen != 0 {
+		b.mu.Unlock()
+		t.Fatalf("gen after wrap = %d, want 0", b.gen)
+	}
+	b.mu.Unlock()
+
+	// A slow success from the pre-wrap generation must not close the
+	// circuit it no longer belongs to.
+	b.Record(genMax, nil)
+	if b.State() != BreakerOpen {
+		t.Fatal("stale pre-wrap success closed an open circuit")
+	}
+
+	*now = now.Add(time.Second)
+	probeGen := mustAllow(t, b) // half-open, gen 1
+	if probeGen != 1 {
+		t.Fatalf("half-open gen = %d, want 1", probeGen)
+	}
+	b.Record(probeGen, nil)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %v after successful probe, want closed", b.State())
+	}
+	// A straggler carrying the wrapped gen 0 is stale too.
+	b.Record(0, errBoom)
+	if b.State() != BreakerClosed {
+		t.Fatal("stale wrapped-gen failure re-opened a closed circuit")
+	}
+}
+
+// TestBreakerConcurrentHalfOpenProbes hammers a just-reopenable breaker
+// from many goroutines: exactly one must be admitted as the probe, the
+// rest fail fast, and the probe's success closes the circuit. Run under
+// -race this also exercises the Allow/Record locking.
+func TestBreakerConcurrentHalfOpenProbes(t *testing.T) {
+	b, now := testBreaker(BreakerOptions{FailureThreshold: 1, OpenFor: time.Millisecond})
+	b.Record(mustAllow(t, b), errBoom)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %v, want open", b.State())
+	}
+	*now = now.Add(2 * time.Millisecond) // set before goroutines start; not touched after
+
+	const workers = 32
+	gens := make(chan uint64, workers)
+	var admitted atomic.Int64
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if gen, ok := b.Allow(); ok {
+				admitted.Add(1)
+				gens <- gen
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if admitted.Load() != 1 {
+		t.Fatalf("half-open admitted %d concurrent probes, want exactly 1", admitted.Load())
+	}
+	if got := b.FastFails(); got != workers-1 {
+		t.Fatalf("FastFails = %d, want %d", got, workers-1)
+	}
+	b.Record(<-gens, nil)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %v after probe success, want closed", b.State())
+	}
+}
+
+// TestBreakerConcurrentProbeRounds needs two successful probes to
+// close; concurrent waves must be admitted strictly one at a time, and
+// a failure mid-sequence restarts the count.
+func TestBreakerConcurrentProbeRounds(t *testing.T) {
+	b, now := testBreaker(BreakerOptions{FailureThreshold: 1, OpenFor: time.Millisecond, HalfOpenProbes: 2})
+	b.Record(mustAllow(t, b), errBoom)
+	*now = now.Add(2 * time.Millisecond)
+
+	probeWave := func() uint64 {
+		t.Helper()
+		const workers = 16
+		gens := make(chan uint64, workers)
+		var wg sync.WaitGroup
+		for i := 0; i < workers; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if gen, ok := b.Allow(); ok {
+					gens <- gen
+				}
+			}()
+		}
+		wg.Wait()
+		close(gens)
+		var got []uint64
+		for g := range gens {
+			got = append(got, g)
+		}
+		if len(got) != 1 {
+			t.Fatalf("wave admitted %d probes, want 1", len(got))
+		}
+		return got[0]
+	}
+
+	// First probe fails: back to open, the success count must restart.
+	b.Record(probeWave(), errBoom)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %v after failed probe, want open", b.State())
+	}
+	*now = now.Add(2 * time.Millisecond)
+
+	b.Record(probeWave(), nil)
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state %v after 1/2 probes, want still half-open", b.State())
+	}
+	b.Record(probeWave(), nil)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %v after 2/2 probes, want closed", b.State())
+	}
+}
+
+// TestBreakerConcurrentStorm is a pure -race exercise: many goroutines
+// race Allow/Record through open/half-open/closed cycles on the real
+// clock. The assertions are weak (valid end state, counters coherent);
+// the value is the interleaving coverage.
+func TestBreakerConcurrentStorm(t *testing.T) {
+	b := NewBreaker(BreakerOptions{FailureThreshold: 3, OpenFor: 100 * time.Microsecond, HalfOpenProbes: 2})
+	const workers = 16
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				gen, ok := b.Allow()
+				if !ok {
+					continue
+				}
+				// All workers fail through the first stretch so failure
+				// streaks (and therefore opens, probes, reopens) are
+				// guaranteed, then recover so close paths run too.
+				if i < 150 {
+					b.Record(gen, errBoom)
+				} else {
+					b.Record(gen, nil)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s := b.State(); s != BreakerClosed && s != BreakerHalfOpen && s != BreakerOpen {
+		t.Fatalf("invalid end state %v", s)
+	}
+	if b.Opens() == 0 {
+		t.Fatal("storm never opened the circuit; thresholds too loose for the test to mean anything")
 	}
 }
