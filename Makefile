@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race chaos fleet fleet-heavy bench bench-json bench-sanity metrics-lint
+.PHONY: all build test race chaos fleet fleet-heavy bench bench-json bench-sanity bench-scaling metrics-lint
 
 all: build test
 
@@ -36,6 +36,12 @@ bench:
 # Regenerate the machine-readable performance baseline.
 bench-json:
 	go run ./cmd/pslbench -out BENCH_matchers.json
+
+# The CI perf gate: reduced pslbench run that fails when a batch row
+# costs more than a cached single lookup or the HTTP batch advantage
+# drops below 3x.
+bench-scaling:
+	go run ./cmd/pslbench -quick -check -out /tmp/bench-scaling.json
 
 # One-iteration pass over every benchmark that backs an acceptance
 # criterion, plus the zero-alloc guard tests — the CI sanity gate.

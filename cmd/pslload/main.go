@@ -12,37 +12,55 @@
 //	pslserver &
 //	pslload -base http://127.0.0.1:8353 -clients 8 -requests 2000
 //
+// With -batch each client drives /v1/batch instead: every request is
+// one binary-framed batch of -batch-size hosts drawn from the same
+// Zipf mix, -requests counts batches per client, and the summary
+// reports rows/sec next to batch latency percentiles — directly
+// comparable against a single-lookup run's lookups_per_sec.
+//
 // Flags:
 //
-//	-base URL     base URL of the running server (required)
-//	-clients N    concurrent clients (default 8)
-//	-requests N   lookups per client (default 1000)
-//	-hosts N      size of the synthesised host pool (default 512)
-//	-seed N       host-mix seed; equal seeds replay identical mixes
-//	-timeout D    per-request HTTP timeout (default 10s)
+//	-base URL      base URL of the running server (required)
+//	-clients N     concurrent clients (default 8)
+//	-requests N    lookups (or batches, with -batch) per client
+//	               (default 1000)
+//	-hosts N       size of the synthesised host pool (default 512)
+//	-seed N        host-mix seed; equal seeds replay identical mixes
+//	-timeout D     per-request HTTP timeout (default 10s)
+//	-batch         drive /v1/batch with binary-framed batches
+//	-batch-size N  hosts per batch request (default 256)
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/fetch"
+	"repro/internal/obs"
 	"repro/internal/psl"
+	"repro/internal/serve"
 	"repro/internal/serve/loadgen"
 )
 
 // config is the validated flag set.
 type config struct {
-	base     string
-	clients  int
-	requests int
-	hosts    int
-	seed     int64
-	timeout  time.Duration
+	base      string
+	clients   int
+	requests  int
+	hosts     int
+	seed      int64
+	timeout   time.Duration
+	batch     bool
+	batchSize int
 }
 
 // parseFlags parses and validates the command line without touching the
@@ -56,6 +74,8 @@ func parseFlags(args []string) (config, error) {
 	fs.IntVar(&cfg.hosts, "hosts", 512, "synthesised host pool size")
 	fs.Int64Var(&cfg.seed, "seed", 1, "host-mix seed")
 	fs.DurationVar(&cfg.timeout, "timeout", 10*time.Second, "per-request HTTP timeout")
+	fs.BoolVar(&cfg.batch, "batch", false, "drive /v1/batch with binary-framed batches instead of single lookups")
+	fs.IntVar(&cfg.batchSize, "batch-size", 256, "hosts per batch request (with -batch)")
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
 	}
@@ -67,6 +87,9 @@ func parseFlags(args []string) (config, error) {
 	}
 	if cfg.clients < 1 || cfg.requests < 1 || cfg.hosts < 1 {
 		return config{}, fmt.Errorf("-clients, -requests and -hosts must be positive")
+	}
+	if cfg.batchSize < 1 {
+		return config{}, fmt.Errorf("-batch-size must be positive")
 	}
 	return cfg, nil
 }
@@ -93,6 +116,117 @@ func fetchHosts(cfg config, client *http.Client) ([]string, error) {
 	return loadgen.Hostnames(l, cfg.hosts, cfg.seed), nil
 }
 
+// batchSummary is the machine-readable digest of a -batch run: batch
+// and row counts, throughput, and per-batch latency percentiles from
+// the same histogram type the single-lookup summary uses.
+type batchSummary struct {
+	Batches        int64                  `json:"batches"`
+	Rows           int64                  `json:"rows"`
+	Errors         int64                  `json:"errors"`
+	BatchSize      int                    `json:"batch_size"`
+	ElapsedSeconds float64                `json:"elapsed_seconds"`
+	RowsPerSec     float64                `json:"rows_per_sec"`
+	BatchesPerSec  float64                `json:"batches_per_sec"`
+	Latency        loadgen.LatencySummary `json:"latency"`
+}
+
+// runBatch drives /v1/batch: each client issues cfg.requests binary
+// batches of cfg.batchSize hosts drawn Zipf-style from the pool, and
+// every response envelope is decoded so row counts are verified, not
+// assumed. As with single-lookup runs, a run in which every batch
+// failed exits nonzero with the first error.
+func runBatch(cfg config, hosts []string, client *http.Client, stdout io.Writer) error {
+	var batches, rows, errs int64
+	var firstErr atomic.Value
+	lat := obs.NewHistogram(nil)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.seed + int64(c)*7919))
+			zipf := rand.NewZipf(rng, 1.3, 1, uint64(len(hosts)-1))
+			pick := make([]string, cfg.batchSize)
+			var payload []byte
+			for i := 0; i < cfg.requests; i++ {
+				for j := range pick {
+					pick[j] = hosts[zipf.Uint64()]
+				}
+				var err error
+				payload, err = serve.AppendBatchRequest(payload[:0], pick)
+				if err != nil {
+					atomic.AddInt64(&errs, 1)
+					firstErr.CompareAndSwap(nil, err)
+					continue
+				}
+				t0 := time.Now()
+				n, err := postBatch(client, cfg.base, payload)
+				lat.Observe(time.Since(t0))
+				atomic.AddInt64(&batches, 1)
+				if err != nil {
+					atomic.AddInt64(&errs, 1)
+					firstErr.CompareAndSwap(nil, err)
+					continue
+				}
+				atomic.AddInt64(&rows, int64(n))
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	if batches > 0 && errs == batches {
+		return fmt.Errorf("all %d batches failed; first error: %v", batches, firstErr.Load())
+	}
+	s := batchSummary{
+		Batches:        batches,
+		Rows:           rows,
+		Errors:         errs,
+		BatchSize:      cfg.batchSize,
+		ElapsedSeconds: elapsed.Seconds(),
+		Latency: loadgen.LatencySummary{
+			P50Seconds:  lat.Quantile(0.50).Seconds(),
+			P90Seconds:  lat.Quantile(0.90).Seconds(),
+			P99Seconds:  lat.Quantile(0.99).Seconds(),
+			MaxSeconds:  lat.Max().Seconds(),
+			MeanSeconds: lat.Mean().Seconds(),
+		},
+	}
+	if elapsed > 0 {
+		s.RowsPerSec = float64(rows) / elapsed.Seconds()
+		s.BatchesPerSec = float64(batches) / elapsed.Seconds()
+	}
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = stdout.Write(append(data, '\n'))
+	return err
+}
+
+// postBatch issues one binary batch request and returns the number of
+// rows in the decoded response envelope.
+func postBatch(client *http.Client, base string, payload []byte) (int, error) {
+	resp, err := client.Post(base+serve.BatchPath, serve.BatchBinaryContentType, bytes.NewReader(payload))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<24))
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("POST %s: %s", serve.BatchPath, resp.Status)
+	}
+	rows, err := serve.DecodeBatchResponse(body)
+	if err != nil {
+		return 0, err
+	}
+	return len(rows), nil
+}
+
 // run executes one load run and writes the JSON summary to stdout. A
 // run in which every single lookup failed exits nonzero with the first
 // error instead: its latency summary would describe nothing but the
@@ -103,6 +237,9 @@ func run(cfg config, stdout io.Writer) error {
 	hosts, err := fetchHosts(cfg, client)
 	if err != nil {
 		return err
+	}
+	if cfg.batch {
+		return runBatch(cfg, hosts, client, stdout)
 	}
 	res := loadgen.Run(loadgen.Config{
 		Clients:           cfg.clients,

@@ -11,6 +11,8 @@
 //	GET /list/public_suffix_list.dat   the configured current version
 //	GET /v/<seq>                       a specific historical version
 //	GET /v1/lookup?host=H[&version=N]  eTLD / eTLD+1 JSON answer
+//	POST /v1/batch                     batched lookups, one snapshot per
+//	                                   batch (NDJSON or binary framing)
 //	GET /v1/version                    current list version metadata
 //	GET /healthz                       liveness, cache and admission stats
 //	GET /metrics                       Prometheus text exposition
@@ -35,6 +37,12 @@
 //	                  no local history; the list arrives via /dist/
 //	-follow-from N    first version to bootstrap from (-1 = origin head)
 //	-follow-poll D    replica poll interval (default 1s)
+//	-blob             (follower) feed the query API from the origin's
+//	                  compiled matcher blobs (/dist/blob/{seq}): each
+//	                  verified snapshot installs the origin-compiled
+//	                  PackedMatcher instead of recompiling locally;
+//	                  blob fetch failures silently fall back to a local
+//	                  compile (requires -matcher packed)
 //	-state-dir DIR    (follower) persist each verified snapshot to DIR
 //	                  and resume from it on restart, skipping the
 //	                  full-blob bootstrap
@@ -129,6 +137,7 @@ type config struct {
 	follow     string
 	followFrom int
 	followPoll time.Duration
+	blob       bool
 	stateDir   string
 	relay      bool
 	retain     int
@@ -156,6 +165,7 @@ func parseFlags(args []string) (config, error) {
 	fs.StringVar(&cfg.follow, "follow", "", "run as a replica of the origin pslserver at this base URL")
 	fs.IntVar(&cfg.followFrom, "follow-from", -1, "first version to bootstrap from (-1 = origin head)")
 	fs.DurationVar(&cfg.followPoll, "follow-poll", time.Second, "replica poll interval")
+	fs.BoolVar(&cfg.blob, "blob", false, "feed the query API from the origin's compiled matcher blobs (requires -follow)")
 	fs.StringVar(&cfg.stateDir, "state-dir", "", "persist verified follower snapshots here and resume from them on restart")
 	fs.BoolVar(&cfg.relay, "relay", false, "re-serve the /dist/ protocol downstream of the followed origin (requires -follow)")
 	fs.IntVar(&cfg.retain, "retain", 0, "verified snapshots a relay keeps for downstream serving (0 = default 64; requires -relay)")
@@ -200,6 +210,12 @@ func parseFlags(args []string) (config, error) {
 	}
 	if cfg.follow == "" && cfg.stateDir != "" {
 		return config{}, fmt.Errorf("-state-dir requires -follow (origins own their history)")
+	}
+	if cfg.blob && cfg.follow == "" {
+		return config{}, fmt.Errorf("-blob requires -follow (origins compile their own matchers)")
+	}
+	if cfg.blob && cfg.matcher != "packed" {
+		return config{}, fmt.Errorf("-blob serves origin-compiled packed matchers; it conflicts with -matcher %q", cfg.matcher)
 	}
 	if cfg.relay && cfg.follow == "" {
 		return config{}, fmt.Errorf("-relay requires -follow (an origin already serves /dist/)")
@@ -276,6 +292,7 @@ func newHandler(h *history.History, seq int, cfg config) (http.Handler, *serve.S
 
 	mux := http.NewServeMux()
 	mux.Handle(serve.LookupPath, svc)
+	mux.Handle(serve.BatchPath, svc)
 	mux.Handle(serve.VersionPath, svc)
 	mux.Handle(serve.HealthPath, svc)
 	mux.Handle(serve.MetricsPath, reg.Handler())
@@ -290,9 +307,11 @@ func newHandler(h *history.History, seq int, cfg config) (http.Handler, *serve.S
 // lag probe, and /metrics carries the replica's families. With a
 // non-nil relay the /dist/ endpoints come back — served from the
 // relay's verified snapshot window rather than a local history — and
-// the instance reports as source "relay".
-func newFollowerHandler(l *psl.List, seq int, rep *dist.Replica, rl *dist.Relay, cfg config) (http.Handler, *serve.Service, *obs.Registry) {
-	svc := serve.New(l, seq, serve.Options{
+// the instance reports as source "relay". fp is the verified rules
+// fingerprint of the bootstrap snapshot; m, when non-nil, is a
+// pre-built matcher (the blob-fed path) installed without compiling.
+func newFollowerHandler(l *psl.List, seq int, fp string, m psl.Matcher, rep *dist.Replica, rl *dist.Relay, cfg config) (http.Handler, *serve.Service, *obs.Registry) {
+	svc := serve.NewWith(l, seq, fp, m, serve.Options{
 		MaxInFlight: cfg.maxInFlight,
 		NewMatcher:  cfg.newMatcher,
 		MatcherName: cfg.matcher,
@@ -314,6 +333,7 @@ func newFollowerHandler(l *psl.List, seq int, rep *dist.Replica, rl *dist.Relay,
 
 	mux := http.NewServeMux()
 	mux.Handle(serve.LookupPath, svc)
+	mux.Handle(serve.BatchPath, svc)
 	mux.Handle(serve.VersionPath, svc)
 	mux.Handle(serve.HealthPath, svc)
 	mux.Handle(serve.MetricsPath, reg.Handler())
@@ -385,6 +405,7 @@ func run(ctx context.Context, cfg config, stdout io.Writer) error {
 			PollInterval:   cfg.followPoll,
 			RequestTimeout: cfg.requestTimeout,
 			StateDir:       cfg.stateDir,
+			FetchBlobs:     cfg.blob,
 		})
 		// The relay claims the replica's OnVerified hook, so it must be
 		// built before Bootstrap runs — the bootstrap snapshot is the
@@ -419,9 +440,34 @@ func run(ctx context.Context, cfg config, stdout io.Writer) error {
 			// snapshot.
 			rl.Seed(l, seq)
 		}
+		// The blob-fed fast path: reuse the persisted matcher blob (a
+		// restart pays zero compiles), else fetch the origin-compiled
+		// blob for the bootstrap snapshot. Both are verified against the
+		// snapshot's own fingerprint; any failure just means the service
+		// compiles once locally, exactly as without -blob.
+		fp := l.Fingerprint()
+		var matcher psl.Matcher
+		if cfg.blob {
+			if restored && cfg.stateDir != "" {
+				if pm, lerr := dist.LoadMatcherBlob(cfg.stateDir, seq, fp); lerr == nil {
+					matcher = pm
+					fmt.Fprintf(stdout, "pslserver: reusing persisted matcher blob for v%04d (zero compiles)\n", seq)
+				}
+			}
+			if matcher == nil {
+				if pm := rep.FetchMatcherBlob(ctx, seq, fp); pm != nil {
+					matcher = pm
+					fmt.Fprintf(stdout, "pslserver: bootstrap matcher fed from /dist/blob/%d (zero compiles)\n", seq)
+				}
+			}
+		}
 		var svc *serve.Service
-		handler, svc, reg = newFollowerHandler(l, seq, rep, rl, cfg)
-		rep.OnSwap = func(l *psl.List, seq int) { svc.Swap(l, seq) }
+		handler, svc, reg = newFollowerHandler(l, seq, fp, matcher, rep, rl, cfg)
+		// Installs flow through SwapVerified so a hop whose rules are
+		// byte-identical to the installed snapshot (fingerprint match)
+		// reuses the live matcher instead of recompiling, and a hop that
+		// arrived with a verified blob matcher installs it directly.
+		rep.OnInstall = func(l *psl.List, seq int, fp string, m psl.Matcher) { svc.SwapVerified(l, seq, fp, m) }
 
 		// The poll loop gets its own context so shutdown can drain it
 		// deterministically: cancel, then wait for Run to return before

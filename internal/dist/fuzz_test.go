@@ -166,6 +166,68 @@ func FuzzFullRoundTrip(f *testing.F) {
 	})
 }
 
+// FuzzMatcherBlob drives the compiled-matcher blob chain with a
+// corrupt-blob seed corpus mirroring the psl.ErrBadBlob validation
+// cases: tampered packed headers (magic, version, counts), truncation,
+// bit flips in every region, and a valid matcher wrapped with the wrong
+// fingerprint. The contract is absolute: UnpackMatcherBlob never
+// panics, and anything it accepts IS the matcher for the promised
+// fingerprint — behaviourally checked against a compiled oracle.
+func FuzzMatcherBlob(f *testing.F) {
+	base := fuzzBase()
+	fp := base.Fingerprint()
+	packed := psl.NewPackedMatcher(base).Marshal()
+	valid := EncodeMatcherBlob(3, fp, packed)
+	f.Add(valid)
+	f.Add(valid[:len(valid)-7]) // truncated through the trailer
+	f.Add(valid[:40])           // truncated mid-header
+
+	// Corrupt packed regions re-wrapped in fresh (checksummed!)
+	// envelopes, so the fuzzer starts past the checksum and exercises
+	// the structural validator — the same cases the psl ErrBadBlob
+	// tests pin.
+	mutate := func(off int, val byte) []byte {
+		p := append([]byte(nil), packed...)
+		p[off] = val
+		return EncodeMatcherBlob(3, fp, p)
+	}
+	f.Add(mutate(0, 'X'))                        // packed magic
+	f.Add(mutate(4, 99))                         // packed version
+	f.Add(mutate(8, 0xff))                       // rule count
+	f.Add(mutate(12, 0x07))                      // capacity not a power of two
+	f.Add(mutate(16, 0xff))                      // node count vs occupied slots
+	f.Add(mutate(20, 0xff))                      // arena length vs blob size
+	f.Add(mutate(len(packed)/2, 0xAA))           // table bits
+	f.Add(mutate(len(packed)-1, 0x00))           // arena bytes
+	f.Add(EncodeMatcherBlob(3, fp, packed[:50])) // truncated packed
+	f.Add(EncodeMatcherBlob(3, fp, nil))         // empty packed
+	f.Add(EncodeMatcherBlob(9, fp, packed))      // seq mismatch
+	f.Add(EncodeFull(base, 3))                   // wrong envelope kind
+	wrongRules := psl.MustParse("example\nfoo.example\n")
+	f.Add(EncodeMatcherBlob(3, fp, psl.NewPackedMatcher(wrongRules).Marshal())) // valid matcher, wrong rules
+
+	oracle := psl.NewPackedMatcher(base)
+	hosts := []string{"a.b.com", "x.co.uk", "deep.ac.uk", "any.ck", "www.ck", "u.github.io", "unlisted.zone"}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pm, err := UnpackMatcherBlob(data, 3, fp)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrFingerprint) && !errors.Is(err, psl.ErrBadBlob) {
+				t.Fatalf("unpack error is untyped: %v", err)
+			}
+			return
+		}
+		// Accepted: it must BE the promised matcher, not merely claim to.
+		if got := pm.RulesFingerprint(); got != fp {
+			t.Fatalf("accepted blob digests to %s, promised %s", got, fp)
+		}
+		for _, h := range hosts {
+			if got, want := pm.Match(h), oracle.Match(h); got != want {
+				t.Fatalf("accepted blob diverges on %q: %+v vs %+v", h, got, want)
+			}
+		}
+	})
+}
+
 // FuzzManifestRoundTrip is the manifest codec's contract, from both
 // directions. (1) Constructive: derive a valid manifest from the fuzz
 // bytes and require an exact encode→decode round trip. (2) Adversarial:

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/history"
 	"repro/internal/obs"
+	"repro/internal/psl"
 )
 
 // HTTP paths the origin serves under Prefix.
@@ -23,6 +24,8 @@ const (
 	fullPrefix = Prefix + "full/"
 	// patchPrefix + "{from}/{to}" serves a delta blob.
 	patchPrefix = Prefix + "patch/"
+	// blobPrefix + "{seq}" serves a compiled matcher blob ("PSLM").
+	blobPrefix = Prefix + "blob/"
 )
 
 // Manifest is the origin's head advertisement: which version replicas
@@ -66,11 +69,13 @@ type Origin struct {
 
 	patches sync.Map // uint64(from)<<32|to -> *renderedBlob
 	fulls   sync.Map // int -> *renderedBlob
+	blobs   sync.Map // int -> *renderedBlob (compiled matchers)
 
 	manifestReqs, fullReqs, patchReqs obs.Counter
 	patchBytes, fullBytes             obs.Counter
 	patchRenders, fullRenders         obs.Counter
 	notModified                       obs.Counter
+	blobReqs, blobBytes, blobRenders  obs.Counter
 }
 
 type renderedBlob struct {
@@ -136,6 +141,12 @@ func (o *Origin) RegisterMetrics(r *obs.Registry) {
 		obs.Labels{{"kind", "full"}}, &o.fullRenders)
 	r.MustRegister("psl_dist_origin_not_modified_total", "Conditional requests answered 304 Not Modified.",
 		nil, &o.notModified)
+	r.MustRegister("psl_dist_blob_requests_total", "Compiled matcher blob requests received.",
+		nil, &o.blobReqs)
+	r.MustRegister("psl_dist_blob_bytes_total", "Compiled matcher blob bytes served.",
+		nil, &o.blobBytes)
+	r.MustRegister("psl_dist_blob_renders_total", "Compiled matcher blobs rendered into the cache.",
+		nil, &o.blobRenders)
 	r.MustRegister("psl_dist_origin_head_seq", "Version sequence currently published as head.",
 		nil, obs.GaugeFunc(func() float64 { return float64(o.Head()) }))
 }
@@ -150,6 +161,8 @@ func (o *Origin) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		o.serveFull(w, r, strings.TrimPrefix(path, fullPrefix))
 	case strings.HasPrefix(path, patchPrefix):
 		o.servePatch(w, r, strings.TrimPrefix(path, patchPrefix))
+	case strings.HasPrefix(path, blobPrefix):
+		o.serveBlob(w, r, strings.TrimPrefix(path, blobPrefix))
 	default:
 		http.NotFound(w, r)
 	}
@@ -192,6 +205,39 @@ func (o *Origin) serveFull(w http.ResponseWriter, r *http.Request, rest string) 
 	w.Header().Set("ETag", rb.etag)
 	n, _ := w.Write(rb.data)
 	o.fullBytes.Add(uint64(n))
+}
+
+// serveBlob answers /dist/blob/{seq} with the compiled matcher for that
+// version, wrapped in the "PSLM" envelope. Compiling is the expensive
+// step patch replication exists to amortise, so each version is
+// compiled and marshalled exactly once and the rendered blob cached —
+// the origin pays one compile per version however many replicas pull
+// it, and every replica that trusts the blob pays zero.
+func (o *Origin) serveBlob(w http.ResponseWriter, r *http.Request, rest string) {
+	o.blobReqs.Add(1)
+	seq, err := strconv.Atoi(rest)
+	if err != nil || seq < 0 || seq > o.Head() {
+		http.NotFound(w, r)
+		return
+	}
+	v, _ := o.blobs.LoadOrStore(seq, &renderedBlob{})
+	rb := v.(*renderedBlob)
+	rb.once.Do(func() {
+		fp := o.chain.Fingerprint(seq)
+		pm := psl.NewPackedMatcher(o.h.ListAt(seq))
+		rb.data = EncodeMatcherBlob(seq, fp, pm.Marshal())
+		rb.etag = `"` + fp + `"`
+		o.blobRenders.Add(1)
+	})
+	if r.Header.Get("If-None-Match") == rb.etag {
+		o.notModified.Add(1)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("ETag", rb.etag)
+	n, _ := w.Write(rb.data)
+	o.blobBytes.Add(uint64(n))
 }
 
 func (o *Origin) servePatch(w http.ResponseWriter, r *http.Request, rest string) {

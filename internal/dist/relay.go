@@ -68,6 +68,7 @@ type Relay struct {
 
 	patches sync.Map // uint64(from)<<32|to -> *renderedBlob
 	fulls   sync.Map // int -> *renderedBlob
+	blobs   sync.Map // int -> *renderedBlob (compiled matchers)
 
 	manifestReqs, fullReqs, patchReqs obs.Counter
 	patchBytes, fullBytes             obs.Counter
@@ -76,6 +77,7 @@ type Relay struct {
 	misses                            obs.Counter
 	unavailable                       obs.Counter
 	notModified                       obs.Counter
+	blobReqs, blobBytes, blobRenders  obs.Counter
 }
 
 // NewRelay builds a relay over rep, claiming rep.OnVerified to feed the
@@ -127,6 +129,12 @@ func (rl *Relay) push(s relaySnap) {
 	rl.fulls.Range(func(k, _ any) bool {
 		if k.(int) < floor {
 			rl.fulls.Delete(k)
+		}
+		return true
+	})
+	rl.blobs.Range(func(k, _ any) bool {
+		if k.(int) < floor {
+			rl.blobs.Delete(k)
 		}
 		return true
 	})
@@ -222,6 +230,12 @@ func (rl *Relay) RegisterMetrics(r *obs.Registry) {
 		nil, &rl.unavailable)
 	r.MustRegister("psl_dist_relay_not_modified_total", "Conditional requests answered 304 Not Modified.",
 		nil, &rl.notModified)
+	r.MustRegister("psl_dist_blob_requests_total", "Compiled matcher blob requests received.",
+		nil, &rl.blobReqs)
+	r.MustRegister("psl_dist_blob_bytes_total", "Compiled matcher blob bytes served.",
+		nil, &rl.blobBytes)
+	r.MustRegister("psl_dist_blob_renders_total", "Compiled matcher blobs rendered into the cache.",
+		nil, &rl.blobRenders)
 	r.MustRegister("psl_dist_relay_retained_snapshots", "Verified snapshots currently in the serving window.",
 		nil, obs.GaugeFunc(func() float64 { return float64(rl.Retained()) }))
 	r.MustRegister("psl_dist_relay_head_seq", "Version sequence currently served as head, -1 before the first install.",
@@ -245,6 +259,8 @@ func (rl *Relay) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		rl.serveFull(w, r, strings.TrimPrefix(path, fullPrefix))
 	case strings.HasPrefix(path, patchPrefix):
 		rl.servePatch(w, r, strings.TrimPrefix(path, patchPrefix))
+	case strings.HasPrefix(path, blobPrefix):
+		rl.serveBlob(w, r, strings.TrimPrefix(path, blobPrefix))
 	default:
 		http.NotFound(w, r)
 	}
@@ -298,6 +314,44 @@ func (rl *Relay) serveFull(w http.ResponseWriter, r *http.Request, rest string) 
 	w.Header().Set("ETag", rb.etag)
 	n, _ := w.Write(rb.data)
 	rl.fullBytes.Add(uint64(n))
+}
+
+// serveBlob answers /dist/blob/{seq} from the retained window. The
+// relay compiles (and caches) the matcher itself rather than proxying
+// upstream bytes: its snapshots were fingerprint-verified on install,
+// so a locally compiled blob carries exactly the same promise, works
+// even when the upstream predates the endpoint, and is rendered lazily
+// — a relay whose edges never ask for blobs never pays a compile.
+func (rl *Relay) serveBlob(w http.ResponseWriter, r *http.Request, rest string) {
+	rl.blobReqs.Add(1)
+	seq, err := strconv.Atoi(rest)
+	if err != nil || seq < 0 {
+		http.NotFound(w, r)
+		return
+	}
+	s, ok := rl.snapAt(seq)
+	if !ok {
+		rl.misses.Add(1)
+		http.NotFound(w, r)
+		return
+	}
+	v, _ := rl.blobs.LoadOrStore(seq, &renderedBlob{})
+	rb := v.(*renderedBlob)
+	rb.once.Do(func() {
+		pm := psl.NewPackedMatcher(s.list)
+		rb.data = EncodeMatcherBlob(s.seq, s.fp, pm.Marshal())
+		rb.etag = `"` + s.fp + `"`
+		rl.blobRenders.Add(1)
+	})
+	if r.Header.Get("If-None-Match") == rb.etag {
+		rl.notModified.Add(1)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("ETag", rb.etag)
+	n, _ := w.Write(rb.data)
+	rl.blobBytes.Add(uint64(n))
 }
 
 func (rl *Relay) servePatch(w http.ResponseWriter, r *http.Request, rest string) {

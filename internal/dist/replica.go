@@ -63,6 +63,15 @@ type ReplicaOptions struct {
 	// instead of a full bootstrap. Persistence failures are counted,
 	// never block a swap.
 	StateDir string
+	// FetchBlobs opts in to pulling the upstream's compiled matcher blob
+	// (/dist/blob/{seq}) after each verified install, handing it to
+	// OnInstall so the serving layer can swap versions without
+	// recompiling. The fetch is strictly best-effort and fully verified:
+	// an upstream without the endpoint, a transport error, or a blob
+	// that fails any verification step just yields a nil matcher (the
+	// consumer compiles locally) — it never delays the install, trips
+	// the circuit breaker, or spends the retry budget.
+	FetchBlobs bool
 	// Seed drives poll and backoff jitter. Default 1.
 	Seed int64
 }
@@ -146,6 +155,15 @@ type Replica struct {
 	// fingerprint. Set before calling Bootstrap or Run.
 	OnVerified func(l *psl.List, seq int, fp string)
 
+	// OnInstall, if set, supersedes OnSwap as the serving-layer hook
+	// (not for Bootstrap, whose result the caller installs): it carries
+	// the verified fingerprint and, with FetchBlobs, the upstream's
+	// pre-compiled matcher for the version — nil when the blob was
+	// absent or failed verification, in which case the consumer compiles
+	// (or reuses, when the fingerprint is unchanged) locally. It runs
+	// after OnVerified and before OnSwap. Set before calling Run.
+	OnInstall func(l *psl.List, seq int, fp string, m psl.Matcher)
+
 	state        replicaState
 	curSeq       atomic.Int64
 	headSeq      atomic.Int64
@@ -172,6 +190,11 @@ type Replica struct {
 	persisted         obs.Counter
 	persistErrors     obs.Counter
 	applyDur          *obs.Histogram
+
+	blobHits      obs.Counter // blob fetched, fully verified, handed to OnInstall
+	blobMisses    obs.Counter // endpoint absent or transport failure
+	blobInvalid   obs.Counter // blob fetched but failed verification
+	blobPersisted obs.Counter // verified blobs durably written to StateDir
 }
 
 // NewReplica builds a replica for the origin at base URL (e.g.
@@ -275,6 +298,17 @@ func (r *Replica) Retries() uint64 { return r.retries.Load() }
 // Persisted reports verified snapshots durably written to StateDir.
 func (r *Replica) Persisted() uint64 { return r.persisted.Load() }
 
+// BlobHits reports compiled matcher blobs fetched and fully verified.
+func (r *Replica) BlobHits() uint64 { return r.blobHits.Load() }
+
+// BlobMisses reports blob fetches that failed at the transport layer or
+// found no blob upstream (a pre-blob origin answering 404).
+func (r *Replica) BlobMisses() uint64 { return r.blobMisses.Load() }
+
+// BlobInvalid reports fetched blobs rejected by envelope, structural,
+// or fingerprint verification — each one a fall-back to local compile.
+func (r *Replica) BlobInvalid() uint64 { return r.blobInvalid.Load() }
+
 // PersistErrors reports snapshot persistence failures (the swap still
 // proceeded; only durability was lost).
 func (r *Replica) PersistErrors() uint64 { return r.persistErrors.Load() }
@@ -305,6 +339,14 @@ func (r *Replica) RegisterMetrics(reg *obs.Registry) {
 	reg.MustRegister("psl_dist_replica_state_persisted_total", "Verified snapshots durably persisted to the state dir.", nil, &r.persisted)
 	reg.MustRegister("psl_dist_replica_state_persist_errors_total", "Snapshot persistence failures (swap proceeded, durability lost).", nil, &r.persistErrors)
 	reg.MustRegister("psl_dist_replica_apply_duration_seconds", "Time to decode, verify, and apply one blob.", nil, r.applyDur)
+	reg.MustRegister("psl_dist_blob_fetches_total", "Compiled matcher blob fetches, by outcome.",
+		obs.Labels{{"result", "hit"}}, &r.blobHits)
+	reg.MustRegister("psl_dist_blob_fetches_total", "Compiled matcher blob fetches, by outcome.",
+		obs.Labels{{"result", "miss"}}, &r.blobMisses)
+	reg.MustRegister("psl_dist_blob_fetches_total", "Compiled matcher blob fetches, by outcome.",
+		obs.Labels{{"result", "invalid"}}, &r.blobInvalid)
+	reg.MustRegister("psl_dist_blob_persisted_total", "Verified matcher blobs durably persisted to the state dir.",
+		nil, &r.blobPersisted)
 	r.breaker.RegisterMetrics(reg, "dist_origin")
 	r.budget.RegisterMetrics(reg, "dist_replica")
 }
@@ -364,6 +406,61 @@ func (r *Replica) get(ctx context.Context, path, etag string) (body []byte, gotE
 	r.breaker.Record(gen, nil)
 	r.budget.OnSuccess()
 	return body, resp.Header.Get("ETag"), resp.StatusCode, nil
+}
+
+// FetchMatcherBlob pulls /dist/blob/{seq} from the upstream and runs
+// the full verification chain (UnpackMatcherBlob) against the expected
+// seq and verified fingerprint, persisting the envelope to StateDir on
+// success so a restart reuses it without recompiling. It returns nil on
+// any failure — missing endpoint, transport error, corrupt or
+// mismatched blob — because the caller always has a correct fallback:
+// compile the verified rules locally.
+//
+// Unlike get, this path deliberately bypasses the circuit breaker and
+// retry budget. The breaker protects the replication channel, and a
+// blob failure is not a replication failure: the rules already arrived
+// and verified, only the optional compile shortcut is unavailable. A
+// pre-blob upstream answering 404 forever must not open the breaker and
+// block real syncs.
+func (r *Replica) FetchMatcherBlob(ctx context.Context, seq int, fp string) *psl.PackedMatcher {
+	ctx, cancel := context.WithTimeout(ctx, r.opts.RequestTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, fmt.Sprintf("%s%s%d", r.origin, blobPrefix, seq), nil)
+	if err != nil {
+		r.blobMisses.Add(1)
+		return nil
+	}
+	resilience.PropagateDeadline(req)
+	resp, err := r.opts.Client.Do(req)
+	if err != nil {
+		r.blobMisses.Add(1)
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.CopyN(io.Discard, resp.Body, 4096)
+		r.blobMisses.Add(1)
+		return nil
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxBlobBytes+1))
+	if err != nil || len(body) > maxBlobBytes {
+		r.blobMisses.Add(1)
+		return nil
+	}
+	pm, err := UnpackMatcherBlob(body, seq, fp)
+	if err != nil {
+		r.blobInvalid.Add(1)
+		return nil
+	}
+	r.blobHits.Add(1)
+	if r.opts.StateDir != "" {
+		if err := SaveMatcherBlob(r.opts.StateDir, body); err != nil {
+			r.persistErrors.Add(1)
+		} else {
+			r.blobPersisted.Add(1)
+		}
+	}
+	return pm
 }
 
 // Poll performs one replication cycle: refresh the manifest, then chase
@@ -496,7 +593,7 @@ func (r *Replica) applyHop(ctx context.Context, cur, to int) error {
 	r.applyDur.Observe(time.Since(start))
 	r.patchBytes.Add(uint64(len(body)))
 	r.applied.Add(1)
-	r.install(l, p.ToSeq, p.ToFP)
+	r.install(ctx, l, p.ToSeq, p.ToFP)
 	return nil
 }
 
@@ -525,15 +622,17 @@ func (r *Replica) fullSync(ctx context.Context, seq int) error {
 	r.applyDur.Observe(time.Since(start))
 	r.fullBytes.Add(uint64(len(body)))
 	r.fullSyncs.Add(1)
-	r.install(l, f.Seq, f.FP)
+	r.install(ctx, l, f.Seq, f.FP)
 	return nil
 }
 
 // install publishes a verified snapshot: persist (when configured),
-// then callback, then the atomics that feed Lag. A persistence failure
+// then callbacks, then the atomics that feed Lag. A persistence failure
 // is counted but never blocks the swap — serving fresh data beats
-// durability.
-func (r *Replica) install(l *psl.List, seq int, fp string) {
+// durability. When FetchBlobs is on and an OnInstall consumer is
+// wired, the upstream's pre-compiled matcher is fetched (best-effort,
+// fully verified, breaker-free) between the relay hook and the swap.
+func (r *Replica) install(ctx context.Context, l *psl.List, seq int, fp string) {
 	r.state = replicaState{list: l, seq: seq, fp: fp}
 	if r.opts.StateDir != "" {
 		if err := SaveState(r.opts.StateDir, l, seq); err != nil {
@@ -544,6 +643,15 @@ func (r *Replica) install(l *psl.List, seq int, fp string) {
 	}
 	if r.OnVerified != nil {
 		r.OnVerified(l, seq, fp)
+	}
+	if r.OnInstall != nil {
+		var m psl.Matcher
+		if r.opts.FetchBlobs {
+			if pm := r.FetchMatcherBlob(ctx, seq, fp); pm != nil {
+				m = pm
+			}
+		}
+		r.OnInstall(l, seq, fp, m)
 	}
 	if r.OnSwap != nil {
 		r.OnSwap(l, seq)
@@ -574,10 +682,10 @@ func (r *Replica) Bootstrap(ctx context.Context, fromSeq int) (*psl.List, int, e
 	if seq < m.MinSeq {
 		seq = m.MinSeq
 	}
-	onSwap := r.OnSwap
-	r.OnSwap = nil
+	onSwap, onInstall := r.OnSwap, r.OnInstall
+	r.OnSwap, r.OnInstall = nil, nil
 	err = r.fullSync(ctx, seq)
-	r.OnSwap = onSwap
+	r.OnSwap, r.OnInstall = onSwap, onInstall
 	if err != nil {
 		r.pollErrors.Add(1)
 		return nil, 0, err

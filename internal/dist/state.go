@@ -14,19 +14,24 @@ import (
 // there is no second, weaker serialization to audit.
 const StateFileName = "snapshot.pslf"
 
-// SaveState durably persists a verified snapshot into dir, creating the
-// directory if needed. The write is crash-safe: the blob goes to a
-// temporary file, is fsynced, and is renamed over StateFileName (then
+// MatcherFileName is the compiled-matcher file inside a replica state
+// directory: the verified "PSLM" envelope exactly as fetched, so a
+// restarted process can reload the compiled matcher (checksum and
+// fingerprint re-verified against the restored snapshot) and start
+// serving with zero compiles.
+const MatcherFileName = "matcher.pslm"
+
+// writeFileAtomic crash-safely replaces dir/name with blob: the bytes
+// go to a temporary file, are fsynced, and are renamed into place (then
 // the directory is fsynced so the rename itself survives a crash). A
-// reader therefore sees either the previous complete snapshot or the
-// new one, never a torn write — and a torn write that slips through an
-// unclean shutdown is caught by the checksum on load.
-func SaveState(dir string, l *psl.List, seq int) error {
+// reader therefore sees either the previous complete file or the new
+// one, never a torn write — and a torn write that slips through an
+// unclean shutdown is caught by the blob checksum on load.
+func writeFileAtomic(dir, name string, blob []byte) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("dist: state dir: %w", err)
 	}
-	blob := EncodeFull(l, seq)
-	tmp, err := os.CreateTemp(dir, ".snapshot-*.tmp")
+	tmp, err := os.CreateTemp(dir, "."+name+"-*.tmp")
 	if err != nil {
 		return fmt.Errorf("dist: state temp: %w", err)
 	}
@@ -46,7 +51,7 @@ func SaveState(dir string, l *psl.List, seq int) error {
 		cleanup()
 		return fmt.Errorf("dist: state close: %w", err)
 	}
-	if err := os.Rename(tmpName, filepath.Join(dir, StateFileName)); err != nil {
+	if err := os.Rename(tmpName, filepath.Join(dir, name)); err != nil {
 		cleanup()
 		return fmt.Errorf("dist: state rename: %w", err)
 	}
@@ -57,6 +62,13 @@ func SaveState(dir string, l *psl.List, seq int) error {
 		_ = d.Close()
 	}
 	return nil
+}
+
+// SaveState durably persists a verified snapshot into dir, creating the
+// directory if needed (write-temp → fsync → atomic-rename, see
+// writeFileAtomic).
+func SaveState(dir string, l *psl.List, seq int) error {
+	return writeFileAtomic(dir, StateFileName, EncodeFull(l, seq))
 }
 
 // LoadState reads the persisted snapshot back, verifying the blob
@@ -77,4 +89,30 @@ func LoadState(dir string) (*psl.List, int, error) {
 		return nil, 0, fmt.Errorf("dist: state verify: %w", err)
 	}
 	return l, f.Seq, nil
+}
+
+// SaveMatcherBlob durably persists a verified compiled-matcher envelope
+// next to the snapshot, with the same crash-safety discipline. Callers
+// pass the envelope bytes exactly as verified, so load-time
+// verification covers the same chain fetch-time verification did.
+func SaveMatcherBlob(dir string, envelope []byte) error {
+	return writeFileAtomic(dir, MatcherFileName, envelope)
+}
+
+// LoadMatcherBlob reads the persisted compiled matcher back and runs
+// the full verification chain against the expected (seq, fp) — the
+// values of the snapshot the caller just restored. A file left over
+// from an older version simply fails the seq or fingerprint check and
+// is reported as an error, never returned; the caller compiles instead.
+// A missing file surfaces as fs.ErrNotExist.
+func LoadMatcherBlob(dir string, seq int, fp string) (*psl.PackedMatcher, error) {
+	data, err := os.ReadFile(filepath.Join(dir, MatcherFileName))
+	if err != nil {
+		return nil, err
+	}
+	pm, err := UnpackMatcherBlob(data, seq, fp)
+	if err != nil {
+		return nil, fmt.Errorf("dist: matcher state verify: %w", err)
+	}
+	return pm, nil
 }

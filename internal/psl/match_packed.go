@@ -472,6 +472,19 @@ func (pm *PackedMatcher) Match(name string) Result {
 // Len reports the number of compiled rules.
 func (pm *PackedMatcher) Len() int { return pm.nRules }
 
+// RulesFingerprint recomputes the rule-set fingerprint of the compiled
+// rules — the same digest List.Fingerprint produces for the list the
+// matcher was compiled from. Unmarshal's structural validation proves a
+// blob is a well-formed matcher; this digest proves it is the matcher
+// for a specific promised rule set, which is what lets a replica accept
+// a pre-compiled blob without recompiling the rules itself.
+func (pm *PackedMatcher) RulesFingerprint() string {
+	rules := make([]Rule, len(pm.rules))
+	copy(rules, pm.rules)
+	sort.Slice(rules, func(i, j int) bool { return CompareRules(rules[i], rules[j]) < 0 })
+	return FingerprintOfSorted(rules)
+}
+
 // SizeBytes reports the compiled footprint: slot table, rule records,
 // and arena.
 func (pm *PackedMatcher) SizeBytes() int {

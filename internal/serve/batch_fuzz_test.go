@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"bytes"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzBatchCodec hammers the binary batch framing from both directions:
+// arbitrary bytes must never panic either decoder, and whatever the
+// request decoder accepts must survive an encode→decode round trip
+// unchanged (byte identity is not required — uvarint tolerates
+// non-minimal encodings on input, the encoder always emits canonical
+// form).
+func FuzzBatchCodec(f *testing.F) {
+	// Valid envelopes.
+	for _, hosts := range [][]string{
+		{},
+		{"example.com"},
+		{"example.com", "b.example.co.uk", "食狮.公司.cn"},
+		{""},
+	} {
+		enc, err := EncodeBatchRequest(hosts)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(enc)
+	}
+	// Deliberately hostile seeds: truncation, oversize length prefixes,
+	// a row count larger than the payload, invalid UTF-8 host bytes,
+	// trailing garbage, wrong magic/version.
+	valid, _ := EncodeBatchRequest([]string{"example.com", "b.co.uk"})
+	f.Add(valid[:len(valid)-4])
+	f.Add(append(bytes.Clone(valid), "trailing"...))
+	f.Add([]byte("PSLB\x01\xff\xff\xff\xff\xff\xff\xff\xff\xff\x01"))     // huge count
+	f.Add([]byte("PSLB\x01\x01\xff\xff\xff\xff\xff\xff\xff\xff\xff\x01")) // huge row length
+	f.Add([]byte("PSLB\x01\x01\x02\xff\xfe"))                             // invalid UTF-8 host
+	f.Add([]byte("PSLB\x02\x00"))                                         // unsupported version
+	f.Add([]byte("PSLR\x01\x00"))                                         // response magic fed to request decoder
+	f.Add([]byte("PSLB"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		hosts, err := DecodeBatchRequest(data)
+		if err == nil {
+			for _, h := range hosts {
+				if len(h) > maxBatchHostLen {
+					t.Fatalf("decoder admitted a %d-byte host", len(h))
+				}
+				if !utf8.ValidString(h) {
+					t.Fatalf("decoder admitted invalid UTF-8 host %q", h)
+				}
+			}
+			enc, eerr := EncodeBatchRequest(hosts)
+			if eerr != nil {
+				t.Fatalf("re-encoding decoded hosts failed: %v", eerr)
+			}
+			back, derr := DecodeBatchRequest(enc)
+			if derr != nil {
+				t.Fatalf("canonical re-encoding does not decode: %v", derr)
+			}
+			if len(back) != len(hosts) {
+				t.Fatalf("round trip changed row count: %d != %d", len(back), len(hosts))
+			}
+			for i := range back {
+				if back[i] != hosts[i] {
+					t.Fatalf("round trip changed row %d: %q != %q", i, back[i], hosts[i])
+				}
+			}
+		}
+		// The response decoder must be panic-free on the same inputs.
+		rows, rerr := DecodeBatchResponse(data)
+		if rerr == nil {
+			for _, r := range rows {
+				if len(r) > maxBatchRespRow {
+					t.Fatalf("response decoder admitted a %d-byte row", len(r))
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,210 @@
+package serve
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"unicode/utf8"
+)
+
+// Binary batch framing. The request is a "PSLB" envelope of
+// length-prefixed hostnames; the response is a "PSLR" envelope of
+// length-prefixed JSON rows (each row the same object NDJSON mode
+// emits). Both sides are uvarint-based so a batch of short hostnames
+// costs ~1 byte of framing per row:
+//
+//	request:  "PSLB" | version(1) | uvarint count | count × (uvarint len | host bytes)
+//	response: "PSLR" | version(1) | uvarint count | count × (uvarint len | JSON row)
+//
+// Hosts must be valid UTF-8 and at most maxBatchHostLen bytes; anything
+// else is a framing error (ErrBadBatch), not a per-row error — a client
+// that cannot frame hostnames cannot be answered row-by-row. Truncated
+// or trailing bytes likewise fail the whole envelope. The server reads
+// the envelope from a fully-buffered body and iterates hostnames as
+// views into that buffer, so decoding allocates nothing per row.
+const (
+	batchReqMagic     = "PSLB"
+	batchRespMagic    = "PSLR"
+	batchCodecVersion = 1
+
+	// maxBatchHostLen bounds one hostname inside a batch. Real
+	// hostnames top out at 253 octets; the slack covers raw U-label
+	// queries before IDNA mapping.
+	maxBatchHostLen = 4096
+
+	// maxBatchBody bounds the request body read into memory (either
+	// wire mode) before row processing starts.
+	maxBatchBody = 1 << 24
+)
+
+// ErrBadBatch reports a malformed binary batch envelope: wrong magic or
+// version, truncated framing, an oversized length prefix, invalid
+// UTF-8, or trailing garbage.
+var ErrBadBatch = errors.New("serve: malformed batch payload")
+
+// BatchBinaryContentType selects the binary wire mode on /v1/batch;
+// any other request content type is treated as NDJSON.
+const BatchBinaryContentType = "application/x-psl-batch"
+
+// BatchNDJSONContentType is the content type of NDJSON batch requests
+// and responses.
+const BatchNDJSONContentType = "application/x-ndjson"
+
+// AppendBatchRequest appends the binary framing of hosts to dst and
+// returns the extended slice. Hosts longer than maxBatchHostLen or
+// containing invalid UTF-8 are refused with ErrBadBatch — the encoder
+// enforces the same bounds the decoder does, so an encoded request
+// always decodes.
+func AppendBatchRequest(dst []byte, hosts []string) ([]byte, error) {
+	for _, h := range hosts {
+		if len(h) > maxBatchHostLen {
+			return dst, fmt.Errorf("%w: host of %d bytes exceeds limit %d", ErrBadBatch, len(h), maxBatchHostLen)
+		}
+		if !utf8.ValidString(h) {
+			return dst, fmt.Errorf("%w: host is not valid UTF-8", ErrBadBatch)
+		}
+	}
+	dst = append(dst, batchReqMagic...)
+	dst = append(dst, batchCodecVersion)
+	dst = binary.AppendUvarint(dst, uint64(len(hosts)))
+	for _, h := range hosts {
+		dst = binary.AppendUvarint(dst, uint64(len(h)))
+		dst = append(dst, h...)
+	}
+	return dst, nil
+}
+
+// EncodeBatchRequest is AppendBatchRequest into a fresh buffer.
+func EncodeBatchRequest(hosts []string) ([]byte, error) {
+	return AppendBatchRequest(nil, hosts)
+}
+
+// batchIter walks the length-prefixed payload section of either
+// envelope, yielding each row as a view into the underlying buffer.
+type batchIter struct {
+	rest []byte
+	n    int // rows not yet yielded
+	max  int // per-row byte bound
+}
+
+// parseBatchEnvelope validates the header of a binary batch envelope
+// and returns an iterator over its rows plus the declared row count.
+// The count is validated against the remaining bytes (a count that
+// cannot possibly fit the payload is rejected immediately, so a hostile
+// header cannot make the caller pre-size anything huge).
+func parseBatchEnvelope(data []byte, magic string, maxRow int) (batchIter, int, error) {
+	if len(data) < len(magic)+1 || string(data[:len(magic)]) != magic {
+		return batchIter{}, 0, fmt.Errorf("%w: bad magic", ErrBadBatch)
+	}
+	if data[len(magic)] != batchCodecVersion {
+		return batchIter{}, 0, fmt.Errorf("%w: unsupported version %d", ErrBadBatch, data[len(magic)])
+	}
+	rest := data[len(magic)+1:]
+	count, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return batchIter{}, 0, fmt.Errorf("%w: truncated row count", ErrBadBatch)
+	}
+	rest = rest[n:]
+	// Each row costs at least one length byte, so count can never
+	// exceed the remaining payload size.
+	if count > uint64(len(rest)) {
+		return batchIter{}, 0, fmt.Errorf("%w: row count %d exceeds payload", ErrBadBatch, count)
+	}
+	return batchIter{rest: rest, n: int(count), max: maxRow}, int(count), nil
+}
+
+// next yields the next row. Calling it after the declared count is
+// exhausted reports done; framing problems (truncation, oversize
+// length) surface as ErrBadBatch.
+func (it *batchIter) next() (row []byte, done bool, err error) {
+	if it.n == 0 {
+		if len(it.rest) != 0 {
+			return nil, true, fmt.Errorf("%w: %d trailing bytes", ErrBadBatch, len(it.rest))
+		}
+		return nil, true, nil
+	}
+	l, n := binary.Uvarint(it.rest)
+	if n <= 0 {
+		return nil, false, fmt.Errorf("%w: truncated row length", ErrBadBatch)
+	}
+	if l > uint64(it.max) {
+		return nil, false, fmt.Errorf("%w: row of %d bytes exceeds limit %d", ErrBadBatch, l, it.max)
+	}
+	it.rest = it.rest[n:]
+	if uint64(len(it.rest)) < l {
+		return nil, false, fmt.Errorf("%w: truncated row", ErrBadBatch)
+	}
+	row, it.rest = it.rest[:l], it.rest[l:]
+	it.n--
+	return row, false, nil
+}
+
+// parseBatchRequest opens a "PSLB" request envelope.
+func parseBatchRequest(data []byte) (batchIter, int, error) {
+	return parseBatchEnvelope(data, batchReqMagic, maxBatchHostLen)
+}
+
+// DecodeBatchRequest decodes a binary batch request into its hostnames.
+// It is the materialising twin of the server's in-place iterator, used
+// by tests and the fuzz harness; the server itself never builds the
+// slice.
+func DecodeBatchRequest(data []byte) ([]string, error) {
+	it, count, err := parseBatchRequest(data)
+	if err != nil {
+		return nil, err
+	}
+	hosts := make([]string, 0, count)
+	for {
+		row, done, err := it.next()
+		if err != nil {
+			return nil, err
+		}
+		if done {
+			return hosts, nil
+		}
+		if !utf8.Valid(row) {
+			return nil, fmt.Errorf("%w: host is not valid UTF-8", ErrBadBatch)
+		}
+		hosts = append(hosts, string(row))
+	}
+}
+
+// appendBatchResponseHeader appends the "PSLR" envelope header for a
+// response of count rows.
+func appendBatchResponseHeader(dst []byte, count int) []byte {
+	dst = append(dst, batchRespMagic...)
+	dst = append(dst, batchCodecVersion)
+	return binary.AppendUvarint(dst, uint64(count))
+}
+
+// appendBatchResponseRow appends one length-prefixed row.
+func appendBatchResponseRow(dst, row []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(row)))
+	return append(dst, row...)
+}
+
+// maxBatchRespRow bounds one decoded response row. JSON answer rows are
+// a few hundred bytes; the bound only exists so a corrupt length prefix
+// cannot demand gigabytes.
+const maxBatchRespRow = 1 << 20
+
+// DecodeBatchResponse decodes a binary batch response into its raw JSON
+// rows (views into data). Clients unmarshal each row into Answer as
+// needed.
+func DecodeBatchResponse(data []byte) ([][]byte, error) {
+	it, count, err := parseBatchEnvelope(data, batchRespMagic, maxBatchRespRow)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([][]byte, 0, count)
+	for {
+		row, done, err := it.next()
+		if err != nil {
+			return nil, err
+		}
+		if done {
+			return rows, nil
+		}
+		rows = append(rows, row)
+	}
+}

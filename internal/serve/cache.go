@@ -69,6 +69,24 @@ func (c *Cache) Get(key string) (Answer, bool) {
 	return a, ok
 }
 
+// GetBytes is Get for a key still held as bytes (the batch NDJSON
+// scanner hands out views into its read buffer). The map probe uses the
+// compiler's string(key) lookup optimisation, so a hit costs zero
+// allocations — the key is only materialised as a string on the miss
+// path, where Put needs an owned copy anyway.
+func (c *Cache) GetBytes(key []byte) (Answer, bool) {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	s := &c.shards[h%cacheShards]
+	s.mu.RLock()
+	a, ok := s.m[string(key)]
+	s.mu.RUnlock()
+	return a, ok
+}
+
 // entryOverheadBytes approximates the per-entry cost beyond the string
 // payloads: the Answer struct itself, the map bucket slot and the key
 // header. The figure is a deliberate model, not a heap measurement —

@@ -1,0 +1,9 @@
+//go:build race
+
+package serve
+
+// raceEnabled reports whether the race detector is compiled in. The
+// batch middleware alloc guard skips under race: sync.Pool
+// deliberately drops items there to expose races, so pooled buffers
+// are intermittently reallocated and marginal-alloc counts are noise.
+const raceEnabled = true

@@ -24,6 +24,11 @@ type Options struct {
 	// excess requests are rejected with 503 + Retry-After. <= 0 selects
 	// DefaultMaxInFlight.
 	MaxInFlight int
+	// MaxBatch bounds the rows accepted by one /v1/batch request (a
+	// whole batch costs a single admission ticket, so the row bound is
+	// what keeps one client from monopolising the service). <= 0 selects
+	// DefaultMaxBatch.
+	MaxBatch int
 	// CacheSize bounds the lookup cache (entries). <= 0 selects
 	// DefaultCacheSize.
 	CacheSize int
@@ -52,6 +57,9 @@ type Options struct {
 // DefaultMaxInFlight is the default admission bound.
 const DefaultMaxInFlight = 256
 
+// DefaultMaxBatch is the default row bound of one /v1/batch request.
+const DefaultMaxBatch = 8192
+
 // hitSampleEvery is the cache-hit latency sampling period: one in every
 // hitSampleEvery hits arms end-to-end timing for the following lookup.
 // Cached hits run in ~100ns, so timing each one (two time.Now calls)
@@ -70,6 +78,7 @@ type timing struct {
 	armed atomic.Bool
 	hit   *obs.Histogram
 	miss  *obs.Histogram
+	batch *obs.Histogram
 }
 
 // state is the unit of atomic swap: a snapshot and the cache built for
@@ -98,6 +107,26 @@ type Service struct {
 	admitted  obs.Counter
 	rejected  obs.Counter
 	m         *timing
+
+	// batch telemetry: requests by wire mode, rows by result, and
+	// admission rejections. Rows are tallied on the stack during a batch
+	// and flushed with one Add per counter, so the hot loop touches no
+	// shared cache line (the per-row path above goes through the striped
+	// counters once per request instead).
+	batchNDJSON   obs.Counter
+	batchBinary   obs.Counter
+	batchRowHits  obs.Counter
+	batchRowMiss  obs.Counter
+	batchRowErrs  obs.Counter
+	batchRejected obs.Counter
+
+	// matcher install provenance: compile (buildSnapshot ran a full
+	// compile), blob (a pre-built matcher was handed in, e.g. unpacked
+	// from a dist blob), reuse (SwapVerified recognised an identical
+	// fingerprint and kept the installed matcher).
+	compileInstalls obs.Counter
+	blobInstalls    obs.Counter
+	reuseInstalls   obs.Counter
 
 	matcherName string
 
@@ -130,8 +159,30 @@ type Service struct {
 // New creates a service answering for the given list. seq identifies
 // the version inside opts.History (-1 when the list is standalone).
 func New(l *psl.List, seq int, opts Options) *Service {
+	s := newService(opts)
+	s.Swap(l, seq)
+	return s
+}
+
+// NewWith creates a service whose initial snapshot carries a verified
+// rules fingerprint and, optionally, a pre-built matcher — the blob-fed
+// bootstrap path: a follower that fetched the compiled matcher blob
+// hands it straight in and the service performs zero compiles. m == nil
+// compiles as usual (still recording fp for later reuse).
+func NewWith(l *psl.List, seq int, fp string, m psl.Matcher, opts Options) *Service {
+	s := newService(opts)
+	s.SwapVerified(l, seq, fp, m)
+	return s
+}
+
+// newService builds a service with no snapshot installed yet; callers
+// must install one before returning it.
+func newService(opts Options) *Service {
 	if opts.MaxInFlight <= 0 {
 		opts.MaxInFlight = DefaultMaxInFlight
+	}
+	if opts.MaxBatch <= 0 {
+		opts.MaxBatch = DefaultMaxBatch
 	}
 	if opts.VersionCacheSize <= 0 {
 		opts.VersionCacheSize = 8
@@ -153,8 +204,9 @@ func New(l *psl.List, seq int, opts Options) *Service {
 	}
 	if !opts.DisableMetrics {
 		s.m = &timing{
-			hit:  obs.NewHistogram(nil),
-			miss: obs.NewHistogram(nil),
+			hit:   obs.NewHistogram(nil),
+			miss:  obs.NewHistogram(nil),
+			batch: obs.NewHistogram(nil),
 		}
 	}
 	if opts.History != nil && opts.NewMatcher == nil {
@@ -162,10 +214,10 @@ func New(l *psl.List, seq int, opts Options) *Service {
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc(LookupPath, s.handleLookup)
+	mux.HandleFunc(BatchPath, s.handleBatch)
 	mux.HandleFunc(VersionPath, s.handleVersion)
 	mux.HandleFunc(HealthPath, s.handleHealth)
 	s.mux = mux
-	s.Swap(l, seq)
 	return s
 }
 
@@ -279,6 +331,27 @@ func (s *Service) RegisterMetrics(r *obs.Registry) {
 		obs.GaugeFunc(func() float64 { return float64(len(s.tokens)) }))
 	r.MustRegister("psl_serve_admitted_total", "Requests admitted past the in-flight bound.", nil, &s.admitted)
 	r.MustRegister("psl_serve_rejected_total", "Requests rejected with 503 by admission control.", nil, &s.rejected)
+	r.MustRegister("psl_serve_batch_requests_total", "Batch requests by wire mode (ndjson or binary).",
+		obs.Labels{{"mode", "ndjson"}}, &s.batchNDJSON)
+	r.MustRegister("psl_serve_batch_requests_total", "Batch requests by wire mode (ndjson or binary).",
+		obs.Labels{{"mode", "binary"}}, &s.batchBinary)
+	r.MustRegister("psl_serve_batch_rows_total", "Batch rows answered, by result.",
+		obs.Labels{{"result", "hit"}}, &s.batchRowHits)
+	r.MustRegister("psl_serve_batch_rows_total", "Batch rows answered, by result.",
+		obs.Labels{{"result", "miss"}}, &s.batchRowMiss)
+	r.MustRegister("psl_serve_batch_rows_total", "Batch rows answered, by result.",
+		obs.Labels{{"result", "error"}}, &s.batchRowErrs)
+	r.MustRegister("psl_serve_batch_rejected_total", "Batch requests rejected with 503 by admission control.", nil, &s.batchRejected)
+	if s.m != nil {
+		r.MustRegister("psl_serve_batch_duration_seconds", "Whole-batch service time (one observation per batch request).",
+			obs.Labels{{"matcher", n}}, s.m.batch)
+	}
+	r.MustRegister("psl_serve_matcher_installs_total", "Snapshot matcher installs by provenance (compile, blob, reuse).",
+		obs.Labels{{"source", "compile"}}, &s.compileInstalls)
+	r.MustRegister("psl_serve_matcher_installs_total", "Snapshot matcher installs by provenance (compile, blob, reuse).",
+		obs.Labels{{"source", "blob"}}, &s.blobInstalls)
+	r.MustRegister("psl_serve_matcher_installs_total", "Snapshot matcher installs by provenance (compile, blob, reuse).",
+		obs.Labels{{"source", "reuse"}}, &s.reuseInstalls)
 	if s.compiled != nil {
 		s.compiled.RegisterMetrics(r)
 	}
@@ -301,13 +374,54 @@ func (s *Service) Swap(l *psl.List, seq int) *Snapshot {
 	return s.install(s.buildSnapshot(l, seq))
 }
 
+// SwapVerified is Swap for callers that already verified the list's
+// rules fingerprint (a dist replica walking the fingerprint chain). The
+// fingerprint buys two compile elisions:
+//
+//   - m != nil installs the pre-built matcher as-is — the blob-fed path,
+//     where the caller unpacked the origin's compiled blob and the
+//     service never compiles at all;
+//   - m == nil but fp equals the installed snapshot's fingerprint reuses
+//     the installed matcher — a patched version whose rules came out
+//     byte-identical (changes cancelling out across a compaction window)
+//     must not pay a recompile, while the new Version/Seq metadata still
+//     installs so /v1/version tracks upstream.
+//
+// Anything else compiles exactly like Swap. fp may be empty (disables
+// both elisions now and reuse later).
+func (s *Service) SwapVerified(l *psl.List, seq int, fp string, m psl.Matcher) *Snapshot {
+	var snap *Snapshot
+	switch cur := s.st.Load(); {
+	case m != nil:
+		s.blobInstalls.Add(1)
+		snap = NewSnapshotWith(l, seq, m)
+	case cur != nil && fp != "" && fp == cur.snap.Fingerprint && cur.snap.Matcher != nil:
+		s.reuseInstalls.Add(1)
+		snap = NewSnapshotWith(l, seq, cur.snap.Matcher)
+	default:
+		snap = s.buildSnapshot(l, seq)
+	}
+	snap.Fingerprint = fp
+	return s.install(snap)
+}
+
 // buildSnapshot constructs a snapshot honouring the Options.NewMatcher
-// override; the default is the packed compiled matcher.
+// override; the default is the packed compiled matcher. Every call is a
+// full matcher compile and counts as one in the install-provenance
+// metric.
 func (s *Service) buildSnapshot(l *psl.List, seq int) *Snapshot {
+	s.compileInstalls.Add(1)
 	if s.opts.NewMatcher != nil {
 		return NewSnapshotWith(l, seq, s.opts.NewMatcher(l))
 	}
 	return NewSnapshot(l, seq)
+}
+
+// MatcherInstalls reports how many snapshot installs compiled a matcher,
+// received one pre-built (blob-fed), or reused the previous snapshot's.
+// The e2e tests assert "zero compiles after bootstrap" through this.
+func (s *Service) MatcherInstalls() (compile, blob, reuse uint64) {
+	return s.compileInstalls.Load(), s.blobInstalls.Load(), s.reuseInstalls.Load()
 }
 
 // SetVersion materialises and installs history version seq. It errors
@@ -429,6 +543,7 @@ func (s *Service) versionSnapshot(seq int) *Snapshot {
 // server binaries mount an obs.Registry on.
 const (
 	LookupPath  = "/v1/lookup"
+	BatchPath   = "/v1/batch"
 	VersionPath = "/v1/version"
 	HealthPath  = "/healthz"
 	MetricsPath = "/metrics"

@@ -33,6 +33,12 @@ type Snapshot struct {
 	// Seq is the history sequence number of the version, or -1 when the
 	// snapshot was installed from a bare list outside any history.
 	Seq int
+	// Fingerprint is the verified hex fingerprint of the list's rules
+	// (psl.FingerprintOfSorted) when the snapshot was installed through
+	// SwapVerified, empty when unknown. It lets the next SwapVerified
+	// recognise a byte-identical rule set and reuse this snapshot's
+	// matcher instead of recompiling.
+	Fingerprint string
 	// Gen is the swap generation that installed this snapshot: 1 for
 	// the snapshot a Service was created with, +1 per Swap since.
 	Gen uint64
@@ -85,6 +91,11 @@ type Answer struct {
 	Seq     int    `json:"seq"`
 	// Cached reports that the answer was served from the lookup cache.
 	Cached bool `json:"cached,omitempty"`
+	// Error carries the per-row failure for batch responses (an invalid
+	// host inside a batch fails only its own row, not the request).
+	// Always empty on single-lookup answers, which signal errors at the
+	// HTTP status level instead.
+	Error string `json:"error,omitempty"`
 }
 
 // Resolve answers a lookup against this snapshot, bypassing any cache.
