@@ -1,8 +1,10 @@
 // Command promlint validates a Prometheus text-exposition document — a
 // /metrics scrape saved to a file, or piped on stdin — against the
 // format rules internal/obs emits and CI enforces: HELP/TYPE ordering,
-// sample syntax, label quoting, and histogram bucket consistency
-// (cumulative buckets, +Inf equal to _count).
+// sample syntax, label quoting, histogram bucket consistency
+// (cumulative buckets, +Inf equal to _count), and histogram naming
+// units (every histogram family must end in _seconds or _bytes, the
+// convention DESIGN.md §10 fixes so dashboards never guess a unit).
 //
 //	pslserver &
 //	curl -s http://127.0.0.1:8353/metrics | promlint -require psl_serve_lookups_total
@@ -12,6 +14,8 @@
 //	-require NAMES  comma-separated metric families that must be
 //	                present; missing families fail the lint
 //	-min-families N fail unless at least N families are exposed
+//	-no-units       skip the histogram unit-suffix check (for linting
+//	                foreign expositions that follow other conventions)
 //	-q              suppress the family listing on success
 //
 // Exit status 0 when the document is valid (and every requirement is
@@ -28,17 +32,42 @@ import (
 	"repro/internal/obs"
 )
 
+// checkHistogramUnits enforces the repo's unit-suffix convention on
+// histogram families: the family name must end in _seconds or _bytes.
+func checkHistogramUnits(infos []obs.FamilyInfo) error {
+	var bad []string
+	for _, fi := range infos {
+		if fi.Type != "histogram" {
+			continue
+		}
+		if !strings.HasSuffix(fi.Name, "_seconds") && !strings.HasSuffix(fi.Name, "_bytes") {
+			bad = append(bad, fi.Name)
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("histogram families without a _seconds/_bytes unit suffix: %s", strings.Join(bad, ", "))
+	}
+	return nil
+}
+
 // lint validates one document and applies the -require / -min-families
-// checks, writing diagnostics to w. It returns the family names and the
-// first error.
-func lint(r io.Reader, require []string, minFamilies int, w io.Writer) ([]string, error) {
-	families, err := obs.ValidateExposition(r)
+// / unit-suffix checks, writing diagnostics to w. It returns the family
+// names and the first error.
+func lint(r io.Reader, require []string, minFamilies int, checkUnits bool, w io.Writer) ([]string, error) {
+	infos, err := obs.ValidateExpositionInfo(r)
 	if err != nil {
 		return nil, err
 	}
-	have := make(map[string]bool, len(families))
-	for _, f := range families {
-		have[f] = true
+	families := make([]string, len(infos))
+	have := make(map[string]bool, len(infos))
+	for i, fi := range infos {
+		families[i] = fi.Name
+		have[fi.Name] = true
+	}
+	if checkUnits {
+		if err := checkHistogramUnits(infos); err != nil {
+			return families, err
+		}
 	}
 	var missing []string
 	for _, name := range require {
@@ -60,6 +89,7 @@ func main() {
 	var (
 		require     = flag.String("require", "", "comma-separated families that must be present")
 		minFamilies = flag.Int("min-families", 0, "minimum number of metric families")
+		noUnits     = flag.Bool("no-units", false, "skip the histogram unit-suffix check")
 		quiet       = flag.Bool("q", false, "suppress the family listing on success")
 	)
 	flag.Parse()
@@ -84,7 +114,7 @@ func main() {
 	if *require != "" {
 		reqs = strings.Split(*require, ",")
 	}
-	families, err := lint(in, reqs, *minFamilies, os.Stdout)
+	families, err := lint(in, reqs, *minFamilies, !*noUnits, os.Stdout)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "promlint: %s: %v\n", name, err)
 		os.Exit(1)

@@ -18,7 +18,7 @@ psl_demo_duration_seconds_count 3
 `
 
 func TestLintValid(t *testing.T) {
-	families, err := lint(strings.NewReader(validDoc), nil, 2, io.Discard)
+	families, err := lint(strings.NewReader(validDoc), nil, 2, true, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,21 +28,51 @@ func TestLintValid(t *testing.T) {
 }
 
 func TestLintRequireMissing(t *testing.T) {
-	_, err := lint(strings.NewReader(validDoc), []string{"psl_demo_total", "psl_absent_total"}, 0, io.Discard)
+	_, err := lint(strings.NewReader(validDoc), []string{"psl_demo_total", "psl_absent_total"}, 0, true, io.Discard)
 	if err == nil || !strings.Contains(err.Error(), "psl_absent_total") {
 		t.Fatalf("err = %v, want missing psl_absent_total", err)
 	}
 }
 
 func TestLintMinFamilies(t *testing.T) {
-	if _, err := lint(strings.NewReader(validDoc), nil, 3, io.Discard); err == nil {
+	if _, err := lint(strings.NewReader(validDoc), nil, 3, true, io.Discard); err == nil {
 		t.Fatal("accepted document below -min-families")
 	}
 }
 
 func TestLintRejectsBrokenHistogram(t *testing.T) {
 	broken := strings.Replace(validDoc, `le="+Inf"} 3`, `le="+Inf"} 2`, 1)
-	if _, err := lint(strings.NewReader(broken), nil, 0, io.Discard); err == nil {
+	if _, err := lint(strings.NewReader(broken), nil, 0, true, io.Discard); err == nil {
 		t.Fatal("accepted histogram whose +Inf bucket disagrees with _count")
+	}
+}
+
+// unitlessDoc is a well-formed exposition whose histogram family lacks
+// the _seconds/_bytes unit suffix the repo convention requires.
+const unitlessDoc = `# HELP psl_demo_latency A histogram without a unit suffix.
+# TYPE psl_demo_latency histogram
+psl_demo_latency_bucket{le="0.1"} 2
+psl_demo_latency_bucket{le="+Inf"} 3
+psl_demo_latency_sum 0.5
+psl_demo_latency_count 3
+`
+
+func TestLintRejectsUnitlessHistogram(t *testing.T) {
+	_, err := lint(strings.NewReader(unitlessDoc), nil, 0, true, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "psl_demo_latency") {
+		t.Fatalf("err = %v, want unit-suffix failure naming psl_demo_latency", err)
+	}
+}
+
+func TestLintUnitsCheckDisabled(t *testing.T) {
+	if _, err := lint(strings.NewReader(unitlessDoc), nil, 0, false, io.Discard); err != nil {
+		t.Fatalf("-no-units lint failed: %v", err)
+	}
+}
+
+func TestLintAcceptsBytesHistogram(t *testing.T) {
+	doc := strings.ReplaceAll(unitlessDoc, "psl_demo_latency", "psl_demo_size_bytes")
+	if _, err := lint(strings.NewReader(doc), nil, 0, true, io.Discard); err != nil {
+		t.Fatalf("rejected _bytes histogram: %v", err)
 	}
 }

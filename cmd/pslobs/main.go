@@ -1,0 +1,484 @@
+// Command pslobs inspects a running pslserver fleet through its
+// observability plane: it scrapes each node's /healthz, /metrics,
+// /debug/traces and /debug/propagation and renders one fleet summary —
+// per-node tier, seq, replication lag and matcher-install provenance,
+// per-stage propagation latencies (p50/p99 from the
+// psl_propagation_stage_seconds histograms), and the slowest retained
+// traces across the fleet.
+//
+//	pslobs http://127.0.0.1:8353 http://127.0.0.1:8453 http://127.0.0.1:8553
+//
+// Flags:
+//
+//	-json            emit the scraped fleet summary as JSON
+//	-watch D         re-scrape and re-render every D (0 = scrape once)
+//	-timeout D       per-request scrape timeout (default 5s)
+//	-top N           slowest traces listed per node (default 3)
+//	-assert-stages S comma-separated lifecycle stages; exit 1 unless the
+//	                 LAST node has a seq timeline containing all of them
+//	                 in canonical order (the CI propagation check)
+//	-assert-trace    exit 1 unless at least one trace ID was retained by
+//	                 two or more scraped nodes — proof that trace
+//	                 propagation crossed a hop
+//
+// Exit status 0 when every node scraped cleanly and all assertions
+// held, 1 otherwise.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// stageSummary is one lifecycle stage's dwell-time distribution on one
+// node, read back from its psl_propagation_stage_seconds buckets. P50
+// and P99 are conservative upper bounds (the bucket boundary the
+// quantile falls in).
+type stageSummary struct {
+	Stage string  `json:"stage"`
+	Count float64 `json:"count"`
+	P50   float64 `json:"p50_seconds"`
+	P99   float64 `json:"p99_seconds"`
+}
+
+// nodeReport is everything pslobs learned about one node.
+type nodeReport struct {
+	URL        string             `json:"url"`
+	Err        string             `json:"error,omitempty"`
+	Status     string             `json:"status,omitempty"`
+	Source     string             `json:"source,omitempty"`
+	Tier       string             `json:"tier,omitempty"`
+	Version    string             `json:"version,omitempty"`
+	Seq        int                `json:"seq"`
+	Lag        int64              `json:"lag_seqs"`
+	Goroutines float64            `json:"goroutines"`
+	Installs   map[string]float64 `json:"matcher_installs,omitempty"`
+	Stages     []stageSummary     `json:"stages,omitempty"`
+	Timelines  []obs.SeqTimeline  `json:"timelines,omitempty"`
+	Slowest    []obs.TraceRecord  `json:"slowest_traces,omitempty"`
+
+	traceIDs map[string]bool
+}
+
+// healthView is the subset of /healthz pslobs reads.
+type healthView struct {
+	Status  string `json:"status"`
+	Version string `json:"version"`
+	Seq     int    `json:"seq"`
+	Source  string `json:"source"`
+	LagSeqs int64  `json:"lag_seqs"`
+}
+
+// tracesView mirrors the /debug/traces document.
+type tracesView struct {
+	Recent []obs.TraceRecord `json:"recent"`
+	Slow   []obs.TraceRecord `json:"slow"`
+}
+
+// propagationView mirrors the /debug/propagation document.
+type propagationView struct {
+	Tier string            `json:"tier"`
+	Seqs []obs.SeqTimeline `json:"seqs"`
+}
+
+// getJSON fetches one endpoint and decodes its JSON body into v.
+func getJSON(client *http.Client, url string, v any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return err
+	}
+	// /healthz deliberately answers 503 when degraded but still carries
+	// the full body; anything else non-2xx is a scrape failure.
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+		return fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return json.Unmarshal(body, v)
+}
+
+// bucket is one cumulative histogram bucket read from an exposition.
+type bucket struct {
+	le float64
+	n  float64
+}
+
+// quantileUpperBound reads the q-quantile's conservative upper bound
+// from cumulative buckets (sorted ascending by le). Returns 0 for an
+// empty histogram.
+func quantileUpperBound(buckets []bucket, q float64) float64 {
+	if len(buckets) == 0 {
+		return 0
+	}
+	total := buckets[len(buckets)-1].n
+	if total == 0 {
+		return 0
+	}
+	target := q * total
+	for _, b := range buckets {
+		if b.n >= target {
+			return b.le
+		}
+	}
+	return buckets[len(buckets)-1].le
+}
+
+// scrapeMetrics reads the node's exposition and fills the
+// metrics-derived report fields.
+func scrapeMetrics(client *http.Client, base string, rep *nodeReport) error {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s/metrics: status %d", base, resp.StatusCode)
+	}
+	samples, err := obs.ReadSamples(resp.Body)
+	if err != nil {
+		return err
+	}
+
+	stageBuckets := map[string][]bucket{}
+	stageCounts := map[string]float64{}
+	for _, s := range samples {
+		switch s.Name {
+		case "psl_propagation_stage_seconds_bucket":
+			stage, _ := s.Label("stage")
+			leStr, _ := s.Label("le")
+			le, perr := strconv.ParseFloat(strings.Replace(leStr, "+Inf", "Inf", 1), 64)
+			if stage == "" || perr != nil {
+				continue
+			}
+			stageBuckets[stage] = append(stageBuckets[stage], bucket{le: le, n: s.Value})
+		case "psl_propagation_stage_seconds_count":
+			stage, _ := s.Label("stage")
+			stageCounts[stage] = s.Value
+		case "psl_serve_matcher_installs_total":
+			src, _ := s.Label("source")
+			if rep.Installs == nil {
+				rep.Installs = map[string]float64{}
+			}
+			rep.Installs[src] = s.Value
+		case "psl_runtime_goroutines":
+			rep.Goroutines = s.Value
+		}
+	}
+	for _, stage := range obs.JournalStages {
+		bs := stageBuckets[stage]
+		if stageCounts[stage] == 0 {
+			continue
+		}
+		sort.Slice(bs, func(a, b int) bool { return bs[a].le < bs[b].le })
+		rep.Stages = append(rep.Stages, stageSummary{
+			Stage: stage,
+			Count: stageCounts[stage],
+			P50:   quantileUpperBound(bs, 0.50),
+			P99:   quantileUpperBound(bs, 0.99),
+		})
+	}
+	return nil
+}
+
+// scrapeNode collects one node's full report. A partially reachable
+// node reports what it could and carries the first error.
+func scrapeNode(client *http.Client, base string, top int) *nodeReport {
+	rep := &nodeReport{URL: base, Seq: -1, traceIDs: map[string]bool{}}
+	fail := func(err error) *nodeReport {
+		rep.Err = err.Error()
+		return rep
+	}
+
+	var hv healthView
+	if err := getJSON(client, base+"/healthz", &hv); err != nil {
+		return fail(err)
+	}
+	rep.Status, rep.Version, rep.Seq, rep.Source, rep.Lag = hv.Status, hv.Version, hv.Seq, hv.Source, hv.LagSeqs
+
+	if err := scrapeMetrics(client, base, rep); err != nil {
+		return fail(err)
+	}
+
+	var tv tracesView
+	if err := getJSON(client, base+obs.TracesPath, &tv); err != nil {
+		return fail(err)
+	}
+	all := append(append([]obs.TraceRecord(nil), tv.Recent...), tv.Slow...)
+	for _, tr := range all {
+		if tr.TraceID != "" {
+			rep.traceIDs[tr.TraceID] = true
+		}
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].Duration > all[b].Duration })
+	seen := map[string]bool{}
+	for _, tr := range all {
+		key := tr.TraceID + "/" + tr.SpanID
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		rep.Slowest = append(rep.Slowest, tr)
+		if len(rep.Slowest) >= top {
+			break
+		}
+	}
+
+	var pv propagationView
+	if err := getJSON(client, base+obs.PropagationPath, &pv); err != nil {
+		return fail(err)
+	}
+	rep.Tier = pv.Tier
+	rep.Timelines = pv.Seqs
+	return rep
+}
+
+// formatSeconds renders a seconds value at operator resolution.
+func formatSeconds(s float64) string {
+	switch {
+	case s <= 0:
+		return "0"
+	case s < 1:
+		return fmt.Sprintf("%.0fms", s*1000)
+	default:
+		return fmt.Sprintf("%.2gs", s)
+	}
+}
+
+// render writes the human fleet summary.
+func render(w io.Writer, nodes []*nodeReport) {
+	tw := newTable(w)
+	tw.row("NODE", "TIER", "SOURCE", "STATUS", "VERSION", "SEQ", "LAG", "GOROUTINES", "INSTALLS c/b/r")
+	for _, n := range nodes {
+		if n.Err != "" {
+			tw.row(n.URL, "-", "-", "unreachable: "+n.Err, "-", "-", "-", "-", "-")
+			continue
+		}
+		installs := fmt.Sprintf("%.0f/%.0f/%.0f",
+			n.Installs["compile"], n.Installs["blob"], n.Installs["reuse"])
+		tw.row(n.URL, n.Tier, n.Source, n.Status, n.Version,
+			strconv.Itoa(n.Seq), strconv.FormatInt(n.Lag, 10),
+			fmt.Sprintf("%.0f", n.Goroutines), installs)
+	}
+	tw.flush()
+
+	for _, n := range nodes {
+		if n.Err != "" || len(n.Stages) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "\npropagation stages (%s, %s):\n", n.URL, n.Tier)
+		for _, st := range n.Stages {
+			fmt.Fprintf(w, "  %-13s n=%-5.0f p50<=%-8s p99<=%s\n",
+				st.Stage, st.Count, formatSeconds(st.P50), formatSeconds(st.P99))
+		}
+	}
+
+	for _, n := range nodes {
+		if n.Err != "" || len(n.Slowest) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "\nslowest traces (%s):\n", n.URL)
+		for _, tr := range n.Slowest {
+			line := fmt.Sprintf("  %-6s %-7s %s %s -> %d in %s trace=%s",
+				tr.Kind, tr.Method, tr.Path, "", tr.Status, tr.Duration.Round(time.Millisecond), tr.TraceID)
+			if tr.Err != "" {
+				line += " err=" + tr.Err
+			}
+			fmt.Fprintln(w, strings.Join(strings.Fields(line), " "))
+		}
+	}
+}
+
+// table is a minimal column aligner (text/tabwriter would do, but the
+// fixed two-space gutter reads better in CI logs).
+type table struct {
+	w    io.Writer
+	rows [][]string
+}
+
+func newTable(w io.Writer) *table { return &table{w: w} }
+
+func (t *table) row(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) flush() {
+	widths := map[int]int{}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i == len(r)-1 {
+				fmt.Fprint(t.w, c)
+			} else {
+				fmt.Fprintf(t.w, "%-*s  ", widths[i], c)
+			}
+		}
+		fmt.Fprintln(t.w)
+	}
+}
+
+// assertStages checks that the last scraped node retains a seq whose
+// timeline contains every required stage in canonical order. It returns
+// the matching seq.
+func assertStages(nodes []*nodeReport, stages []string) (int, error) {
+	for _, s := range stages {
+		if obs.StageRank(s) < 0 {
+			return -1, fmt.Errorf("unknown stage %q (want one of %s)", s, strings.Join(obs.JournalStages, ", "))
+		}
+	}
+	last := nodes[len(nodes)-1]
+	if last.Err != "" {
+		return -1, fmt.Errorf("last node %s unreachable: %s", last.URL, last.Err)
+	}
+	for _, tl := range last.Timelines {
+		if timelineContainsInOrder(tl, stages) {
+			return tl.Seq, nil
+		}
+	}
+	return -1, fmt.Errorf("%s: no seq timeline contains stages %s in order", last.URL, strings.Join(stages, ","))
+}
+
+// timelineContainsInOrder reports whether tl's events contain every
+// wanted stage with positions respecting the wanted order.
+func timelineContainsInOrder(tl obs.SeqTimeline, wanted []string) bool {
+	pos := -1
+	for _, stage := range wanted {
+		found := -1
+		for i, ev := range tl.Events {
+			if ev.Stage == stage {
+				found = i
+				break
+			}
+		}
+		if found < 0 || found < pos {
+			return false
+		}
+		pos = found
+	}
+	return true
+}
+
+// assertTraceSpansNodes checks that at least one trace ID was retained
+// by two or more nodes — the cross-hop propagation proof. With a single
+// node there is nothing to span, so it degrades to "has any trace".
+func assertTraceSpansNodes(nodes []*nodeReport) (string, error) {
+	counts := map[string]int{}
+	for _, n := range nodes {
+		for id := range n.traceIDs {
+			counts[id]++
+		}
+	}
+	if len(nodes) == 1 {
+		for id := range counts {
+			return id, nil
+		}
+		return "", fmt.Errorf("single node retained no traces")
+	}
+	best, bestN := "", 0
+	for id, c := range counts {
+		if c > bestN {
+			best, bestN = id, c
+		}
+	}
+	if bestN >= 2 {
+		return best, nil
+	}
+	return "", fmt.Errorf("no trace ID appears on two or more of the %d scraped nodes", len(nodes))
+}
+
+// runOnce scrapes the fleet, renders or JSON-dumps it, and applies the
+// assertions. It returns false when anything failed.
+func runOnce(client *http.Client, urls []string, top int, asJSON bool, stages []string, assertTrace bool, w io.Writer) bool {
+	nodes := make([]*nodeReport, len(urls))
+	for i, u := range urls {
+		nodes[i] = scrapeNode(client, strings.TrimRight(u, "/"), top)
+	}
+	if asJSON {
+		b, err := json.MarshalIndent(nodes, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pslobs: %v\n", err)
+			return false
+		}
+		fmt.Fprintln(w, string(b))
+	} else {
+		render(w, nodes)
+	}
+	ok := true
+	for _, n := range nodes {
+		if n.Err != "" {
+			fmt.Fprintf(os.Stderr, "pslobs: %s: %s\n", n.URL, n.Err)
+			ok = false
+		}
+	}
+	if len(stages) > 0 {
+		seq, err := assertStages(nodes, stages)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pslobs: assert-stages: %v\n", err)
+			ok = false
+		} else {
+			fmt.Fprintf(w, "\nassert-stages: seq %d carries %s\n", seq, strings.Join(stages, ","))
+		}
+	}
+	if assertTrace {
+		id, err := assertTraceSpansNodes(nodes)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pslobs: assert-trace: %v\n", err)
+			ok = false
+		} else {
+			fmt.Fprintf(w, "assert-trace: trace %s spans nodes\n", id)
+		}
+	}
+	return ok
+}
+
+func main() {
+	var (
+		asJSON      = flag.Bool("json", false, "emit the fleet summary as JSON")
+		watch       = flag.Duration("watch", 0, "re-scrape and re-render at this interval (0 = once)")
+		timeout     = flag.Duration("timeout", 5*time.Second, "per-request scrape timeout")
+		top         = flag.Int("top", 3, "slowest traces listed per node")
+		stagesFlag  = flag.String("assert-stages", "", "comma-separated stages the last node must journal in order")
+		assertTrace = flag.Bool("assert-trace", false, "require one trace ID retained by two or more nodes")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: pslobs [flags] URL [URL...]")
+		os.Exit(2)
+	}
+	var stages []string
+	if *stagesFlag != "" {
+		for _, s := range strings.Split(*stagesFlag, ",") {
+			if s = strings.TrimSpace(s); s != "" {
+				stages = append(stages, s)
+			}
+		}
+	}
+	client := &http.Client{Timeout: *timeout}
+	for {
+		ok := runOnce(client, flag.Args(), *top, *asJSON, stages, *assertTrace, os.Stdout)
+		if *watch <= 0 {
+			if !ok {
+				os.Exit(1)
+			}
+			return
+		}
+		fmt.Println(strings.Repeat("-", 72))
+		time.Sleep(*watch)
+	}
+}

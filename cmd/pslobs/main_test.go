@@ -1,0 +1,220 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// fakeNode assembles a node endpoint set from real obs instruments, so
+// pslobs is tested against the exact wire formats the servers emit.
+type fakeNode struct {
+	ring    *obs.TraceRing
+	journal *obs.Journal
+	srv     *httptest.Server
+}
+
+func newFakeNode(t *testing.T, tier string, seq int, lag int64) *fakeNode {
+	t.Helper()
+	reg := obs.NewRegistry()
+	n := &fakeNode{
+		ring:    obs.NewTraceRing(8, 100*time.Millisecond),
+		journal: obs.NewJournal(tier, 0),
+	}
+	n.ring.RegisterMetrics(reg)
+	n.journal.RegisterMetrics(reg)
+	obs.RegisterRuntimeMetrics(reg)
+	installs := new(obs.Counter)
+	installs.Add(3)
+	reg.MustRegister("psl_serve_matcher_installs_total", "Matcher installs by source.",
+		obs.Labels{{"source", "blob"}}, installs)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"status":"ok","version":"v-test","seq":%d,"source":"follower","lag_seqs":%d}`, seq, lag)
+	})
+	mux.Handle("/metrics", reg.Handler())
+	mux.Handle(obs.TracesPath, n.ring.Handler())
+	mux.Handle(obs.PropagationPath, n.journal.Handler())
+	n.srv = httptest.NewServer(mux)
+	t.Cleanup(n.srv.Close)
+	return n
+}
+
+// journalFullLifecycle records every canonical stage for seq with
+// strictly increasing timestamps.
+func journalFullLifecycle(j *obs.Journal, seq int) {
+	base := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	for i, stage := range obs.JournalStages {
+		j.RecordAt(seq, stage, base.Add(time.Duration(i)*50*time.Millisecond))
+	}
+}
+
+func TestScrapeNodeAndAssertions(t *testing.T) {
+	a := newFakeNode(t, "relay", 7, 1)
+	b := newFakeNode(t, "edge", 7, 0)
+	journalFullLifecycle(a.journal, 7)
+	journalFullLifecycle(b.journal, 7)
+
+	// One trace crossed the hop: both rings retained records with the
+	// same trace ID; the edge's copy is slow enough for the slow ring.
+	a.ring.Record(&obs.TraceRecord{
+		Time: time.Now(), Kind: "server", TraceID: "0af7651916cd43dd8448eb211c80319c",
+		SpanID: "b7ad6b7169203331", Method: "GET", Path: "/dist/manifest", Status: 200,
+		Duration: 20 * time.Millisecond,
+	})
+	b.ring.Record(&obs.TraceRecord{
+		Time: time.Now(), Kind: "client", TraceID: "0af7651916cd43dd8448eb211c80319c",
+		SpanID: "00f067aa0ba902b7", ParentID: "b7ad6b7169203331", Method: "GET",
+		Path: "/dist/manifest", Status: 200, Duration: 300 * time.Millisecond,
+	})
+	b.ring.Record(&obs.TraceRecord{
+		Time: time.Now(), Kind: "server", TraceID: "ffffffffffffffffffffffffffffffff",
+		SpanID: "1111111111111111", Method: "GET", Path: "/v1/lookup", Status: 200,
+		Duration: time.Millisecond,
+	})
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	var out bytes.Buffer
+	ok := runOnce(client, []string{a.srv.URL, b.srv.URL}, 3, false,
+		[]string{"published", "fetched", "verified", "installed"}, true, &out)
+	if !ok {
+		t.Fatalf("runOnce failed; output:\n%s", out.String())
+	}
+	text := out.String()
+	for _, want := range []string{
+		"relay", "edge", "follower", "v-test",
+		"assert-stages: seq 7",
+		"assert-trace: trace 0af7651916cd43dd8448eb211c80319c spans nodes",
+		"propagation stages",
+		"slowest traces",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestScrapeNodeFields(t *testing.T) {
+	n := newFakeNode(t, "edge", 42, 2)
+	journalFullLifecycle(n.journal, 42)
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	rep := scrapeNode(client, n.srv.URL, 3)
+	if rep.Err != "" {
+		t.Fatalf("scrape error: %s", rep.Err)
+	}
+	if rep.Tier != "edge" || rep.Seq != 42 || rep.Lag != 2 || rep.Source != "follower" {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.Installs["blob"] != 3 {
+		t.Fatalf("installs = %v, want blob=3", rep.Installs)
+	}
+	if rep.Goroutines <= 0 {
+		t.Fatalf("goroutines = %v, want > 0 from runtime metrics", rep.Goroutines)
+	}
+	// Every stage after the first journals a 50ms delta; the p50 upper
+	// bound must be a bucket boundary at or above that.
+	var fetched *stageSummary
+	for i := range rep.Stages {
+		if rep.Stages[i].Stage == "fetched" {
+			fetched = &rep.Stages[i]
+		}
+	}
+	if fetched == nil || fetched.Count != 1 || fetched.P50 < 0.05 {
+		t.Fatalf("fetched stage = %+v", fetched)
+	}
+}
+
+func TestAssertStagesFailsOnMissingStage(t *testing.T) {
+	n := newFakeNode(t, "edge", 3, 0)
+	n.journal.RecordAt(3, "published", time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC))
+	n.journal.RecordAt(3, "fetched", time.Date(2026, 8, 8, 12, 0, 1, 0, time.UTC))
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	var out bytes.Buffer
+	if runOnce(client, []string{n.srv.URL}, 3, false, []string{"published", "installed"}, false, &out) {
+		t.Fatal("assert-stages passed without an installed event")
+	}
+}
+
+func TestAssertStagesRejectsUnknownStage(t *testing.T) {
+	rep := &nodeReport{URL: "x"}
+	if _, err := assertStages([]*nodeReport{rep}, []string{"teleported"}); err == nil {
+		t.Fatal("accepted unknown stage name")
+	}
+}
+
+func TestTimelineContainsInOrder(t *testing.T) {
+	tl := obs.SeqTimeline{Seq: 1, Events: []obs.JournalEvent{
+		{Stage: "published"}, {Stage: "fetched"}, {Stage: "installed"},
+	}}
+	if !timelineContainsInOrder(tl, []string{"published", "installed"}) {
+		t.Fatal("subset in order rejected")
+	}
+	if timelineContainsInOrder(tl, []string{"installed", "published"}) {
+		t.Fatal("reversed order accepted")
+	}
+	if timelineContainsInOrder(tl, []string{"published", "served_first"}) {
+		t.Fatal("missing stage accepted")
+	}
+}
+
+func TestAssertTraceNeedsSharedID(t *testing.T) {
+	a := &nodeReport{URL: "a", traceIDs: map[string]bool{"t1": true}}
+	b := &nodeReport{URL: "b", traceIDs: map[string]bool{"t2": true}}
+	if _, err := assertTraceSpansNodes([]*nodeReport{a, b}); err == nil {
+		t.Fatal("disjoint trace IDs accepted as spanning")
+	}
+	b.traceIDs["t1"] = true
+	id, err := assertTraceSpansNodes([]*nodeReport{a, b})
+	if err != nil || id != "t1" {
+		t.Fatalf("id=%q err=%v, want t1", id, err)
+	}
+}
+
+func TestQuantileUpperBound(t *testing.T) {
+	bs := []bucket{{le: 0.1, n: 5}, {le: 0.5, n: 9}, {le: 1, n: 10}}
+	if got := quantileUpperBound(bs, 0.5); got != 0.1 {
+		t.Fatalf("p50 = %v, want 0.1", got)
+	}
+	if got := quantileUpperBound(bs, 0.99); got != 1.0 {
+		t.Fatalf("p99 = %v, want 1", got)
+	}
+	if got := quantileUpperBound(nil, 0.5); got != 0 {
+		t.Fatalf("empty = %v, want 0", got)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	n := newFakeNode(t, "origin", 9, 0)
+	journalFullLifecycle(n.journal, 9)
+	client := &http.Client{Timeout: 5 * time.Second}
+	var out bytes.Buffer
+	if !runOnce(client, []string{n.srv.URL}, 3, true, nil, false, &out) {
+		t.Fatalf("runOnce failed:\n%s", out.String())
+	}
+	var reps []nodeReport
+	if err := json.Unmarshal(out.Bytes(), &reps); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if len(reps) != 1 || reps[0].Tier != "origin" || reps[0].Seq != 9 {
+		t.Fatalf("reports = %+v", reps)
+	}
+}
+
+func TestUnreachableNodeFailsRun(t *testing.T) {
+	client := &http.Client{Timeout: 500 * time.Millisecond}
+	var out bytes.Buffer
+	if runOnce(client, []string{"http://127.0.0.1:1"}, 3, false, nil, false, &out) {
+		t.Fatal("unreachable node reported success")
+	}
+}

@@ -241,6 +241,34 @@ func parseFlags(args []string) (config, error) {
 	return cfg, nil
 }
 
+// obsPlane bundles one node's propagation-observability state: the
+// completed-trace ring behind /debug/traces, the per-seq lifecycle
+// journal behind /debug/propagation, and the runtime telemetry
+// families. One plane per process, whatever the serving mode.
+type obsPlane struct {
+	ring    *obs.TraceRing
+	journal *obs.Journal
+}
+
+// newObsPlane builds the plane for one node tier ("origin", "relay", or
+// "edge" — the journal's tier label).
+func newObsPlane(tier string) *obsPlane {
+	return &obsPlane{
+		ring:    obs.NewTraceRing(0, 0),
+		journal: obs.NewJournal(tier, 0),
+	}
+}
+
+// mount registers the plane's metric families (trace ring, propagation
+// histograms, runtime telemetry) on reg and its debug endpoints on mux.
+func (p *obsPlane) mount(mux *http.ServeMux, reg *obs.Registry) {
+	p.ring.RegisterMetrics(reg)
+	p.journal.RegisterMetrics(reg)
+	obs.RegisterRuntimeMetrics(reg)
+	mux.Handle(obs.TracesPath, p.ring.Handler())
+	mux.Handle(obs.PropagationPath, p.journal.Handler())
+}
+
 // registerProcessMetrics adds the process-level gauges shared by both
 // serving modes.
 func registerProcessMetrics(reg *obs.Registry) {
@@ -268,7 +296,7 @@ func resilient(mux http.Handler, cfg config, reg *obs.Registry) http.Handler {
 // else — all behind the resilience middleware. The returned service,
 // list server, origin and registry are exposed for tests and runtime
 // reconfiguration.
-func newHandler(h *history.History, seq int, cfg config) (http.Handler, *serve.Service, *fetch.Server, *dist.Origin, *obs.Registry) {
+func newHandler(h *history.History, seq int, cfg config, plane *obsPlane) (http.Handler, *serve.Service, *fetch.Server, *dist.Origin, *obs.Registry) {
 	fs := fetch.NewServer(h)
 	fs.SetCurrent(seq)
 	fs.SetFailureRate(cfg.failRate)
@@ -279,9 +307,11 @@ func newHandler(h *history.History, seq int, cfg config) (http.Handler, *serve.S
 		MatcherName: cfg.matcher,
 	})
 	svc.SetHealthLimits(cfg.maxLag, cfg.maxSnapshotAge)
+	svc.SetJournal(plane.journal)
 
 	origin := dist.NewOrigin(h)
 	origin.SetHead(seq)
+	origin.SetJournal(plane.journal)
 
 	reg := obs.NewRegistry()
 	svc.RegisterMetrics(reg)
@@ -298,6 +328,7 @@ func newHandler(h *history.History, seq int, cfg config) (http.Handler, *serve.S
 	mux.Handle(serve.MetricsPath, reg.Handler())
 	mux.Handle(dist.Prefix, origin)
 	mux.Handle("/", fs)
+	plane.mount(mux, reg)
 	return resilient(mux, cfg, reg), svc, fs, origin, reg
 }
 
@@ -310,7 +341,7 @@ func newHandler(h *history.History, seq int, cfg config) (http.Handler, *serve.S
 // the instance reports as source "relay". fp is the verified rules
 // fingerprint of the bootstrap snapshot; m, when non-nil, is a
 // pre-built matcher (the blob-fed path) installed without compiling.
-func newFollowerHandler(l *psl.List, seq int, fp string, m psl.Matcher, rep *dist.Replica, rl *dist.Relay, cfg config) (http.Handler, *serve.Service, *obs.Registry) {
+func newFollowerHandler(l *psl.List, seq int, fp string, m psl.Matcher, rep *dist.Replica, rl *dist.Relay, cfg config, plane *obsPlane) (http.Handler, *serve.Service, *obs.Registry) {
 	svc := serve.NewWith(l, seq, fp, m, serve.Options{
 		MaxInFlight: cfg.maxInFlight,
 		NewMatcher:  cfg.newMatcher,
@@ -322,6 +353,7 @@ func newFollowerHandler(l *psl.List, seq int, fp string, m psl.Matcher, rep *dis
 	}
 	svc.SetSource(source, rep.Lag)
 	svc.SetHealthLimits(cfg.maxLag, cfg.maxSnapshotAge)
+	svc.SetJournal(plane.journal)
 
 	reg := obs.NewRegistry()
 	svc.RegisterMetrics(reg)
@@ -340,6 +372,7 @@ func newFollowerHandler(l *psl.List, seq int, fp string, m psl.Matcher, rep *dis
 	if rl != nil {
 		mux.Handle(dist.Prefix, rl)
 	}
+	plane.mount(mux, reg)
 	return resilient(mux, cfg, reg), svc, reg
 }
 
@@ -400,12 +433,20 @@ func run(ctx context.Context, cfg config, stdout io.Writer) error {
 
 	var handler http.Handler
 	var reg *obs.Registry
+	var plane *obsPlane
 	if cfg.follow != "" {
+		tier := "edge"
+		if cfg.relay {
+			tier = "relay"
+		}
+		plane = newObsPlane(tier)
 		rep := dist.NewReplica(cfg.follow, dist.ReplicaOptions{
 			PollInterval:   cfg.followPoll,
 			RequestTimeout: cfg.requestTimeout,
 			StateDir:       cfg.stateDir,
 			FetchBlobs:     cfg.blob,
+			Ring:           plane.ring,
+			Journal:        plane.journal,
 		})
 		// The relay claims the replica's OnVerified hook, so it must be
 		// built before Bootstrap runs — the bootstrap snapshot is the
@@ -462,7 +503,7 @@ func run(ctx context.Context, cfg config, stdout io.Writer) error {
 			}
 		}
 		var svc *serve.Service
-		handler, svc, reg = newFollowerHandler(l, seq, fp, matcher, rep, rl, cfg)
+		handler, svc, reg = newFollowerHandler(l, seq, fp, matcher, rep, rl, cfg, plane)
 		// Installs flow through SwapVerified so a hop whose rules are
 		// byte-identical to the installed snapshot (fingerprint match)
 		// reuses the live matcher instead of recompiling, and a hop that
@@ -493,7 +534,8 @@ func run(ctx context.Context, cfg config, stdout io.Writer) error {
 	} else {
 		h := history.Generate(history.Config{Seed: cfg.seed, Versions: cfg.versions})
 		seq := h.IndexForAge(cfg.age)
-		handler, _, _, _, reg = newHandler(h, seq, cfg)
+		plane = newObsPlane("origin")
+		handler, _, _, _, reg = newHandler(h, seq, cfg, plane)
 
 		meta := h.Meta(seq)
 		fmt.Fprintf(stdout, "pslserver: serving v%04d (%s, %d rules) on http://%s%s (failrate %.2f), query API at %s, metrics at %s\n",
@@ -504,7 +546,7 @@ func run(ctx context.Context, cfg config, stdout io.Writer) error {
 	if !cfg.quiet {
 		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	}
-	handler = obs.AccessLog(logger, handler)
+	handler = obs.AccessLogTo(logger, plane.ring, handler)
 
 	errc := make(chan error, 2)
 	srv := resilience.HardenServer(&http.Server{Handler: handler, ReadHeaderTimeout: 10 * time.Second})

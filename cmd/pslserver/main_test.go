@@ -36,7 +36,7 @@ func bootServer(t *testing.T, failRate float64) (string, *serve.Service, *fetch.
 	if err != nil {
 		t.Fatal(err)
 	}
-	handler, svc, fs, _, _ := newHandler(testHistory, seq, cfg)
+	handler, svc, fs, _, _ := newHandler(testHistory, seq, cfg, newObsPlane("origin"))
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -577,7 +577,7 @@ func TestHealthzDegradesOnSnapshotAge(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	handler, _, _, _, _ := newHandler(testHistory, testHistory.Len()-1, cfg)
+	handler, _, _, _, _ := newHandler(testHistory, testHistory.Len()-1, cfg, newObsPlane("origin"))
 	ts := httptest.NewServer(handler)
 	defer ts.Close()
 

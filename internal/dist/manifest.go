@@ -66,6 +66,9 @@ func (m Manifest) Validate() error {
 	if !m.Date.IsZero() && (m.Date.Year() < 1970 || m.Date.Year() > 9999) {
 		return fmt.Errorf("date %v out of range", m.Date)
 	}
+	if !m.PublishedAt.IsZero() && (m.PublishedAt.Year() < 1970 || m.PublishedAt.Year() > 9999) {
+		return fmt.Errorf("published_at %v out of range", m.PublishedAt)
+	}
 	return nil
 }
 

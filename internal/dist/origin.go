@@ -46,6 +46,13 @@ type Manifest struct {
 	// at the origin itself, 1 at a relay following it, and so on down
 	// an arbitrarily deep fan-out tree.
 	Depth int `json:"depth"`
+	// PublishedAt is when the origin advertised this head, stamped at
+	// SetHead time and carried down the fan-out tree unchanged, so an
+	// edge's propagation journal can anchor a seq's timeline at the
+	// moment the version was born rather than when the edge first heard
+	// of it. Zero when unknown (a pre-stamp upstream, or a relay that
+	// never saw the head's manifest).
+	PublishedAt time.Time `json:"published_at,omitempty"`
 }
 
 // Origin publishes a history's versions for replication:
@@ -66,6 +73,11 @@ type Origin struct {
 	h     *history.History
 	chain *Chain
 	head  atomic.Int64
+	// pub stamps when the current head was published; read back into
+	// the manifest so downstream journals can anchor timelines at the
+	// origin's clock.
+	pub     atomic.Pointer[headStamp]
+	journal *obs.Journal
 
 	patches sync.Map // uint64(from)<<32|to -> *renderedBlob
 	fulls   sync.Map // int -> *renderedBlob
@@ -84,13 +96,31 @@ type renderedBlob struct {
 	etag string
 }
 
+// headStamp records when a head seq was published.
+type headStamp struct {
+	seq int
+	at  time.Time
+}
+
 // NewOrigin builds an origin over h, initially publishing the newest
 // version. Building the fingerprint chain walks the whole event history
 // once (~1s for the full corpus).
 func NewOrigin(h *history.History) *Origin {
 	o := &Origin{h: h, chain: NewChain(h)}
 	o.head.Store(int64(h.Len() - 1))
+	o.pub.Store(&headStamp{seq: h.Len() - 1, at: time.Now()})
 	return o
+}
+
+// SetJournal attaches a propagation journal: SetHead records the
+// "published" stage and blob renders record "blob_rendered", keyed by
+// seq. The current head is journalled immediately so an origin that
+// never rolls forward still exposes a timeline. Call before serving.
+func (o *Origin) SetJournal(j *obs.Journal) {
+	o.journal = j
+	if st := o.pub.Load(); st != nil {
+		j.RecordAt(st.seq, obs.StagePublished, st.at)
+	}
 }
 
 // Chain exposes the precomputed fingerprint table.
@@ -106,14 +136,17 @@ func (o *Origin) SetHead(seq int) {
 	if seq < 0 || seq >= o.h.Len() {
 		panic(fmt.Sprintf("dist: head %d out of range [0,%d)", seq, o.h.Len()))
 	}
+	now := time.Now()
+	o.pub.Store(&headStamp{seq: seq, at: now})
 	o.head.Store(int64(seq))
+	o.journal.RecordAt(seq, obs.StagePublished, now)
 }
 
 // Manifest describes the current head.
 func (o *Origin) Manifest() Manifest {
 	head := o.Head()
 	meta := o.h.Meta(head)
-	return Manifest{
+	m := Manifest{
 		Seq:         head,
 		Fingerprint: o.chain.Fingerprint(head),
 		Version:     meta.Label(),
@@ -121,6 +154,12 @@ func (o *Origin) Manifest() Manifest {
 		Rules:       meta.Rules,
 		MinSeq:      0,
 	}
+	// A SetHead racing this read can leave the stamp one store behind;
+	// publish time is advisory, so the manifest simply omits it then.
+	if st := o.pub.Load(); st != nil && st.seq == head {
+		m.PublishedAt = st.at.UTC()
+	}
+	return m
 }
 
 // RegisterMetrics attaches the origin's metric families to a registry.
@@ -195,6 +234,7 @@ func (o *Origin) serveFull(w http.ResponseWriter, r *http.Request, rest string) 
 		rb.data = EncodeFull(o.h.ListAt(seq), seq)
 		rb.etag = `"` + o.chain.Fingerprint(seq) + `"`
 		o.fullRenders.Add(1)
+		o.journal.Record(seq, obs.StageBlobRendered)
 	})
 	if r.Header.Get("If-None-Match") == rb.etag {
 		o.notModified.Add(1)
@@ -228,6 +268,7 @@ func (o *Origin) serveBlob(w http.ResponseWriter, r *http.Request, rest string) 
 		rb.data = EncodeMatcherBlob(seq, fp, pm.Marshal())
 		rb.etag = `"` + fp + `"`
 		o.blobRenders.Add(1)
+		o.journal.Record(seq, obs.StageBlobRendered)
 	})
 	if r.Header.Get("If-None-Match") == rb.etag {
 		o.notModified.Add(1)
@@ -259,6 +300,7 @@ func (o *Origin) servePatch(w http.ResponseWriter, r *http.Request, rest string)
 	rb.once.Do(func() {
 		rb.data = o.chain.Patch(from, to).Encode()
 		o.patchRenders.Add(1)
+		o.journal.Record(to, obs.StageBlobRendered)
 	})
 	w.Header().Set("Content-Type", "application/octet-stream")
 	n, _ := w.Write(rb.data)

@@ -193,7 +193,7 @@ func (rl *Relay) Manifest() (Manifest, bool) {
 	if !ok {
 		return Manifest{}, false
 	}
-	return Manifest{
+	m := Manifest{
 		Seq:         head.seq,
 		Fingerprint: head.fp,
 		Version:     head.list.Version,
@@ -201,7 +201,13 @@ func (rl *Relay) Manifest() (Manifest, bool) {
 		Rules:       head.list.Len(),
 		MinSeq:      minSeq,
 		Depth:       rl.rep.UpstreamDepth() + 1,
-	}, true
+	}
+	// Carry the origin's publish stamp downstream unchanged, so every
+	// tier's propagation journal measures from the same clock.
+	if at, ok := rl.rep.PublishedAt(head.seq); ok {
+		m.PublishedAt = at.UTC()
+	}
+	return m, true
 }
 
 // RegisterMetrics attaches the relay's downstream-serving families to a
@@ -304,6 +310,7 @@ func (rl *Relay) serveFull(w http.ResponseWriter, r *http.Request, rest string) 
 		rb.data = EncodeFull(s.list, s.seq)
 		rb.etag = `"` + s.fp + `"`
 		rl.fullRenders.Add(1)
+		rl.rep.opts.Journal.Record(s.seq, obs.StageBlobRendered)
 	})
 	if r.Header.Get("If-None-Match") == rb.etag {
 		rl.notModified.Add(1)
@@ -342,6 +349,7 @@ func (rl *Relay) serveBlob(w http.ResponseWriter, r *http.Request, rest string) 
 		rb.data = EncodeMatcherBlob(s.seq, s.fp, pm.Marshal())
 		rb.etag = `"` + s.fp + `"`
 		rl.blobRenders.Add(1)
+		rl.rep.opts.Journal.Record(s.seq, obs.StageBlobRendered)
 	})
 	if r.Header.Get("If-None-Match") == rb.etag {
 		rl.notModified.Add(1)
@@ -380,6 +388,7 @@ func (rl *Relay) servePatch(w http.ResponseWriter, r *http.Request, rest string)
 	rb.once.Do(func() {
 		rb.data = rl.compact(fromSnap, toSnap).Encode()
 		rl.patchRenders.Add(1)
+		rl.rep.opts.Journal.Record(toSnap.seq, obs.StageBlobRendered)
 	})
 	if to-from > 1 {
 		rl.compactions.Add(1)

@@ -6,6 +6,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -74,6 +75,15 @@ type ReplicaOptions struct {
 	FetchBlobs bool
 	// Seed drives poll and backoff jitter. Default 1.
 	Seed int64
+	// Ring, when set, retains a client-side TraceRecord for every
+	// upstream request the replica makes (manifest, patch, full, blob),
+	// carrying the same trace ID the upstream's server-side ring logs —
+	// the two halves of one hop in /debug/traces.
+	Ring *obs.TraceRing
+	// Journal, when set, records the per-seq lifecycle events the
+	// replica observes: published (from a manifest's PublishedAt, on
+	// the origin's clock), fetched, verified, and installed.
+	Journal *obs.Journal
 }
 
 func (o ReplicaOptions) withDefaults() ReplicaOptions {
@@ -171,6 +181,11 @@ type Replica struct {
 	headFP       string
 	minSeq       int // oldest seq the upstream can serve patches from
 	depth        atomic.Int32
+
+	// pubTimes remembers the publish time each head seq was advertised
+	// with, so a relay's own manifest can carry it downstream.
+	pubMu    sync.Mutex
+	pubTimes map[int]time.Time
 
 	rng     *rand.Rand
 	backoff *resilience.Backoff
@@ -359,6 +374,8 @@ func (r *Replica) RegisterMetrics(reg *obs.Registry) {
 // header. Transport-level outcomes feed the breaker; successful
 // transfers (including 304s) also replenish the retry budget.
 func (r *Replica) get(ctx context.Context, path, etag string) (body []byte, gotETag string, status int, err error) {
+	ct := r.requestTrace(ctx)
+	defer func() { r.recordClientTrace(ct, path, status, int64(len(body)), err) }()
 	gen, ok := r.breaker.Allow()
 	if !ok {
 		return nil, "", 0, fmt.Errorf("dist: GET %s: %w", path, resilience.ErrOpen)
@@ -373,6 +390,7 @@ func (r *Replica) get(ctx context.Context, path, etag string) (body []byte, gotE
 	if etag != "" {
 		req.Header.Set("If-None-Match", etag)
 	}
+	obs.InjectTrace(req, ct)
 	resilience.PropagateDeadline(req)
 	resp, err := r.opts.Client.Do(req)
 	if err != nil {
@@ -408,6 +426,42 @@ func (r *Replica) get(ctx context.Context, path, etag string) (body []byte, gotE
 	return body, resp.Header.Get("ETag"), resp.StatusCode, nil
 }
 
+// requestTrace mints the trace one outbound request carries: a child
+// span of the poll cycle's trace when the context has one (every
+// request of one cycle then shares the cycle's trace ID — the ID the
+// upstream's access log and trace ring record), a fresh root otherwise.
+func (r *Replica) requestTrace(ctx context.Context) *obs.Trace {
+	if parent := obs.TraceFrom(ctx); parent != nil {
+		return obs.ContinueTrace(parent.TraceID, parent.SpanID, parent.ID)
+	}
+	return obs.NewTrace("")
+}
+
+// recordClientTrace retains one completed upstream exchange in the
+// configured trace ring; a nil ring drops it.
+func (r *Replica) recordClientTrace(ct *obs.Trace, path string, status int, bytes int64, err error) {
+	if r.opts.Ring == nil {
+		return
+	}
+	rec := &obs.TraceRecord{
+		Time:     ct.Start,
+		Kind:     "client",
+		ReqID:    ct.ID,
+		TraceID:  ct.TraceID,
+		SpanID:   ct.SpanID,
+		ParentID: ct.ParentID,
+		Method:   http.MethodGet,
+		Path:     path,
+		Status:   status,
+		Bytes:    bytes,
+		Duration: time.Since(ct.Start),
+	}
+	if err != nil {
+		rec.Err = err.Error()
+	}
+	r.opts.Ring.Record(rec)
+}
+
 // FetchMatcherBlob pulls /dist/blob/{seq} from the upstream and runs
 // the full verification chain (UnpackMatcherBlob) against the expected
 // seq and verified fingerprint, persisting the envelope to StateDir on
@@ -423,27 +477,39 @@ func (r *Replica) get(ctx context.Context, path, etag string) (body []byte, gotE
 // pre-blob upstream answering 404 forever must not open the breaker and
 // block real syncs.
 func (r *Replica) FetchMatcherBlob(ctx context.Context, seq int, fp string) *psl.PackedMatcher {
+	path := fmt.Sprintf("%s%d", blobPrefix, seq)
+	ct := r.requestTrace(ctx)
+	var status int
+	var got int64
+	var terr error
+	defer func() { r.recordClientTrace(ct, path, status, got, terr) }()
 	ctx, cancel := context.WithTimeout(ctx, r.opts.RequestTimeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, fmt.Sprintf("%s%s%d", r.origin, blobPrefix, seq), nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.origin+path, nil)
 	if err != nil {
+		terr = err
 		r.blobMisses.Add(1)
 		return nil
 	}
+	obs.InjectTrace(req, ct)
 	resilience.PropagateDeadline(req)
 	resp, err := r.opts.Client.Do(req)
 	if err != nil {
+		terr = err
 		r.blobMisses.Add(1)
 		return nil
 	}
 	defer resp.Body.Close()
+	status = resp.StatusCode
 	if resp.StatusCode != http.StatusOK {
 		_, _ = io.CopyN(io.Discard, resp.Body, 4096)
 		r.blobMisses.Add(1)
 		return nil
 	}
 	body, err := io.ReadAll(io.LimitReader(resp.Body, maxBlobBytes+1))
+	got = int64(len(body))
 	if err != nil || len(body) > maxBlobBytes {
+		terr = err
 		r.blobMisses.Add(1)
 		return nil
 	}
@@ -471,6 +537,12 @@ func (r *Replica) FetchMatcherBlob(ctx context.Context, seq int, fp string) *psl
 // ends). A cycle that ends cleanly resets the backoff schedule.
 func (r *Replica) Poll(ctx context.Context) error {
 	r.polls.Add(1)
+	if obs.TraceFrom(ctx) == nil {
+		// Root the cycle: every request it makes (manifest, patches,
+		// blobs) becomes a child span sharing one trace ID, which is the
+		// ID the upstream's access log and trace ring see arriving.
+		ctx = obs.WithTrace(ctx, obs.NewTrace(""))
+	}
 	body, etag, status, err := r.get(ctx, ManifestPath, r.manifestETag)
 	if err != nil {
 		r.pollErrors.Add(1)
@@ -487,6 +559,7 @@ func (r *Replica) Poll(ctx context.Context) error {
 		r.minSeq = m.MinSeq
 		r.depth.Store(int32(m.Depth))
 		r.headSeq.Store(int64(m.Seq))
+		r.notePublished(m)
 	}
 	if err := r.syncToHead(ctx); err != nil {
 		r.pollErrors.Add(1)
@@ -494,6 +567,46 @@ func (r *Replica) Poll(ctx context.Context) error {
 	}
 	r.backoff.Reset()
 	return nil
+}
+
+// maxPubTimes bounds the publish-time memory; heads arrive one at a
+// time, so a few hundred covers any realistic catch-up window.
+const maxPubTimes = 256
+
+// notePublished remembers when the upstream said a head seq was
+// published — journalled as the timeline's first event (on the
+// origin's clock, carried through every tier by the manifest) and kept
+// for this node's own manifest when it relays.
+func (r *Replica) notePublished(m Manifest) {
+	if m.PublishedAt.IsZero() {
+		return
+	}
+	r.opts.Journal.RecordAt(m.Seq, obs.StagePublished, m.PublishedAt)
+	r.pubMu.Lock()
+	defer r.pubMu.Unlock()
+	if r.pubTimes == nil {
+		r.pubTimes = make(map[int]time.Time)
+	}
+	if _, ok := r.pubTimes[m.Seq]; !ok && len(r.pubTimes) >= maxPubTimes {
+		lowest := m.Seq
+		for s := range r.pubTimes {
+			if s < lowest {
+				lowest = s
+			}
+		}
+		delete(r.pubTimes, lowest)
+	}
+	r.pubTimes[m.Seq] = m.PublishedAt
+}
+
+// PublishedAt reports the publish time the upstream advertised for a
+// seq, ok=false when the manifest carried none (a pre-PublishedAt
+// upstream) or the seq has aged out.
+func (r *Replica) PublishedAt(seq int) (time.Time, bool) {
+	r.pubMu.Lock()
+	defer r.pubMu.Unlock()
+	at, ok := r.pubTimes[seq]
+	return at, ok
 }
 
 // syncToHead walks the replica from its current version to the
@@ -575,6 +688,7 @@ func (r *Replica) applyHop(ctx context.Context, cur, to int) error {
 	if err != nil {
 		return err
 	}
+	r.opts.Journal.Record(to, obs.StageFetched)
 	start := time.Now()
 	p, err := DecodePatch(body)
 	if err != nil {
@@ -593,6 +707,7 @@ func (r *Replica) applyHop(ctx context.Context, cur, to int) error {
 	r.applyDur.Observe(time.Since(start))
 	r.patchBytes.Add(uint64(len(body)))
 	r.applied.Add(1)
+	r.opts.Journal.Record(p.ToSeq, obs.StageVerified)
 	r.install(ctx, l, p.ToSeq, p.ToFP)
 	return nil
 }
@@ -604,6 +719,7 @@ func (r *Replica) fullSync(ctx context.Context, seq int) error {
 	if err != nil {
 		return err
 	}
+	r.opts.Journal.Record(seq, obs.StageFetched)
 	start := time.Now()
 	f, err := DecodeFull(body)
 	if err != nil {
@@ -622,6 +738,7 @@ func (r *Replica) fullSync(ctx context.Context, seq int) error {
 	r.applyDur.Observe(time.Since(start))
 	r.fullBytes.Add(uint64(len(body)))
 	r.fullSyncs.Add(1)
+	r.opts.Journal.Record(f.Seq, obs.StageVerified)
 	r.install(ctx, l, f.Seq, f.FP)
 	return nil
 }
@@ -657,6 +774,7 @@ func (r *Replica) install(ctx context.Context, l *psl.List, seq int, fp string) 
 		r.OnSwap(l, seq)
 	}
 	r.curSeq.Store(int64(seq))
+	r.opts.Journal.Record(seq, obs.StageInstalled)
 }
 
 // Bootstrap fetches the manifest and performs an initial full-blob sync
@@ -665,6 +783,9 @@ func (r *Replica) install(ctx context.Context, l *psl.List, seq int, fp string) 
 // its serving state from the return value. One attempt; callers retry.
 func (r *Replica) Bootstrap(ctx context.Context, fromSeq int) (*psl.List, int, error) {
 	r.polls.Add(1)
+	if obs.TraceFrom(ctx) == nil {
+		ctx = obs.WithTrace(ctx, obs.NewTrace(""))
+	}
 	body, etag, _, err := r.get(ctx, ManifestPath, "")
 	if err != nil {
 		r.pollErrors.Add(1)
@@ -675,6 +796,7 @@ func (r *Replica) Bootstrap(ctx context.Context, fromSeq int) (*psl.List, int, e
 		r.pollErrors.Add(1)
 		return nil, 0, err
 	}
+	r.notePublished(m)
 	seq := fromSeq
 	if seq < 0 || seq > m.Seq {
 		seq = m.Seq

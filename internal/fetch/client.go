@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/psl"
 	"repro/internal/resilience"
 )
@@ -77,6 +78,13 @@ func (c *Client) Fetch(ctx context.Context) (*psl.List, error) {
 		req.Header.Set("If-Modified-Since", c.lastModified)
 	}
 	c.mu.Unlock()
+	// Propagate (or originate) the trace so the list server's access log
+	// joins this fetch to whatever request triggered it.
+	if t := obs.TraceFrom(ctx); t != nil {
+		obs.InjectTrace(req, obs.ContinueTrace(t.TraceID, t.SpanID, t.ID))
+	} else {
+		obs.InjectTrace(req, obs.NewTrace(""))
+	}
 	resilience.PropagateDeadline(req)
 
 	resp, err := c.HTTPClient.Do(req)

@@ -186,11 +186,74 @@ type fleet struct {
 
 	unverified atomic.Uint64
 
+	// start anchors the waterfall clock; publishes and installs are both
+	// measured as offsets from it.
+	start time.Time
+
+	// pubAt remembers when each head went out; installAt collects, per
+	// published seq, how long each verified install trailed its publish.
+	// Together they become the report's propagation waterfalls.
+	pubMu     sync.Mutex
+	pubAt     map[int]time.Duration
+	installAt map[int][]float64
+
 	mu    sync.Mutex
 	live  map[int]*edgeNode
 	nodes []*edgeNode // every edge ever started, for counter totals
 
 	wg sync.WaitGroup
+}
+
+// notePublish stamps the moment seq became the published head
+// (first-publish wins; the quiet-window republish must not reset it).
+func (f *fleet) notePublish(seq int) {
+	f.pubMu.Lock()
+	if _, ok := f.pubAt[seq]; !ok {
+		f.pubAt[seq] = time.Since(f.start)
+	}
+	f.pubMu.Unlock()
+}
+
+// noteInstall records one verified install's delay behind its seq's
+// publish. Installs of seqs never published through the head schedule
+// (bootstrap snapshots, pre-start relay installs) are skipped.
+func (f *fleet) noteInstall(seq int) {
+	now := time.Since(f.start)
+	f.pubMu.Lock()
+	if pub, ok := f.pubAt[seq]; ok && now >= pub {
+		f.installAt[seq] = append(f.installAt[seq], (now - pub).Seconds())
+	}
+	f.pubMu.Unlock()
+}
+
+// waterfalls summarises the collected publish→install delays, ascending
+// by seq.
+func (f *fleet) waterfalls() []SeqWaterfall {
+	f.pubMu.Lock()
+	defer f.pubMu.Unlock()
+	seqs := make([]int, 0, len(f.pubAt))
+	for seq := range f.pubAt {
+		seqs = append(seqs, seq)
+	}
+	sort.Ints(seqs)
+	out := make([]SeqWaterfall, 0, len(seqs))
+	for _, seq := range seqs {
+		delays := f.installAt[seq]
+		w := SeqWaterfall{
+			Seq:         seq,
+			PublishedAt: f.pubAt[seq].Seconds(),
+			Installs:    len(delays),
+			P50:         percentile(delays, 50),
+			P99:         percentile(delays, 99),
+		}
+		for _, d := range delays {
+			if d > w.Max {
+				w.Max = d
+			}
+		}
+		out = append(out, w)
+	}
+	return out
 }
 
 // Run executes one seeded fleet simulation and returns its report. The
@@ -220,7 +283,13 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	originTierT := NewHandlerTransport(chaosOrigin)
 	originClient := &http.Client{Transport: originTierT}
 
-	f := &fleet{cfg: cfg, chain: origin.Chain(), live: make(map[int]*edgeNode)}
+	f := &fleet{
+		cfg:       cfg,
+		chain:     origin.Chain(),
+		live:      make(map[int]*edgeNode),
+		pubAt:     make(map[int]time.Duration),
+		installAt: make(map[int][]float64),
+	}
 
 	runCtx, cancelRun := context.WithCancel(ctx)
 	defer cancelRun()
@@ -316,6 +385,8 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	}
 
 	start := time.Now()
+	f.start = start
+	f.notePublish(cfg.StartHead)
 
 	// Edge population.
 	for id := 0; id < cfg.Edges; id++ {
@@ -334,6 +405,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 				return
 			}
 			origin.SetHead(head)
+			f.notePublish(head)
 			if head == finalHead && finalAt.Load() == 0 {
 				finalAt.Store(int64(time.Since(start)))
 			}
@@ -399,6 +471,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		p.SetRate(0)
 	}
 	origin.SetHead(finalHead)
+	f.notePublish(finalHead)
 	if finalAt.Load() == 0 {
 		finalAt.Store(int64(time.Since(start)))
 	}
@@ -429,6 +502,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	samplesMu.Lock()
 	rep.LagSeries = samples
 	samplesMu.Unlock()
+	rep.Waterfalls = f.waterfalls()
 	rep.Egress.OriginBytes = originT.Bytes()
 	rep.Egress.OriginRequests = originT.Requests()
 	if cfg.Relays > 0 {
@@ -488,6 +562,7 @@ func (f *fleet) verify(_ *psl.List, seq int, fp string) {
 	if f.chain.Fingerprint(seq) != fp {
 		f.unverified.Add(1)
 	}
+	f.noteInstall(seq)
 }
 
 // startEdge launches edge id: staggered start, bootstrap with retry,

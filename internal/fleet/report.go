@@ -61,6 +61,20 @@ type Totals struct {
 	PollErrors    uint64 `json:"poll_errors"`
 }
 
+// SeqWaterfall is one published head's fleet-wide propagation summary:
+// when it was published (seconds since run start) and how the verified
+// installs that followed were distributed behind it. Like the lag
+// series, waterfalls are timing observations — present in the full
+// report, deliberately absent from DeterministicView.
+type SeqWaterfall struct {
+	Seq         int     `json:"seq"`
+	PublishedAt float64 `json:"published_at_seconds"`
+	Installs    int     `json:"installs"`
+	P50         float64 `json:"p50_seconds"`
+	P99         float64 `json:"p99_seconds"`
+	Max         float64 `json:"max_seconds"`
+}
+
 // Report is a fleet run's full result, JSON-encodable for cmd/pslfleet.
 type Report struct {
 	Config    Config  `json:"config"`
@@ -79,10 +93,11 @@ type Report struct {
 	Killed       int          `json:"edges_killed"`
 	Rejoined     int          `json:"edges_rejoined"`
 
-	LagSeries   []LagSample `json:"lag_series"`
-	Convergence Convergence `json:"convergence"`
-	Egress      Egress      `json:"egress"`
-	Edges       Totals      `json:"edge_totals"`
+	LagSeries   []LagSample    `json:"lag_series"`
+	Waterfalls  []SeqWaterfall `json:"propagation_waterfalls"`
+	Convergence Convergence    `json:"convergence"`
+	Egress      Egress         `json:"egress"`
+	Edges       Totals         `json:"edge_totals"`
 
 	// Chaos counts faults actually injected, by tier and class. Under
 	// concurrent traffic the seeded RNG's draw order follows request

@@ -21,6 +21,29 @@ import (
 // this package's writer, so it would catch a writer bug rather than
 // mirror it.
 func ValidateExposition(r io.Reader) ([]string, error) {
+	infos, err := ValidateExpositionInfo(r)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(infos))
+	for i, fi := range infos {
+		names[i] = fi.Name
+	}
+	return names, nil
+}
+
+// FamilyInfo describes one exposed metric family: its name and its
+// declared # TYPE. ValidateExpositionInfo returns these so lint rules
+// keyed on the type — every histogram family must name its unit, for
+// instance — can run without re-parsing the document.
+type FamilyInfo struct {
+	Name string
+	Type string
+}
+
+// ValidateExpositionInfo is ValidateExposition returning the family
+// names together with their declared types, sorted by name.
+func ValidateExpositionInfo(r io.Reader) ([]FamilyInfo, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<20)
 
@@ -135,7 +158,67 @@ func ValidateExposition(r io.Reader) ([]string, error) {
 	}
 
 	sort.Strings(order)
-	return order, nil
+	out := make([]FamilyInfo, len(order))
+	for i, name := range order {
+		out[i] = FamilyInfo{Name: name, Type: fams[name].typ}
+	}
+	return out, nil
+}
+
+// Sample is one parsed exposition sample, for consumers (like the
+// pslobs fleet inspector) that read scraped values back rather than
+// validating the document shape.
+type Sample struct {
+	Name   string
+	Labels string // raw label block without braces, "" when unlabelled
+	Value  float64
+}
+
+// ReadSamples parses every sample line of a text-exposition document,
+// skipping comments and blank lines. Unlike ValidateExposition it does
+// not enforce TYPE ordering or histogram consistency — it is the
+// reading half, tolerant of any valid producer.
+func ReadSamples(r io.Reader) ([]Sample, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	var out []Sample
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		name, labels, value, err := parseSample(text)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", line, err)
+		}
+		out = append(out, Sample{Name: name, Labels: labels, Value: value})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Label extracts one label's value from a sample's raw label block,
+// ok=false when absent.
+func (s Sample) Label(name string) (string, bool) {
+	rest := s.Labels
+	for rest != "" {
+		j := splitPair(rest)
+		pair := rest[:j]
+		rest = strings.TrimPrefix(rest[j:], ",")
+		if v, ok := strings.CutPrefix(pair, name+`="`); ok {
+			v = strings.TrimSuffix(v, `"`)
+			if strings.ContainsAny(v, `\`) {
+				r := strings.NewReplacer(`\\`, `\`, `\"`, `"`, `\n`, "\n")
+				v = r.Replace(v)
+			}
+			return v, true
+		}
+	}
+	return "", false
 }
 
 // parseSample parses `name{labels} value [timestamp]`, returning the

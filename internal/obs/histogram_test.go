@@ -2,6 +2,7 @@ package obs
 
 import (
 	"math"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -105,6 +106,36 @@ func TestHistogramConcurrent(t *testing.T) {
 	}
 	if h.Max() != time.Duration(goroutines)*time.Microsecond {
 		t.Errorf("Max = %v", h.Max())
+	}
+}
+
+// TestHistogramOverflowBucket checks observations beyond the last
+// finite bound are retained by the implicit +Inf bucket: count, sum and
+// max all account for them, and the exposition's +Inf cumulative count
+// equals _count (the invariant promlint enforces).
+func TestHistogramOverflowBucket(t *testing.T) {
+	h := NewHistogram([]float64{0.001, 0.01})
+	h.Observe(5 * time.Millisecond) // in range
+	h.Observe(time.Hour)            // overflow
+	h.Observe(24 * 365 * time.Hour) // far overflow
+	if h.Count() != 3 {
+		t.Fatalf("Count = %d, want 3 (overflow observations kept)", h.Count())
+	}
+	if got := h.counts[len(h.counts)-1].Load(); got != 2 {
+		t.Fatalf("+Inf bucket = %d, want 2", got)
+	}
+	if h.Max() != 24*365*time.Hour {
+		t.Fatalf("Max = %v, want the overflow observation", h.Max())
+	}
+
+	reg := NewRegistry()
+	reg.MustRegister("psl_test_overflow_seconds", "overflow check", nil, h)
+	infos, err := ValidateExpositionInfo(strings.NewReader(reg.Render()))
+	if err != nil {
+		t.Fatalf("exposition with overflow observations invalid: %v", err)
+	}
+	if len(infos) != 1 || infos[0].Type != "histogram" {
+		t.Fatalf("infos = %+v", infos)
 	}
 }
 

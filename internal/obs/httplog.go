@@ -39,30 +39,63 @@ func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter 
 
 // AccessLog wraps a handler with structured JSON access logging and
 // request tracing: every request gets a Trace (reusing an incoming
-// X-Request-Id if present) in its context, the effective ID is echoed
-// on the response, and on completion one slog record is emitted with
-// method, path, status, response bytes, duration and any stage timings
-// recorded down the stack. A nil logger disables logging but still
-// installs the trace, so stage timings and request IDs keep working.
+// X-Request-Id if present, continuing an incoming traceparent) in its
+// context, the effective ID is echoed on the response, and on
+// completion one slog record is emitted with method, path, status,
+// response bytes, duration and any stage timings recorded down the
+// stack. A nil logger disables logging but still installs the trace,
+// so stage timings and request IDs keep working.
 func AccessLog(logger *slog.Logger, next http.Handler) http.Handler {
+	return AccessLogTo(logger, nil, next)
+}
+
+// AccessLogTo is AccessLog with a completed-trace sink: every finished
+// request is also retained in ring as a server-side TraceRecord, which
+// is what makes one trace ID visible on each node it crossed — the
+// client ring on the poller shows the outbound hop, the server ring
+// here shows the same trace ID arriving. A nil ring disables retention.
+func AccessLogTo(logger *slog.Logger, ring *TraceRing, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		t := NewTrace(r.Header.Get(RequestIDHeader))
+		var t *Trace
+		if traceID, parentSpan, ok := ParseTraceParent(r.Header.Get(TraceParentHeader)); ok {
+			t = ContinueTrace(traceID, parentSpan, r.Header.Get(RequestIDHeader))
+		} else {
+			t = NewTrace(r.Header.Get(RequestIDHeader))
+		}
 		w.Header().Set(RequestIDHeader, t.ID)
 		rec := &statusRecorder{ResponseWriter: w}
 		next.ServeHTTP(rec, r.WithContext(WithTrace(r.Context(), t)))
-		if logger == nil {
-			return
-		}
 		if rec.status == 0 {
 			rec.status = http.StatusOK
 		}
+		dur := time.Since(t.Start)
+		if ring != nil {
+			ring.Record(&TraceRecord{
+				Time:     t.Start,
+				Kind:     "server",
+				ReqID:    t.ID,
+				TraceID:  t.TraceID,
+				SpanID:   t.SpanID,
+				ParentID: t.ParentID,
+				Method:   r.Method,
+				Path:     r.URL.Path,
+				Status:   rec.status,
+				Bytes:    rec.bytes,
+				Duration: dur,
+				Stages:   t.Stages(),
+			})
+		}
+		if logger == nil {
+			return
+		}
 		attrs := []slog.Attr{
 			slog.String("req_id", t.ID),
+			slog.String("trace_id", t.TraceID),
 			slog.String("method", r.Method),
 			slog.String("path", r.URL.Path),
 			slog.Int("status", rec.status),
 			slog.Int64("bytes", rec.bytes),
-			slog.Duration("dur", time.Since(t.Start)),
+			slog.Duration("dur", dur),
 		}
 		if r.URL.RawQuery != "" {
 			attrs = append(attrs, slog.String("query", r.URL.RawQuery))
@@ -72,4 +105,20 @@ func AccessLog(logger *slog.Logger, next http.Handler) http.Handler {
 		}
 		logger.LogAttrs(r.Context(), slog.LevelInfo, "request", attrs...)
 	})
+}
+
+// InjectTrace stamps a trace's propagation headers on an outbound
+// request: traceparent (this hop's span becomes the receiver's parent)
+// and X-Request-Id, so origin access logs join to the edge polls that
+// caused them. Nil-safe no-op on a nil trace.
+func InjectTrace(req *http.Request, t *Trace) {
+	if t == nil || req == nil {
+		return
+	}
+	if tp := t.TraceParent(); tp != "" {
+		req.Header.Set(TraceParentHeader, tp)
+	}
+	if t.ID != "" {
+		req.Header.Set(RequestIDHeader, t.ID)
+	}
 }

@@ -79,3 +79,61 @@ func TestAccessLogReusesIncomingID(t *testing.T) {
 		t.Errorf("status = %d", rec.Code)
 	}
 }
+
+// TestAccessLogContinuesTraceparent checks the cross-node propagation
+// contract: an inbound traceparent keeps its trace ID, the sender's
+// span becomes this hop's parent, and the completed request lands in
+// the ring carrying both — so two nodes' rings join on one trace ID.
+func TestAccessLogContinuesTraceparent(t *testing.T) {
+	upstream := NewTrace("")
+	ring := NewTraceRing(8, 0)
+	h := AccessLogTo(nil, ring, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tr := TraceFrom(r.Context())
+		if tr.TraceID != upstream.TraceID {
+			t.Errorf("handler trace ID = %s, want continued %s", tr.TraceID, upstream.TraceID)
+		}
+		if tr.ParentID != upstream.SpanID {
+			t.Errorf("handler parent = %s, want sender's span %s", tr.ParentID, upstream.SpanID)
+		}
+		if tr.SpanID == upstream.SpanID {
+			t.Error("hop reused the sender's span ID")
+		}
+	}))
+
+	req := httptest.NewRequest("GET", "/dist/manifest", nil)
+	InjectTrace(req, upstream)
+	if req.Header.Get(TraceParentHeader) != upstream.TraceParent() {
+		t.Fatalf("InjectTrace header = %q", req.Header.Get(TraceParentHeader))
+	}
+	if req.Header.Get(RequestIDHeader) != upstream.ID {
+		t.Fatalf("InjectTrace req id = %q", req.Header.Get(RequestIDHeader))
+	}
+	h.ServeHTTP(httptest.NewRecorder(), req)
+
+	recs := ring.Recent()
+	if len(recs) != 1 {
+		t.Fatalf("ring holds %d records, want 1", len(recs))
+	}
+	got := recs[0]
+	if got.Kind != "server" || got.TraceID != upstream.TraceID || got.ParentID != upstream.SpanID {
+		t.Fatalf("ring record = %+v, want continued trace", got)
+	}
+}
+
+// TestAccessLogMalformedTraceparent checks a bad header falls back to a
+// fresh root trace instead of failing the request.
+func TestAccessLogMalformedTraceparent(t *testing.T) {
+	h := AccessLog(nil, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tr := TraceFrom(r.Context())
+		if tr == nil || len(tr.TraceID) != 32 || tr.ParentID != "" {
+			t.Errorf("trace = %+v, want fresh root", tr)
+		}
+	}))
+	req := httptest.NewRequest("GET", "/", nil)
+	req.Header.Set(TraceParentHeader, "00-not-a-real-header-01")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Errorf("status = %d", rec.Code)
+	}
+}

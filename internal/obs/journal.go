@@ -1,0 +1,256 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Lifecycle stages a list version passes through on its way from the
+// origin's head advertisement to the first answer an edge serves from
+// it. Stage order is canonical: a node's timeline for one seq should
+// record its stages in this order (nodes only record the stages they
+// participate in — an origin never fetches, an edge never renders).
+const (
+	StagePublished    = "published"     // origin advertised the seq as head
+	StageBlobRendered = "blob_rendered" // a distribution blob for the seq was rendered
+	StageFetched      = "fetched"       // a replica finished transferring the seq
+	StageVerified     = "verified"      // fingerprint verification passed
+	StageInstalled    = "installed"     // the serving layer swapped the seq in
+	StageServedFirst  = "served_first"  // first lookup answered from the seq
+)
+
+// JournalStages lists the lifecycle stages in canonical order.
+var JournalStages = []string{
+	StagePublished, StageBlobRendered, StageFetched,
+	StageVerified, StageInstalled, StageServedFirst,
+}
+
+// stageRank maps stages to their canonical order for sorting and the
+// CI order assertion.
+var stageRank = func() map[string]int {
+	m := make(map[string]int, len(JournalStages))
+	for i, s := range JournalStages {
+		m[s] = i
+	}
+	return m
+}()
+
+// StageRank reports a stage's canonical position, -1 for unknown names.
+func StageRank(stage string) int {
+	if r, ok := stageRank[stage]; ok {
+		return r
+	}
+	return -1
+}
+
+// PropagationBuckets are the stage-delta histogram bounds, in seconds:
+// a 1–2.5–5 progression from 1ms to 600s. Propagation deltas live in
+// poll-interval territory (hundreds of ms to minutes), far above the
+// lookup-latency buckets.
+var PropagationBuckets = []float64{
+	1e-3, 2.5e-3, 5e-3,
+	10e-3, 25e-3, 50e-3,
+	100e-3, 250e-3, 500e-3,
+	1, 2.5, 5,
+	10, 25, 50,
+	100, 250, 600,
+}
+
+// JournalEvent is one recorded lifecycle stage of one seq.
+type JournalEvent struct {
+	Stage string    `json:"stage"`
+	At    time.Time `json:"at"`
+}
+
+// SeqTimeline is every stage one node recorded for one seq, in
+// recording order.
+type SeqTimeline struct {
+	Seq    int            `json:"seq"`
+	Events []JournalEvent `json:"events"`
+}
+
+// Journal is a fixed-size per-seq lifecycle journal: every node in the
+// propagation tree records the stages it participates in, keyed by
+// seq, and exposes them at /debug/propagation. When the journal is
+// full the lowest seq is evicted — propagation debugging cares about
+// the recent head, not ancient history. Recording also feeds the
+// psl_propagation_stage_seconds{stage,tier} histograms with the delta
+// from the seq's previous recorded event, so the exposition carries
+// per-stage dwell times even after timelines are evicted.
+//
+// Events are per-version, not per-request, so a mutex (never touched
+// by the lookup hot path) is the right tool. All methods are nil-safe.
+type Journal struct {
+	tier string
+	cap  int
+
+	mu        sync.Mutex
+	timelines map[int]*SeqTimeline
+
+	hists map[string]*Histogram
+}
+
+// NewJournal creates a journal for a node of the named tier (labels the
+// stage histograms; "origin", "relay", "edge"...). cap <= 0 retains 64
+// seqs.
+func NewJournal(tier string, cap int) *Journal {
+	if cap <= 0 {
+		cap = 64
+	}
+	j := &Journal{
+		tier:      tier,
+		cap:       cap,
+		timelines: make(map[int]*SeqTimeline, cap),
+		hists:     make(map[string]*Histogram, len(JournalStages)),
+	}
+	for _, s := range JournalStages {
+		j.hists[s] = NewHistogram(PropagationBuckets)
+	}
+	return j
+}
+
+// Tier reports the tier label the journal was created with.
+func (j *Journal) Tier() string {
+	if j == nil {
+		return ""
+	}
+	return j.tier
+}
+
+// Record journals stage for seq at the current time.
+func (j *Journal) Record(seq int, stage string) {
+	j.RecordAt(seq, stage, time.Now())
+}
+
+// RecordAt journals stage for seq at an explicit time — the origin's
+// advertised publish time, for instance, so a downstream node's
+// timeline starts where the origin's clock says the version was born.
+// The first occurrence of a stage per seq wins; a poll loop re-reading
+// the same manifest cannot inflate the timeline. Duplicate and unknown
+// stages are dropped.
+func (j *Journal) RecordAt(seq int, stage string, at time.Time) {
+	if j == nil || seq < 0 || at.IsZero() {
+		return
+	}
+	h, known := j.hists[stage]
+	if !known {
+		return
+	}
+	j.mu.Lock()
+	tl := j.timelines[seq]
+	if tl == nil {
+		if len(j.timelines) >= j.cap {
+			j.evictOldestLocked()
+		}
+		tl = &SeqTimeline{Seq: seq}
+		j.timelines[seq] = tl
+	}
+	for _, ev := range tl.Events {
+		if ev.Stage == stage {
+			j.mu.Unlock()
+			return
+		}
+	}
+	var delta time.Duration
+	observe := false
+	if n := len(tl.Events); n > 0 {
+		delta = at.Sub(tl.Events[n-1].At)
+		observe = true
+	}
+	tl.Events = append(tl.Events, JournalEvent{Stage: stage, At: at})
+	j.mu.Unlock()
+
+	if observe {
+		h.Observe(delta)
+	}
+}
+
+// evictOldestLocked drops the lowest seq. Caller holds j.mu.
+func (j *Journal) evictOldestLocked() {
+	lowest, found := 0, false
+	for seq := range j.timelines {
+		if !found || seq < lowest {
+			lowest, found = seq, true
+		}
+	}
+	if found {
+		delete(j.timelines, lowest)
+	}
+}
+
+// Timeline returns a copy of the recorded timeline for seq, ok=false
+// when the seq is unknown (never recorded, or evicted).
+func (j *Journal) Timeline(seq int) (SeqTimeline, bool) {
+	if j == nil {
+		return SeqTimeline{}, false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	tl := j.timelines[seq]
+	if tl == nil {
+		return SeqTimeline{}, false
+	}
+	return SeqTimeline{Seq: tl.Seq, Events: append([]JournalEvent(nil), tl.Events...)}, true
+}
+
+// Snapshot returns every retained timeline, ascending by seq.
+func (j *Journal) Snapshot() []SeqTimeline {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	out := make([]SeqTimeline, 0, len(j.timelines))
+	for _, tl := range j.timelines {
+		out = append(out, SeqTimeline{Seq: tl.Seq, Events: append([]JournalEvent(nil), tl.Events...)})
+	}
+	j.mu.Unlock()
+	sort.Slice(out, func(a, b int) bool { return out[a].Seq < out[b].Seq })
+	return out
+}
+
+// StageHistogram exposes the dwell-time histogram for one stage (nil
+// for unknown stages), for tests and report aggregation.
+func (j *Journal) StageHistogram(stage string) *Histogram {
+	if j == nil {
+		return nil
+	}
+	return j.hists[stage]
+}
+
+// RegisterMetrics attaches the per-stage dwell-time histograms to a
+// registry as psl_propagation_stage_seconds{stage,tier}.
+func (j *Journal) RegisterMetrics(r *Registry) {
+	for _, s := range JournalStages {
+		r.MustRegister("psl_propagation_stage_seconds",
+			"Delta from the previous lifecycle event of the same seq, by stage and tier.",
+			Labels{{"stage", s}, {"tier", j.tier}}, j.hists[s])
+	}
+}
+
+// PropagationPath is the conventional mount point of Journal.Handler,
+// shared by the server binaries and the pslobs inspector.
+const PropagationPath = "/debug/propagation"
+
+// journalBody is the JSON document served at /debug/propagation.
+type journalBody struct {
+	Tier     string        `json:"tier"`
+	Capacity int           `json:"capacity"`
+	Stages   []string      `json:"stages"`
+	Seqs     []SeqTimeline `json:"seqs"`
+}
+
+// Handler serves the journal as JSON — mount it at /debug/propagation.
+func (j *Journal) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = json.NewEncoder(w).Encode(journalBody{
+			Tier:     j.tier,
+			Capacity: j.cap,
+			Stages:   JournalStages,
+			Seqs:     j.Snapshot(),
+		})
+	})
+}

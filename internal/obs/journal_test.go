@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+var journalBase = time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+
+// TestJournalFirstOccurrenceWins checks a re-recorded stage cannot
+// inflate a timeline or its histograms — a poll loop re-reading the
+// same manifest journals "published" every cycle.
+func TestJournalFirstOccurrenceWins(t *testing.T) {
+	j := NewJournal("edge", 0)
+	j.RecordAt(5, StagePublished, journalBase)
+	j.RecordAt(5, StageFetched, journalBase.Add(time.Second))
+	for i := 0; i < 10; i++ {
+		j.RecordAt(5, StagePublished, journalBase.Add(time.Duration(i)*time.Minute))
+		j.RecordAt(5, StageFetched, journalBase.Add(time.Duration(i)*time.Minute))
+	}
+	tl, ok := j.Timeline(5)
+	if !ok || len(tl.Events) != 2 {
+		t.Fatalf("timeline = %+v ok=%v, want exactly 2 events", tl, ok)
+	}
+	if tl.Events[0].Stage != StagePublished || !tl.Events[0].At.Equal(journalBase) {
+		t.Fatalf("events[0] = %+v, want first-recorded published", tl.Events[0])
+	}
+	if got := j.StageHistogram(StageFetched).Count(); got != 1 {
+		t.Fatalf("fetched histogram count = %d, want 1 (duplicates dropped)", got)
+	}
+}
+
+// TestJournalEvictsLowestSeq checks the fixed-capacity contract: when
+// full, the lowest seq goes, never the recent head.
+func TestJournalEvictsLowestSeq(t *testing.T) {
+	j := NewJournal("edge", 4)
+	for seq := 10; seq < 14; seq++ {
+		j.RecordAt(seq, StageInstalled, journalBase)
+	}
+	j.RecordAt(14, StageInstalled, journalBase)
+
+	if _, ok := j.Timeline(10); ok {
+		t.Fatal("lowest seq 10 survived eviction")
+	}
+	snap := j.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("snapshot holds %d seqs, want capacity 4", len(snap))
+	}
+	for i, want := range []int{11, 12, 13, 14} {
+		if snap[i].Seq != want {
+			t.Fatalf("snapshot[%d].Seq = %d, want %d (ascending)", i, snap[i].Seq, want)
+		}
+	}
+}
+
+// TestJournalObservesStageDeltas checks the histogram feed: each event
+// observes the delta from the seq's previous event; the first event of
+// a seq observes nothing (there is no predecessor to measure from).
+func TestJournalObservesStageDeltas(t *testing.T) {
+	j := NewJournal("relay", 0)
+	j.RecordAt(7, StagePublished, journalBase)
+	j.RecordAt(7, StageFetched, journalBase.Add(2*time.Second))
+	j.RecordAt(7, StageInstalled, journalBase.Add(3*time.Second))
+
+	if got := j.StageHistogram(StagePublished).Count(); got != 0 {
+		t.Fatalf("published count = %d, want 0 (first event has no delta)", got)
+	}
+	if h := j.StageHistogram(StageFetched); h.Count() != 1 || h.Sum() != 2*time.Second {
+		t.Fatalf("fetched count=%d sum=%v, want 1 / 2s", h.Count(), h.Sum())
+	}
+	if h := j.StageHistogram(StageInstalled); h.Count() != 1 || h.Sum() != time.Second {
+		t.Fatalf("installed count=%d sum=%v, want 1 / 1s", h.Count(), h.Sum())
+	}
+}
+
+// TestJournalDropsInvalid checks unknown stages, negative seqs and zero
+// times never enter the journal.
+func TestJournalDropsInvalid(t *testing.T) {
+	j := NewJournal("edge", 0)
+	j.RecordAt(1, "teleported", journalBase)
+	j.RecordAt(-1, StagePublished, journalBase)
+	j.RecordAt(1, StagePublished, time.Time{})
+	if snap := j.Snapshot(); len(snap) != 0 {
+		t.Fatalf("snapshot = %+v, want empty", snap)
+	}
+}
+
+// TestJournalNilSafe checks a nil journal absorbs every call — the
+// instrumented replica path never guards its journal.
+func TestJournalNilSafe(t *testing.T) {
+	var j *Journal
+	j.Record(1, StagePublished)
+	j.RecordAt(1, StageFetched, journalBase)
+	if _, ok := j.Timeline(1); ok {
+		t.Fatal("nil journal produced a timeline")
+	}
+	if j.Snapshot() != nil || j.Tier() != "" || j.StageHistogram(StageFetched) != nil {
+		t.Fatal("nil journal leaked state")
+	}
+}
+
+// TestJournalHandler checks the /debug/propagation document shape the
+// pslobs inspector consumes.
+func TestJournalHandler(t *testing.T) {
+	j := NewJournal("edge", 0)
+	j.RecordAt(3, StagePublished, journalBase)
+	j.RecordAt(3, StageInstalled, journalBase.Add(time.Second))
+
+	rec := httptest.NewRecorder()
+	j.Handler().ServeHTTP(rec, httptest.NewRequest("GET", PropagationPath, nil))
+	var body struct {
+		Tier     string        `json:"tier"`
+		Capacity int           `json:"capacity"`
+		Stages   []string      `json:"stages"`
+		Seqs     []SeqTimeline `json:"seqs"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("handler body is not JSON: %v\n%s", err, rec.Body.String())
+	}
+	if body.Tier != "edge" || body.Capacity != 64 || len(body.Stages) != len(JournalStages) {
+		t.Fatalf("body = %+v", body)
+	}
+	if len(body.Seqs) != 1 || body.Seqs[0].Seq != 3 || len(body.Seqs[0].Events) != 2 {
+		t.Fatalf("seqs = %+v", body.Seqs)
+	}
+}
+
+// TestStageRank pins the canonical order the CI assertion sorts by.
+func TestStageRank(t *testing.T) {
+	for i, s := range JournalStages {
+		if StageRank(s) != i {
+			t.Errorf("StageRank(%s) = %d, want %d", s, StageRank(s), i)
+		}
+	}
+	if StageRank("unknown") != -1 {
+		t.Error("unknown stage did not rank -1")
+	}
+}

@@ -13,7 +13,11 @@ import (
 
 // reqPrefix is a per-process random prefix so request IDs from
 // different processes never collide; reqSeq makes IDs unique and
-// cheaply orderable within a process.
+// cheaply orderable within a process. traceIDPrefix and spanIDPrefix
+// follow the same recipe for the W3C-shaped trace/span identifiers:
+// random per-process prefix plus a counter suffix, so minting an ID is
+// one atomic add and one small allocation, never a crypto/rand read on
+// a request path.
 var (
 	reqPrefix = func() string {
 		var b [4]byte
@@ -23,7 +27,22 @@ var (
 		return hex.EncodeToString(b[:])
 	}()
 	reqSeq atomic.Uint64
+
+	traceIDPrefix = randHex(12) // 24 hex chars; +8-hex counter = 32
+	spanIDPrefix  = randHex(4)  // 8 hex chars; +8-hex counter = 16
+	traceSeq      atomic.Uint64
+	spanSeq       atomic.Uint64
 )
+
+func randHex(n int) string {
+	b := make([]byte, n)
+	if _, err := rand.Read(b); err != nil {
+		for i := range b {
+			b[i] = byte(i + 1) // never all-zero: all-zero IDs are invalid in traceparent
+		}
+	}
+	return hex.EncodeToString(b)
+}
 
 // NewRequestID returns a process-unique request identifier of the form
 // "d1f3a2b4-000042": a random per-process prefix plus a sequence
@@ -31,6 +50,18 @@ var (
 // request IDs are minted on the HTTP layer, not the lookup hot path.
 func NewRequestID() string {
 	return fmt.Sprintf("%s-%06x", reqPrefix, reqSeq.Add(1))
+}
+
+// NewTraceID mints a 32-hex-digit trace identifier (W3C trace-id
+// shape): a random per-process prefix plus a counter, unique across
+// processes and cheaply orderable within one.
+func NewTraceID() string {
+	return fmt.Sprintf("%s%08x", traceIDPrefix, traceSeq.Add(1))
+}
+
+// NewSpanID mints a 16-hex-digit span identifier (W3C parent-id shape).
+func NewSpanID() string {
+	return fmt.Sprintf("%s%08x", spanIDPrefix, spanSeq.Add(1))
 }
 
 // StageTiming is one named, timed stage of a request.
@@ -48,6 +79,16 @@ type StageTiming struct {
 type Trace struct {
 	// ID is the request identifier, also echoed as X-Request-Id.
 	ID string
+	// TraceID is the 32-hex-digit identifier shared by every hop of one
+	// distributed operation (W3C trace-id). Continued from an inbound
+	// traceparent header when present, freshly minted otherwise.
+	TraceID string
+	// SpanID is this hop's own 16-hex-digit identifier, always freshly
+	// minted; it becomes the parent-id of any request this hop makes.
+	SpanID string
+	// ParentID is the 16-hex-digit span ID of the caller that carried
+	// this trace in, empty at a trace's root.
+	ParentID string
 	// Start is when the request entered the stack.
 	Start time.Time
 
@@ -55,12 +96,25 @@ type Trace struct {
 	stages []StageTiming
 }
 
-// NewTrace creates a trace with the given ID (empty mints a fresh one).
+// NewTrace creates a root trace with the given request ID (empty mints
+// a fresh one) and fresh trace/span identifiers.
 func NewTrace(id string) *Trace {
 	if id == "" {
 		id = NewRequestID()
 	}
-	return &Trace{ID: id, Start: time.Now()}
+	return &Trace{ID: id, TraceID: NewTraceID(), SpanID: NewSpanID(), Start: time.Now()}
+}
+
+// ContinueTrace creates a child trace inside an existing distributed
+// trace: same trace ID, fresh span ID, the caller's span as parent.
+// The request ID follows NewTrace's rules.
+func ContinueTrace(traceID, parentSpan, reqID string) *Trace {
+	t := NewTrace(reqID)
+	if traceID != "" {
+		t.TraceID = traceID
+	}
+	t.ParentID = parentSpan
+	return t
 }
 
 // Span is an in-progress stage measurement, returned by Trace.Stage and
@@ -119,6 +173,58 @@ func (t *Trace) stagesString() string {
 		b.WriteString(s.Duration.String())
 	}
 	return b.String()
+}
+
+// TraceParentHeader is the W3C Trace Context header carrying the
+// trace/span identifiers across process boundaries.
+const TraceParentHeader = "traceparent"
+
+// TraceParent renders the trace's outbound traceparent header value:
+// version 00, this trace's ID, this hop's span as the parent of
+// whatever the receiver does, sampled flag set. Nil-safe: a nil trace
+// renders "".
+func (t *Trace) TraceParent() string {
+	if t == nil || len(t.TraceID) != 32 || len(t.SpanID) != 16 {
+		return ""
+	}
+	return "00-" + t.TraceID + "-" + t.SpanID + "-01"
+}
+
+// ParseTraceParent splits a traceparent header value into its trace ID
+// and parent span ID. It accepts the version-00 fixed layout
+// (00-<32 hex>-<16 hex>-<2 hex>), rejecting malformed values and the
+// all-zero invalid IDs, per the W3C Trace Context spec.
+func ParseTraceParent(h string) (traceID, parentSpan string, ok bool) {
+	if len(h) != 55 || h[0] != '0' || h[1] != '0' || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return "", "", false
+	}
+	traceID, parentSpan = h[3:35], h[36:52]
+	if !isLowerHex(traceID) || !isLowerHex(parentSpan) || !isLowerHex(h[53:55]) {
+		return "", "", false
+	}
+	if allZero(traceID) || allZero(parentSpan) {
+		return "", "", false
+	}
+	return traceID, parentSpan, true
+}
+
+func isLowerHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func allZero(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] != '0' {
+			return false
+		}
+	}
+	return true
 }
 
 // traceKey is the context key for the request Trace.

@@ -63,4 +63,59 @@ func TestTraceNilSafe(t *testing.T) {
 	if TraceFrom(context.Background()) != nil {
 		t.Error("TraceFrom on bare context != nil")
 	}
+	if tr.TraceParent() != "" {
+		t.Error("nil trace rendered a traceparent")
+	}
+}
+
+// TestTraceParentRoundTrip checks render → parse recovers the IDs and
+// that ContinueTrace wires the parent/child relationship.
+func TestTraceParentRoundTrip(t *testing.T) {
+	root := NewTrace("")
+	if len(root.TraceID) != 32 || len(root.SpanID) != 16 {
+		t.Fatalf("ID shapes: trace=%q span=%q", root.TraceID, root.SpanID)
+	}
+	h := root.TraceParent()
+	if len(h) != 55 || !strings.HasPrefix(h, "00-") || !strings.HasSuffix(h, "-01") {
+		t.Fatalf("traceparent = %q", h)
+	}
+	traceID, parentSpan, ok := ParseTraceParent(h)
+	if !ok || traceID != root.TraceID || parentSpan != root.SpanID {
+		t.Fatalf("parse(%q) = %q %q %v", h, traceID, parentSpan, ok)
+	}
+
+	child := ContinueTrace(traceID, parentSpan, "")
+	if child.TraceID != root.TraceID {
+		t.Error("child did not keep the trace ID")
+	}
+	if child.ParentID != root.SpanID {
+		t.Error("child's parent is not the root's span")
+	}
+	if child.SpanID == root.SpanID {
+		t.Error("child reused the root's span ID")
+	}
+}
+
+// TestParseTraceParentRejects pins the malformed values the parser must
+// refuse: wrong lengths, bad separators, upper-case hex, and the
+// all-zero IDs the W3C spec marks invalid.
+func TestParseTraceParentRejects(t *testing.T) {
+	valid := "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"
+	if _, _, ok := ParseTraceParent(valid); !ok {
+		t.Fatalf("rejected valid header %q", valid)
+	}
+	for _, h := range []string{
+		"",
+		valid[:54],
+		valid + "0",
+		strings.Replace(valid, "-", "_", 1),
+		strings.ToUpper(valid),
+		"00-" + strings.Repeat("0", 32) + "-b7ad6b7169203331-01",
+		"00-0af7651916cd43dd8448eb211c80319c-" + strings.Repeat("0", 16) + "-01",
+		"00-0af7651916cd43dd8448eb211c80319g-b7ad6b7169203331-01",
+	} {
+		if _, _, ok := ParseTraceParent(h); ok {
+			t.Errorf("accepted malformed traceparent %q", h)
+		}
+	}
 }

@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// TraceRecord is one completed traced request — a server-side request
+// the access-log middleware finished, or a client-side request a
+// replica or fetcher made — as retained in a TraceRing and exported on
+// /debug/traces. Kind distinguishes the two directions so a scrape of
+// one node shows both the polls it made and the requests it served.
+type TraceRecord struct {
+	Time     time.Time     `json:"time"` // when the request started
+	Kind     string        `json:"kind"` // "server" or "client"
+	ReqID    string        `json:"req_id"`
+	TraceID  string        `json:"trace_id"`
+	SpanID   string        `json:"span_id"`
+	ParentID string        `json:"parent_id,omitempty"`
+	Method   string        `json:"method"`
+	Path     string        `json:"path"`
+	Status   int           `json:"status,omitempty"`
+	Bytes    int64         `json:"bytes,omitempty"`
+	Duration time.Duration `json:"dur_ns"`
+	Stages   []StageTiming `json:"stages,omitempty"`
+	Err      string        `json:"error,omitempty"`
+}
+
+// Slow reports whether the record qualifies for the always-retained
+// slow/failed ring under the given threshold: a server error, a
+// transport error, or a duration at or above the threshold.
+func (rec *TraceRecord) Slow(threshold time.Duration) bool {
+	return rec.Status >= 500 || rec.Err != "" || (threshold > 0 && rec.Duration >= threshold)
+}
+
+// ringBuf is a bounded lock-free ring of trace records: a monotone
+// sequence counter claims slots, each slot is an atomic pointer store.
+// Writers never block or allocate beyond the record itself; a reader
+// sees a consistent oldest→newest window (a slot mid-overwrite simply
+// yields the newer record).
+type ringBuf struct {
+	next  atomic.Uint64
+	slots []atomic.Pointer[TraceRecord]
+}
+
+func newRingBuf(size int) *ringBuf {
+	return &ringBuf{slots: make([]atomic.Pointer[TraceRecord], size)}
+}
+
+func (rb *ringBuf) push(rec *TraceRecord) {
+	i := rb.next.Add(1) - 1
+	rb.slots[i%uint64(len(rb.slots))].Store(rec)
+}
+
+// snapshot returns the retained records oldest→newest.
+func (rb *ringBuf) snapshot() []TraceRecord {
+	n := rb.next.Load()
+	size := uint64(len(rb.slots))
+	start := uint64(0)
+	if n > size {
+		start = n - size
+	}
+	out := make([]TraceRecord, 0, n-start)
+	for i := start; i < n; i++ {
+		if rec := rb.slots[i%size].Load(); rec != nil {
+			out = append(out, *rec)
+		}
+	}
+	return out
+}
+
+// DefaultSlowThreshold gates the slow ring when TraceRingOptions leaves
+// it zero: anything at or above 250ms is worth keeping, whatever the
+// recent-traffic churn.
+const DefaultSlowThreshold = 250 * time.Millisecond
+
+// TracesPath is the conventional mount point of TraceRing.Handler,
+// shared by the server binaries and the pslobs inspector.
+const TracesPath = "/debug/traces"
+
+// TraceRing retains completed traces in two bounded lock-free rings: a
+// recent ring receiving every record, and a slow ring receiving only
+// slow or failed records (status >= 500, transport error, or duration
+// at or above the threshold). Heavy fast traffic wrapping the recent
+// ring can therefore never evict the requests an operator actually
+// debugs. All methods are nil-safe.
+type TraceRing struct {
+	recent *ringBuf
+	slow   *ringBuf
+
+	threshold time.Duration
+	recorded  Counter
+	slowKept  Counter
+}
+
+// NewTraceRing creates a ring retaining size recent records and size/4
+// (minimum 16) slow ones. size <= 0 selects 256. threshold <= 0 selects
+// DefaultSlowThreshold.
+func NewTraceRing(size int, threshold time.Duration) *TraceRing {
+	if size <= 0 {
+		size = 256
+	}
+	if threshold <= 0 {
+		threshold = DefaultSlowThreshold
+	}
+	slowSize := size / 4
+	if slowSize < 16 {
+		slowSize = 16
+	}
+	return &TraceRing{
+		recent:    newRingBuf(size),
+		slow:      newRingBuf(slowSize),
+		threshold: threshold,
+	}
+}
+
+// SlowThreshold reports the duration at which a record is retained in
+// the slow ring.
+func (tr *TraceRing) SlowThreshold() time.Duration {
+	if tr == nil {
+		return 0
+	}
+	return tr.threshold
+}
+
+// Record retains one completed trace record. Nil-safe no-op on a nil
+// ring or record.
+func (tr *TraceRing) Record(rec *TraceRecord) {
+	if tr == nil || rec == nil {
+		return
+	}
+	tr.recorded.Add(1)
+	tr.recent.push(rec)
+	if rec.Slow(tr.threshold) {
+		tr.slowKept.Add(1)
+		tr.slow.push(rec)
+	}
+}
+
+// Recent returns the retained recent records, oldest first.
+func (tr *TraceRing) Recent() []TraceRecord {
+	if tr == nil {
+		return nil
+	}
+	return tr.recent.snapshot()
+}
+
+// Slow returns the retained slow/failed records, oldest first.
+func (tr *TraceRing) Slow() []TraceRecord {
+	if tr == nil {
+		return nil
+	}
+	return tr.slow.snapshot()
+}
+
+// RegisterMetrics attaches the ring's counters to a registry.
+func (tr *TraceRing) RegisterMetrics(r *Registry) {
+	r.MustRegister("psl_trace_records_total", "Completed trace records retained in the recent ring.", nil, &tr.recorded)
+	r.MustRegister("psl_trace_slow_records_total", "Trace records also retained in the slow/failed ring.", nil, &tr.slowKept)
+}
+
+// traceRingBody is the JSON document served at /debug/traces.
+type traceRingBody struct {
+	Capacity      int           `json:"capacity"`
+	SlowCapacity  int           `json:"slow_capacity"`
+	SlowThreshold string        `json:"slow_threshold"`
+	Recent        []TraceRecord `json:"recent"`
+	Slow          []TraceRecord `json:"slow"`
+}
+
+// Handler serves the ring as JSON — mount it at /debug/traces.
+func (tr *TraceRing) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = json.NewEncoder(w).Encode(traceRingBody{
+			Capacity:      len(tr.recent.slots),
+			SlowCapacity:  len(tr.slow.slots),
+			SlowThreshold: tr.threshold.String(),
+			Recent:        tr.Recent(),
+			Slow:          tr.Slow(),
+		})
+	})
+}

@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTraceRingWraparound checks the retention contract: the recent
+// ring evicts oldest-first once full, while a slow record survives any
+// amount of fast traffic because it lives in its own ring.
+func TestTraceRingWraparound(t *testing.T) {
+	ring := NewTraceRing(64, 100*time.Millisecond)
+
+	slow := &TraceRecord{
+		Kind: "server", TraceID: "feedfacefeedfacefeedfacefeedface",
+		SpanID: "feedfacefeedface", Path: "/dist/full/1",
+		Duration: 2 * time.Second,
+	}
+	ring.Record(slow)
+
+	// 10× the recent capacity of fast requests wraps the recent ring
+	// many times over.
+	for i := 0; i < 640; i++ {
+		ring.Record(&TraceRecord{
+			Kind: "server", TraceID: fmt.Sprintf("%032x", i+1),
+			SpanID: fmt.Sprintf("%016x", i+1), Path: "/v1/lookup",
+			Duration: time.Millisecond,
+		})
+	}
+
+	recent := ring.Recent()
+	if len(recent) != 64 {
+		t.Fatalf("recent holds %d records, want capacity 64", len(recent))
+	}
+	// Oldest evicted: only the newest 64 fast records remain, in order.
+	for i, rec := range recent {
+		want := fmt.Sprintf("%032x", 640-64+i+1)
+		if rec.TraceID != want {
+			t.Fatalf("recent[%d].TraceID = %s, want %s (oldest-first eviction)", i, rec.TraceID, want)
+		}
+	}
+
+	slowKept := ring.Slow()
+	if len(slowKept) != 1 || slowKept[0].TraceID != slow.TraceID {
+		t.Fatalf("slow ring = %+v, want the one slow record retained", slowKept)
+	}
+}
+
+// TestTraceRingSlowClassification checks every path into the slow ring:
+// duration at/over threshold, 5xx status, and transport error — and
+// that a fast clean request stays out.
+func TestTraceRingSlowClassification(t *testing.T) {
+	ring := NewTraceRing(16, 100*time.Millisecond)
+	ring.Record(&TraceRecord{Path: "/fast", Duration: time.Millisecond, Status: 200})
+	ring.Record(&TraceRecord{Path: "/slow", Duration: 100 * time.Millisecond, Status: 200})
+	ring.Record(&TraceRecord{Path: "/5xx", Duration: time.Millisecond, Status: 502})
+	ring.Record(&TraceRecord{Path: "/err", Duration: time.Millisecond, Err: "connection reset"})
+
+	slow := ring.Slow()
+	if len(slow) != 3 {
+		t.Fatalf("slow ring holds %d records, want 3: %+v", len(slow), slow)
+	}
+	for _, rec := range slow {
+		if rec.Path == "/fast" {
+			t.Fatal("fast clean request retained in slow ring")
+		}
+	}
+	if len(ring.Recent()) != 4 {
+		t.Fatalf("recent ring holds %d, want all 4", len(ring.Recent()))
+	}
+}
+
+// TestTraceRingConcurrentRecord checks the lock-free slot claim under
+// contention: no panics, and the counters account for every record.
+func TestTraceRingConcurrentRecord(t *testing.T) {
+	ring := NewTraceRing(32, time.Hour)
+	const goroutines, perG = 8, 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				ring.Record(&TraceRecord{
+					TraceID:  fmt.Sprintf("%016x%08x%08x", g, g, i),
+					Duration: time.Millisecond,
+				})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := ring.recorded.Load(); got != goroutines*perG {
+		t.Fatalf("recorded counter = %d, want %d", got, goroutines*perG)
+	}
+	if got := len(ring.Recent()); got != 32 {
+		t.Fatalf("recent snapshot holds %d, want capacity 32", got)
+	}
+}
+
+// TestTraceRingNilSafe checks a nil ring absorbs all calls.
+func TestTraceRingNilSafe(t *testing.T) {
+	var ring *TraceRing
+	ring.Record(&TraceRecord{})
+	if ring.Recent() != nil || ring.Slow() != nil || ring.SlowThreshold() != 0 {
+		t.Fatal("nil ring leaked state")
+	}
+}
+
+// TestTraceRingHandler checks the /debug/traces JSON document shape the
+// pslobs inspector consumes.
+func TestTraceRingHandler(t *testing.T) {
+	ring := NewTraceRing(8, 50*time.Millisecond)
+	ring.Record(&TraceRecord{
+		Kind: "client", TraceID: "0af7651916cd43dd8448eb211c80319c",
+		SpanID: "b7ad6b7169203331", Method: "GET", Path: "/dist/manifest",
+		Status: 200, Duration: 75 * time.Millisecond,
+	})
+
+	rec := httptest.NewRecorder()
+	ring.Handler().ServeHTTP(rec, httptest.NewRequest("GET", TracesPath, nil))
+	var body struct {
+		Capacity      int           `json:"capacity"`
+		SlowCapacity  int           `json:"slow_capacity"`
+		SlowThreshold string        `json:"slow_threshold"`
+		Recent        []TraceRecord `json:"recent"`
+		Slow          []TraceRecord `json:"slow"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("handler body is not JSON: %v\n%s", err, rec.Body.String())
+	}
+	if body.Capacity != 8 || body.SlowThreshold != "50ms" {
+		t.Fatalf("body = %+v", body)
+	}
+	if len(body.Recent) != 1 || len(body.Slow) != 1 {
+		t.Fatalf("recent=%d slow=%d, want 1/1", len(body.Recent), len(body.Slow))
+	}
+	if body.Slow[0].TraceID != "0af7651916cd43dd8448eb211c80319c" {
+		t.Fatalf("slow[0] = %+v", body.Slow[0])
+	}
+}

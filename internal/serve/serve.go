@@ -88,6 +88,10 @@ type timing struct {
 type state struct {
 	snap  *Snapshot
 	cache *Cache
+	// served flips once, on the first lookup this state answers — the
+	// served_first lifecycle event. Living in the swapped state (not the
+	// Service) means each installed version gets its own event for free.
+	served atomic.Bool
 }
 
 // Service answers eTLD / eTLD+1 queries over HTTP against a
@@ -137,6 +141,10 @@ type Service struct {
 	// limits holds the operator health thresholds; nil means always
 	// healthy (the default).
 	limits atomic.Pointer[healthLimits]
+
+	// journal, when set, receives the served_first lifecycle event for
+	// each installed snapshot (see obs.Journal). nil disables it.
+	journal atomic.Pointer[obs.Journal]
 
 	// admission semaphore for /v1/lookup.
 	tokens chan struct{}
@@ -443,6 +451,20 @@ func (s *Service) SetVersion(seq int) error {
 	return nil
 }
 
+// SetJournal wires the propagation journal the service records each
+// snapshot's served_first event into, completing the
+// published→…→installed→served_first timeline on a serving node.
+func (s *Service) SetJournal(j *obs.Journal) { s.journal.Store(j) }
+
+// noteServed records served_first the first time a state answers
+// traffic. The steady-state cost is one read-mostly atomic load; the
+// CAS and journal write happen once per installed snapshot.
+func (s *Service) noteServed(st *state) {
+	if !st.served.Load() && st.served.CompareAndSwap(false, true) {
+		s.journal.Load().Record(st.snap.Seq, obs.StageServedFirst)
+	}
+}
+
 // Current returns the snapshot now in effect.
 func (s *Service) Current() *Snapshot { return s.st.Load().snap }
 
@@ -468,6 +490,7 @@ func (s *Service) Lookup(host string) (Answer, error) {
 		t0 = time.Now()
 	}
 	st := s.st.Load()
+	s.noteServed(st)
 	if a, ok := st.cache.Get(host); ok {
 		if s.hits.AddSampled(1, hitSampleEvery) && m != nil {
 			m.armed.Store(true)
