@@ -4,7 +4,10 @@
 // per-node tier, seq, replication lag and matcher-install provenance,
 // per-stage propagation latencies (p50/p99 from the
 // psl_propagation_stage_seconds histograms), and the slowest retained
-// traces across the fleet.
+// traces across the fleet. Nodes that mount the write path's
+// /debug/submissions endpoint additionally report their submission
+// store (pending/accepted/rejected/published counts and per-submission
+// outcomes); nodes without it stay quiet.
 //
 //	pslobs http://127.0.0.1:8353 http://127.0.0.1:8453 http://127.0.0.1:8553
 //
@@ -38,6 +41,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/submit"
 )
 
 // stageSummary is one lifecycle stage's dwell-time distribution on one
@@ -66,6 +70,10 @@ type nodeReport struct {
 	Stages     []stageSummary     `json:"stages,omitempty"`
 	Timelines  []obs.SeqTimeline  `json:"timelines,omitempty"`
 	Slowest    []obs.TraceRecord  `json:"slowest_traces,omitempty"`
+	// Submissions carries the node's write-path store summary. Nil when
+	// the node does not mount /debug/submissions (followers, or an
+	// origin without -submit) — the section simply stays quiet.
+	Submissions *submit.DebugSummary `json:"submissions,omitempty"`
 
 	traceIDs map[string]bool
 }
@@ -242,7 +250,32 @@ func scrapeNode(client *http.Client, base string, top int) *nodeReport {
 	}
 	rep.Tier = pv.Tier
 	rep.Timelines = pv.Seqs
+
+	// The write-path store is optional: only an origin running with
+	// -submit mounts it, so an absent endpoint is not an error.
+	if sum, ok := scrapeSubmissions(client, base); ok {
+		rep.Submissions = sum
+	}
 	return rep
+}
+
+// scrapeSubmissions reads /debug/submissions when the node serves it.
+// A 404 (endpoint not mounted) reports ok=false with no error — the
+// read path has nothing to say about submissions.
+func scrapeSubmissions(client *http.Client, base string) (*submit.DebugSummary, bool) {
+	resp, err := client.Get(base + submit.DebugPath)
+	if err != nil {
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, false
+	}
+	var sum submit.DebugSummary
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 16<<20)).Decode(&sum); err != nil {
+		return nil, false
+	}
+	return &sum, true
 }
 
 // formatSeconds renders a seconds value at operator resolution.
@@ -282,6 +315,25 @@ func render(w io.Writer, nodes []*nodeReport) {
 		for _, st := range n.Stages {
 			fmt.Fprintf(w, "  %-13s n=%-5.0f p50<=%-8s p99<=%s\n",
 				st.Stage, st.Count, formatSeconds(st.P50), formatSeconds(st.P99))
+		}
+	}
+
+	for _, n := range nodes {
+		if n.Err != "" || n.Submissions == nil {
+			continue
+		}
+		s := n.Submissions
+		fmt.Fprintf(w, "\nsubmissions (%s): pending=%d checking=%d accepted=%d rejected=%d published=%d\n",
+			n.URL, s.Pending, s.Checking, s.Accepted, s.Rejected, s.Published)
+		for _, e := range s.Submissions {
+			line := fmt.Sprintf("  %s %s", e.ID, e.State)
+			if e.RejectedStage != "" {
+				line += " at " + e.RejectedStage
+			}
+			if e.State == submit.StatePublished {
+				line += fmt.Sprintf(" as v%04d", e.PublishedSeq)
+			}
+			fmt.Fprintln(w, line)
 		}
 	}
 

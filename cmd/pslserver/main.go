@@ -20,6 +20,20 @@
 //	GET /dist/full/S                   full snapshot blob of version S
 //	GET /dist/patch/F/T                binary delta taking F to T
 //
+// With -submit the list-maintenance write path is mounted too (origin
+// mode only):
+//
+//	POST /v1/submit                    submit a rule change; the staged
+//	                                   pipeline (lint, semantic,
+//	                                   authorization, risk, publish)
+//	                                   answers with the full verdict
+//	                                   trail
+//	GET /v1/submission/{id}            one submission record
+//	GET /debug/submissions             store summary for pslobs
+//	GET/POST /debug/dns                the simulated _psl DNS zone;
+//	                                   submitters plant their TXT
+//	                                   records here (psltool authorize)
+//
 // Flags:
 //
 //	-addr HOST:PORT   listen address (default 127.0.0.1:8353)
@@ -63,6 +77,14 @@
 //	                  0 = header-only)
 //	-debug-addr ADDR  also serve net/http/pprof and /metrics on this
 //	                  address (default off); keep it loopback-only
+//	-submit           mount the write path (origin mode only)
+//	-submit-state-dir DIR  persist submission records to DIR and restore
+//	                  them on restart
+//	-submit-scale F   generate a simulated web population at scale F for
+//	                  the risk stage (0 = score synthetic probes only)
+//	-submit-max-flip F  reject submissions that flip more than this
+//	                  fraction of the population's registrable domains
+//	                  (default 0.05)
 //	-quiet            suppress JSON access logs on stderr
 //
 // In follower mode /healthz and /v1/version report "source":"follower"
@@ -101,13 +123,16 @@ import (
 	"time"
 
 	"repro/internal/dist"
+	"repro/internal/dnssim"
 	"repro/internal/experiments"
 	"repro/internal/fetch"
 	"repro/internal/history"
+	"repro/internal/httparchive"
 	"repro/internal/obs"
 	"repro/internal/psl"
 	"repro/internal/resilience"
 	"repro/internal/serve"
+	"repro/internal/submit"
 )
 
 // matcherConstructors maps -matcher flag values to constructors. A nil
@@ -146,6 +171,11 @@ type config struct {
 	maxSnapshotAge time.Duration
 	requestTimeout time.Duration
 
+	submit         bool
+	submitStateDir string
+	submitScale    float64
+	submitMaxFlip  float64
+
 	newMatcher func(*psl.List) psl.Matcher
 }
 
@@ -172,6 +202,10 @@ func parseFlags(args []string) (config, error) {
 	fs.Int64Var(&cfg.maxLag, "max-lag", 0, "healthz answers 503 above this replication lag in versions (0 = disabled)")
 	fs.DurationVar(&cfg.maxSnapshotAge, "max-snapshot-age", 0, "healthz answers 503 above this snapshot age (0 = disabled)")
 	fs.DurationVar(&cfg.requestTimeout, "request-timeout", 30*time.Second, "server-side request deadline (0 = propagated header only)")
+	fs.BoolVar(&cfg.submit, "submit", false, "mount the list-maintenance write path (/v1/submit; origin mode only)")
+	fs.StringVar(&cfg.submitStateDir, "submit-state-dir", "", "persist submission records here (requires -submit)")
+	fs.Float64Var(&cfg.submitScale, "submit-scale", 0, "web-population scale for submission risk scoring (0 = probes only; requires -submit)")
+	fs.Float64Var(&cfg.submitMaxFlip, "submit-max-flip", 0, "reject submissions flipping more than this fraction of the population (0 = default 0.05; requires -submit)")
 	fs.BoolVar(&cfg.quiet, "quiet", false, "suppress JSON access logs")
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
@@ -237,6 +271,26 @@ func parseFlags(args []string) (config, error) {
 	}
 	if cfg.requestTimeout < 0 {
 		return config{}, fmt.Errorf("-request-timeout %v is negative", cfg.requestTimeout)
+	}
+	if cfg.submit && cfg.follow != "" {
+		return config{}, fmt.Errorf("-submit requires origin mode (followers replicate, they do not accept changes)")
+	}
+	if !cfg.submit {
+		if cfg.submitStateDir != "" {
+			return config{}, fmt.Errorf("-submit-state-dir requires -submit")
+		}
+		if cfg.submitScale != 0 {
+			return config{}, fmt.Errorf("-submit-scale requires -submit")
+		}
+		if cfg.submitMaxFlip != 0 {
+			return config{}, fmt.Errorf("-submit-max-flip requires -submit")
+		}
+	}
+	if cfg.submitScale < 0 {
+		return config{}, fmt.Errorf("-submit-scale %v is negative", cfg.submitScale)
+	}
+	if cfg.submitMaxFlip < 0 || cfg.submitMaxFlip > 1 {
+		return config{}, fmt.Errorf("-submit-max-flip %v out of range [0, 1]", cfg.submitMaxFlip)
 	}
 	return cfg, nil
 }
@@ -329,6 +383,37 @@ func newHandler(h *history.History, seq int, cfg config, plane *obsPlane) (http.
 	mux.Handle(dist.Prefix, origin)
 	mux.Handle("/", fs)
 	plane.mount(mux, reg)
+
+	if cfg.submit {
+		// The write path: a simulated _psl DNS zone (records planted via
+		// POST /debug/dns, the stand-in for real-world DNS control) and
+		// the staged submission pipeline. A published submission swaps
+		// the query API and raw-list tier to the new version in-process,
+		// and the /dist/ endpoints replicate it to followers.
+		zone := dnssim.NewZone()
+		var pop *httparchive.Snapshot
+		if cfg.submitScale > 0 {
+			pop = httparchive.Generate(httparchive.Config{Seed: cfg.seed, Scale: cfg.submitScale}, h)
+		}
+		pipe, err := submit.New(origin, submit.Config{
+			StateDir:        cfg.submitStateDir,
+			Resolver:        zone,
+			Population:      pop,
+			MaxFlipFraction: cfg.submitMaxFlip,
+			OnPublish: func(m dist.Manifest, l *psl.List) {
+				svc.SwapVerified(l, m.Seq, m.Fingerprint, nil)
+				fs.SetCurrent(m.Seq)
+			},
+		})
+		if err != nil {
+			// Only a corrupt -submit-state-dir can fail here; the process
+			// has not bound a socket yet, so fail loudly.
+			log.Fatalf("pslserver: submit pipeline: %v", err)
+		}
+		pipe.RegisterMetrics(reg)
+		pipe.Register(mux)
+		mux.Handle("/debug/dns", zone.Handler())
+	}
 	return resilient(mux, cfg, reg), svc, fs, origin, reg
 }
 

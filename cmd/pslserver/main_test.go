@@ -21,6 +21,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/psl"
 	"repro/internal/serve"
+	"repro/internal/submit"
 )
 
 // testHistory is a down-scaled history: the endpoints behave the same,
@@ -249,6 +250,12 @@ func TestParseFlagsErrors(t *testing.T) {
 		{"-retain", "32"},                                  // requires -relay
 		{"-follow", "http://x", "-retain", "32"},           // requires -relay
 		{"-follow", "http://x", "-relay", "-retain", "-1"}, // negative
+		{"-follow", "http://x", "-submit"},                 // origin mode only
+		{"-submit-state-dir", "/tmp/x"},                    // requires -submit
+		{"-submit-scale", "0.1"},                           // requires -submit
+		{"-submit-max-flip", "0.5"},                        // requires -submit
+		{"-submit", "-submit-scale", "-1"},                 // negative
+		{"-submit", "-submit-max-flip", "1.5"},             // out of range
 	}
 	for _, args := range bad {
 		if _, err := parseFlags(args); err == nil {
@@ -933,5 +940,114 @@ func TestRelayModeChain(t *testing.T) {
 		case <-time.After(15 * time.Second):
 			t.Fatalf("%s did not exit after cancel", name)
 		}
+	}
+}
+
+// TestSubmitWritePathWiring boots the combined origin handler with
+// -submit and drives one authorized change through the HTTP surface:
+// the TXT record is planted via /debug/dns, the submission publishes,
+// and the read path — query API and raw-list tier — swaps to the new
+// version in-process without a restart.
+func TestSubmitWritePathWiring(t *testing.T) {
+	// A fresh history: publishing appends to it, so the shared
+	// testHistory must not be used here.
+	h := history.Generate(history.Config{Versions: 30})
+	seq := h.Len() - 1
+	cfg, err := parseFlags([]string{"-submit"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	handler, _, _, origin, _ := newHandler(h, seq, cfg, newObsPlane("origin"))
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	post := func(path, body string) (int, string) {
+		t.Helper()
+		resp, err := client.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+
+	req := submit.Request{
+		Changes: []submit.Change{{Op: "add", Rule: "hosted.wired-cmd.test", Section: "private"}},
+	}
+	rec, _ := json.Marshal(map[string]string{
+		"name": "_psl.hosted.wired-cmd.test", "type": "TXT", "data": submit.ComputeID(req),
+	})
+	if status, body := post("/debug/dns", string(rec)); status/100 != 2 {
+		t.Fatalf("plant TXT: status %d: %s", status, body)
+	}
+	reqBody, _ := json.Marshal(req)
+	status, body := post(submit.SubmitPath, string(reqBody))
+	if status != http.StatusOK || !strings.Contains(body, `"state":"published"`) {
+		t.Fatalf("submit: status %d: %s", status, body)
+	}
+	if origin.Head() != seq+1 {
+		t.Fatalf("origin head %d after publish, want %d", origin.Head(), seq+1)
+	}
+
+	// The query API swapped to the published version in-process.
+	resp, err := client.Get(ts.URL + serve.LookupPath + "?host=www.hosted.wired-cmd.test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a serve.Answer
+	if err := json.NewDecoder(resp.Body).Decode(&a); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if a.Seq != seq+1 || a.ETLD != "hosted.wired-cmd.test" || a.Site != "www.hosted.wired-cmd.test" {
+		t.Fatalf("lookup after publish: %+v, want seq %d under the new rule", a, seq+1)
+	}
+
+	// The raw-list tier serves the new version too.
+	resp, err = client.Get(ts.URL + fetch.ListPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(raw), "hosted.wired-cmd.test") {
+		t.Fatalf("raw list after publish does not carry the new rule")
+	}
+
+	// The write path's metric families are exposed alongside the rest.
+	resp, err = client.Get(ts.URL + serve.MetricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"psl_submit_received_total 1",
+		"psl_submit_published_total 1",
+		`psl_submit_verdicts_total{stage="publish",outcome="pass"} 1`,
+		`psl_submit_submissions{state="published"} 1`,
+	} {
+		if !strings.Contains(string(mb), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if _, err := obs.ValidateExposition(bytes.NewReader(mb)); err != nil {
+		t.Errorf("exposition invalid with submit families: %v", err)
+	}
+
+	// The debug endpoint pslobs scrapes reflects the store.
+	resp, err = client.Get(ts.URL + submit.DebugPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum submit.DebugSummary
+	if err := json.NewDecoder(resp.Body).Decode(&sum); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if sum.Published != 1 || sum.Total != 1 {
+		t.Fatalf("debug summary %+v", sum)
 	}
 }

@@ -1,0 +1,283 @@
+// Command psltool is the submitter's side of the list-maintenance
+// write path: it speaks to a pslserver running with -submit and walks a
+// rule change through the publication protocol — compute the
+// content-addressed submission ID, plant the _psl TXT authorization
+// records in the simulated DNS zone, submit, and poll the verdict.
+//
+// Changes are positional arguments in op:section:rule form:
+//
+//	psltool id add:private:*.cdn.example
+//	psltool authorize -server http://127.0.0.1:8353 add:private:*.cdn.example
+//	psltool submit -server http://127.0.0.1:8353 -contact ops@cdn.example add:private:*.cdn.example
+//	psltool status -server http://127.0.0.1:8353 sub-0123456789abcdef
+//
+// Subcommands:
+//
+//	id         print the submission ID for a set of changes — the value
+//	           the owner must serve in the _psl TXT record; purely
+//	           local, no server contact
+//	authorize  plant the _psl TXT record for every changed suffix into
+//	           the server's simulated zone (POST /debug/dns), standing
+//	           in for the owner editing real DNS
+//	submit     POST the changes to /v1/submit and print the verdict
+//	           trail; exit 0 when published or pending, 1 when rejected
+//	status     fetch one submission record by ID
+//
+// Shared flags:
+//
+//	-server URL  pslserver base URL (default http://127.0.0.1:8353)
+//	-json        print the full record as JSON instead of the summary
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/submit"
+)
+
+// parseChangeArg parses one op:section:rule argument.
+func parseChangeArg(arg string) (submit.Change, error) {
+	parts := strings.SplitN(arg, ":", 3)
+	if len(parts) != 3 {
+		return submit.Change{}, fmt.Errorf("change %q is not op:section:rule (e.g. add:private:*.cdn.example)", arg)
+	}
+	return submit.Change{Op: parts[0], Section: parts[1], Rule: parts[2]}, nil
+}
+
+// parseChanges converts every positional argument.
+func parseChanges(args []string) ([]submit.Change, error) {
+	if len(args) == 0 {
+		return nil, fmt.Errorf("no changes given (want op:section:rule arguments)")
+	}
+	var cs []submit.Change
+	for _, a := range args {
+		c, err := parseChangeArg(a)
+		if err != nil {
+			return nil, err
+		}
+		cs = append(cs, c)
+	}
+	return cs, nil
+}
+
+// owners lists the distinct suffixes whose _psl TXT record must carry
+// the submission ID.
+func owners(changes []submit.Change) ([]string, error) {
+	var out []string
+	seen := make(map[string]bool)
+	for _, c := range changes {
+		rule, _, err := submit.ParseChange(c)
+		if err != nil {
+			return nil, err
+		}
+		o := submit.AuthOwner(rule)
+		if !seen[o] {
+			seen[o] = true
+			out = append(out, o)
+		}
+	}
+	return out, nil
+}
+
+// client is the shared HTTP client; the write path answers immediately,
+// so a short deadline keeps CLI failures sharp.
+var client = &http.Client{Timeout: 30 * time.Second}
+
+// postJSON POSTs v and decodes the response into out, tolerating the
+// write path's verdict-carrying non-2xx statuses.
+func postJSON(url string, v any, out any) (int, error) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return resp.StatusCode, err
+	}
+	if out != nil {
+		if err := json.Unmarshal(blob, out); err != nil {
+			return resp.StatusCode, fmt.Errorf("decode response (status %d): %v", resp.StatusCode, err)
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// printRecord renders one submission record for humans: the state line,
+// then every stage verdict with its findings indented beneath.
+func printRecord(w io.Writer, s *submit.Submission) {
+	fmt.Fprintf(w, "%s  %s", s.ID, s.State)
+	if s.State == submit.StateRejected {
+		fmt.Fprintf(w, " at stage %s", s.RejectedStage)
+	}
+	if s.State == submit.StatePublished {
+		fmt.Fprintf(w, " as v%04d (%s)", s.PublishedSeq, s.Fingerprint)
+	}
+	fmt.Fprintln(w)
+	for _, v := range s.Verdicts {
+		mark := "ok"
+		if !v.Passed {
+			mark = "FAIL"
+		}
+		fmt.Fprintf(w, "  %-13s %-4s %s\n", v.Stage, mark, v.Detail)
+		for _, f := range v.Findings {
+			fmt.Fprintf(w, "                     - %s\n", f)
+		}
+	}
+}
+
+// emit prints the record as JSON or summary and returns the exit code.
+func emit(s *submit.Submission, asJSON bool) int {
+	if asJSON {
+		b, _ := json.MarshalIndent(s, "", "  ")
+		fmt.Println(string(b))
+	} else {
+		printRecord(os.Stdout, s)
+	}
+	if s.State == submit.StateRejected {
+		return 1
+	}
+	return 0
+}
+
+func runID(args []string) int {
+	fs := flag.NewFlagSet("psltool id", flag.ExitOnError)
+	fs.Parse(args)
+	changes, err := parseChanges(fs.Args())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "psltool id: %v\n", err)
+		return 2
+	}
+	req := submit.Request{Changes: changes}
+	fmt.Println(submit.ComputeID(req))
+	if ows, err := owners(changes); err == nil {
+		for _, o := range ows {
+			fmt.Printf("# plant this ID in TXT _psl.%s\n", o)
+		}
+	}
+	return 0
+}
+
+func runAuthorize(args []string) int {
+	fs := flag.NewFlagSet("psltool authorize", flag.ExitOnError)
+	server := fs.String("server", "http://127.0.0.1:8353", "pslserver base URL")
+	fs.Parse(args)
+	changes, err := parseChanges(fs.Args())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "psltool authorize: %v\n", err)
+		return 2
+	}
+	id := submit.ComputeID(submit.Request{Changes: changes})
+	ows, err := owners(changes)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "psltool authorize: %v\n", err)
+		return 2
+	}
+	base := strings.TrimRight(*server, "/")
+	for _, o := range ows {
+		rec := map[string]string{"name": "_psl." + o, "type": "TXT", "data": id}
+		status, err := postJSON(base+"/debug/dns", rec, nil)
+		if err != nil || status < 200 || status > 299 {
+			fmt.Fprintf(os.Stderr, "psltool authorize: plant _psl.%s: status %d, %v\n", o, status, err)
+			return 1
+		}
+		fmt.Printf("planted TXT _psl.%s -> %s\n", o, id)
+	}
+	return 0
+}
+
+func runSubmit(args []string) int {
+	fs := flag.NewFlagSet("psltool submit", flag.ExitOnError)
+	server := fs.String("server", "http://127.0.0.1:8353", "pslserver base URL")
+	contact := fs.String("contact", "", "submitter contact recorded on the submission")
+	reason := fs.String("reason", "", "free-form reason recorded on the submission")
+	asJSON := fs.Bool("json", false, "print the full record as JSON")
+	fs.Parse(args)
+	changes, err := parseChanges(fs.Args())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "psltool submit: %v\n", err)
+		return 2
+	}
+	req := submit.Request{Changes: changes, Contact: *contact, Reason: *reason}
+	var rec submit.Submission
+	status, err := postJSON(strings.TrimRight(*server, "/")+submit.SubmitPath, req, &rec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "psltool submit: %v\n", err)
+		return 1
+	}
+	if rec.ID == "" {
+		fmt.Fprintf(os.Stderr, "psltool submit: server answered status %d without a record\n", status)
+		return 1
+	}
+	return emit(&rec, *asJSON)
+}
+
+func runStatus(args []string) int {
+	fs := flag.NewFlagSet("psltool status", flag.ExitOnError)
+	server := fs.String("server", "http://127.0.0.1:8353", "pslserver base URL")
+	asJSON := fs.Bool("json", false, "print the full record as JSON")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "psltool status: want exactly one submission ID")
+		return 2
+	}
+	url := strings.TrimRight(*server, "/") + submit.SubmissionPrefix + fs.Arg(0)
+	resp, err := client.Get(url)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "psltool status: %v\n", err)
+		return 1
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		fmt.Fprintf(os.Stderr, "psltool status: unknown submission %s\n", fs.Arg(0))
+		return 1
+	}
+	var rec submit.Submission
+	if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
+		fmt.Fprintf(os.Stderr, "psltool status: decode: %v\n", err)
+		return 1
+	}
+	return emit(&rec, *asJSON)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: psltool <id|authorize|submit|status> [flags] args...
+
+  id        CHANGE...       print the submission ID (op:section:rule changes)
+  authorize CHANGE...       plant _psl TXT records on the server's zone
+  submit    CHANGE...       submit the changes and print the verdicts
+  status    ID              fetch one submission record`)
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var code int
+	switch os.Args[1] {
+	case "id":
+		code = runID(os.Args[2:])
+	case "authorize":
+		code = runAuthorize(os.Args[2:])
+	case "submit":
+		code = runSubmit(os.Args[2:])
+	case "status":
+		code = runStatus(os.Args[2:])
+	default:
+		usage()
+	}
+	os.Exit(code)
+}

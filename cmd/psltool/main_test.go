@@ -1,0 +1,104 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/dnssim"
+	"repro/internal/history"
+	"repro/internal/submit"
+)
+
+func TestParseChangeArg(t *testing.T) {
+	c, err := parseChangeArg("add:private:*.cdn.example")
+	if err != nil || c.Op != "add" || c.Section != "private" || c.Rule != "*.cdn.example" {
+		t.Fatalf("parseChangeArg: %+v, %v", c, err)
+	}
+	// The rule part may itself contain colons only via SplitN bounds —
+	// a two-part argument is malformed.
+	if _, err := parseChangeArg("add:private"); err == nil {
+		t.Fatal("two-part change accepted")
+	}
+	if _, err := parseChangeArg("plainrule"); err == nil {
+		t.Fatal("bare rule accepted")
+	}
+}
+
+func TestOwners(t *testing.T) {
+	cs, err := parseChanges([]string{
+		"add:private:*.cdn.example",
+		"add:private:!keep.cdn.example",
+		"remove:icann:com",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := owners(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The wildcard's base and the exception's parent are the same
+	// owner; "com" is its own.
+	want := []string{"cdn.example", "com"}
+	if len(got) != len(want) {
+		t.Fatalf("owners %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("owners %v, want %v", got, want)
+		}
+	}
+}
+
+// TestSubcommandsAgainstServer drives the id → authorize → submit →
+// status protocol against an in-process write path, checking each
+// subcommand's exit code contract.
+func TestSubcommandsAgainstServer(t *testing.T) {
+	h := history.Generate(history.Config{Versions: 10})
+	o := dist.NewOrigin(h)
+	o.SetHead(h.Len() - 1)
+	zone := dnssim.NewZone()
+	p, err := submit.New(o, submit.Config{Resolver: zone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	p.Register(mux)
+	mux.Handle("/debug/dns", zone.Handler())
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	const change = "add:private:tool.cmdtest.example"
+	head0 := o.Head()
+	if code := runID([]string{change}); code != 0 {
+		t.Fatalf("id exit %d", code)
+	}
+	if code := runAuthorize([]string{"-server", ts.URL, change}); code != 0 {
+		t.Fatalf("authorize exit %d", code)
+	}
+	if code := runSubmit([]string{"-server", ts.URL, change}); code != 0 {
+		t.Fatalf("authorized submit exit %d", code)
+	}
+	cs, _ := parseChanges([]string{change})
+	id := submit.ComputeID(submit.Request{Changes: cs})
+	if code := runStatus([]string{"-server", ts.URL, id}); code != 0 {
+		t.Fatalf("status exit %d", code)
+	}
+	if o.Head() != head0+1 {
+		t.Fatalf("head %d after published submission, want %d", o.Head(), head0+1)
+	}
+
+	// An unauthorized change is a rejection: exit 1.
+	if code := runSubmit([]string{"-server", ts.URL, "add:private:other.cmdtest.example"}); code != 1 {
+		t.Fatalf("unauthorized submit exit %d, want 1", code)
+	}
+	// Unknown ID: exit 1. Malformed change: exit 2.
+	if code := runStatus([]string{"-server", ts.URL, "sub-0000000000000000"}); code != 1 {
+		t.Fatalf("unknown status exit %d, want 1", code)
+	}
+	if code := runID([]string{"nonsense"}); code != 2 {
+		t.Fatalf("malformed id exit %d, want 2", code)
+	}
+}

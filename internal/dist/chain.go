@@ -3,6 +3,8 @@ package dist
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/history"
 	"repro/internal/psl"
@@ -19,26 +21,68 @@ import (
 // The fingerprints are what make patch chains trustworthy: the origin
 // stamps them into every patch header, and a replica refuses any hop
 // whose source or target doesn't match.
+// The chain is extendable: Origin.Publish appends freshly accepted
+// versions via AppendEvent. The live sorted tip set is retained for
+// incremental fingerprinting, guarded by a mutex, while the fingerprint
+// table itself sits behind an atomic snapshot pointer so concurrent
+// readers stay lock-free.
 type Chain struct {
-	h   *history.History
-	fps []string
+	h *history.History
+
+	mu   sync.Mutex // serializes AppendEvent
+	live []psl.Rule // tip rule set, psl.CompareRules-sorted; guarded by mu
+	fps  atomic.Pointer[[]string]
 }
 
 // NewChain builds the fingerprint table for all of h's versions.
 func NewChain(h *history.History) *Chain {
-	c := &Chain{h: h, fps: make([]string, h.Len())}
-	walk(h, func(seq int, rules []psl.Rule) {
-		c.fps[seq] = psl.FingerprintOfSorted(rules)
+	events := h.Events()
+	c := &Chain{h: h}
+	fps := make([]string, len(events))
+	c.live = walk(events, func(seq int, rules []psl.Rule) {
+		fps[seq] = psl.FingerprintOfSorted(rules)
 	})
+	c.fps.Store(&fps)
 	return c
 }
 
 // Len reports the number of versions covered.
-func (c *Chain) Len() int { return len(c.fps) }
+func (c *Chain) Len() int { return len(*c.fps.Load()) }
 
 // Fingerprint returns the rule-set fingerprint of version seq, equal to
 // h.ListAt(seq).Fingerprint() without the replay.
-func (c *Chain) Fingerprint(seq int) string { return c.fps[seq] }
+func (c *Chain) Fingerprint(seq int) string { return (*c.fps.Load())[seq] }
+
+// AppendEvent extends the fingerprint table with one freshly appended
+// history event and returns the new version's fingerprint. The event
+// must carry the next sequence number (Origin.Publish appends to the
+// history first, then here, so the chain never gets ahead of the event
+// stream readers consult through Patch).
+func (c *Chain) AppendEvent(ev history.Event) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fps := *c.fps.Load()
+	if ev.Seq != len(fps) {
+		panic(fmt.Sprintf("dist: chain append out of order: event seq %d, chain len %d", ev.Seq, len(fps)))
+	}
+	c.live = applyEvent(c.live, ev)
+	fp := psl.FingerprintOfSorted(c.live)
+	next := append(fps[:len(fps):len(fps)], fp)
+	c.fps.Store(&next)
+	return fp
+}
+
+// PreviewFingerprint reports the fingerprint the rule set would carry
+// after applying the delta at the current tip, without extending the
+// chain. Origin.Publish uses it to refuse fingerprint-neutral deltas
+// before they enter the event stream.
+func (c *Chain) PreviewFingerprint(added, removed []psl.Rule) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rules := append([]psl.Rule(nil), c.live...)
+	rules = applyEvent(rules, history.Event{Added: added, Removed: removed})
+	return psl.FingerprintOfSorted(rules)
+}
 
 // Patch builds the delta taking version from to version to (from < to)
 // by folding the events in (from, to] into one net add/remove set. A
@@ -48,8 +92,9 @@ func (c *Chain) Fingerprint(seq int) string { return c.fps[seq] }
 // Apply may find absent — a harmless no-op under the dedup semantics.
 // The fingerprint pair pins the exact result regardless.
 func (c *Chain) Patch(from, to int) *Patch {
-	if from < 0 || to >= c.Len() || from >= to {
-		panic(fmt.Sprintf("dist: patch range [%d, %d] invalid for %d versions", from, to, c.Len()))
+	fps := *c.fps.Load()
+	if from < 0 || to >= len(fps) || from >= to {
+		panic(fmt.Sprintf("dist: patch range [%d, %d] invalid for %d versions", from, to, len(fps)))
 	}
 	type lastOp struct {
 		rule psl.Rule
@@ -80,8 +125,8 @@ func (c *Chain) Patch(from, to int) *Patch {
 	return &Patch{
 		FromSeq:   from,
 		ToSeq:     to,
-		FromFP:    c.fps[from],
-		ToFP:      c.fps[to],
+		FromFP:    fps[from],
+		ToFP:      fps[to],
 		ToVersion: meta.Label(),
 		ToDate:    meta.Date,
 		Removed:   removed,
@@ -89,29 +134,39 @@ func (c *Chain) Patch(from, to int) *Patch {
 	}
 }
 
-// walk replays h's events once, maintaining the live rule set in
+// walk replays an event stream once, maintaining the live rule set in
 // psl.CompareRules order, and calls fn after each version with the
 // sorted set. The slice is reused between calls; fn must not retain it.
-func walk(h *history.History, fn func(seq int, rules []psl.Rule)) {
+// Returns the final live set.
+func walk(events []history.Event, fn func(seq int, rules []psl.Rule)) []psl.Rule {
 	rules := make([]psl.Rule, 0, 10000)
-	for _, ev := range h.Events() {
-		for _, r := range ev.Removed {
-			if i, ok := find(rules, r); ok {
-				rules = append(rules[:i], rules[i+1:]...)
-			}
-		}
-		for _, r := range ev.Added {
-			i, ok := find(rules, r)
-			if ok {
-				// Duplicate key: ListAt keeps the first-added rule.
-				continue
-			}
-			rules = append(rules, psl.Rule{})
-			copy(rules[i+1:], rules[i:])
-			rules[i] = r
-		}
+	for _, ev := range events {
+		rules = applyEvent(rules, ev)
 		fn(ev.Seq, rules)
 	}
+	return rules
+}
+
+// applyEvent folds one event's delta into a sorted live rule set,
+// removals first (matching ListAt's replay order), returning the
+// updated slice.
+func applyEvent(rules []psl.Rule, ev history.Event) []psl.Rule {
+	for _, r := range ev.Removed {
+		if i, ok := find(rules, r); ok {
+			rules = append(rules[:i], rules[i+1:]...)
+		}
+	}
+	for _, r := range ev.Added {
+		i, ok := find(rules, r)
+		if ok {
+			// Duplicate key: ListAt keeps the first-added rule.
+			continue
+		}
+		rules = append(rules, psl.Rule{})
+		copy(rules[i+1:], rules[i:])
+		rules[i] = r
+	}
+	return rules
 }
 
 // find locates the rule with r's canonical key in a sorted set,
@@ -153,10 +208,10 @@ func (s ChainStats) Ratio() float64 {
 // blobs are priced by exact formula (see fullBlobSize) rather than
 // encoded, so the whole sweep stays a single linear pass.
 func ComputeChainStats(h *history.History) ChainStats {
-	s := ChainStats{Versions: h.Len()}
 	events := h.Events()
+	s := ChainStats{Versions: len(events)}
 	var prevFP string
-	walk(h, func(seq int, rules []psl.Rule) {
+	walk(events, func(seq int, rules []psl.Rule) {
 		ev := events[seq]
 		rulesEnc := 0 // exact encoded size of the live set
 		for _, r := range rules {

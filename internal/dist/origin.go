@@ -78,6 +78,9 @@ type Origin struct {
 	// origin's clock.
 	pub     atomic.Pointer[headStamp]
 	journal *obs.Journal
+	// pubMu serializes Publish: validate-at-tip, append to history,
+	// extend the chain and advertise must happen as one unit.
+	pubMu sync.Mutex
 
 	patches sync.Map // uint64(from)<<32|to -> *renderedBlob
 	fulls   sync.Map // int -> *renderedBlob
@@ -126,6 +129,10 @@ func (o *Origin) SetJournal(j *obs.Journal) {
 // Chain exposes the precomputed fingerprint table.
 func (o *Origin) Chain() *Chain { return o.chain }
 
+// History exposes the version corpus the origin serves. The submission
+// pipeline reads the tip through it and publishes back via Publish.
+func (o *Origin) History() *history.History { return o.h }
+
 // Head reports the currently published version.
 func (o *Origin) Head() int { return int(o.head.Load()) }
 
@@ -140,6 +147,52 @@ func (o *Origin) SetHead(seq int) {
 	o.pub.Store(&headStamp{seq: seq, at: now})
 	o.head.Store(int64(seq))
 	o.journal.RecordAt(seq, obs.StagePublished, now)
+}
+
+// Publish appends a brand-new version to the origin's history carrying
+// the given rule delta and advertises it as the head. This is the write
+// path's terminal stage: an accepted submission lands here and the
+// entire replication plane (relays, followers, fleets) picks it up
+// through the ordinary manifest/patch/blob machinery.
+//
+// The delta is validated against the current tip: every removed rule
+// must be present and every added rule absent — except when an added
+// rule's key is also being removed in the same delta, which is how a
+// section move is encoded (ListAt processes removals before additions
+// within one event). A delta that leaves the rule-set fingerprint
+// unchanged (fingerprints ignore Section, so a pure section move is
+// one) is refused: it would advertise a head whose manifest ETag equals
+// the previous one, and conditional pollers would never notice it.
+//
+// On success the new version's manifest is returned; the history, the
+// fingerprint chain and the head advance atomically with respect to
+// other Publish calls.
+func (o *Origin) Publish(date time.Time, added, removed []psl.Rule) (Manifest, error) {
+	o.pubMu.Lock()
+	defer o.pubMu.Unlock()
+	if len(added) == 0 && len(removed) == 0 {
+		return Manifest{}, fmt.Errorf("dist: publish: empty delta")
+	}
+	tip := o.h.Latest()
+	removedKeys := make(map[string]bool, len(removed))
+	for _, r := range removed {
+		if !tip.Contains(r) {
+			return Manifest{}, fmt.Errorf("dist: publish: removed rule %q not present at head", r.String())
+		}
+		removedKeys[r.String()] = true
+	}
+	for _, r := range added {
+		if tip.Contains(r) && !removedKeys[r.String()] {
+			return Manifest{}, fmt.Errorf("dist: publish: added rule %q already present at head", r.String())
+		}
+	}
+	if o.chain.PreviewFingerprint(added, removed) == o.chain.Fingerprint(o.chain.Len()-1) {
+		return Manifest{}, fmt.Errorf("dist: publish: delta does not change the rule-set fingerprint")
+	}
+	meta := o.h.Append(date, added, removed)
+	o.chain.AppendEvent(o.h.Events()[meta.Seq])
+	o.SetHead(meta.Seq)
+	return o.Manifest(), nil
 }
 
 // Manifest describes the current head.

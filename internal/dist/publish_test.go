@@ -1,0 +1,180 @@
+package dist
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/history"
+	"repro/internal/psl"
+)
+
+func mustParse(t *testing.T, s string, section psl.Section) psl.Rule {
+	t.Helper()
+	r, err := psl.ParseRule(s, section)
+	if err != nil {
+		t.Fatalf("ParseRule(%q): %v", s, err)
+	}
+	return r
+}
+
+// TestOriginPublish drives the write path's terminal stage: a published
+// delta must advance the head, extend the fingerprint chain coherently,
+// and be reachable through the ordinary replication machinery.
+func TestOriginPublish(t *testing.T) {
+	h := history.Generate(history.Config{Versions: 30})
+	o := NewOrigin(h)
+	oldHead := o.Head()
+	oldFP := o.chain.Fingerprint(oldHead)
+
+	add := mustParse(t, "publish-test.example", psl.SectionPrivate)
+	m, err := o.Publish(time.Now(), []psl.Rule{add}, nil)
+	if err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	if m.Seq != oldHead+1 {
+		t.Fatalf("published seq %d, want %d", m.Seq, oldHead+1)
+	}
+	if m.Fingerprint == oldFP {
+		t.Fatalf("published fingerprint did not change")
+	}
+	if m.PublishedAt.IsZero() {
+		t.Fatalf("published manifest missing PublishedAt")
+	}
+	if o.Head() != m.Seq || h.Len() != m.Seq+1 || o.chain.Len() != m.Seq+1 {
+		t.Fatalf("head/history/chain out of step: %d/%d/%d", o.Head(), h.Len(), o.chain.Len())
+	}
+
+	// The materialised tip carries the rule, and its fingerprint matches
+	// the incrementally maintained chain (i.e. AppendEvent agrees with a
+	// full replay).
+	tip := h.ListAt(m.Seq)
+	if !tip.Contains(add) {
+		t.Fatalf("tip list missing published rule")
+	}
+	if got := tip.Fingerprint(); got != m.Fingerprint {
+		t.Fatalf("tip fingerprint %s, manifest %s", got, m.Fingerprint)
+	}
+	if rebuilt := NewChain(h).Fingerprint(m.Seq); rebuilt != m.Fingerprint {
+		t.Fatalf("incremental chain fingerprint %s, rebuilt %s", m.Fingerprint, rebuilt)
+	}
+
+	// A patch from the old head applies cleanly.
+	p := o.chain.Patch(oldHead, m.Seq)
+	patched, err := p.Apply(h.ListAt(oldHead), oldFP)
+	if err != nil {
+		t.Fatalf("patch apply: %v", err)
+	}
+	if patched.Fingerprint() != m.Fingerprint {
+		t.Fatalf("patched fingerprint mismatch")
+	}
+
+	// Removal round-trips too.
+	m2, err := o.Publish(time.Now(), nil, []psl.Rule{add})
+	if err != nil {
+		t.Fatalf("Publish remove: %v", err)
+	}
+	if h.ListAt(m2.Seq).Contains(add) {
+		t.Fatalf("removed rule still present at new tip")
+	}
+	if m2.Fingerprint != oldFP {
+		t.Fatalf("add+remove did not return to the original fingerprint")
+	}
+}
+
+// TestOriginPublishRejections pins the validation errors: incoherent
+// deltas and fingerprint-neutral changes never enter the event stream.
+func TestOriginPublishRejections(t *testing.T) {
+	h := history.Generate(history.Config{Versions: 20})
+	o := NewOrigin(h)
+	lenBefore := h.Len()
+	tip := h.Latest()
+	existing := tip.Rules()[0]
+
+	cases := []struct {
+		name     string
+		add, rem []psl.Rule
+	}{
+		{"empty delta", nil, nil},
+		{"added rule already present", []psl.Rule{existing}, nil},
+		{"removed rule absent", nil, []psl.Rule{mustParse(t, "absent.example", psl.SectionPrivate)}},
+	}
+	for _, tc := range cases {
+		if _, err := o.Publish(time.Now(), tc.add, tc.rem); err == nil {
+			t.Errorf("%s: Publish succeeded, want error", tc.name)
+		}
+	}
+
+	// A pure section move removes and re-adds the same key; fingerprints
+	// ignore Section, so the delta is fingerprint-neutral and must be
+	// refused (the manifest ETag would not change and pollers would
+	// stall).
+	moved, err := psl.ParseRule(existing.String(), psl.SectionPrivate)
+	if err != nil {
+		t.Fatalf("ParseRule: %v", err)
+	}
+	if moved.Section == existing.Section {
+		moved, err = psl.ParseRule(existing.String(), psl.SectionICANN)
+		if err != nil {
+			t.Fatalf("ParseRule: %v", err)
+		}
+	}
+	if _, err := o.Publish(time.Now(), []psl.Rule{moved}, []psl.Rule{existing}); err == nil {
+		t.Errorf("fingerprint-neutral section move: Publish succeeded, want error")
+	}
+
+	if h.Len() != lenBefore {
+		t.Fatalf("rejected publishes extended the history: %d -> %d", lenBefore, h.Len())
+	}
+}
+
+// TestHistoryAppendConcurrentReaders exercises the snapshot discipline:
+// readers replaying or scanning the history while a writer appends must
+// never observe a torn state (run with -race).
+func TestHistoryAppendConcurrentReaders(t *testing.T) {
+	h := history.Generate(history.Config{Versions: 20})
+	o := NewOrigin(h)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				n := h.Len()
+				metas := h.Metas()
+				if len(metas) < n {
+					t.Errorf("metas shorter than Len: %d < %d", len(metas), n)
+					return
+				}
+				l := h.ListAt(n - 1)
+				if l.Len() != metas[n-1].Rules {
+					t.Errorf("version %d: list %d rules, meta %d", n-1, l.Len(), metas[n-1].Rules)
+					return
+				}
+				_ = o.Manifest()
+			}
+		}()
+	}
+	for i := 0; i < 25; i++ {
+		// Alternate: add a rule, then remove that same rule next round.
+		r := mustParse(t, "concurrent-"+string(rune('a'+(i/2)%26))+".example", psl.SectionPrivate)
+		if i%2 == 0 {
+			if _, err := o.Publish(time.Now(), []psl.Rule{r}, nil); err != nil {
+				t.Fatalf("publish add %d: %v", i, err)
+			}
+		} else {
+			if _, err := o.Publish(time.Now(), nil, []psl.Rule{r}); err != nil {
+				t.Fatalf("publish remove %d: %v", i, err)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

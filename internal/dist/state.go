@@ -21,13 +21,15 @@ const StateFileName = "snapshot.pslf"
 // serving with zero compiles.
 const MatcherFileName = "matcher.pslm"
 
-// writeFileAtomic crash-safely replaces dir/name with blob: the bytes
+// WriteFileAtomic crash-safely replaces dir/name with blob: the bytes
 // go to a temporary file, are fsynced, and are renamed into place (then
 // the directory is fsynced so the rename itself survives a crash). A
 // reader therefore sees either the previous complete file or the new
 // one, never a torn write — and a torn write that slips through an
-// unclean shutdown is caught by the blob checksum on load.
-func writeFileAtomic(dir, name string, blob []byte) error {
+// unclean shutdown is caught by the blob checksum on load. Exported so
+// other durable stores (the submission pipeline's state directory) can
+// reuse the same discipline.
+func WriteFileAtomic(dir, name string, blob []byte) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("dist: state dir: %w", err)
 	}
@@ -66,9 +68,9 @@ func writeFileAtomic(dir, name string, blob []byte) error {
 
 // SaveState durably persists a verified snapshot into dir, creating the
 // directory if needed (write-temp → fsync → atomic-rename, see
-// writeFileAtomic).
+// WriteFileAtomic).
 func SaveState(dir string, l *psl.List, seq int) error {
-	return writeFileAtomic(dir, StateFileName, EncodeFull(l, seq))
+	return WriteFileAtomic(dir, StateFileName, EncodeFull(l, seq))
 }
 
 // LoadState reads the persisted snapshot back, verifying the blob
@@ -96,7 +98,7 @@ func LoadState(dir string) (*psl.List, int, error) {
 // pass the envelope bytes exactly as verified, so load-time
 // verification covers the same chain fetch-time verification did.
 func SaveMatcherBlob(dir string, envelope []byte) error {
-	return writeFileAtomic(dir, MatcherFileName, envelope)
+	return WriteFileAtomic(dir, MatcherFileName, envelope)
 }
 
 // LoadMatcherBlob reads the persisted compiled matcher back and runs

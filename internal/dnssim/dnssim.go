@@ -8,6 +8,7 @@ package dnssim
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 
 	"repro/internal/domain"
@@ -53,12 +54,46 @@ var (
 	// ErrNoData reports that the name exists but has no records of the
 	// requested type.
 	ErrNoData = errors.New("dnssim: no data")
-	// ErrLoop reports a CNAME chain that exceeded the chase limit.
+	// ErrLoop reports a CNAME chain that revisited an owner name — a
+	// genuine alias cycle that no amount of chasing resolves.
 	ErrLoop = errors.New("dnssim: CNAME loop")
+	// ErrChainTooDeep reports a loop-free CNAME chain longer than the
+	// chase bound, the cap real resolvers apply before giving up.
+	ErrChainTooDeep = errors.New("dnssim: CNAME chain too deep")
+	// ErrTimeout reports an injected resolver timeout (the chaos fault
+	// layer; no real time passes).
+	ErrTimeout = errors.New("dnssim: query timed out")
 )
 
 // maxChase bounds CNAME chain length, like real resolvers do.
 const maxChase = 8
+
+// FaultKind selects an injected failure for the fault layer. The DNS
+// authorization leg of the submission pipeline uses these to model the
+// two failure classes ZDNS-style bulk verification meets in practice:
+// names that do not resolve and servers that never answer.
+type FaultKind uint8
+
+const (
+	// FaultNone disables injection.
+	FaultNone FaultKind = iota
+	// FaultNXDomain answers NXDOMAIN regardless of zone contents.
+	FaultNXDomain
+	// FaultTimeout answers ErrTimeout, modelling an unresponsive server.
+	FaultTimeout
+)
+
+// String names the fault for logs and verdicts.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultNXDomain:
+		return "nxdomain"
+	case FaultTimeout:
+		return "timeout"
+	default:
+		return "none"
+	}
+}
 
 // Zone is a thread-safe record store.
 type Zone struct {
@@ -66,11 +101,71 @@ type Zone struct {
 	// records maps normalized owner name -> type -> data values.
 	records map[string]map[RType][]string
 	queries int
+
+	// Fault layer: per-name pinned faults win over the seeded rate.
+	faultMu   sync.Mutex
+	perName   map[string]FaultKind
+	frng      *rand.Rand
+	fkind     FaultKind
+	frate     float64
+	faultsHit int
 }
 
 // NewZone creates an empty zone.
 func NewZone() *Zone {
-	return &Zone{records: make(map[string]map[RType][]string)}
+	return &Zone{
+		records: make(map[string]map[RType][]string),
+		perName: make(map[string]FaultKind),
+	}
+}
+
+// SetFault pins a deterministic fault for queries whose original name
+// (before CNAME chasing) matches. FaultNone clears the pin.
+func (z *Zone) SetFault(name string, k FaultKind) {
+	name = domain.Normalize(name)
+	z.faultMu.Lock()
+	defer z.faultMu.Unlock()
+	if k == FaultNone {
+		delete(z.perName, name)
+		return
+	}
+	z.perName[name] = k
+}
+
+// SetFaultRate arms seeded random fault injection: each query not
+// covered by a per-name pin takes fault k with probability rate. Equal
+// seeds replay identical decisions. Rate <= 0 or FaultNone disarms.
+func (z *Zone) SetFaultRate(seed int64, k FaultKind, rate float64) {
+	z.faultMu.Lock()
+	defer z.faultMu.Unlock()
+	if k == FaultNone || rate <= 0 {
+		z.fkind, z.frate, z.frng = FaultNone, 0, nil
+		return
+	}
+	z.fkind, z.frate = k, rate
+	z.frng = rand.New(rand.NewSource(seed))
+}
+
+// FaultsInjected reports how many queries took an injected fault.
+func (z *Zone) FaultsInjected() int {
+	z.faultMu.Lock()
+	defer z.faultMu.Unlock()
+	return z.faultsHit
+}
+
+// decideFault resolves the fault layer for one query name.
+func (z *Zone) decideFault(name string) FaultKind {
+	z.faultMu.Lock()
+	defer z.faultMu.Unlock()
+	if k, ok := z.perName[name]; ok {
+		z.faultsHit++
+		return k
+	}
+	if z.fkind != FaultNone && z.frng != nil && z.frng.Float64() < z.frate {
+		z.faultsHit++
+		return z.fkind
+	}
+	return FaultNone
 }
 
 // Add inserts a record. Owner names may carry a leading "*." label for
@@ -115,12 +210,16 @@ func (z *Zone) Queries() int {
 func (z *Zone) lookupOne(name string, t RType) (values []string, cname string, exists bool) {
 	byType, ok := z.records[name]
 	if !ok {
-		// Wildcard match: "*.parent" covers any name below parent that
-		// has no explicit entry.
-		if parent, has := domain.Parent(name); has {
-			if wc, ok := z.records["*."+parent]; ok {
-				byType, ok = wc, true
-				_ = ok
+		// Wildcard match per RFC 1034 §4.3.3: "*.owner" covers any name
+		// one OR MORE labels below owner that has no explicit entry, so
+		// walk every ancestor from the closest up; the closest enclosing
+		// wildcard wins (multi-label owners like a.b under *.example
+		// match, which is exactly how multi-label _psl TXT owners are
+		// published in the wild).
+		for p, has := domain.Parent(name); has; p, has = domain.Parent(p) {
+			if wc, ok := z.records["*."+p]; ok {
+				byType = wc
+				break
 			}
 		}
 	}
@@ -133,15 +232,27 @@ func (z *Zone) lookupOne(name string, t RType) (values []string, cname string, e
 	return byType[t], "", true
 }
 
-// Resolve looks up records of the given type, chasing CNAMEs.
+// Resolve looks up records of the given type, chasing CNAMEs for every
+// query type (TXT included — the _psl authorization convention leans on
+// TXT-behind-CNAME delegation). Chains are bounded two ways: an owner
+// name seen twice is a loop (ErrLoop), and a loop-free chain longer
+// than maxChase hops is cut with ErrChainTooDeep.
 func (z *Zone) Resolve(name string, t RType) ([]string, error) {
 	name = domain.Normalize(name)
 	z.mu.Lock()
 	z.queries++
 	z.mu.Unlock()
 
+	switch z.decideFault(name) {
+	case FaultNXDomain:
+		return nil, fmt.Errorf("%w: %s %s (injected)", ErrNXDomain, name, t)
+	case FaultTimeout:
+		return nil, fmt.Errorf("%w: %s %s (injected)", ErrTimeout, name, t)
+	}
+
 	z.mu.RLock()
 	defer z.mu.RUnlock()
+	seen := map[string]bool{name: true}
 	for hop := 0; hop < maxChase; hop++ {
 		values, cname, exists := z.lookupOne(name, t)
 		if !exists {
@@ -149,6 +260,10 @@ func (z *Zone) Resolve(name string, t RType) ([]string, error) {
 		}
 		if cname != "" {
 			name = domain.Normalize(cname)
+			if seen[name] {
+				return nil, fmt.Errorf("%w: %s", ErrLoop, name)
+			}
+			seen[name] = true
 			continue
 		}
 		if len(values) == 0 {
@@ -158,7 +273,7 @@ func (z *Zone) Resolve(name string, t RType) ([]string, error) {
 		copy(out, values)
 		return out, nil
 	}
-	return nil, fmt.Errorf("%w: %s", ErrLoop, name)
+	return nil, fmt.Errorf("%w: %s (limit %d)", ErrChainTooDeep, name, maxChase)
 }
 
 // TXT resolves text records, the shape DMARC needs.

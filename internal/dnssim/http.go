@@ -1,0 +1,71 @@
+package dnssim
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// recordJSON is the wire shape of one record on the debug endpoint.
+type recordJSON struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+	Data string `json:"data"`
+}
+
+// parseRType maps a mnemonic back to a record type.
+func parseRType(s string) (RType, error) {
+	switch s {
+	case "A":
+		return TypeA, nil
+	case "TXT":
+		return TypeTXT, nil
+	case "CNAME":
+		return TypeCNAME, nil
+	default:
+		return 0, fmt.Errorf("dnssim: unknown record type %q", s)
+	}
+}
+
+// Handler exposes the zone over HTTP for test orchestration and
+// debugging — the write-path smoke test plants _psl TXT records here
+// before submitting:
+//
+//	GET  -> JSON array of all records (the Dump order)
+//	POST -> add one record from a {"name","type","data"} body
+//
+// The handler is a debug surface, deliberately without authentication,
+// and is only mounted under /debug/ by pslserver.
+func (z *Zone) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodGet:
+			recs := z.Dump()
+			out := make([]recordJSON, 0, len(recs))
+			for _, rec := range recs {
+				out = append(out, recordJSON{Name: rec.Name, Type: rec.Type.String(), Data: rec.Data})
+			}
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(out)
+		case http.MethodPost:
+			var rec recordJSON
+			if err := json.NewDecoder(r.Body).Decode(&rec); err != nil {
+				http.Error(w, "dnssim: bad record body: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			if rec.Name == "" || rec.Data == "" {
+				http.Error(w, "dnssim: record needs name and data", http.StatusBadRequest)
+				return
+			}
+			t, err := parseRType(rec.Type)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			z.Add(rec.Name, t, rec.Data)
+			w.WriteHeader(http.StatusNoContent)
+		default:
+			http.Error(w, "dnssim: GET or POST", http.StatusMethodNotAllowed)
+		}
+	})
+}

@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/psl"
@@ -91,11 +93,44 @@ type Span struct {
 	From, To int
 }
 
-// History is an immutable generated version corpus.
+// History is a generated version corpus. Generated versions are
+// immutable; the list-maintenance control plane (internal/submit) may
+// extend a history in place with Append, so the event and metadata
+// streams live behind an atomic snapshot pointer: readers are lock-free
+// and always see a consistent prefix, while appends serialize on a
+// mutex and publish a new snapshot.
 type History struct {
-	cfg    Config
+	cfg Config
+
+	mu    sync.Mutex // serializes Append
+	state atomic.Pointer[historyState]
+}
+
+// historyState is one immutable snapshot of the event and metadata
+// streams. Appends replace the whole snapshot (full-slice-expression
+// copies), so a reader holding an old snapshot never observes a write.
+type historyState struct {
 	events []Event
 	metas  []VersionMeta
+}
+
+// newHistory wraps finished event/meta streams in a History.
+func newHistory(cfg Config, events []Event, metas []VersionMeta) *History {
+	h := &History{cfg: cfg}
+	h.state.Store(&historyState{events: events, metas: metas})
+	return h
+}
+
+// metaFor derives the version metadata (including the pseudo commit
+// hash) for one event, given the post-event total rule count.
+func metaFor(ev Event, rules int) VersionMeta {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%d|%s|%d", ev.Seq, ev.Date.Format(time.RFC3339), rules)))
+	return VersionMeta{
+		Seq:    ev.Seq,
+		Date:   ev.Date,
+		Rules:  rules,
+		Commit: hex.EncodeToString(sum[:4]),
+	}
 }
 
 // growthAnchor pins the total rule count at a date; between anchors the
@@ -194,12 +229,17 @@ func Generate(cfg Config) *History {
 		}
 	}
 
-	h := &History{cfg: cfg}
+	var events []Event
+	var metas []VersionMeta
+	appendEvent := func(ev Event, rules int) {
+		events = append(events, ev)
+		metas = append(metas, metaFor(ev, rules))
+	}
 	// Version 0: the initial rule set.
 	initial := f.initialRules(cfg.StartRules - len(curatedInitial))
 	initial = append(initial, curatedInitial...)
 	current := len(initial)
-	h.appendEvent(Event{Seq: 0, Date: dates[0], Added: initial}, current)
+	appendEvent(Event{Seq: 0, Date: dates[0], Added: initial}, current)
 
 	// Locate the spike version: first version dated >= spikeDate.
 	spikeSeq := -1
@@ -257,20 +297,38 @@ func Generate(cfg Config) *History {
 			}
 		}
 		current += len(ev.Added) - len(ev.Removed)
-		h.appendEvent(ev, current)
+		appendEvent(ev, current)
 	}
-	return h
+	return newHistory(cfg, events, metas)
 }
 
-func (h *History) appendEvent(ev Event, rules int) {
-	sum := sha256.Sum256([]byte(fmt.Sprintf("%d|%s|%d", ev.Seq, ev.Date.Format(time.RFC3339), rules)))
-	h.events = append(h.events, ev)
-	h.metas = append(h.metas, VersionMeta{
-		Seq:    ev.Seq,
-		Date:   ev.Date,
-		Rules:  rules,
-		Commit: hex.EncodeToString(sum[:4]),
+// Append extends the history with one new version carrying the given
+// rule delta and returns its metadata. The caller is responsible for
+// the delta's coherence against the current tip (added rules absent,
+// removed rules present) — dist.Origin.Publish enforces this. Dates
+// never move backwards: a date at or before the current tip is bumped
+// one second past it, keeping the event stream strictly increasing.
+// Readers holding the previous snapshot are unaffected.
+func (h *History) Append(date time.Time, added, removed []psl.Rule) VersionMeta {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := h.state.Load()
+	last := st.metas[len(st.metas)-1]
+	if !date.After(last.Date) {
+		date = last.Date.Add(time.Second)
+	}
+	ev := Event{
+		Seq:     len(st.events),
+		Date:    date,
+		Added:   append([]psl.Rule(nil), added...),
+		Removed: append([]psl.Rule(nil), removed...),
+	}
+	meta := metaFor(ev, last.Rules+len(added)-len(removed))
+	h.state.Store(&historyState{
+		events: append(st.events[:len(st.events):len(st.events)], ev),
+		metas:  append(st.metas[:len(st.metas):len(st.metas)], meta),
 	})
+	return meta
 }
 
 // versionDates spaces cfg.Versions dates evenly over the span with a
@@ -349,24 +407,25 @@ func nearestDate(dates []time.Time, want time.Time) int {
 }
 
 // Len reports the number of versions.
-func (h *History) Len() int { return len(h.events) }
+func (h *History) Len() int { return len(h.state.Load().events) }
 
 // Meta returns the metadata of version i.
-func (h *History) Meta(i int) VersionMeta { return h.metas[i] }
+func (h *History) Meta(i int) VersionMeta { return h.state.Load().metas[i] }
 
-// Metas returns all version metadata in order. Shared slice; do not
-// modify.
-func (h *History) Metas() []VersionMeta { return h.metas }
+// Metas returns all version metadata in order. Shared snapshot slice;
+// do not modify.
+func (h *History) Metas() []VersionMeta { return h.state.Load().metas }
 
-// Events returns the per-version rule deltas. Shared slice; do not
-// modify.
-func (h *History) Events() []Event { return h.events }
+// Events returns the per-version rule deltas. Shared snapshot slice; do
+// not modify.
+func (h *History) Events() []Event { return h.state.Load().events }
 
 // ListAt materialises version i by replaying events. Cost is linear in
 // the total number of rule changes up to i.
 func (h *History) ListAt(i int) *psl.List {
-	if i < 0 || i >= len(h.events) {
-		panic(fmt.Sprintf("history: version %d out of range [0,%d)", i, len(h.events)))
+	st := h.state.Load()
+	if i < 0 || i >= len(st.events) {
+		panic(fmt.Sprintf("history: version %d out of range [0,%d)", i, len(st.events)))
 	}
 	// Replay events into an ordered rule set: a map tracks liveness,
 	// tombstones preserve first-seen order without O(n) deletions.
@@ -374,7 +433,7 @@ func (h *History) ListAt(i int) *psl.List {
 	rules := make([]psl.Rule, 0, 10000)
 	dead := make([]bool, 0, 10000)
 	for seq := 0; seq <= i; seq++ {
-		ev := h.events[seq]
+		ev := st.events[seq]
 		for _, r := range ev.Removed {
 			if j, ok := index[r.String()]; ok {
 				dead[j] = true
@@ -397,7 +456,7 @@ func (h *History) ListAt(i int) *psl.List {
 		}
 	}
 	l := psl.NewList(live)
-	meta := h.metas[i]
+	meta := st.metas[i]
 	l.Date = meta.Date
 	l.Version = meta.Label()
 	return l
@@ -410,7 +469,8 @@ func (h *History) Latest() *psl.List { return h.ListAt(h.Len() - 1) }
 // given date (the last version dated <= d), or -1 if d precedes the
 // first version.
 func (h *History) IndexAtDate(d time.Time) int {
-	i := sort.Search(len(h.metas), func(i int) bool { return h.metas[i].Date.After(d) })
+	metas := h.state.Load().metas
+	i := sort.Search(len(metas), func(i int) bool { return metas[i].Date.After(d) })
 	return i - 1
 }
 
@@ -429,7 +489,7 @@ func (h *History) IndexForAge(ageDays int) int {
 // AgeOfVersion reports how old version i is, in whole days, relative to
 // MeasurementDate.
 func (h *History) AgeOfVersion(i int) int {
-	return int(MeasurementDate.Sub(h.metas[i].Date).Hours() / 24)
+	return int(MeasurementDate.Sub(h.state.Load().metas[i].Date).Hours() / 24)
 }
 
 // GrowthPoint is one sample of the Figure 2 series.
@@ -445,7 +505,8 @@ type GrowthPoint struct {
 // GrowthSeries computes the Figure 2 series (total rules and component
 // mix per version) incrementally from the event stream.
 func (h *History) GrowthSeries() []GrowthPoint {
-	out := make([]GrowthPoint, 0, len(h.events))
+	events := h.state.Load().events
+	out := make([]GrowthPoint, 0, len(events))
 	var comps [4]int
 	total := 0
 	bucket := func(r psl.Rule) int {
@@ -455,7 +516,7 @@ func (h *History) GrowthSeries() []GrowthPoint {
 		}
 		return c - 1
 	}
-	for _, ev := range h.events {
+	for _, ev := range events {
 		for _, r := range ev.Removed {
 			comps[bucket(r)]--
 			total--
@@ -474,11 +535,12 @@ func (h *History) GrowthSeries() []GrowthPoint {
 // pipeline uses this to find each hostname's site changepoints without
 // materialising every version.
 func (h *History) RuleSpans() map[string][]Span {
+	events := h.state.Load().events
 	spans := make(map[string][]Span, 10000)
-	for _, ev := range h.events {
+	for _, ev := range events {
 		for _, r := range ev.Added {
 			k := r.String()
-			spans[k] = append(spans[k], Span{From: ev.Seq, To: h.Len()})
+			spans[k] = append(spans[k], Span{From: ev.Seq, To: len(events)})
 		}
 		for _, r := range ev.Removed {
 			k := r.String()

@@ -22,13 +22,14 @@ type historyFile struct {
 // WriteTo serialises the history (configuration, events, metadata) so
 // tooling can cache a generated corpus.
 func (h *History) WriteTo(w io.Writer) (int64, error) {
+	st := h.state.Load()
 	bw := bufio.NewWriter(w)
 	cw := &countingWriter{w: bw}
 	err := gob.NewEncoder(cw).Encode(historyFile{
 		Magic:  historyMagic,
 		Config: h.cfg,
-		Events: h.events,
-		Metas:  h.metas,
+		Events: st.events,
+		Metas:  st.metas,
 	})
 	if err != nil {
 		return cw.n, err
@@ -60,7 +61,7 @@ func ReadHistory(r io.Reader) (*History, error) {
 				i, f.Metas[i].Rules, count)
 		}
 	}
-	return &History{cfg: f.Config, events: f.Events, metas: f.Metas}, nil
+	return newHistory(f.Config, f.Events, f.Metas), nil
 }
 
 // countingWriter tracks bytes written.

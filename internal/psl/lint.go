@@ -47,10 +47,12 @@ func (f LintFinding) String() string {
 }
 
 // Lint checks a list file for structural problems the parser tolerates:
-// duplicate rules, exception rules without a covering wildcard,
-// rules outside any section, wildcards shadowing an identical plain
-// rule, and unparseable lines. It reads the raw text because several
-// findings (duplicates, section placement) are erased by parsing.
+// duplicate rules, exception rules without a covering wildcard, rules
+// outside any section, wildcards shadowing an identical plain rule,
+// unparseable lines, unbalanced or misordered section markers, and
+// rules out of canonical sort order within their section. It reads the
+// raw text because several findings (duplicates, section placement,
+// ordering) are erased by parsing.
 func Lint(r io.Reader) ([]LintFinding, error) {
 	scanner := bufio.NewScanner(r)
 	scanner.Buffer(make([]byte, 0, 64*1024), 1024*1024)
@@ -67,6 +69,71 @@ func Lint(r io.Reader) ([]LintFinding, error) {
 	sawSectionMarker := false
 	lineno := 0
 
+	// Section-marker bookkeeping: which sections opened (and where),
+	// whether one is currently open, and the order they appeared in.
+	opened := make(map[Section]int) // section -> line of its BEGIN
+	openSection := SectionUnknown
+	openLine := 0
+	sectionName := func(s Section) string {
+		if s == SectionPrivate {
+			return "PRIVATE"
+		}
+		return "ICANN"
+	}
+
+	// Sort-order bookkeeping: the previous rule seen in the current
+	// section, reset at every marker. The canonical order is
+	// CompareRules — the order Serialize emits and the dist codec
+	// requires — which within a section is the alphabetical-by-
+	// reversed-labels order the real pslint enforces.
+	var prevRule Rule
+	prevLine := 0
+	havePrev := false
+
+	handleBegin := func(s Section) {
+		if openSection != SectionUnknown {
+			findings = append(findings, LintFinding{
+				Line: lineno, Severity: SeverityError, Rule: "",
+				Message: fmt.Sprintf("BEGIN %s DOMAINS inside unclosed %s section from line %d",
+					sectionName(s), sectionName(openSection), openLine),
+			})
+		}
+		if first, dup := opened[s]; dup {
+			findings = append(findings, LintFinding{
+				Line: lineno, Severity: SeverityError, Rule: "",
+				Message: fmt.Sprintf("duplicate BEGIN %s DOMAINS (first at line %d)", sectionName(s), first),
+			})
+		} else {
+			opened[s] = lineno
+		}
+		if s == SectionICANN {
+			if _, privFirst := opened[SectionPrivate]; privFirst {
+				findings = append(findings, LintFinding{
+					Line: lineno, Severity: SeverityWarning, Rule: "",
+					Message: "ICANN section appears after PRIVATE section; canonical order is ICANN first",
+				})
+			}
+		}
+		section, sawSectionMarker = s, true
+		openSection, openLine = s, lineno
+		havePrev = false
+	}
+	handleEnd := func(s Section) {
+		if openSection != s {
+			want := "no open section"
+			if openSection != SectionUnknown {
+				want = fmt.Sprintf("open section is %s (line %d)", sectionName(openSection), openLine)
+			}
+			findings = append(findings, LintFinding{
+				Line: lineno, Severity: SeverityError, Rule: "",
+				Message: fmt.Sprintf("END %s DOMAINS does not match: %s", sectionName(s), want),
+			})
+		}
+		section = SectionUnknown
+		openSection = SectionUnknown
+		havePrev = false
+	}
+
 	for scanner.Scan() {
 		lineno++
 		raw := strings.TrimSpace(scanner.Text())
@@ -76,11 +143,13 @@ func Lint(r io.Reader) ([]LintFinding, error) {
 		if strings.HasPrefix(raw, "//") {
 			switch raw {
 			case beginICANN:
-				section, sawSectionMarker = SectionICANN, true
-			case endICANN, endPrivate:
-				section = SectionUnknown
+				handleBegin(SectionICANN)
 			case beginPrivate:
-				section, sawSectionMarker = SectionPrivate, true
+				handleBegin(SectionPrivate)
+			case endICANN:
+				handleEnd(SectionICANN)
+			case endPrivate:
+				handleEnd(SectionPrivate)
 			}
 			continue
 		}
@@ -110,6 +179,15 @@ func Lint(r io.Reader) ([]LintFinding, error) {
 				Line: lineno, Severity: SeverityInfo, Rule: key,
 				Message: "rule outside ICANN/PRIVATE section markers",
 			})
+		} else {
+			if havePrev && CompareRules(rule, prevRule) < 0 {
+				findings = append(findings, LintFinding{
+					Line: lineno, Severity: SeverityWarning, Rule: key,
+					Message: fmt.Sprintf("out of sort order: %q should come before %q (line %d)",
+						key, prevRule.String(), prevLine),
+				})
+			}
+			prevRule, prevLine, havePrev = rule, lineno, true
 		}
 		switch {
 		case rule.Exception:
@@ -125,6 +203,12 @@ func Lint(r io.Reader) ([]LintFinding, error) {
 	}
 	if err := scanner.Err(); err != nil {
 		return nil, err
+	}
+	if openSection != SectionUnknown {
+		findings = append(findings, LintFinding{
+			Line: openLine, Severity: SeverityError, Rule: "",
+			Message: fmt.Sprintf("%s section opened at line %d is never closed", sectionName(openSection), openLine),
+		})
 	}
 
 	// Exceptions must cancel a wildcard: "!www.ck" needs "*.ck".

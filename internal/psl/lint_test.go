@@ -24,16 +24,82 @@ func hasFinding(fs []LintFinding, sev Severity, substr string) bool {
 }
 
 func TestLintCleanFile(t *testing.T) {
+	// Canonical (CompareRules) order within the section: reversed-label
+	// alphabetical, so the ck rules precede com and co.uk.
 	fs := lintOf(t, `
 // ===BEGIN ICANN DOMAINS===
-com
-co.uk
 *.ck
 !www.ck
+com
+co.uk
 // ===END ICANN DOMAINS===
 `)
 	if len(fs) != 0 {
 		t.Errorf("clean file produced findings: %v", fs)
+	}
+}
+
+func TestLintSortOrder(t *testing.T) {
+	fs := lintOf(t, "// ===BEGIN ICANN DOMAINS===\ncom\nco.uk\n*.ck\n// ===END ICANN DOMAINS===\n")
+	if !hasFinding(fs, SeverityWarning, "out of sort order") {
+		t.Errorf("findings = %v", fs)
+	}
+	// Order resets across sections: a PRIVATE rule sorting before the
+	// last ICANN rule is fine.
+	fs = lintOf(t, `// ===BEGIN ICANN DOMAINS===
+com
+// ===END ICANN DOMAINS===
+// ===BEGIN PRIVATE DOMAINS===
+*.ck
+// ===END PRIVATE DOMAINS===
+`)
+	if hasFinding(fs, SeverityWarning, "out of sort order") {
+		t.Errorf("cross-section order flagged: %v", fs)
+	}
+}
+
+func TestLintSectionMarkers(t *testing.T) {
+	// Duplicate BEGIN.
+	fs := lintOf(t, `// ===BEGIN ICANN DOMAINS===
+com
+// ===END ICANN DOMAINS===
+// ===BEGIN ICANN DOMAINS===
+net
+// ===END ICANN DOMAINS===
+`)
+	if !hasFinding(fs, SeverityError, "duplicate BEGIN ICANN") {
+		t.Errorf("findings = %v", fs)
+	}
+	// END without a matching open section.
+	fs = lintOf(t, "// ===END PRIVATE DOMAINS===\n")
+	if !hasFinding(fs, SeverityError, "END PRIVATE DOMAINS does not match") {
+		t.Errorf("findings = %v", fs)
+	}
+	// Mismatched END: ICANN closed by END PRIVATE.
+	fs = lintOf(t, "// ===BEGIN ICANN DOMAINS===\ncom\n// ===END PRIVATE DOMAINS===\n")
+	if !hasFinding(fs, SeverityError, "END PRIVATE DOMAINS does not match") {
+		t.Errorf("findings = %v", fs)
+	}
+	// Section left open at EOF.
+	fs = lintOf(t, "// ===BEGIN PRIVATE DOMAINS===\nexample.app\n")
+	if !hasFinding(fs, SeverityError, "never closed") {
+		t.Errorf("findings = %v", fs)
+	}
+	// PRIVATE before ICANN is legal but non-canonical.
+	fs = lintOf(t, `// ===BEGIN PRIVATE DOMAINS===
+example.app
+// ===END PRIVATE DOMAINS===
+// ===BEGIN ICANN DOMAINS===
+com
+// ===END ICANN DOMAINS===
+`)
+	if !hasFinding(fs, SeverityWarning, "canonical order is ICANN first") {
+		t.Errorf("findings = %v", fs)
+	}
+	// BEGIN inside an unclosed section.
+	fs = lintOf(t, "// ===BEGIN ICANN DOMAINS===\ncom\n// ===BEGIN PRIVATE DOMAINS===\nexample.app\n// ===END PRIVATE DOMAINS===\n")
+	if !hasFinding(fs, SeverityError, "inside unclosed ICANN section") {
+		t.Errorf("findings = %v", fs)
 	}
 }
 

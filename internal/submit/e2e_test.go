@@ -1,0 +1,177 @@
+package submit
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/dnssim"
+	"repro/internal/history"
+	"repro/internal/httparchive"
+	"repro/internal/psl"
+)
+
+// TestWritePathEndToEnd is the acceptance check for the write path: a
+// valid-TXT submission is linted, validated, risk-scored against a
+// simulated web population, published to the dist origin, and an edge
+// replica polling over real HTTP installs the new version with zero
+// unverified swaps; a missing-TXT submission is rejected with a
+// machine-readable verdict naming the failed stage. Run with -race.
+func TestWritePathEndToEnd(t *testing.T) {
+	h := history.Generate(history.Config{Versions: 30})
+	o := dist.NewOrigin(h)
+	o.SetHead(h.Len() - 1)
+	zone := dnssim.NewZone()
+	pop := httparchive.Generate(httparchive.Config{Seed: 7, Scale: 0.05}, h)
+
+	p, err := New(o, Config{Resolver: zone, Population: pop})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle(dist.Prefix, o)
+	p.Register(mux)
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	// The edge replica: every install is checked against the origin's
+	// fingerprint chain — an unverified swap is the invariant violation
+	// this test must show zero of.
+	var mu sync.Mutex
+	var unverified []string
+	var installedSeq int
+	var installed *psl.List
+	rep := dist.NewReplica(ts.URL, dist.ReplicaOptions{PollInterval: 10 * time.Millisecond})
+	rep.OnInstall = func(l *psl.List, seq int, fp string, m psl.Matcher) {
+		mu.Lock()
+		defer mu.Unlock()
+		if want := o.Chain().Fingerprint(seq); fp != want || l.Fingerprint() != fp {
+			unverified = append(unverified,
+				fmt.Sprintf("seq %d: fp %s, list %s, chain %s", seq, fp, l.Fingerprint(), want))
+		}
+		installedSeq, installed = seq, l
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if _, seq, err := rep.Bootstrap(ctx, -1); err != nil {
+		t.Fatalf("bootstrap: %v", err)
+	} else if seq != h.Len()-1 {
+		t.Fatalf("bootstrapped at %d, want head %d", seq, h.Len()-1)
+	}
+	runDone := make(chan struct{})
+	go func() { defer close(runDone); rep.Run(ctx) }()
+	defer func() { cancel(); <-runDone }()
+
+	// The accepted path, via the same HTTP surface psltool uses: plant
+	// the TXT record, POST the submission, and demand every stage
+	// passed.
+	req := Request{
+		Changes: []Change{{Op: "add", Rule: "*.tenants.write-path.test", Section: "private"}},
+		Contact: "ops@write-path.test",
+	}
+	zone.AddTXT("_psl.tenants.write-path.test", ComputeID(req))
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(ts.URL+SubmitPath, "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pub Submission
+	if err := json.NewDecoder(resp.Body).Decode(&pub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || pub.State != StatePublished {
+		t.Fatalf("submit: status %d, state %s; verdicts %+v", resp.StatusCode, pub.State, pub.Verdicts)
+	}
+	wantSeq := h.Len() - 1
+	if pub.PublishedSeq != wantSeq {
+		t.Fatalf("published seq %d, want %d", pub.PublishedSeq, wantSeq)
+	}
+	for i, stage := range Stages {
+		if pub.Verdicts[i].Stage != stage || !pub.Verdicts[i].Passed {
+			t.Fatalf("verdict %d = %+v, want passed %s", i, pub.Verdicts[i], stage)
+		}
+	}
+	if pub.Risk == nil || pub.Risk.Population == 0 {
+		t.Fatalf("risk stage did not score the population: %+v", pub.Risk)
+	}
+	if m := o.Manifest(); m.Seq != wantSeq || m.PublishedAt.IsZero() {
+		t.Fatalf("origin manifest %+v after publish", m)
+	}
+
+	// The edge replica converges on the published version.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		mu.Lock()
+		seq := installedSeq
+		mu.Unlock()
+		if seq == wantSeq {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replica never installed seq %d (at %d)", wantSeq, rep.CurrentSeq())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	mu.Lock()
+	if len(unverified) != 0 {
+		t.Fatalf("replica made %d unverified swaps: %s", len(unverified), unverified[0])
+	}
+	rule, _ := psl.ParseRule("*.tenants.write-path.test", psl.SectionPrivate)
+	if !installed.Contains(rule) {
+		t.Fatalf("replica's installed list is missing the published rule")
+	}
+	mu.Unlock()
+	if rep.VerifyFailures() != 0 {
+		t.Fatalf("replica recorded %d verify failures", rep.VerifyFailures())
+	}
+
+	// The rejected path: no TXT record, machine-readable verdict naming
+	// the failed stage, and no version movement anywhere.
+	req2 := Request{Changes: []Change{{Op: "add", Rule: "stolen.write-path.test", Section: "private"}}}
+	body, _ = json.Marshal(req2)
+	resp, err = http.Post(ts.URL+SubmitPath, "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rej Submission
+	if err := json.NewDecoder(resp.Body).Decode(&rej); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity || rej.State != StateRejected {
+		t.Fatalf("unauthorized submit: status %d, state %s", resp.StatusCode, rej.State)
+	}
+	if rej.RejectedStage != StageAuthorization {
+		t.Fatalf("rejected stage %q, want %s", rej.RejectedStage, StageAuthorization)
+	}
+	last := rej.Verdicts[len(rej.Verdicts)-1]
+	if last.Stage != StageAuthorization || last.Passed || len(last.Findings) == 0 {
+		t.Fatalf("authorization verdict %+v", last)
+	}
+	if o.Head() != wantSeq {
+		t.Fatalf("rejected submission moved the head to %d", o.Head())
+	}
+
+	// The debug endpoint reflects both outcomes — what pslobs scrapes.
+	resp, err = http.Get(ts.URL + DebugPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum DebugSummary
+	if err := json.NewDecoder(resp.Body).Decode(&sum); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if sum.Published != 1 || sum.Rejected != 1 {
+		t.Fatalf("debug summary %+v", sum)
+	}
+}

@@ -1,0 +1,127 @@
+package submit
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+)
+
+// HTTP paths the pipeline serves.
+const (
+	// SubmitPath accepts POSTed Requests.
+	SubmitPath = "/v1/submit"
+	// SubmissionPrefix + "{id}" returns one submission record.
+	SubmissionPrefix = "/v1/submission/"
+	// DebugPath summarises the store for fleet inspectors (pslobs).
+	DebugPath = "/debug/submissions"
+)
+
+// maxRequestBody bounds one submission payload.
+const maxRequestBody = 1 << 20
+
+// Register mounts the three endpoints on a mux.
+func (p *Pipeline) Register(mux *http.ServeMux) {
+	mux.HandleFunc(SubmitPath, p.handleSubmit)
+	mux.HandleFunc(SubmissionPrefix, p.handleGet)
+	mux.HandleFunc(DebugPath, p.handleDebug)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// errorJSON is the machine-readable error envelope.
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+// handleSubmit accepts a Request, runs the pipeline (synchronously —
+// every stage is an in-memory check, so the final verdict is cheap to
+// compute before answering), and returns the full record. The status
+// code mirrors the outcome: 200 for published, 202 for a pending
+// (manual-mode) submission, 422 for a rejection — the body always
+// carries the verdict trail either way.
+func (p *Pipeline) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorJSON{"POST only"})
+		return
+	}
+	var req Request
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody)).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{"bad request body: " + err.Error()})
+		return
+	}
+	s, err := p.Submit(req)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{err.Error()})
+		return
+	}
+	switch s.State {
+	case StatePublished:
+		writeJSON(w, http.StatusOK, s)
+	case StateRejected:
+		writeJSON(w, http.StatusUnprocessableEntity, s)
+	default:
+		writeJSON(w, http.StatusAccepted, s)
+	}
+}
+
+// handleGet returns one submission record by ID.
+func (p *Pipeline) handleGet(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorJSON{"GET only"})
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, SubmissionPrefix)
+	if id == "" || strings.Contains(id, "/") {
+		writeJSON(w, http.StatusNotFound, errorJSON{"submission ID required"})
+		return
+	}
+	s := p.Get(id)
+	if s == nil {
+		writeJSON(w, http.StatusNotFound, errorJSON{"unknown submission " + id})
+		return
+	}
+	writeJSON(w, http.StatusOK, s)
+}
+
+// DebugSummary is the /debug/submissions shape pslobs scrapes.
+type DebugSummary struct {
+	Pending   int `json:"pending"`
+	Checking  int `json:"checking"`
+	Rejected  int `json:"rejected"`
+	Accepted  int `json:"accepted"`
+	Published int `json:"published"`
+	Total     int `json:"total"`
+	// Submissions lists brief per-submission lines, newest last.
+	Submissions []DebugEntry `json:"submissions,omitempty"`
+}
+
+// DebugEntry is one row of the debug listing.
+type DebugEntry struct {
+	ID            string `json:"id"`
+	State         State  `json:"state"`
+	RejectedStage string `json:"rejected_stage,omitempty"`
+	PublishedSeq  int    `json:"published_seq,omitempty"`
+}
+
+// handleDebug summarises the store.
+func (p *Pipeline) handleDebug(w http.ResponseWriter, r *http.Request) {
+	counts := p.CountByState()
+	sum := DebugSummary{
+		Pending:   counts[StatePending],
+		Checking:  counts[StateChecking],
+		Rejected:  counts[StateRejected],
+		Accepted:  counts[StateAccepted],
+		Published: counts[StatePublished],
+	}
+	for _, s := range p.All() {
+		sum.Total++
+		sum.Submissions = append(sum.Submissions, DebugEntry{
+			ID: s.ID, State: s.State, RejectedStage: s.RejectedStage, PublishedSeq: s.PublishedSeq,
+		})
+	}
+	writeJSON(w, http.StatusOK, sum)
+}

@@ -1,0 +1,519 @@
+package submit
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/dnssim"
+	"repro/internal/history"
+	"repro/internal/httparchive"
+	"repro/internal/psl"
+)
+
+// testRig is one origin + zone + pipeline over a small fresh history
+// (fresh because Publish mutates it).
+type testRig struct {
+	h    *history.History
+	o    *dist.Origin
+	zone *dnssim.Zone
+	p    *Pipeline
+}
+
+func newRig(t *testing.T, cfg Config) *testRig {
+	t.Helper()
+	h := history.Generate(history.Config{Versions: 12})
+	o := dist.NewOrigin(h)
+	zone := dnssim.NewZone()
+	if cfg.Resolver == nil {
+		cfg.Resolver = zone
+	}
+	p, err := New(o, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &testRig{h: h, o: o, zone: zone, p: p}
+}
+
+// authorize plants the _psl TXT record a request needs.
+func (r *testRig) authorize(t *testing.T, req Request) string {
+	t.Helper()
+	id := ComputeID(req)
+	seen := make(map[string]bool)
+	for _, c := range req.Changes {
+		rule, _, err := parseChange(c)
+		if err != nil {
+			t.Fatalf("authorize: %v", err)
+		}
+		owner := AuthOwner(rule)
+		if !seen[owner] {
+			seen[owner] = true
+			r.zone.AddTXT("_psl."+owner, id)
+		}
+	}
+	return id
+}
+
+func addReq(rules ...string) Request {
+	var req Request
+	for _, r := range rules {
+		req.Changes = append(req.Changes, Change{Op: "add", Rule: r, Section: "private"})
+	}
+	req.Contact = "test@example.org"
+	return req
+}
+
+func TestSubmitAcceptedPublishes(t *testing.T) {
+	rig := newRig(t, Config{})
+	req := addReq("hosting.example-platform.test")
+	rig.authorize(t, req)
+	headBefore := rig.o.Head()
+
+	s, err := rig.p.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.State != StatePublished {
+		t.Fatalf("state %s, want published; verdicts: %+v", s.State, s.Verdicts)
+	}
+	if s.PublishedSeq != headBefore+1 || rig.o.Head() != s.PublishedSeq {
+		t.Fatalf("published seq %d, origin head %d, head before %d", s.PublishedSeq, rig.o.Head(), headBefore)
+	}
+	if s.Fingerprint != rig.o.Chain().Fingerprint(s.PublishedSeq) {
+		t.Fatalf("fingerprint mismatch")
+	}
+	// Every stage passed, in order.
+	if len(s.Verdicts) != len(Stages) {
+		t.Fatalf("verdicts %d, want %d: %+v", len(s.Verdicts), len(Stages), s.Verdicts)
+	}
+	for i, v := range s.Verdicts {
+		if v.Stage != Stages[i] || !v.Passed {
+			t.Fatalf("verdict %d = %+v, want passed %s", i, v, Stages[i])
+		}
+	}
+	// No population configured: the gate sizes nothing, but the probe
+	// samples still describe the flip direction.
+	if s.Risk == nil || s.Risk.Population != 0 || len(s.Risk.SampleFlips) == 0 {
+		t.Fatalf("risk report missing: %+v", s.Risk)
+	}
+	// The new rule is live at the tip.
+	rule, _ := psl.ParseRule("hosting.example-platform.test", psl.SectionPrivate)
+	if !rig.h.ListAt(s.PublishedSeq).Contains(rule) {
+		t.Fatalf("published list missing the rule")
+	}
+}
+
+func TestSubmitRejectedMissingTXT(t *testing.T) {
+	rig := newRig(t, Config{})
+	req := addReq("unauthorized.example")
+	// No TXT record planted.
+	s, err := rig.p.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.State != StateRejected || s.RejectedStage != StageAuthorization {
+		t.Fatalf("state %s / stage %q, want rejected/authorization", s.State, s.RejectedStage)
+	}
+	last := s.Verdicts[len(s.Verdicts)-1]
+	if last.Stage != StageAuthorization || last.Passed {
+		t.Fatalf("last verdict %+v", last)
+	}
+	if len(last.Findings) == 0 || !strings.Contains(last.Findings[0], "NXDOMAIN") {
+		t.Fatalf("findings %v, want NXDOMAIN detail", last.Findings)
+	}
+}
+
+func TestSubmitRejectedWrongTXT(t *testing.T) {
+	rig := newRig(t, Config{})
+	req := addReq("wrongtxt.example")
+	rig.zone.AddTXT("_psl.wrongtxt.example", "sub-ffffffffffffffff")
+	s, err := rig.p.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.State != StateRejected || s.RejectedStage != StageAuthorization {
+		t.Fatalf("state %s / stage %q", s.State, s.RejectedStage)
+	}
+	last := s.Verdicts[len(s.Verdicts)-1]
+	if len(last.Findings) == 0 || !strings.Contains(last.Findings[0], "does not contain submission ID") {
+		t.Fatalf("findings %v", last.Findings)
+	}
+}
+
+func TestSubmitRejectedTimeout(t *testing.T) {
+	rig := newRig(t, Config{})
+	req := addReq("flaky.example")
+	rig.authorize(t, req)
+	rig.zone.SetFault("_psl.flaky.example", dnssim.FaultTimeout)
+	s, err := rig.p.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.State != StateRejected || s.RejectedStage != StageAuthorization {
+		t.Fatalf("state %s / stage %q", s.State, s.RejectedStage)
+	}
+	last := s.Verdicts[len(s.Verdicts)-1]
+	if len(last.Findings) == 0 || !strings.Contains(last.Findings[0], "timed out") {
+		t.Fatalf("findings %v", last.Findings)
+	}
+	// Clearing the fault and resubmitting succeeds: rejected
+	// submissions re-run.
+	rig.zone.SetFault("_psl.flaky.example", dnssim.FaultNone)
+	s, err = rig.p.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.State != StatePublished {
+		t.Fatalf("resubmit state %s, want published; verdicts %+v", s.State, s.Verdicts)
+	}
+}
+
+func TestSubmitLintRejections(t *testing.T) {
+	rig := newRig(t, Config{})
+	existing := rig.h.Latest().Rules()[0]
+
+	cases := []struct {
+		name   string
+		req    Request
+		substr string
+	}{
+		{"bad op", Request{Changes: []Change{{Op: "merge", Rule: "x.example", Section: "private"}}}, "not add or remove"},
+		{"bad section", Request{Changes: []Change{{Op: "add", Rule: "x.example", Section: "community"}}}, "not icann or private"},
+		{"bad rule", Request{Changes: []Change{{Op: "add", Rule: "a..b", Section: "private"}}}, ""},
+		{"duplicate change", Request{Changes: []Change{
+			{Op: "add", Rule: "dup.example", Section: "private"},
+			{Op: "add", Rule: "dup.example", Section: "private"},
+		}}, "duplicates change"},
+		{"add existing", Request{Changes: []Change{{Op: "add", Rule: existing.String(), Section: "icann"}}}, "already in the list"},
+		{"remove absent", Request{Changes: []Change{{Op: "remove", Rule: "nosuch.example", Section: "private"}}}, "not in the list"},
+	}
+	for _, tc := range cases {
+		s, err := rig.p.Submit(tc.req)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if s.State != StateRejected || s.RejectedStage != StageLint {
+			t.Errorf("%s: state %s / stage %q, want rejected/lint", tc.name, s.State, s.RejectedStage)
+			continue
+		}
+		last := s.Verdicts[len(s.Verdicts)-1]
+		found := false
+		for _, f := range last.Findings {
+			if strings.Contains(f, tc.substr) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: findings %v missing %q", tc.name, last.Findings, tc.substr)
+		}
+	}
+}
+
+func TestSubmitSemanticRejections(t *testing.T) {
+	rig := newRig(t, Config{})
+
+	// Seed a wildcard so the shadowed-rule case has a prevailing rule.
+	wild, _ := psl.ParseRule("*.sandbox.semantic.test", psl.SectionPrivate)
+	if _, err := rig.o.Publish(time.Now(), []psl.Rule{wild}, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// An exception with no covering wildcard fails lint already (the
+	// new-list findings attribute to the changed rule); an exception
+	// whose covering wildcard is removed in the SAME submission is the
+	// semantic stage's case.
+	req := Request{Changes: []Change{
+		{Op: "remove", Rule: "*.sandbox.semantic.test", Section: "private"},
+		{Op: "add", Rule: "!keep.sandbox.semantic.test", Section: "private"},
+	}}
+	rig.authorize(t, req)
+	s, err := rig.p.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.State != StateRejected {
+		t.Fatalf("state %s, want rejected; verdicts %+v", s.State, s.Verdicts)
+	}
+
+	// A rule shadowed by a prevailing wildcard is unreachable.
+	req = Request{Changes: []Change{{Op: "add", Rule: "shadowed.sandbox.semantic.test", Section: "private"}}}
+	rig.authorize(t, req)
+	s, err = rig.p.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.State != StateRejected || s.RejectedStage != StageSemantic {
+		t.Fatalf("shadowed rule: state %s / stage %q; verdicts %+v", s.State, s.RejectedStage, s.Verdicts)
+	}
+	last := s.Verdicts[len(s.Verdicts)-1]
+	found := false
+	for _, f := range last.Findings {
+		if strings.Contains(f, "unreachable") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("findings %v missing unreachable", last.Findings)
+	}
+}
+
+func TestSubmitSectionMoveRejected(t *testing.T) {
+	rig := newRig(t, Config{})
+	existing := rig.h.Latest().Rules()[0]
+	from, to := "icann", "private"
+	if existing.Section == psl.SectionPrivate {
+		from, to = to, from
+	}
+	req := Request{Changes: []Change{
+		{Op: "remove", Rule: existing.String(), Section: from},
+		{Op: "add", Rule: existing.String(), Section: to},
+	}}
+	rig.authorize(t, req)
+	s, err := rig.p.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.State != StateRejected || s.RejectedStage != StageSemantic {
+		t.Fatalf("section move: state %s / stage %q; verdicts %+v", s.State, s.RejectedStage, s.Verdicts)
+	}
+	last := s.Verdicts[len(s.Verdicts)-1]
+	joined := strings.Join(last.Findings, "\n")
+	if !strings.Contains(joined, "fingerprint") {
+		t.Fatalf("findings %v, want fingerprint-neutral detail", last.Findings)
+	}
+}
+
+func TestSubmitRiskGate(t *testing.T) {
+	// Seed a wildcard that a synthetic population lives under, then try
+	// to remove it: every host's registrable domain flips and the
+	// cookie scopes widen (shorter sites), tripping the ceiling.
+	rig := newRig(t, Config{
+		MaxFlipFraction: 0.01,
+		Population: &httparchive.Snapshot{Hosts: []string{
+			"a.tenant1.risky-host.test", "b.tenant1.risky-host.test",
+			"a.tenant2.risky-host.test", "b.tenant2.risky-host.test",
+			"unrelated.example.com",
+		}},
+	})
+	wild, _ := psl.ParseRule("*.risky-host.test", psl.SectionPrivate)
+	if _, err := rig.o.Publish(time.Now(), []psl.Rule{wild}, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	req := Request{Changes: []Change{{Op: "remove", Rule: "*.risky-host.test", Section: "private"}}}
+	rig.authorize(t, req)
+	s, err := rig.p.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.State != StateRejected || s.RejectedStage != StageRisk {
+		t.Fatalf("state %s / stage %q; verdicts %+v", s.State, s.RejectedStage, s.Verdicts)
+	}
+	if s.Risk == nil {
+		t.Fatal("no risk report")
+	}
+	// The four tenant hosts flip; removal of a wildcard widens scope.
+	if s.Risk.SiteFlips < 4 || s.Risk.ScopeWidened < 4 {
+		t.Fatalf("risk report %+v, want >=4 flips all widened", s.Risk)
+	}
+	if len(s.Risk.SampleFlips) == 0 {
+		t.Fatalf("no sample flips in %+v", s.Risk)
+	}
+
+	// The same change clears a permissive ceiling.
+	rig2 := newRig(t, Config{MaxFlipFraction: 0.99})
+	if _, err := rig2.o.Publish(time.Now(), []psl.Rule{wild}, nil); err != nil {
+		t.Fatal(err)
+	}
+	rig2.authorize(t, req)
+	s, err = rig2.p.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.State != StatePublished {
+		t.Fatalf("permissive ceiling: state %s; verdicts %+v", s.State, s.Verdicts)
+	}
+}
+
+func TestSubmitIdempotent(t *testing.T) {
+	rig := newRig(t, Config{})
+	req := addReq("idem.example")
+	rig.authorize(t, req)
+	s1, err := rig.p.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	head := rig.o.Head()
+	s2, err := rig.p.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.ID != s1.ID || s2.State != StatePublished {
+		t.Fatalf("resubmit: %s/%s", s2.ID, s2.State)
+	}
+	if rig.o.Head() != head {
+		t.Fatalf("idempotent resubmit advanced the head")
+	}
+}
+
+func TestComputeIDStable(t *testing.T) {
+	a := ComputeID(addReq("x.example"))
+	b := ComputeID(addReq("x.example"))
+	c := ComputeID(addReq("y.example"))
+	if a != b {
+		t.Fatalf("same request, different IDs: %s vs %s", a, b)
+	}
+	if a == c {
+		t.Fatalf("different requests share an ID")
+	}
+	if !strings.HasPrefix(a, "sub-") || len(a) != 20 {
+		t.Fatalf("ID shape %q", a)
+	}
+	// Contact/Reason do not change the ID (only changes are addressed).
+	r := addReq("x.example")
+	r.Contact = "other@example.org"
+	if ComputeID(r) != a {
+		t.Fatalf("contact changed the ID")
+	}
+}
+
+func TestPersistenceReload(t *testing.T) {
+	dir := t.TempDir()
+	rig := newRig(t, Config{StateDir: dir, Manual: true})
+	req := addReq("persist.example")
+	id := rig.authorize(t, req)
+
+	s, err := rig.p.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.State != StatePending {
+		t.Fatalf("manual submit state %s, want pending", s.State)
+	}
+	if _, err := os.Stat(filepath.Join(dir, id+".json")); err != nil {
+		t.Fatalf("record not persisted: %v", err)
+	}
+
+	// A fresh pipeline over the same dir restores the record and can
+	// finish the job.
+	rig2 := &testRig{h: rig.h, o: rig.o, zone: rig.zone}
+	rig2.p, err = New(rig.o, Config{StateDir: dir, Resolver: rig.zone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pending := rig2.p.PendingIDs()
+	if len(pending) != 1 || pending[0] != id {
+		t.Fatalf("pending after reload: %v", pending)
+	}
+	s, err = rig2.p.Process(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.State != StatePublished {
+		t.Fatalf("processed state %s; verdicts %+v", s.State, s.Verdicts)
+	}
+
+	// A crash mid-check (state "checking" on disk) re-enqueues as
+	// pending.
+	crashed := &Submission{ID: "sub-deadbeefdeadbeef", State: StateChecking,
+		Request: addReq("crashed.example"), CreatedAt: time.Now(), UpdatedAt: time.Now()}
+	blob, _ := json.Marshal(crashed)
+	if err := os.WriteFile(filepath.Join(dir, crashed.ID+".json"), blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p3, err := New(rig.o, Config{StateDir: dir, Resolver: rig.zone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := p3.Get(crashed.ID)
+	if got == nil || got.State != StatePending {
+		t.Fatalf("crashed submission after reload: %+v", got)
+	}
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	rig := newRig(t, Config{})
+	mux := http.NewServeMux()
+	rig.p.Register(mux)
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	// Accepted submission: 200 with a published record.
+	okReq := addReq("http-ok.example")
+	rig.authorize(t, okReq)
+	body, _ := json.Marshal(okReq)
+	resp, err := http.Post(ts.URL+SubmitPath, "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pub Submission
+	if err := json.NewDecoder(resp.Body).Decode(&pub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || pub.State != StatePublished {
+		t.Fatalf("submit: %d %s", resp.StatusCode, pub.State)
+	}
+
+	// Rejected submission: 422 with the failing stage named.
+	body, _ = json.Marshal(addReq("http-unauth.example"))
+	resp, err = http.Post(ts.URL+SubmitPath, "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rej Submission
+	if err := json.NewDecoder(resp.Body).Decode(&rej); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity || rej.RejectedStage != StageAuthorization {
+		t.Fatalf("reject: %d stage %q", resp.StatusCode, rej.RejectedStage)
+	}
+
+	// GET one record.
+	resp, err = http.Get(ts.URL + SubmissionPrefix + pub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Submission
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got.ID != pub.ID || got.State != StatePublished {
+		t.Fatalf("get: %+v", got)
+	}
+
+	// Unknown ID is a JSON 404.
+	resp, _ = http.Get(ts.URL + SubmissionPrefix + "sub-0000000000000000")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown id status %d", resp.StatusCode)
+	}
+
+	// Debug summary counts both.
+	resp, err = http.Get(ts.URL + DebugPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum DebugSummary
+	if err := json.NewDecoder(resp.Body).Decode(&sum); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if sum.Published != 1 || sum.Rejected != 1 || sum.Total != 2 {
+		t.Fatalf("debug summary %+v", sum)
+	}
+	// Bad body: 400.
+	resp, _ = http.Post(ts.URL+SubmitPath, "application/json", strings.NewReader("{"))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad body status %d", resp.StatusCode)
+	}
+}
