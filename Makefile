@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race chaos fleet fleet-heavy bench bench-json bench-sanity bench-scaling metrics-lint
+.PHONY: all build test race chaos fleet fleet-heavy torture bench bench-json bench-sanity bench-scaling metrics-lint
 
 all: build test
 
@@ -29,6 +29,14 @@ fleet:
 # The thousand-edge acceptance run (several minutes under -race).
 fleet-heavy:
 	PSLFLEET_HEAVY=1 go test -race -count=1 -v -run 'TestFleetThousandEdges' ./internal/fleet/
+
+# The full crash-consistency torture matrix under -race: every
+# registered failpoint site in the dist-state, matcher-blob,
+# submit-store, and replica-resume scenarios, each hit index, err and
+# crash modes. A violated recovery invariant fails with the exact
+# `scenario=... seed=... spec="..."` line that reproduces it.
+torture:
+	go test -race -count=1 -v -run 'Torture' ./internal/torture/
 
 bench:
 	go test -run '^$$' -bench . -benchmem ./internal/psl/ .

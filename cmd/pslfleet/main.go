@@ -33,6 +33,10 @@
 //	-max-hop N           max patch span per hop (default 16)
 //	-sample-every D      lag sampler cadence (default duration/10)
 //	-converge-timeout D  post-run convergence window (default 30s)
+//	-failpoints SPEC     err-mode storage-fault spec armed for the run
+//	                     (e.g. 'dist.state.sync=err(0.4,errno=EIO)')
+//	-edge-state          give every edge an in-memory state dir so the
+//	                     dist.state.* sites fire under churn
 //	-compare             also run the single-tier baseline
 //	-check               exit non-zero unless the run passes
 package main
@@ -50,6 +54,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/failpoint"
 	"repro/internal/fleet"
 )
 
@@ -84,6 +89,8 @@ func parseFlags(args []string) (config, error) {
 	fs.IntVar(&cfg.fleet.MaxHop, "max-hop", 0, "max patch span per hop (0 = default 16)")
 	fs.DurationVar(&cfg.fleet.SampleEvery, "sample-every", 0, "lag sampler cadence (0 = duration/10)")
 	fs.DurationVar(&cfg.fleet.ConvergeTimeout, "converge-timeout", 0, "post-run convergence window (0 = default 30s)")
+	fs.StringVar(&cfg.fleet.Failpoints, "failpoints", "", "err-mode storage-fault spec armed for the run")
+	fs.BoolVar(&cfg.fleet.EdgeState, "edge-state", false, "give every edge an in-memory state dir (fires dist.state.* sites)")
 	fs.BoolVar(&cfg.compare, "compare", false, "also run the single-tier baseline with the same seed")
 	fs.BoolVar(&cfg.check, "check", false, "exit non-zero unless the run passes its invariants")
 	if err := fs.Parse(args); err != nil {
@@ -138,6 +145,15 @@ func parseFlags(args []string) (config, error) {
 	}
 	if cfg.fleet.ChaosRate > 0 && len(cfg.fleet.ChaosTiers) == 0 {
 		return config{}, fmt.Errorf("-chaos-rate %v without -chaos-tiers faults nothing", cfg.fleet.ChaosRate)
+	}
+	if cfg.fleet.Failpoints != "" {
+		crash, err := failpoint.SpecHasCrash(cfg.fleet.Failpoints)
+		if err != nil {
+			return config{}, fmt.Errorf("-failpoints: %v", err)
+		}
+		if crash {
+			return config{}, fmt.Errorf("-failpoints %q uses crash mode, which would kill the simulator; use err mode", cfg.fleet.Failpoints)
+		}
 	}
 	return cfg, nil
 }

@@ -25,9 +25,12 @@ func TestParseFlagsErrors(t *testing.T) {
 		{"-poll-skew", "-1"},
 		{"-duration", "-1s"},
 		{"-base-poll", "-5ms"},
-		{"-chaos-tiers", "cloud"},                  // unknown tier
-		{"-chaos-rate", "0.5"},                     // rate without tiers
-		{"-chaos-rate", "0.5", "-chaos-tiers", ""}, // still no tiers
+		{"-chaos-tiers", "cloud"},                     // unknown tier
+		{"-chaos-rate", "0.5"},                        // rate without tiers
+		{"-chaos-rate", "0.5", "-chaos-tiers", ""},    // still no tiers
+		{"-failpoints", "dist.state.sync=explode(1)"}, // bad action kind
+		{"-failpoints", "dist.state.sync=crash(0.5)"}, // crash would kill the process
+		{"-failpoints", "dist.state.sync=err(1.5)"},   // probability out of range
 	}
 	for _, args := range bad {
 		if _, err := parseFlags(args); err == nil {
@@ -38,6 +41,7 @@ func TestParseFlagsErrors(t *testing.T) {
 	cfg, err := parseFlags([]string{
 		"-seed", "9", "-edges", "40", "-relays", "2",
 		"-chaos-rate", "0.2", "-chaos-tiers", "origin, relay",
+		"-failpoints", "dist.state.sync=err(0.3,errno=EIO)", "-edge-state",
 		"-compare", "-check",
 	})
 	if err != nil {
@@ -46,6 +50,9 @@ func TestParseFlagsErrors(t *testing.T) {
 	if cfg.fleet.Seed != 9 || cfg.fleet.Edges != 40 || cfg.fleet.Relays != 2 ||
 		!cfg.compare || !cfg.check {
 		t.Errorf("parsed config %+v", cfg)
+	}
+	if cfg.fleet.Failpoints != "dist.state.sync=err(0.3,errno=EIO)" || !cfg.fleet.EdgeState {
+		t.Errorf("failpoint flags not parsed: %+v", cfg.fleet)
 	}
 	if len(cfg.fleet.ChaosTiers) != 2 || cfg.fleet.ChaosTiers[0] != fleet.TierOrigin || cfg.fleet.ChaosTiers[1] != fleet.TierRelay {
 		t.Errorf("chaos tiers %v", cfg.fleet.ChaosTiers)
@@ -81,6 +88,35 @@ func TestRunEmitsReport(t *testing.T) {
 	}
 	if !strings.Contains(errOut.String(), "converged=true") {
 		t.Errorf("stderr summary: %s", errOut.String())
+	}
+}
+
+// TestRunWithStorageFaults drives the command end to end with
+// -edge-state and an err-mode failpoint spec: -check must still pass
+// (storage faults never cost convergence or verification) and the
+// report must show the faults firing.
+func TestRunWithStorageFaults(t *testing.T) {
+	cfg, err := parseFlags(smallArgs("-check", "-edge-state",
+		"-failpoints", "dist.state.sync=err(0.5,errno=EIO)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut bytes.Buffer
+	if err := run(context.Background(), cfg, &out, &errOut); err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, errOut.String())
+	}
+	var rep fleet.Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("stdout is not a report: %v", err)
+	}
+	if !rep.Converged || rep.UnverifiedSwaps != 0 {
+		t.Errorf("report converged=%v unverified=%d", rep.Converged, rep.UnverifiedSwaps)
+	}
+	if rep.FailpointTriggers["dist.state.sync"] == 0 {
+		t.Errorf("armed site never fired: %v", rep.FailpointTriggers)
+	}
+	if rep.Edges.PersistErrors == 0 {
+		t.Error("no persistence failure recorded under an armed sync fault")
 	}
 }
 

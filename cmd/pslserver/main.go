@@ -85,6 +85,13 @@
 //	-submit-max-flip F  reject submissions that flip more than this
 //	                  fraction of the population's registrable domains
 //	                  (default 0.05)
+//	-failpoints SPEC  arm deterministic fault-injection sites for the
+//	                  whole process, seeded from -seed (e.g.
+//	                  'dist.state.rename=err(1);submit.persist.sync=crash(0.2,seed=7)');
+//	                  err terms surface as the named syscall failing,
+//	                  crash terms abort the process at the site — the
+//	                  supervisor-restart experiment. Armed or not, every
+//	                  site exports psl_failpoint_triggers_total{name}
 //	-quiet            suppress JSON access logs on stderr
 //
 // In follower mode /healthz and /v1/version report "source":"follower"
@@ -125,6 +132,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/dnssim"
 	"repro/internal/experiments"
+	"repro/internal/failpoint"
 	"repro/internal/fetch"
 	"repro/internal/history"
 	"repro/internal/httparchive"
@@ -176,6 +184,8 @@ type config struct {
 	submitScale    float64
 	submitMaxFlip  float64
 
+	failpoints string
+
 	newMatcher func(*psl.List) psl.Matcher
 }
 
@@ -206,6 +216,7 @@ func parseFlags(args []string) (config, error) {
 	fs.StringVar(&cfg.submitStateDir, "submit-state-dir", "", "persist submission records here (requires -submit)")
 	fs.Float64Var(&cfg.submitScale, "submit-scale", 0, "web-population scale for submission risk scoring (0 = probes only; requires -submit)")
 	fs.Float64Var(&cfg.submitMaxFlip, "submit-max-flip", 0, "reject submissions flipping more than this fraction of the population (0 = default 0.05; requires -submit)")
+	fs.StringVar(&cfg.failpoints, "failpoints", "", "deterministic fault-injection spec (name=err(p,...);name=crash(p,...)), seeded from -seed")
 	fs.BoolVar(&cfg.quiet, "quiet", false, "suppress JSON access logs")
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
@@ -292,6 +303,9 @@ func parseFlags(args []string) (config, error) {
 	if cfg.submitMaxFlip < 0 || cfg.submitMaxFlip > 1 {
 		return config{}, fmt.Errorf("-submit-max-flip %v out of range [0, 1]", cfg.submitMaxFlip)
 	}
+	if _, err := failpoint.Parse(cfg.failpoints); err != nil {
+		return config{}, fmt.Errorf("-failpoints: %w", err)
+	}
 	return cfg, nil
 }
 
@@ -319,6 +333,7 @@ func (p *obsPlane) mount(mux *http.ServeMux, reg *obs.Registry) {
 	p.ring.RegisterMetrics(reg)
 	p.journal.RegisterMetrics(reg)
 	obs.RegisterRuntimeMetrics(reg)
+	failpoint.RegisterMetrics(reg)
 	mux.Handle(obs.TracesPath, p.ring.Handler())
 	mux.Handle(obs.PropagationPath, p.journal.Handler())
 }
@@ -502,6 +517,16 @@ func bootstrapFollower(ctx context.Context, rep *dist.Replica, cfg config, stdou
 // -addr ends in :0), which is what the tests and the CI scrape step
 // parse.
 func run(ctx context.Context, cfg config, stdout io.Writer) error {
+	// Fault sites arm before any component is built or listener bound,
+	// so the very first durable write of the process already runs under
+	// the spec; parseFlags validated it, so Arm cannot fail here.
+	if cfg.failpoints != "" {
+		if err := failpoint.Arm(cfg.failpoints, cfg.seed); err != nil {
+			return fmt.Errorf("failpoints: %w", err)
+		}
+		defer failpoint.DisarmAll()
+		fmt.Fprintf(stdout, "pslserver: failpoints armed: %s (seed %d)\n", cfg.failpoints, cfg.seed)
+	}
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		return err

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/dist"
+	"repro/internal/failpoint"
 	"repro/internal/fetch"
 	"repro/internal/history"
 	"repro/internal/obs"
@@ -256,6 +257,10 @@ func TestParseFlagsErrors(t *testing.T) {
 		{"-submit-max-flip", "0.5"},                        // requires -submit
 		{"-submit", "-submit-scale", "-1"},                 // negative
 		{"-submit", "-submit-max-flip", "1.5"},             // out of range
+		{"-failpoints", "dist.state.rename"},               // no action
+		{"-failpoints", "dist.state.rename=explode(1)"},    // unknown kind
+		{"-failpoints", "dist.state.rename=err(2)"},        // probability out of range
+		{"-failpoints", "x=err(1,errno=EWHAT)"},            // unknown errno
 	}
 	for _, args := range bad {
 		if _, err := parseFlags(args); err == nil {
@@ -263,12 +268,16 @@ func TestParseFlagsErrors(t *testing.T) {
 		}
 	}
 
-	cfg, err := parseFlags([]string{"-matcher", "trie", "-failrate", "0.25", "-age", "30", "-debug-addr", "127.0.0.1:0"})
+	cfg, err := parseFlags([]string{"-matcher", "trie", "-failrate", "0.25", "-age", "30", "-debug-addr", "127.0.0.1:0",
+		"-failpoints", "dist.state.rename=err(1);submit.persist.sync=crash(0.2,seed=7)"})
 	if err != nil {
 		t.Fatalf("valid flags rejected: %v", err)
 	}
 	if cfg.matcher != "trie" || cfg.newMatcher == nil || cfg.failRate != 0.25 || cfg.age != 30 || cfg.debugAddr == "" {
 		t.Errorf("parsed config %+v", cfg)
+	}
+	if cfg.failpoints != "dist.state.rename=err(1);submit.persist.sync=crash(0.2,seed=7)" {
+		t.Errorf("failpoints spec not kept: %q", cfg.failpoints)
 	}
 }
 
@@ -304,6 +313,7 @@ var requiredFamilies = []string{
 	"psl_process_goroutines",
 	"psl_http_panics_total",
 	"psl_resilience_deadline_exceeded_total",
+	"psl_failpoint_triggers_total",
 }
 
 // TestMetricsExposition scrapes the mounted /metrics endpoint after a
@@ -449,6 +459,59 @@ func TestRunServesBothListeners(t *testing.T) {
 		}
 	case <-time.After(15 * time.Second):
 		t.Fatal("run did not exit after cancel")
+	}
+}
+
+// TestFailpointsFlagArmsAndDisarms: -failpoints arms its sites for
+// exactly the lifetime of run() — in-process injection fires while the
+// server is up, /metrics exports the per-site trigger family, and the
+// sites are disarmed again once run returns.
+func TestFailpointsFlagArmsAndDisarms(t *testing.T) {
+	defer failpoint.DisarmAll()
+	const site = "test.pslserver.probe"
+	cfg, err := parseFlags([]string{"-addr", "127.0.0.1:0", "-quiet",
+		"-failpoints", site + "=err(1,errno=EIO)"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, cfg, &out) }()
+
+	base := waitForAnnounce(t, &out, "on http://")
+	if i := strings.Index(base, "/"); i >= 0 {
+		base = base[:i]
+	}
+	if !strings.Contains(out.String(), "failpoints armed: "+site) {
+		t.Errorf("no arming announce; output:\n%s", out.String())
+	}
+	if err := failpoint.New(site).Inject(); err == nil {
+		t.Error("armed site did not fire while run() was live")
+	}
+
+	resp, err := (&http.Client{Timeout: 10 * time.Second}).Get("http://" + base + serve.MetricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !bytes.Contains(body, []byte(`psl_failpoint_triggers_total{name="`+site+`"}`)) {
+		t.Error("/metrics missing the armed site's trigger counter")
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("run returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("run did not exit after cancel")
+	}
+	if err := failpoint.New(site).Inject(); err != nil {
+		t.Errorf("site still armed after run returned: %v", err)
 	}
 }
 

@@ -7,6 +7,8 @@ import (
 	"math/rand"
 	"net/http"
 	"sync"
+
+	"repro/internal/faultfs"
 	"sync/atomic"
 	"time"
 
@@ -64,6 +66,12 @@ type ReplicaOptions struct {
 	// instead of a full bootstrap. Persistence failures are counted,
 	// never block a swap.
 	StateDir string
+	// FS, when set, is the filesystem behind StateDir persistence —
+	// crash-consistency tests hand in a faultfs.MemFS here and torture
+	// the replica's save/restore path without touching a real disk. Nil
+	// means the real OS wrapped with the dist.state / dist.blob
+	// failpoint sites.
+	FS faultfs.FS
 	// FetchBlobs opts in to pulling the upstream's compiled matcher blob
 	// (/dist/blob/{seq}) after each verified install, handing it to
 	// OnInstall so the serving layer can swap versions without
@@ -192,6 +200,13 @@ type Replica struct {
 	breaker *resilience.Breaker
 	budget  *resilience.Budget
 
+	// stateFS / matcherFS back StateDir persistence: the package
+	// defaults (instrumented OS) unless ReplicaOptions.FS overrides
+	// them, in which case the override is wrapped with the same
+	// failpoint sites so specs behave identically on both.
+	stateFS   faultfs.FS
+	matcherFS faultfs.FS
+
 	polls, pollErrors obs.Counter
 	applied           obs.Counter
 	patchBytes        obs.Counter
@@ -227,6 +242,12 @@ func NewReplica(origin string, opts ReplicaOptions) *Replica {
 		budget:   resilience.NewBudget(opts.RetryBudget, opts.RetryDeposit),
 		applyDur: obs.NewHistogram(nil),
 	}
+	if opts.FS != nil {
+		r.stateFS = faultfs.Instrument(opts.FS, "dist.state")
+		r.matcherFS = faultfs.Instrument(opts.FS, "dist.blob")
+	} else {
+		r.stateFS, r.matcherFS = stateFS, blobFS
+	}
 	r.curSeq.Store(-1)
 	r.headSeq.Store(-1)
 	return r
@@ -247,7 +268,7 @@ func (r *Replica) RestoreState() (*psl.List, int, error) {
 	if r.opts.StateDir == "" {
 		return nil, 0, fmt.Errorf("dist: RestoreState without a StateDir")
 	}
-	l, seq, err := LoadState(r.opts.StateDir)
+	l, seq, err := LoadStateFS(r.stateFS, r.opts.StateDir)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -520,7 +541,7 @@ func (r *Replica) FetchMatcherBlob(ctx context.Context, seq int, fp string) *psl
 	}
 	r.blobHits.Add(1)
 	if r.opts.StateDir != "" {
-		if err := SaveMatcherBlob(r.opts.StateDir, body); err != nil {
+		if err := SaveMatcherBlobFS(r.matcherFS, r.opts.StateDir, body); err != nil {
 			r.persistErrors.Add(1)
 		} else {
 			r.blobPersisted.Add(1)
@@ -752,7 +773,7 @@ func (r *Replica) fullSync(ctx context.Context, seq int) error {
 func (r *Replica) install(ctx context.Context, l *psl.List, seq int, fp string) {
 	r.state = replicaState{list: l, seq: seq, fp: fp}
 	if r.opts.StateDir != "" {
-		if err := SaveState(r.opts.StateDir, l, seq); err != nil {
+		if err := SaveStateFS(r.stateFS, r.opts.StateDir, l, seq); err != nil {
 			r.persistErrors.Add(1)
 		} else {
 			r.persisted.Add(1)

@@ -2,9 +2,9 @@ package dist
 
 import (
 	"fmt"
-	"os"
 	"path/filepath"
 
+	"repro/internal/faultfs"
 	"repro/internal/psl"
 )
 
@@ -21,6 +21,16 @@ const StateFileName = "snapshot.pslf"
 // serving with zero compiles.
 const MatcherFileName = "matcher.pslm"
 
+// stateFS and blobFS are the default filesystems behind the snapshot
+// and matcher stores: the real OS wrapped with failpoint sites
+// ("dist.state.rename", "dist.blob.sync", ...) so production binaries
+// carry armable fault injection at every durable step, at the cost of
+// two atomic loads per filesystem call when disarmed.
+var (
+	stateFS = faultfs.Instrument(faultfs.OS{}, "dist.state")
+	blobFS  = faultfs.Instrument(faultfs.OS{}, "dist.blob")
+)
+
 // WriteFileAtomic crash-safely replaces dir/name with blob: the bytes
 // go to a temporary file, are fsynced, and are renamed into place (then
 // the directory is fsynced so the rename itself survives a crash). A
@@ -30,15 +40,23 @@ const MatcherFileName = "matcher.pslm"
 // other durable stores (the submission pipeline's state directory) can
 // reuse the same discipline.
 func WriteFileAtomic(dir, name string, blob []byte) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return WriteFileAtomicFS(stateFS, dir, name, blob)
+}
+
+// WriteFileAtomicFS is WriteFileAtomic over an explicit filesystem —
+// the injection point for faultfs.MemFS in crash-consistency tests and
+// for stores (the submission pipeline) that carry their own
+// failpoint-instrumented FS.
+func WriteFileAtomicFS(fsys faultfs.FS, dir, name string, blob []byte) error {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("dist: state dir: %w", err)
 	}
-	tmp, err := os.CreateTemp(dir, "."+name+"-*.tmp")
+	tmp, err := fsys.CreateTemp(dir, "."+name+"-*.tmp")
 	if err != nil {
 		return fmt.Errorf("dist: state temp: %w", err)
 	}
 	tmpName := tmp.Name()
-	cleanup := func() { _ = os.Remove(tmpName) }
+	cleanup := func() { _ = fsys.Remove(tmpName) }
 	if _, err := tmp.Write(blob); err != nil {
 		tmp.Close()
 		cleanup()
@@ -53,15 +71,17 @@ func WriteFileAtomic(dir, name string, blob []byte) error {
 		cleanup()
 		return fmt.Errorf("dist: state close: %w", err)
 	}
-	if err := os.Rename(tmpName, filepath.Join(dir, name)); err != nil {
+	if err := fsys.Rename(tmpName, filepath.Join(dir, name)); err != nil {
 		cleanup()
 		return fmt.Errorf("dist: state rename: %w", err)
 	}
 	// Fsync the directory so the rename is on disk, not just in the
-	// directory cache. Best effort on filesystems that refuse it.
-	if d, err := os.Open(dir); err == nil {
-		_ = d.Sync()
-		_ = d.Close()
+	// directory cache — without it the rename can be lost to a crash
+	// and the durability claim above is hollow. Filesystems that refuse
+	// directory fsync are tolerated inside SyncDir; anything else is a
+	// real durability failure and propagates.
+	if err := fsys.SyncDir(dir); err != nil {
+		return fmt.Errorf("dist: state dir fsync: %w", err)
 	}
 	return nil
 }
@@ -70,7 +90,12 @@ func WriteFileAtomic(dir, name string, blob []byte) error {
 // directory if needed (write-temp → fsync → atomic-rename, see
 // WriteFileAtomic).
 func SaveState(dir string, l *psl.List, seq int) error {
-	return WriteFileAtomic(dir, StateFileName, EncodeFull(l, seq))
+	return SaveStateFS(stateFS, dir, l, seq)
+}
+
+// SaveStateFS is SaveState over an explicit filesystem.
+func SaveStateFS(fsys faultfs.FS, dir string, l *psl.List, seq int) error {
+	return WriteFileAtomicFS(fsys, dir, StateFileName, EncodeFull(l, seq))
 }
 
 // LoadState reads the persisted snapshot back, verifying the blob
@@ -78,7 +103,12 @@ func SaveState(dir string, l *psl.List, seq int) error {
 // missing file surfaces as fs.ErrNotExist for callers to distinguish
 // "never persisted" from "corrupt".
 func LoadState(dir string) (*psl.List, int, error) {
-	data, err := os.ReadFile(filepath.Join(dir, StateFileName))
+	return LoadStateFS(stateFS, dir)
+}
+
+// LoadStateFS is LoadState over an explicit filesystem.
+func LoadStateFS(fsys faultfs.FS, dir string) (*psl.List, int, error) {
+	data, err := fsys.ReadFile(filepath.Join(dir, StateFileName))
 	if err != nil {
 		return nil, 0, err
 	}
@@ -98,7 +128,12 @@ func LoadState(dir string) (*psl.List, int, error) {
 // pass the envelope bytes exactly as verified, so load-time
 // verification covers the same chain fetch-time verification did.
 func SaveMatcherBlob(dir string, envelope []byte) error {
-	return WriteFileAtomic(dir, MatcherFileName, envelope)
+	return SaveMatcherBlobFS(blobFS, dir, envelope)
+}
+
+// SaveMatcherBlobFS is SaveMatcherBlob over an explicit filesystem.
+func SaveMatcherBlobFS(fsys faultfs.FS, dir string, envelope []byte) error {
+	return WriteFileAtomicFS(fsys, dir, MatcherFileName, envelope)
 }
 
 // LoadMatcherBlob reads the persisted compiled matcher back and runs
@@ -108,7 +143,12 @@ func SaveMatcherBlob(dir string, envelope []byte) error {
 // is reported as an error, never returned; the caller compiles instead.
 // A missing file surfaces as fs.ErrNotExist.
 func LoadMatcherBlob(dir string, seq int, fp string) (*psl.PackedMatcher, error) {
-	data, err := os.ReadFile(filepath.Join(dir, MatcherFileName))
+	return LoadMatcherBlobFS(blobFS, dir, seq, fp)
+}
+
+// LoadMatcherBlobFS is LoadMatcherBlob over an explicit filesystem.
+func LoadMatcherBlobFS(fsys faultfs.FS, dir string, seq int, fp string) (*psl.PackedMatcher, error) {
+	data, err := fsys.ReadFile(filepath.Join(dir, MatcherFileName))
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,90 @@
+// Package faultfs abstracts the narrow filesystem surface the durable
+// stores actually use — the write-temp → fsync → rename → dir-fsync
+// discipline of dist.WriteFileAtomic plus the read side of state and
+// submission loading — behind an interface small enough to implement
+// three ways:
+//
+//   - OS: the real filesystem, what production runs on.
+//   - Instrument(inner, prefix): any FS with a failpoint site at every
+//     operation ("<prefix>.write", "<prefix>.sync", "<prefix>.rename",
+//     ...), so a spec string like dist.state.rename=err(1) turns a
+//     specific syscall of a specific store into a fault.
+//   - MemFS: a seeded in-memory filesystem that models the volatile /
+//     durable split and can simulate a power cut (Crash), surfacing
+//     exactly the post-crash states — lost renames, torn unsynced
+//     content, bit rot — that the atomic-write discipline claims to
+//     survive.
+//
+// The interface is deliberately not io/fs: it is the mutation surface
+// (create/write/sync/rename/remove + dir fsync) that io/fs abstracts
+// away, because the faults live there.
+package faultfs
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"syscall"
+)
+
+// File is the open-for-write handle surface WriteFileAtomic needs.
+type File interface {
+	Write(p []byte) (int, error)
+	// Sync flushes written content to durable storage.
+	Sync() error
+	Close() error
+	// Name reports the file's path, as os.File.Name does.
+	Name() string
+}
+
+// FS is the filesystem surface of the durable stores.
+type FS interface {
+	MkdirAll(path string, perm fs.FileMode) error
+	// CreateTemp creates a new unique file in dir; pattern's last "*" is
+	// replaced with a unique string, as os.CreateTemp does.
+	CreateTemp(dir, pattern string) (File, error)
+	Rename(oldpath, newpath string) error
+	// SyncDir fsyncs a directory so previously renamed-in entries
+	// survive a crash. Implementations tolerate filesystems that refuse
+	// directory fsync (EINVAL/ENOTSUP) but propagate real failures.
+	SyncDir(dir string) error
+	ReadFile(path string) ([]byte, error)
+	ReadDir(dir string) ([]fs.DirEntry, error)
+	Remove(path string) error
+}
+
+// OS is the production FS: straight delegation to package os.
+type OS struct{}
+
+func (OS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (OS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (OS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		// Some filesystems refuse fsync on directories; that is the
+		// platform's durability ceiling, not a write failure.
+		if errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.ENOTSUP) {
+			return nil
+		}
+		return err
+	}
+	return nil
+}
+
+func (OS) ReadFile(path string) ([]byte, error)      { return os.ReadFile(path) }
+func (OS) ReadDir(dir string) ([]fs.DirEntry, error) { return os.ReadDir(dir) }
+func (OS) Remove(path string) error                  { return os.Remove(path) }

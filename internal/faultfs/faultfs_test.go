@@ -1,0 +1,326 @@
+package faultfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io/fs"
+	"sort"
+	"testing"
+
+	"repro/internal/failpoint"
+)
+
+// writeAtomic replays the dist.WriteFileAtomic discipline over an FS —
+// the exact op sequence the durable stores run.
+func writeAtomic(fsys FS, dir, name string, blob []byte) error {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := fsys.CreateTemp(dir, "."+name+"-*.tmp")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(blob); err != nil {
+		tmp.Close()
+		_ = fsys.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		_ = fsys.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		_ = fsys.Remove(tmpName)
+		return err
+	}
+	if err := fsys.Rename(tmpName, dir+"/"+name); err != nil {
+		_ = fsys.Remove(tmpName)
+		return err
+	}
+	return fsys.SyncDir(dir)
+}
+
+func TestMemFSBasicOps(t *testing.T) {
+	m := NewMemFS(1)
+	if err := writeAtomic(m, "state", "snap.bin", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.ReadFile("state/snap.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello" {
+		t.Fatalf("ReadFile = %q", got)
+	}
+	ents, err := m.ReadDir("state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || ents[0].Name() != "snap.bin" || ents[0].IsDir() {
+		t.Fatalf("ReadDir = %v", ents)
+	}
+	if err := m.Remove("state/snap.bin"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ReadFile("state/snap.bin"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("read after remove = %v, want ErrNotExist", err)
+	}
+	if _, err := m.ReadDir("nope"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("ReadDir missing dir = %v, want ErrNotExist", err)
+	}
+}
+
+func TestMemFSCrashPreservesSettledState(t *testing.T) {
+	m := NewMemFS(7)
+	if err := writeAtomic(m, "d", "a", []byte("version-1")); err != nil {
+		t.Fatal(err)
+	}
+	m.Settle()
+	// An in-flight overwrite that never completes its dir sync...
+	tmp, err := m.CreateTemp("d", ".a-*.tmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tmp.Write([]byte("version-2")); err != nil {
+		t.Fatal(err)
+	}
+	m.Crash()
+	// ...must leave the settled file intact, whatever became of the tmp.
+	got, err := m.ReadFile("d/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "version-1" {
+		t.Fatalf("settled file after crash = %q, want version-1", got)
+	}
+	// And the pre-crash handle is dead.
+	if _, err := tmp.Write([]byte("x")); !errors.Is(err, fs.ErrClosed) {
+		t.Fatalf("stale handle write = %v, want ErrClosed", err)
+	}
+}
+
+// TestMemFSCrashAfterFullDiscipline: sync-before-rename means a
+// completed atomic write survives any crash with full content — the
+// core claim of WriteFileAtomic, checked against the model.
+func TestMemFSCrashAfterFullDiscipline(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		m := NewMemFS(seed)
+		if err := writeAtomic(m, "d", "f", []byte("old")); err != nil {
+			t.Fatal(err)
+		}
+		m.Settle()
+		if err := writeAtomic(m, "d", "f", []byte("new-content")); err != nil {
+			t.Fatal(err)
+		}
+		m.Crash()
+		got, err := m.ReadFile("d/f")
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if string(got) != "new-content" {
+			t.Fatalf("seed %d: post-crash content = %q, want new-content (dir was synced)", seed, got)
+		}
+	}
+}
+
+// TestMemFSCrashBeforeDirSync: without the dir fsync the rename may be
+// lost — the reader sees old or new, never a torn mix.
+func TestMemFSCrashBeforeDirSync(t *testing.T) {
+	sawOld, sawNew := false, false
+	for seed := int64(0); seed < 40; seed++ {
+		m := NewMemFS(seed)
+		if err := writeAtomic(m, "d", "f", []byte("old")); err != nil {
+			t.Fatal(err)
+		}
+		m.Settle()
+		// Replay the discipline minus the final SyncDir.
+		tmp, err := m.CreateTemp("d", ".f-*.tmp")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tmp.Write([]byte("new-content")); err != nil {
+			t.Fatal(err)
+		}
+		if err := tmp.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		if err := tmp.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Rename(tmp.Name(), "d/f"); err != nil {
+			t.Fatal(err)
+		}
+		m.Crash()
+		got, err := m.ReadFile("d/f")
+		if err != nil {
+			t.Fatalf("seed %d: target vanished entirely: %v", seed, err)
+		}
+		switch string(got) {
+		case "old":
+			sawOld = true
+		case "new-content":
+			sawNew = true
+		default:
+			t.Fatalf("seed %d: post-crash content = %q, want old or new, never torn", seed, got)
+		}
+	}
+	if !sawOld || !sawNew {
+		t.Fatalf("crash model never exercised both outcomes (old=%v new=%v)", sawOld, sawNew)
+	}
+}
+
+// TestMemFSTornUnsyncedContent: content written but never synced comes
+// back torn — a prefix, possibly bit-flipped — when its entry survives.
+func TestMemFSTornUnsyncedContent(t *testing.T) {
+	full := bytes.Repeat([]byte{0xab}, 256)
+	tornSeen := false
+	for seed := int64(0); seed < 60; seed++ {
+		m := NewMemFS(seed)
+		tmp, err := m.CreateTemp(".", "f-*.tmp")
+		if err != nil {
+			t.Fatal(err)
+		}
+		name := tmp.Name()
+		if _, err := tmp.Write(full); err != nil {
+			t.Fatal(err)
+		}
+		m.Crash()
+		got, err := m.ReadFile(name)
+		if errors.Is(err, fs.ErrNotExist) {
+			continue // entry itself was lost: also valid
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) > len(full) {
+			t.Fatalf("seed %d: post-crash content longer than written", seed)
+		}
+		if len(got) < len(full) || !bytes.Equal(got, full) {
+			tornSeen = true
+		}
+	}
+	if !tornSeen {
+		t.Fatal("60 seeds never produced a torn or corrupted unsynced file")
+	}
+}
+
+// TestMemFSDeterministic: same seed + same op sequence → identical
+// post-crash filesystem, byte for byte.
+func TestMemFSDeterministic(t *testing.T) {
+	run := func() string {
+		m := NewMemFS(99)
+		_ = writeAtomic(m, "d", "a", []byte("aaaa"))
+		m.Settle()
+		tmp, _ := m.CreateTemp("d", ".b-*.tmp")
+		_, _ = tmp.Write(bytes.Repeat([]byte("b"), 64))
+		_ = m.Rename(tmp.Name(), "d/b")
+		tmp2, _ := m.CreateTemp("d", ".c-*.tmp")
+		_, _ = tmp2.Write([]byte("cccc"))
+		m.Crash()
+		ents, err := m.ReadDir("d")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var names []string
+		for _, e := range ents {
+			names = append(names, e.Name())
+		}
+		sort.Strings(names)
+		var state string
+		for _, n := range names {
+			data, _ := m.ReadFile("d/" + n)
+			state += fmt.Sprintf("%s=%x\n", n, data)
+		}
+		return state
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed diverged:\n--- a\n%s--- b\n%s", a, b)
+	}
+}
+
+func TestInstrumentInjectsPerOp(t *testing.T) {
+	defer failpoint.DisarmAll()
+	m := NewMemFS(1)
+	fsys := Instrument(m, "test.fs")
+
+	// Clean pass-through first.
+	if err := writeAtomic(fsys, "d", "f", []byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct{ site string }{
+		{"test.fs.create"}, {"test.fs.write"}, {"test.fs.sync"},
+		{"test.fs.close"}, {"test.fs.rename"}, {"test.fs.syncdir"},
+	}
+	for _, tc := range cases {
+		failpoint.DisarmAll()
+		if err := failpoint.Arm(tc.site+"=err(1)", 5); err != nil {
+			t.Fatal(err)
+		}
+		err := writeAtomic(fsys, "d", "f", []byte("0123456789"))
+		if !errors.Is(err, failpoint.ErrInjected) {
+			t.Fatalf("site %s: writeAtomic = %v, want ErrInjected", tc.site, err)
+		}
+	}
+	failpoint.DisarmAll()
+
+	// Read-side sites.
+	if err := failpoint.Arm("test.fs.read=err(1,errno=EIO);test.fs.readdir=err(1)", 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fsys.ReadFile("d/f"); !errors.Is(err, failpoint.ErrInjected) {
+		t.Fatalf("read site: %v", err)
+	}
+	if _, err := fsys.ReadDir("d"); !errors.Is(err, failpoint.ErrInjected) {
+		t.Fatalf("readdir site: %v", err)
+	}
+	failpoint.DisarmAll()
+
+	// Short write: an injected write fault leaves half the bytes behind.
+	tmp, err := fsys.CreateTemp("d", ".g-*.tmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := failpoint.Arm("test.fs.write=err(1,errno=ENOSPC)", 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tmp.Write([]byte("0123456789")); err == nil {
+		t.Fatal("injected write returned nil")
+	}
+	failpoint.DisarmAll()
+	got, err := m.ReadFile(tmp.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "01234" {
+		t.Fatalf("short write left %q, want first half", got)
+	}
+}
+
+func TestOSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	var fsys FS = OS{}
+	if err := writeAtomic(fsys, dir, "f.bin", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fsys.ReadFile(dir + "/f.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "payload" {
+		t.Fatalf("ReadFile = %q", got)
+	}
+	ents, err := fsys.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || ents[0].Name() != "f.bin" {
+		t.Fatalf("ReadDir = %v", ents)
+	}
+	if err := fsys.Remove(dir + "/f.bin"); err != nil {
+		t.Fatal(err)
+	}
+}

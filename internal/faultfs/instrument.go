@@ -1,0 +1,124 @@
+package faultfs
+
+import (
+	"io/fs"
+
+	"repro/internal/failpoint"
+)
+
+// Instrument wraps inner with a failpoint site at every operation,
+// named "<prefix>.<op>" for ops mkdir, create, write, sync, close,
+// rename, syncdir, read, readdir, remove. Sites register at wrap time,
+// so a store constructed over an instrumented FS is immediately
+// armable; disarmed, each operation pays one Inject (two atomic loads)
+// on top of the inner call.
+//
+// An injected write fault is a short write: half the buffer reaches the
+// inner file before the error returns, the torn-write shape a real
+// ENOSPC or I/O error produces mid-buffer.
+func Instrument(inner FS, prefix string) FS {
+	return &instrumented{
+		inner:     inner,
+		fpMkdir:   failpoint.New(prefix + ".mkdir"),
+		fpCreate:  failpoint.New(prefix + ".create"),
+		fpWrite:   failpoint.New(prefix + ".write"),
+		fpSync:    failpoint.New(prefix + ".sync"),
+		fpClose:   failpoint.New(prefix + ".close"),
+		fpRename:  failpoint.New(prefix + ".rename"),
+		fpSyncDir: failpoint.New(prefix + ".syncdir"),
+		fpRead:    failpoint.New(prefix + ".read"),
+		fpReadDir: failpoint.New(prefix + ".readdir"),
+		fpRemove:  failpoint.New(prefix + ".remove"),
+	}
+}
+
+type instrumented struct {
+	inner FS
+
+	fpMkdir, fpCreate, fpWrite, fpSync, fpClose,
+	fpRename, fpSyncDir, fpRead, fpReadDir, fpRemove *failpoint.Failpoint
+}
+
+func (i *instrumented) MkdirAll(path string, perm fs.FileMode) error {
+	if err := i.fpMkdir.Inject(); err != nil {
+		return err
+	}
+	return i.inner.MkdirAll(path, perm)
+}
+
+func (i *instrumented) CreateTemp(dir, pattern string) (File, error) {
+	if err := i.fpCreate.Inject(); err != nil {
+		return nil, err
+	}
+	f, err := i.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &instrumentedFile{inner: f, fpWrite: i.fpWrite, fpSync: i.fpSync, fpClose: i.fpClose}, nil
+}
+
+func (i *instrumented) Rename(oldpath, newpath string) error {
+	if err := i.fpRename.Inject(); err != nil {
+		return err
+	}
+	return i.inner.Rename(oldpath, newpath)
+}
+
+func (i *instrumented) SyncDir(dir string) error {
+	if err := i.fpSyncDir.Inject(); err != nil {
+		return err
+	}
+	return i.inner.SyncDir(dir)
+}
+
+func (i *instrumented) ReadFile(path string) ([]byte, error) {
+	if err := i.fpRead.Inject(); err != nil {
+		return nil, err
+	}
+	return i.inner.ReadFile(path)
+}
+
+func (i *instrumented) ReadDir(dir string) ([]fs.DirEntry, error) {
+	if err := i.fpReadDir.Inject(); err != nil {
+		return nil, err
+	}
+	return i.inner.ReadDir(dir)
+}
+
+func (i *instrumented) Remove(path string) error {
+	if err := i.fpRemove.Inject(); err != nil {
+		return err
+	}
+	return i.inner.Remove(path)
+}
+
+type instrumentedFile struct {
+	inner                    File
+	fpWrite, fpSync, fpClose *failpoint.Failpoint
+}
+
+func (f *instrumentedFile) Write(p []byte) (int, error) {
+	if err := f.fpWrite.Inject(); err != nil {
+		// Short write: half the buffer lands before the fault.
+		n, _ := f.inner.Write(p[:len(p)/2])
+		return n, err
+	}
+	return f.inner.Write(p)
+}
+
+func (f *instrumentedFile) Sync() error {
+	if err := f.fpSync.Inject(); err != nil {
+		return err
+	}
+	return f.inner.Sync()
+}
+
+func (f *instrumentedFile) Close() error {
+	if err := f.fpClose.Inject(); err != nil {
+		_ = f.inner.Close()
+		return err
+	}
+	return f.inner.Close()
+}
+
+func (f *instrumentedFile) Name() string { return f.inner.Name() }

@@ -1,0 +1,395 @@
+package faultfs
+
+import (
+	"fmt"
+	"io/fs"
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// MemFS is a seeded in-memory FS that models the volatile / durable
+// split a real kernel gives you:
+//
+//   - Write extends a file's volatile content; Sync makes the content
+//     written so far durable.
+//   - CreateTemp, Rename, and Remove change the volatile directory;
+//     SyncDir makes the directory's current entries durable.
+//   - Crash throws away everything volatile and rebuilds the filesystem
+//     from the durable view — with seeded coin flips deciding, per
+//     un-dir-synced entry change, whether it made it to the platter,
+//     and per unsynced content tail, how much of it survives (possibly
+//     with a flipped bit: torn-write bit rot).
+//   - Settle is the opposite: everything volatile becomes durable, the
+//     clean-shutdown baseline a torture scenario starts from.
+//
+// All randomness comes from the construction seed and all iteration is
+// in sorted path order, so a given (seed, operation sequence) produces
+// the identical post-crash filesystem every run.
+//
+// Temp names are drawn from a counter, not the OS entropy pool, for the
+// same reason.
+type MemFS struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	epoch int // bumped by Crash; outstanding handles go stale
+	tmpN  int
+
+	dirs    map[string]bool     // volatile directory set
+	durDirs map[string]bool     // durable directory set
+	entries map[string]*memFile // volatile dir entries: path → inode
+	durEnts map[string]*memFile // durable dir entries
+	pending map[string]bool     // paths whose entry changed since the parent's last SyncDir
+
+	// Crashes and Settles count lifecycle events for assertions.
+	Crashes int
+	Settles int
+}
+
+// memFile is an inode: content has a volatile extent (data) and a
+// durable prefix (dur, set by Sync).
+type memFile struct {
+	data []byte
+	dur  []byte
+}
+
+// NewMemFS returns an empty MemFS whose crash decisions derive from
+// seed.
+func NewMemFS(seed int64) *MemFS {
+	return &MemFS{
+		rng:     rand.New(rand.NewSource(seed)),
+		dirs:    map[string]bool{".": true, "/": true},
+		durDirs: map[string]bool{".": true, "/": true},
+		entries: map[string]*memFile{},
+		durEnts: map[string]*memFile{},
+		pending: map[string]bool{},
+	}
+}
+
+func (m *MemFS) clean(path string) string { return filepath.Clean(path) }
+
+func (m *MemFS) MkdirAll(path string, perm fs.FileMode) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p := m.clean(path)
+	for {
+		m.dirs[p] = true
+		// Directory creation is modelled as immediately durable:
+		// MkdirAll happens once at store construction and its loss is
+		// indistinguishable from "empty store", which scenarios cover by
+		// other means.
+		m.durDirs[p] = true
+		parent := filepath.Dir(p)
+		if parent == p {
+			return nil
+		}
+		p = parent
+	}
+}
+
+func (m *MemFS) CreateTemp(dir, pattern string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d := m.clean(dir)
+	if !m.dirs[d] {
+		return nil, &fs.PathError{Op: "createtemp", Path: dir, Err: fs.ErrNotExist}
+	}
+	m.tmpN++
+	name := strings.Replace(pattern, "*", fmt.Sprintf("%06d", m.tmpN), 1)
+	path := filepath.Join(d, name)
+	if _, exists := m.entries[path]; exists {
+		return nil, &fs.PathError{Op: "createtemp", Path: path, Err: fs.ErrExist}
+	}
+	inode := &memFile{}
+	m.entries[path] = inode
+	m.pending[path] = true
+	return &memHandle{fs: m, epoch: m.epoch, path: path, inode: inode}, nil
+}
+
+func (m *MemFS) Rename(oldpath, newpath string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	op, np := m.clean(oldpath), m.clean(newpath)
+	inode, ok := m.entries[op]
+	if !ok {
+		return &fs.PathError{Op: "rename", Path: oldpath, Err: fs.ErrNotExist}
+	}
+	delete(m.entries, op)
+	m.entries[np] = inode
+	m.pending[op] = true
+	m.pending[np] = true
+	return nil
+}
+
+func (m *MemFS) SyncDir(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d := m.clean(dir)
+	if !m.dirs[d] {
+		return &fs.PathError{Op: "syncdir", Path: dir, Err: fs.ErrNotExist}
+	}
+	for path := range m.pending {
+		if filepath.Dir(path) != d {
+			continue
+		}
+		m.commitEntry(path)
+		delete(m.pending, path)
+	}
+	return nil
+}
+
+// commitEntry makes the volatile state of one dir entry durable.
+// Callers hold m.mu.
+func (m *MemFS) commitEntry(path string) {
+	if inode, ok := m.entries[path]; ok {
+		m.durEnts[path] = inode
+	} else {
+		delete(m.durEnts, path)
+	}
+}
+
+func (m *MemFS) ReadFile(path string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	inode, ok := m.entries[m.clean(path)]
+	if !ok {
+		return nil, &fs.PathError{Op: "open", Path: path, Err: fs.ErrNotExist}
+	}
+	out := make([]byte, len(inode.data))
+	copy(out, inode.data)
+	return out, nil
+}
+
+func (m *MemFS) ReadDir(dir string) ([]fs.DirEntry, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d := m.clean(dir)
+	if !m.dirs[d] {
+		return nil, &fs.PathError{Op: "readdir", Path: dir, Err: fs.ErrNotExist}
+	}
+	var names []string
+	for path := range m.entries {
+		if filepath.Dir(path) == d {
+			names = append(names, filepath.Base(path))
+		}
+	}
+	for sub := range m.dirs {
+		if sub != d && filepath.Dir(sub) == d {
+			names = append(names, filepath.Base(sub))
+		}
+	}
+	sort.Strings(names)
+	out := make([]fs.DirEntry, len(names))
+	for i, name := range names {
+		out[i] = memDirEntry{name: name, dir: m.dirs[filepath.Join(d, name)]}
+	}
+	return out, nil
+}
+
+func (m *MemFS) Remove(path string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p := m.clean(path)
+	if _, ok := m.entries[p]; !ok {
+		return &fs.PathError{Op: "remove", Path: path, Err: fs.ErrNotExist}
+	}
+	delete(m.entries, p)
+	m.pending[p] = true
+	return nil
+}
+
+// PutFile installs a fully durable file, bypassing the write
+// discipline — scenario setup for "this file was already on disk",
+// including deliberately corrupt content.
+func (m *MemFS) PutFile(path string, data []byte) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p := m.clean(path)
+	m.dirs[filepath.Dir(p)] = true
+	m.durDirs[filepath.Dir(p)] = true
+	inode := &memFile{data: append([]byte(nil), data...)}
+	inode.dur = inode.data
+	m.entries[p] = inode
+	m.durEnts[p] = inode
+	delete(m.pending, p)
+}
+
+// Exists reports whether path is present in the volatile view.
+func (m *MemFS) Exists(path string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.entries[m.clean(path)]
+	return ok
+}
+
+// Settle makes every volatile change durable — the clean shutdown.
+func (m *MemFS) Settle() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.Settles++
+	for path := range m.pending {
+		m.commitEntry(path)
+	}
+	m.pending = map[string]bool{}
+	for d := range m.dirs {
+		m.durDirs[d] = true
+	}
+	for _, path := range m.sortedEntryPaths() {
+		inode := m.entries[path]
+		inode.dur = append([]byte(nil), inode.data...)
+		inode.data = inode.dur
+	}
+}
+
+// sortedEntryPaths returns volatile entry paths in sorted order.
+// Callers hold m.mu.
+func (m *MemFS) sortedEntryPaths() []string {
+	paths := make([]string, 0, len(m.entries))
+	for path := range m.entries {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	return paths
+}
+
+// Crash simulates a power cut: the volatile view is discarded and the
+// filesystem rebuilt from what was durable, with seeded coin flips
+// deciding the fate of everything in between.
+//
+// Per pending directory-entry change (sorted order): heads, the change
+// reached the platter anyway (dir update was in flight); tails, the
+// durable entry stands. Per inode whose content extends past its synced
+// prefix: the surviving content is the synced prefix plus a
+// random-length cut of the unsynced tail, and one byte of that torn
+// tail may be bit-flipped — the classic torn-write corruptions.
+//
+// Outstanding handles from before the crash return ErrClosed.
+func (m *MemFS) Crash() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.Crashes++
+	m.epoch++
+
+	// Resolve pending entry changes.
+	pend := make([]string, 0, len(m.pending))
+	for path := range m.pending {
+		pend = append(pend, path)
+	}
+	sort.Strings(pend)
+	for _, path := range pend {
+		if m.rng.Intn(2) == 0 {
+			m.commitEntry(path)
+		}
+	}
+	m.pending = map[string]bool{}
+
+	// The durable view becomes the new volatile view.
+	m.entries = make(map[string]*memFile, len(m.durEnts))
+	for path, inode := range m.durEnts {
+		m.entries[path] = inode
+	}
+	m.dirs = make(map[string]bool, len(m.durDirs))
+	for d := range m.durDirs {
+		m.dirs[d] = true
+	}
+
+	// Resolve unsynced content per surviving inode.
+	for _, path := range m.sortedEntryPaths() {
+		inode := m.entries[path]
+		if len(inode.data) <= len(inode.dur) {
+			inode.data = append([]byte(nil), inode.dur...)
+			continue
+		}
+		tail := inode.data[len(inode.dur):]
+		keep := m.rng.Intn(len(tail) + 1)
+		torn := append([]byte(nil), inode.dur...)
+		torn = append(torn, tail[:keep]...)
+		if keep > 0 && m.rng.Intn(4) == 0 {
+			// Bit rot in the torn region.
+			i := len(inode.dur) + m.rng.Intn(keep)
+			torn[i] ^= 1 << uint(m.rng.Intn(8))
+		}
+		inode.data = torn
+		inode.dur = append([]byte(nil), torn...)
+	}
+}
+
+// memHandle is an open-for-write handle on a MemFS inode.
+type memHandle struct {
+	fs     *MemFS
+	epoch  int
+	path   string
+	inode  *memFile
+	closed bool
+}
+
+func (h *memHandle) stale() error {
+	if h.closed {
+		return fs.ErrClosed
+	}
+	if h.epoch != h.fs.epoch {
+		return fmt.Errorf("faultfs: handle %s outlived a crash: %w", h.path, fs.ErrClosed)
+	}
+	return nil
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err := h.stale(); err != nil {
+		return 0, err
+	}
+	h.inode.data = append(h.inode.data, p...)
+	return len(p), nil
+}
+
+func (h *memHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err := h.stale(); err != nil {
+		return err
+	}
+	h.inode.dur = append([]byte(nil), h.inode.data...)
+	return nil
+}
+
+func (h *memHandle) Close() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err := h.stale(); err != nil {
+		return err
+	}
+	h.closed = true
+	return nil
+}
+
+func (h *memHandle) Name() string { return h.path }
+
+// memDirEntry is the fs.DirEntry ReadDir returns.
+type memDirEntry struct {
+	name string
+	dir  bool
+}
+
+func (e memDirEntry) Name() string { return e.name }
+func (e memDirEntry) IsDir() bool  { return e.dir }
+func (e memDirEntry) Type() fs.FileMode {
+	if e.dir {
+		return fs.ModeDir
+	}
+	return 0
+}
+func (e memDirEntry) Info() (fs.FileInfo, error) { return memFileInfo{e}, nil }
+
+// memFileInfo is the minimal fs.FileInfo behind memDirEntry.Info.
+type memFileInfo struct{ e memDirEntry }
+
+func (i memFileInfo) Name() string           { return i.e.name }
+func (i memFileInfo) Size() int64            { return 0 }
+func (i memFileInfo) Mode() fs.FileMode      { return i.e.Type() }
+func (i memFileInfo) ModTime() (t time.Time) { return }
+func (i memFileInfo) IsDir() bool            { return i.e.dir }
+func (i memFileInfo) Sys() any               { return nil }

@@ -13,6 +13,8 @@ import (
 
 	"repro/internal/chaos"
 	"repro/internal/dist"
+	"repro/internal/failpoint"
+	"repro/internal/faultfs"
 	"repro/internal/history"
 	"repro/internal/obs"
 	"repro/internal/psl"
@@ -68,6 +70,22 @@ type Config struct {
 	// ConvergeTimeout bounds the quiet window after Duration in which
 	// every live edge must reach the final head.
 	ConvergeTimeout time.Duration `json:"converge_timeout_ns"`
+
+	// Failpoints, when non-empty, is a failpoint spec (see
+	// internal/failpoint) armed for the whole run with Seed as the base
+	// seed and disarmed when Run returns — storage faults layered under
+	// the wire faults ChaosRate injects. Only err-mode terms are
+	// accepted: a crash-mode panic on an edge goroutine would kill the
+	// simulator process, so crash specs are a setup error here (they
+	// belong to internal/torture, which converts the panic into a
+	// simulated power cut).
+	Failpoints string `json:"failpoints,omitempty"`
+	// EdgeState gives every edge its own in-memory state dir
+	// (faultfs.MemFS behind dist.ReplicaOptions.FS), so each verified
+	// install runs the full persistence discipline and the dist.state.*
+	// failpoint sites fire under churn. Without it edges are stateless
+	// and a storage-fault spec has nothing to strike.
+	EdgeState bool `json:"edge_state,omitempty"`
 
 	// Metrics, when non-nil, receives the run's metric families (origin,
 	// per-tier chaos, and fleet-level lag/egress gauges). Not echoed.
@@ -262,6 +280,25 @@ func (f *fleet) waterfalls() []SeqWaterfall {
 // Converged=false instead.
 func Run(ctx context.Context, cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
+
+	// Storage faults: armed before any component is built (sites
+	// register on first arm), disarmed whatever way the run ends. The
+	// trigger counters are global to the process, so the report carries
+	// the delta across this run, not the absolute counts.
+	var fpBase map[string]uint64
+	if cfg.Failpoints != "" {
+		if crash, err := failpoint.SpecHasCrash(cfg.Failpoints); err != nil {
+			return nil, fmt.Errorf("fleet: failpoints: %w", err)
+		} else if crash {
+			return nil, fmt.Errorf("fleet: crash-mode failpoints in %q would kill the simulator process; use err mode (crash belongs to internal/torture)", cfg.Failpoints)
+		}
+		if err := failpoint.Arm(cfg.Failpoints, cfg.Seed); err != nil {
+			return nil, fmt.Errorf("fleet: failpoints: %w", err)
+		}
+		defer failpoint.DisarmAll()
+		fpBase = failpoint.TriggerCounts()
+	}
+
 	heads := cfg.headSchedule()
 	finalHead := heads[len(heads)-1]
 	plan := cfg.churnPlan()
@@ -530,9 +567,27 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		rep.Edges.CompactHits += n.rep.CompactHits()
 		rep.Edges.Retries += n.rep.Retries()
 		rep.Edges.PollErrors += n.rep.PollErrors()
+		rep.Edges.Persisted += n.rep.Persisted()
+		rep.Edges.PersistErrors += n.rep.PersistErrors()
 	}
 	f.mu.Unlock()
+	if cfg.Failpoints != "" {
+		rep.FailpointTriggers = failpointDelta(fpBase)
+	}
 	return rep, nil
+}
+
+// failpointDelta reports how often each armed site actually fired
+// during this run: current global trigger counts minus the base
+// snapshot, zero-delta sites omitted.
+func failpointDelta(base map[string]uint64) map[string]uint64 {
+	out := make(map[string]uint64)
+	for name, n := range failpoint.TriggerCounts() {
+		if d := n - base[name]; d > 0 {
+			out[name] = d
+		}
+	}
+	return out
 }
 
 // RunComparison runs cfg and its single-tier equivalent (same seed,
@@ -569,17 +624,27 @@ func (f *fleet) verify(_ *psl.List, seq int, fp string) {
 // then a poll loop at a lognormally skewed per-edge interval.
 func (f *fleet) startEdge(ctx context.Context, id int) {
 	edgeCtx, cancel := context.WithCancel(ctx)
+	opts := dist.ReplicaOptions{
+		Client:         f.edgeClient,
+		PollInterval:   f.cfg.BasePoll,
+		RequestTimeout: 4 * f.cfg.BasePoll,
+		BackoffBase:    f.cfg.BasePoll / 16,
+		BackoffMax:     f.cfg.BasePoll,
+		MaxHop:         f.cfg.MaxHop,
+		Seed:           f.cfg.Seed + 1000003*int64(id) + 1,
+	}
+	if f.cfg.EdgeState {
+		// A private in-memory disk per edge: every verified install now
+		// walks create→write→sync→rename→syncdir through the
+		// dist.state.* failpoint sites, and a persistence failure must
+		// stay what the replica promises — counted, never blocking the
+		// swap.
+		opts.StateDir = "state"
+		opts.FS = faultfs.NewMemFS(f.cfg.Seed + 2000003*int64(id) + 7)
+	}
 	node := &edgeNode{
-		id: id,
-		rep: dist.NewReplica(f.edgeURL(id), dist.ReplicaOptions{
-			Client:         f.edgeClient,
-			PollInterval:   f.cfg.BasePoll,
-			RequestTimeout: 4 * f.cfg.BasePoll,
-			BackoffBase:    f.cfg.BasePoll / 16,
-			BackoffMax:     f.cfg.BasePoll,
-			MaxHop:         f.cfg.MaxHop,
-			Seed:           f.cfg.Seed + 1000003*int64(id) + 1,
-		}),
+		id:     id,
+		rep:    dist.NewReplica(f.edgeURL(id), opts),
 		cancel: cancel,
 		done:   make(chan struct{}),
 	}

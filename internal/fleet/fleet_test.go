@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/failpoint"
 	"repro/internal/obs"
 )
 
@@ -172,6 +173,52 @@ func TestFleetChurn(t *testing.T) {
 	}
 	if rep.Convergence.Live != 24-wantKilled+wantRejoined {
 		t.Fatalf("live at end = %d, want %d", rep.Convergence.Live, 24-wantKilled+wantRejoined)
+	}
+}
+
+// TestFleetConvergesUnderStorageFaults: every edge persists through its
+// own in-memory disk while an err-mode failpoint spec strikes the fsync
+// and rename steps of the atomic-write discipline. The replica's
+// contract — persistence failures are counted, never block a swap —
+// must scale to a fleet: full convergence, zero unverified swaps, and a
+// report showing both that snapshots landed and that faults genuinely
+// fired.
+func TestFleetConvergesUnderStorageFaults(t *testing.T) {
+	defer failpoint.DisarmAll()
+	cfg := testConfig()
+	cfg.ChurnFraction = 0.25
+	cfg.EdgeState = true
+	cfg.Failpoints = "dist.state.sync=err(0.4,errno=EIO);dist.state.rename=err(0.25,errno=ENOSPC)"
+	rep, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !rep.Converged {
+		t.Fatalf("fleet did not converge under storage faults: %+v", rep.Convergence)
+	}
+	if rep.UnverifiedSwaps != 0 {
+		t.Fatalf("UnverifiedSwaps = %d under storage faults, want 0", rep.UnverifiedSwaps)
+	}
+	if rep.Edges.Persisted == 0 {
+		t.Fatal("EdgeState on but no snapshot ever persisted")
+	}
+	if rep.Edges.PersistErrors == 0 {
+		t.Fatal("storage faults armed but no persistence failure recorded")
+	}
+	for _, site := range []string{"dist.state.sync", "dist.state.rename"} {
+		if rep.FailpointTriggers[site] == 0 {
+			t.Errorf("armed site %s never fired: %v", site, rep.FailpointTriggers)
+		}
+	}
+}
+
+// TestFleetRejectsCrashFailpoints: crash-mode specs would panic edge
+// goroutines and kill the process — Run must refuse them at setup.
+func TestFleetRejectsCrashFailpoints(t *testing.T) {
+	cfg := testConfig()
+	cfg.Failpoints = "dist.state.sync=crash(1)"
+	if _, err := Run(context.Background(), cfg); err == nil || !strings.Contains(err.Error(), "crash") {
+		t.Fatalf("Run with crash spec = %v, want crash-rejection error", err)
 	}
 }
 

@@ -59,6 +59,8 @@ type Totals struct {
 	CompactHits   uint64 `json:"compact_probe_hits"`
 	Retries       uint64 `json:"retries"`
 	PollErrors    uint64 `json:"poll_errors"`
+	Persisted     uint64 `json:"snapshots_persisted"`
+	PersistErrors uint64 `json:"persist_errors"`
 }
 
 // SeqWaterfall is one published head's fleet-wide propagation summary:
@@ -107,6 +109,13 @@ type Report struct {
 
 	// Compactions is how many multi-step patches the relay tier served.
 	Compactions uint64 `json:"relay_compactions"`
+
+	// FailpointTriggers counts, per site, the storage faults the armed
+	// Config.Failpoints spec actually injected during this run. Like the
+	// chaos counters, the totals follow the edges' poll interleaving —
+	// reproducible in distribution, not byte-stable — so they are
+	// deliberately absent from DeterministicView.
+	FailpointTriggers map[string]uint64 `json:"failpoint_triggers,omitempty"`
 }
 
 // DeterministicView extracts the fields that must be byte-identical

@@ -1,0 +1,53 @@
+package serve
+
+import (
+	"testing"
+
+	"repro/internal/failpoint"
+	"repro/internal/psl"
+)
+
+// TestSwapVerifiedBlobFailpointDegradesToCompile: with the
+// serve.install.blob site armed, a blob-fed swap drops the pre-built
+// matcher and compiles locally — the install still lands, answers stay
+// correct, and the provenance counters show the degrade.
+func TestSwapVerifiedBlobFailpointDegradesToCompile(t *testing.T) {
+	defer failpoint.DisarmAll()
+	l := fixture(t)
+	s := New(l, 1, Options{})
+	pm := psl.NewPackedMatcher(l)
+
+	// Clean blob-fed install first.
+	s.SwapVerified(l, 2, l.Fingerprint(), pm)
+	compile0, blob0, _ := s.MatcherInstalls()
+	if blob0 == 0 {
+		t.Fatal("clean blob install not counted")
+	}
+
+	if err := failpoint.Arm("serve.install.blob=err(1)", 11); err != nil {
+		t.Fatal(err)
+	}
+	snap := s.SwapVerified(l, 3, "", pm)
+	if snap == nil || snap.Seq != 3 {
+		t.Fatalf("degraded swap did not install: %+v", snap)
+	}
+	compile1, blob1, _ := s.MatcherInstalls()
+	if blob1 != blob0 {
+		t.Fatalf("armed blob install counted as blob-fed (%d → %d)", blob0, blob1)
+	}
+	if compile1 != compile0+1 {
+		t.Fatalf("degraded install did not compile (%d → %d)", compile0, compile1)
+	}
+	if failpoint.Triggers("serve.install.blob") == 0 {
+		t.Fatal("trigger counter did not move")
+	}
+
+	// The degraded snapshot still answers correctly.
+	got, err := s.Lookup("www.example.co.uk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Site != "example.co.uk" {
+		t.Fatalf("lookup after degraded swap = %+v", got)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/failpoint"
 	"repro/internal/history"
 	"repro/internal/obs"
 	"repro/internal/psl"
@@ -365,6 +366,11 @@ func (s *Service) RegisterMetrics(r *obs.Registry) {
 	}
 }
 
+// fpInstallBlob is the serving layer's injection site: armed, a
+// blob-fed SwapVerified drops the pre-built matcher and compiles
+// instead, proving the degrade path swaps correct data either way.
+var fpInstallBlob = failpoint.New("serve.install.blob")
+
 // install makes snap the current snapshot under a fresh generation,
 // with a fresh cache.
 func (s *Service) install(snap *Snapshot) *Snapshot {
@@ -398,6 +404,12 @@ func (s *Service) Swap(l *psl.List, seq int) *Snapshot {
 // Anything else compiles exactly like Swap. fp may be empty (disables
 // both elisions now and reuse later).
 func (s *Service) SwapVerified(l *psl.List, seq int, fp string, m psl.Matcher) *Snapshot {
+	// Failpoint: a blob-fed install degrades to the compile fallback —
+	// the swap itself must still land, the same contract as a blob that
+	// failed verification upstream.
+	if m != nil && fpInstallBlob.Inject() != nil {
+		m = nil
+	}
 	var snap *Snapshot
 	switch cur := s.st.Load(); {
 	case m != nil:

@@ -1,0 +1,131 @@
+package submit
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/failpoint"
+	"repro/internal/faultfs"
+	"repro/internal/obs"
+)
+
+// TestLoadQuarantinesCorruptRecords: a truncated or invalid-JSON record
+// in the state dir must be quarantined (renamed to .corrupt, counted)
+// while every healthy record still loads — never an aborted startup.
+func TestLoadQuarantinesCorruptRecords(t *testing.T) {
+	dir := t.TempDir()
+	rig := newRig(t, Config{StateDir: dir, Manual: true})
+	req := addReq("healthy.example")
+	id := rig.authorize(t, req)
+	if _, err := rig.p.Submit(req); err != nil {
+		t.Fatal(err)
+	}
+
+	// Three shapes of rot next to the healthy record: torn JSON (the
+	// truncated tail of a real record), garbage bytes, and a valid JSON
+	// body whose ID disagrees with its file name.
+	healthy, err := os.ReadFile(filepath.Join(dir, id+".json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := map[string][]byte{
+		"sub-1111111111111111.json": healthy[:len(healthy)/2],
+		"sub-2222222222222222.json": []byte("\x00\x01not json at all"),
+		"sub-3333333333333333.json": []byte(`{"id":"sub-mismatch","state":"pending"}`),
+	}
+	for name, blob := range corrupt {
+		if err := os.WriteFile(filepath.Join(dir, name), blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	p2, err := New(rig.o, Config{StateDir: dir, Resolver: rig.zone})
+	if err != nil {
+		t.Fatalf("load with corrupt records aborted startup: %v", err)
+	}
+	if got := p2.Get(id); got == nil || got.State != StatePending {
+		t.Fatalf("healthy record lost during quarantine: %+v", got)
+	}
+	if n := p2.Quarantined(); n != uint64(len(corrupt)) {
+		t.Fatalf("Quarantined = %d, want %d", n, len(corrupt))
+	}
+	for name := range corrupt {
+		if _, err := os.Stat(filepath.Join(dir, name)); !errors.Is(err, os.ErrNotExist) {
+			t.Fatalf("%s still present, want renamed away", name)
+		}
+		if _, err := os.Stat(filepath.Join(dir, name+".corrupt")); err != nil {
+			t.Fatalf("%s.corrupt missing: %v", name, err)
+		}
+	}
+
+	// Quarantined files are ignored by the next load (not .json), so a
+	// third pipeline sees a clean store plus the healthy record.
+	p3, err := New(rig.o, Config{StateDir: dir, Resolver: rig.zone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3.Quarantined() != 0 {
+		t.Fatalf("second load re-quarantined: %d", p3.Quarantined())
+	}
+	if got := p3.Get(id); got == nil {
+		t.Fatal("healthy record lost on second load")
+	}
+}
+
+// TestPersistFailureCounterAndMetric: a failed persist appends the
+// usual verdict AND bumps psl_submit_persist_failures_total so
+// operators have an alertable durability signal.
+func TestPersistFailureCounterAndMetric(t *testing.T) {
+	defer failpoint.DisarmAll()
+	rig := newRig(t, Config{StateDir: "state", FS: faultfs.NewMemFS(1), Manual: true})
+	reg := obs.NewRegistry()
+	rig.p.RegisterMetrics(reg)
+
+	req := addReq("durability.example")
+	rig.authorize(t, req)
+	if err := failpoint.Arm("submit.persist.sync=err(1,errno=ENOSPC)", 3); err != nil {
+		t.Fatal(err)
+	}
+	s, err := rig.p.Submit(req)
+	if err != nil {
+		t.Fatalf("Submit must survive a persist failure: %v", err)
+	}
+	if s.State != StatePending {
+		t.Fatalf("state = %s, want pending (persist failure is not a submission failure)", s.State)
+	}
+	var persistVerdict bool
+	for _, v := range s.Verdicts {
+		if v.Stage == "persist" && !v.Passed {
+			persistVerdict = true
+		}
+	}
+	if !persistVerdict {
+		t.Fatalf("no persist verdict recorded: %+v", s.Verdicts)
+	}
+	if n := rig.p.PersistFailures(); n == 0 {
+		t.Fatal("PersistFailures = 0 after an injected sync error")
+	}
+	if !strings.Contains(scrape(t, reg), "psl_submit_persist_failures_total") {
+		t.Fatal("psl_submit_persist_failures_total missing from exposition")
+	}
+
+	// Disarmed again, the next state change persists cleanly.
+	failpoint.DisarmAll()
+	if _, err := rig.p.Process(s.ID); err != nil {
+		t.Fatal(err)
+	}
+	if got := rig.p.PersistFailures(); got != 1 {
+		t.Fatalf("PersistFailures = %d after recovery, want 1", got)
+	}
+}
+
+// scrape renders a registry's exposition text.
+func scrape(t *testing.T, reg *obs.Registry) string {
+	t.Helper()
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	return b.String()
+}

@@ -27,6 +27,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/dnssim"
 	"repro/internal/domain"
+	"repro/internal/faultfs"
 	"repro/internal/httparchive"
 	"repro/internal/obs"
 	"repro/internal/psl"
@@ -164,6 +165,11 @@ type Config struct {
 	// one JSON file via the dist atomic-write discipline. Submissions
 	// found mid-check at load time re-enqueue as pending.
 	StateDir string
+	// FS, when set, is the filesystem behind StateDir — the
+	// crash-consistency harness hands in a faultfs.MemFS here. Nil
+	// means the real OS. Either way the store runs behind the
+	// "submit.persist.*" failpoint sites.
+	FS faultfs.FS
 	// Resolver answers _psl TXT queries. Required.
 	Resolver dnssim.Resolver
 	// Population, when set, sizes the risk stage against the simulated
@@ -216,10 +222,19 @@ type Pipeline struct {
 	// re-validates regardless; this keeps verdicts honest).
 	processMu sync.Mutex
 
+	// fsys backs StateDir persistence: Config.FS (or the real OS)
+	// wrapped with the "submit.persist.*" failpoint sites.
+	fsys faultfs.FS
+
 	received  obs.Counter
 	published obs.Counter
 	stagePass [5]obs.Counter
 	stageFail [5]obs.Counter
+	// persistFailures counts failed durable writes — the alertable
+	// signal that the pipeline is running on degraded durability.
+	persistFailures obs.Counter
+	// quarantined counts corrupt records renamed aside at load time.
+	quarantined obs.Counter
 }
 
 // stageIndex maps a stage name to its counter slot.
@@ -245,6 +260,7 @@ func New(origin *dist.Origin, cfg Config) (*Pipeline, error) {
 		origin: origin,
 		cfg:    cfg,
 		subs:   make(map[string]*Submission),
+		fsys:   storeFS(cfg.FS),
 	}
 	if cfg.StateDir != "" {
 		if err := p.load(); err != nil {
@@ -264,6 +280,12 @@ func (p *Pipeline) RegisterMetrics(reg *obs.Registry) {
 		reg.MustRegister("psl_submit_verdicts_total", "Stage verdicts, by stage and outcome.",
 			obs.Labels{{"stage", s}, {"outcome", "fail"}}, &p.stageFail[i])
 	}
+	reg.MustRegister("psl_submit_persist_failures_total",
+		"Failed durable writes of submission records (pipeline continues on in-memory state).",
+		nil, &p.persistFailures)
+	reg.MustRegister("psl_submit_quarantined_total",
+		"Corrupt submission records renamed aside (.corrupt) at load time.",
+		nil, &p.quarantined)
 	for _, st := range []State{StatePending, StateChecking, StateRejected, StateAccepted, StatePublished} {
 		st := st
 		reg.MustRegister("psl_submit_submissions", "Submissions currently in each state.",
@@ -272,6 +294,12 @@ func (p *Pipeline) RegisterMetrics(reg *obs.Registry) {
 			}))
 	}
 }
+
+// PersistFailures reports failed durable writes of submission records.
+func (p *Pipeline) PersistFailures() uint64 { return p.persistFailures.Load() }
+
+// Quarantined reports corrupt records renamed aside at load time.
+func (p *Pipeline) Quarantined() uint64 { return p.quarantined.Load() }
 
 // CountByState tallies the stored submissions.
 func (p *Pipeline) CountByState() map[State]int {
